@@ -1,0 +1,55 @@
+// Ablation: the delay target d of the frequency-setting policy
+// (Equation 5).  Sweeping d traces the energy/latency trade-off the power
+// manager exposes: looser targets buffer more frames and allow lower
+// frequencies.
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "queue/mm1.hpp"
+#include "workload/clips.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Ablation: delay target (Equation 5 constant)",
+                      "Simunic et al., DAC'01, Section 3.1 / Tables 3-4"
+                      " setup");
+
+  const auto dec = workload::reference_mp3_decoder(bench::cpu().max_frequency());
+  Rng rng{1414};
+  const auto trace =
+      workload::build_mp3_trace(workload::mp3_sequence("ACEFBD"), dec, rng);
+
+  TextTable t;
+  t.set_header({"Target d (s)", "Buffered frames @38 fr/s", "Energy (kJ)",
+                "CPU+mem (kJ)", "Measured delay (s)", "Mean f (MHz)"});
+  CsvWriter csv{bench::csv_path("ablation_delay_target")};
+  csv.write_row(std::vector<std::string>{"target_s", "energy_kj",
+                                         "cpu_mem_kj", "measured_delay_s",
+                                         "mean_freq_mhz"});
+  for (double d : {0.05, 0.10, 0.15, 0.25, 0.50, 1.00}) {
+    core::RunOptions opts;
+    opts.detector = core::DetectorKind::ChangePoint;
+    opts.target_delay = seconds(d);
+    opts.detector_cfg = &bench::detectors();
+    const core::Metrics m = core::run_single_trace(trace, dec, opts);
+    t.add_row({TextTable::num(d, 2),
+               TextTable::num(queue::Mm1::buffered_frames_at(hertz(38.3), seconds(d)), 1),
+               TextTable::num(m.energy_kj(), 3),
+               TextTable::num(m.cpu_memory_energy().value() / 1e3, 3),
+               TextTable::num(m.mean_frame_delay.value(), 3),
+               TextTable::num(m.mean_cpu_frequency.value(), 1)});
+    csv.write_row(std::vector<double>{d, m.energy_kj(),
+                                      m.cpu_memory_energy().value() / 1e3,
+                                      m.mean_frame_delay.value(),
+                                      m.mean_cpu_frequency.value()});
+  }
+  t.print();
+
+  std::printf("\nShape check: energy falls monotonically as the target"
+              " loosens (lower sustained\nfrequency) and saturates once the"
+              " lowest useful step is reached; measured delay\ntracks the"
+              " target from below.  The paper's 0.1-0.15 s choices buy most"
+              " of the\nsavings for a barely perceptible buffer.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation: DPM policy family.  Compares never-sleeping, fixed timeouts,
+// the renewal-theory policy, the TISMDP-style constrained policy, and the
+// clairvoyant oracle, both analytically (expected energy per idle period)
+// and on a simulated session.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dpm/adaptive.hpp"
+#include "dpm/policy.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Ablation: DPM policy family",
+                      "Simunic et al., DAC'01, Section 3 (renewal vs TISMDP"
+                      " models) + refs [2,3]");
+
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+  const auto idle = std::make_shared<dpm::ParetoIdle>(1.6, seconds(1.5));
+
+  std::printf("idle model: Pareto(shape 1.6, scale 1.5 s), mean %.0f s\n",
+              idle->mean().value());
+  std::printf("break-even: standby %.2f s, off %.2f s\n\n",
+              costs.break_even(costs.options[0]).value(),
+              costs.break_even(costs.options[1]).value());
+
+  struct Entry {
+    std::string name;
+    dpm::DpmPolicyPtr policy;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"never-sleep", std::make_shared<dpm::NeverSleepPolicy>()});
+  entries.push_back({"timeout(1s,10s)",
+                     std::make_shared<dpm::FixedTimeoutPolicy>(seconds(1.0),
+                                                               seconds(10.0))});
+  entries.push_back({"timeout(30s,300s)",
+                     std::make_shared<dpm::FixedTimeoutPolicy>(seconds(30.0),
+                                                               seconds(300.0))});
+  entries.push_back({"renewal", std::make_shared<dpm::RenewalPolicy>(costs, idle)});
+  entries.push_back({"tismdp(d<=0.1s)",
+                     std::make_shared<dpm::TismdpPolicy>(costs, idle,
+                                                         seconds(0.1))});
+  entries.push_back({"tismdp(d<=0.5s)",
+                     std::make_shared<dpm::TismdpPolicy>(costs, idle,
+                                                         seconds(0.5))});
+  {
+    // Adaptive: learns the distribution from 300 observed idle periods
+    // before being evaluated (steady-state behaviour).
+    auto adaptive = std::make_shared<dpm::AdaptiveDpmPolicy>(costs);
+    Rng warm{909};
+    for (int i = 0; i < 300; ++i) adaptive->observe_idle_period(idle->sample(warm));
+    entries.push_back({"adaptive (learned)", adaptive});
+  }
+  entries.push_back({"oracle", std::make_shared<dpm::OraclePolicy>(costs)});
+
+  // Analytic expectation per idle period (oracle evaluated by Monte Carlo).
+  TextTable t;
+  t.set_header({"Policy", "E[energy]/idle (J)", "E[wakeup delay] (s)",
+                "vs never-sleep"});
+  const double never = dpm::idle_only_energy(costs, *idle).value();
+  Rng rng{606};
+  for (const auto& entry : entries) {
+    double e;
+    double d;
+    if (entry.name == "oracle") {
+      RunningStats es;
+      RunningStats ds;
+      for (int i = 0; i < 100000; ++i) {
+        const Seconds T = idle->sample(rng);
+        const dpm::SleepPlan plan = entry.policy->plan(T, rng);
+        if (plan.empty()) {
+          es.add(costs.idle_power.value() * 1e-3 * T.value());
+          ds.add(0.0);
+        } else {
+          const auto& opt = plan.steps.back().state == hw::PowerState::Off
+                                ? costs.options[1]
+                                : costs.options[0];
+          es.add(opt.power.value() * 1e-3 * T.value() + opt.wakeup_energy.value());
+          ds.add(opt.wakeup_latency.value());
+        }
+      }
+      e = es.mean();
+      d = ds.mean();
+    } else {
+      // Randomized policies: average the evaluation over plan() draws.
+      RunningStats es;
+      RunningStats ds;
+      for (int i = 0; i < 64; ++i) {
+        const dpm::SleepPlan plan = entry.policy->plan(std::nullopt, rng);
+        const dpm::PlanEvaluation ev = dpm::evaluate_plan(plan, costs, *idle);
+        es.add(ev.expected_energy.value());
+        ds.add(ev.expected_delay.value());
+      }
+      e = es.mean();
+      d = ds.mean();
+    }
+    t.add_row({entry.name, TextTable::num(e, 1), TextTable::num(d, 3),
+               TextTable::num(never / e, 2) + "x"});
+  }
+  t.print();
+
+  std::printf("\nShape check: the optimizing policies (renewal, TISMDP)"
+              " approach the oracle;\nfixed timeouts are competitive only"
+              " when hand-tuned near the break-even times;\nthe TISMDP"
+              " constraint trades a bounded wakeup delay for a small energy"
+              "\npremium over the unconstrained renewal optimum.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: detection confidence.  The paper picks the ln(P_max) threshold
+// at the 99.5% quantile of the off-line characterization histogram; this
+// bench sweeps the confidence level and shows the false-alarm /
+// detection-latency trade-off that motivates that choice.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "detect/change_point.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Ablation: detection confidence (threshold quantile)",
+                      "Simunic et al., DAC'01, Section 3.1 (\"we selected"
+                      " 99.5% likelihood\")");
+
+  TextTable t;
+  t.set_header({"Confidence", "False changes/1k samples", "Detect latency (fr)",
+                "Detected"});
+  for (double conf : {0.90, 0.99, 0.995, 0.999}) {
+    detect::ChangePointConfig cfg;
+    cfg.confidence = conf;
+    cfg.mc_windows = 4000;  // the 99.9% quantile needs a larger histogram
+    const auto table = std::make_shared<const detect::ThresholdTable>(cfg);
+
+    // False-alarm rate under a constant 30 fr/s rate.
+    detect::ChangePointDetector steady{table};
+    steady.reset(hertz(30.0));
+    Rng rng{11000 + static_cast<std::uint64_t>(conf * 1e4)};
+    Seconds now{0.0};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      const Seconds gap{rng.exponential(30.0)};
+      now += gap;
+      steady.on_sample(now, gap);
+    }
+    const double false_per_k =
+        1000.0 * static_cast<double>(steady.changes_detected()) / n;
+
+    // Latency on the Figure 10 step.
+    RunningStats latency;
+    int detected = 0;
+    const int trials = 40;
+    for (int trial = 0; trial < trials; ++trial) {
+      detect::ChangePointDetector det{table};
+      det.reset(hertz(10.0));
+      Rng r2{12000 + static_cast<std::uint64_t>(trial)};
+      Seconds t2{0.0};
+      for (int i = 0; i < 300; ++i) {
+        const Seconds gap{r2.exponential(10.0)};
+        t2 += gap;
+        det.on_sample(t2, gap);
+      }
+      for (int i = 0; i < 400; ++i) {
+        const Seconds gap{r2.exponential(60.0)};
+        t2 += gap;
+        det.on_sample(t2, gap);
+        if (std::abs(det.current_rate().value() - 60.0) < 12.0) {
+          latency.add(i + 1);
+          ++detected;
+          break;
+        }
+      }
+    }
+    t.add_row({TextTable::num(conf * 100.0, 1) + "%",
+               TextTable::num(false_per_k, 2),
+               latency.empty() ? "-" : TextTable::num(latency.mean(), 1),
+               TextTable::num(100.0 * detected / trials, 0) + "%"});
+  }
+  t.print();
+
+  std::printf("\nShape check: lower confidence reacts marginally faster but"
+              " fires spuriously under\na steady rate (each false change"
+              " flaps the CPU frequency); 99.5%% keeps false\nalarms rare"
+              " while detecting real steps promptly — the paper's"
+              " operating point.\n");
+  return 0;
+}

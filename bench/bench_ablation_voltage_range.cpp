@@ -1,0 +1,74 @@
+// Ablation: how much of the DVS win is the *voltage* range?
+//
+// The paper's introduction credits the Transmeta Crusoe with the same
+// frequency+voltage principle.  This bench runs the identical MP3 workload
+// on three processor models — the stock SA-1100 (wide 0.86-1.65 V range), a
+// Crusoe-like part (narrower 1.20-1.60 V ratio), and a frequency-only
+// scaler (voltage pinned) — and reports the processing-subsystem energy
+// saved by the change-point governor vs pinned-max on each.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "hw/cpu_catalog.hpp"
+#include "workload/clips.hpp"
+
+using namespace dvs;
+
+namespace {
+
+struct CpuEntry {
+  const char* name;
+  hw::Sa1100 cpu;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: DVS win vs processor voltage range",
+                      "Simunic et al., DAC'01, Section 1 (Crusoe reference)"
+                      " — what-if study");
+
+  std::vector<CpuEntry> cpus;
+  cpus.push_back({"SA-1100 (0.86-1.65V)", hw::smartbadge_sa1100()});
+  cpus.push_back({"Crusoe-like (1.20-1.60V)", hw::crusoe_like()});
+  cpus.push_back({"frequency-only (1.65V fixed)", hw::frequency_only_sa1100()});
+
+  TextTable t;
+  t.set_header({"Processor", "V ratio^2", "CPU+mem kJ (Max)",
+                "CPU+mem kJ (ChangePoint)", "DVS saving", "Mean f (MHz)"});
+  for (const CpuEntry& entry : cpus) {
+    const auto dec = workload::reference_mp3_decoder(entry.cpu.max_frequency());
+    Rng rng{4040};  // same workload statistics for every part
+    const auto trace =
+        workload::build_mp3_trace(workload::mp3_sequence("ACEFBD"), dec, rng);
+
+    auto run = [&](core::DetectorKind kind) {
+      core::RunOptions opts;
+      opts.detector = kind;
+      opts.target_delay = seconds(0.15);
+      opts.detector_cfg = &bench::detectors();
+      opts.cpu = &entry.cpu;
+      return core::run_single_trace(trace, dec, opts);
+    };
+    const core::Metrics max = run(core::DetectorKind::Max);
+    const core::Metrics cp = run(core::DetectorKind::ChangePoint);
+
+    const double v0 = entry.cpu.voltage_at(0).value();
+    const double vt = entry.cpu.voltage_at(entry.cpu.num_steps() - 1).value();
+    t.add_row({entry.name, TextTable::num((v0 / vt) * (v0 / vt), 3),
+               TextTable::num(max.cpu_memory_energy().value() / 1e3, 3),
+               TextTable::num(cp.cpu_memory_energy().value() / 1e3, 3),
+               TextTable::num(100.0 * (1.0 - cp.cpu_memory_energy().value() /
+                                                 max.cpu_memory_energy().value()),
+                              1) + "%",
+               TextTable::num(cp.mean_cpu_frequency.value(), 1)});
+  }
+  t.print();
+
+  std::printf("\nShape check: the DVS saving tracks the square of the"
+              " voltage ratio the part\nexposes.  A frequency-only scaler"
+              " still saves a little (the CPU idles at a\ncheaper operating"
+              " point between frames), but the quadratic voltage term is"
+              "\nwhere the paper's energy factor comes from — which is why"
+              " the SA-1100 and the\nCrusoe made DVS famous.\n");
+  return 0;
+}

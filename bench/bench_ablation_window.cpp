@@ -1,0 +1,124 @@
+// Ablation: change-point window size m and check interval k.
+//
+// The paper: "We found that a window of m [samples] is large enough.
+// Larger windows will cause longer execution times, while much shorter
+// windows do not contain [a] statistically large enough sample and thus
+// give unstable results.  In addition, the change point can be checked
+// every k points.  Larger values of k ... mean that the changed rate will
+// be detected later, while with very small values the detection is
+// quicker, but also causes extra computation."
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "detect/change_point.hpp"
+
+using namespace dvs;
+
+namespace {
+
+struct Outcome {
+  double mean_latency = 0.0;     // frames to re-detect 10 -> 60
+  double detect_fraction = 0.0;  // trials where the step was detected
+  double false_changes = 0.0;    // changes per 1000 samples under constant rate
+  double ns_per_sample = 0.0;    // on-line cost
+};
+
+Outcome evaluate(const detect::ChangePointConfig& cfg, std::uint64_t seed) {
+  const auto table = std::make_shared<const detect::ThresholdTable>(cfg);
+  Outcome out;
+
+  // Detection latency over repeated 10 -> 60 steps.
+  RunningStats latency;
+  int detected = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    detect::ChangePointDetector det{table};
+    det.reset(hertz(10.0));
+    Rng rng{seed + static_cast<std::uint64_t>(trial)};
+    Seconds now{0.0};
+    for (int i = 0; i < 300; ++i) {
+      const Seconds gap{rng.exponential(10.0)};
+      now += gap;
+      det.on_sample(now, gap);
+    }
+    for (int i = 0; i < 400; ++i) {
+      const Seconds gap{rng.exponential(60.0)};
+      now += gap;
+      det.on_sample(now, gap);
+      if (std::abs(det.current_rate().value() - 60.0) < 12.0) {
+        latency.add(i + 1);
+        ++detected;
+        break;
+      }
+    }
+  }
+  out.detect_fraction = static_cast<double>(detected) / trials;
+  out.mean_latency = latency.empty() ? -1.0 : latency.mean();
+
+  // False alarms and execution cost under a constant rate.
+  detect::ChangePointDetector det{table};
+  det.reset(hertz(30.0));
+  Rng rng{seed ^ 0xabcdefULL};
+  Seconds now{0.0};
+  const int n = 30000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    const Seconds gap{rng.exponential(30.0)};
+    now += gap;
+    det.on_sample(now, gap);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.false_changes = 1000.0 * static_cast<double>(det.changes_detected()) / n;
+  out.ns_per_sample =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: detection window m and check interval k",
+                      "Simunic et al., DAC'01, Section 3.1 (design-choice"
+                      " discussion)");
+
+  TextTable wt{"Window size m (check interval fixed at 10)"};
+  wt.set_header({"m", "Detect latency (frames)", "Detected", "False/1k samples",
+                 "ns/sample"});
+  for (std::size_t m : {30u, 50u, 100u, 200u, 400u}) {
+    detect::ChangePointConfig cfg;
+    cfg.window = m;
+    cfg.mc_windows = 1500;
+    const Outcome o = evaluate(cfg, 7000 + m);
+    wt.add_row({std::to_string(m), TextTable::num(o.mean_latency, 1),
+                TextTable::num(o.detect_fraction * 100.0, 0) + "%",
+                TextTable::num(o.false_changes, 2),
+                TextTable::num(o.ns_per_sample, 0)});
+  }
+  wt.print();
+
+  TextTable kt{"Check interval k (window fixed at 100)"};
+  kt.set_header({"k", "Detect latency (frames)", "Detected", "False/1k samples",
+                 "ns/sample"});
+  for (std::size_t k : {2u, 5u, 10u, 25u, 50u}) {
+    detect::ChangePointConfig cfg;
+    cfg.check_interval = k;
+    cfg.mc_windows = 1500;
+    const Outcome o = evaluate(cfg, 9000 + k);
+    kt.add_row({std::to_string(k), TextTable::num(o.mean_latency, 1),
+                TextTable::num(o.detect_fraction * 100.0, 0) + "%",
+                TextTable::num(o.false_changes, 2),
+                TextTable::num(o.ns_per_sample, 0)});
+  }
+  kt.print();
+
+  std::printf("\nShape check: small m is fast but unreliable/noisy; large m"
+              " costs compute with no\nlatency benefit — m=100 is the sweet"
+              " spot the paper chose.  Small k detects a few\nframes earlier"
+              " at proportionally higher cost; large k delays detection by"
+              " ~k/2.\n");
+  return 0;
+}

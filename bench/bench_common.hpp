@@ -1,0 +1,46 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper and prints it
+// in the paper's row format (plus a CSV dump for plotting).  Seeds are fixed
+// so output is identical run to run.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::bench {
+
+/// One shared SA-1100 instance.
+inline const hw::Sa1100& cpu() {
+  static const hw::Sa1100 instance;
+  return instance;
+}
+
+/// Detector configuration shared within a bench process so the change-point
+/// threshold table is characterized once.
+inline core::DetectorFactoryConfig& detectors() {
+  static core::DetectorFactoryConfig cfg;
+  return cfg;
+}
+
+/// The four algorithm columns of Tables 3 and 4, in paper order.
+inline const std::array<core::DetectorKind, 4>& paper_algorithms() {
+  static const std::array<core::DetectorKind, 4> kinds = {
+      core::DetectorKind::Ideal, core::DetectorKind::ChangePoint,
+      core::DetectorKind::ExpAverage, core::DetectorKind::Max};
+  return kinds;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// Where benches drop CSV exports (current directory by default).
+inline std::string csv_path(const std::string& name) { return name + ".csv"; }
+
+}  // namespace dvs::bench

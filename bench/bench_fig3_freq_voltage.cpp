@@ -1,0 +1,38 @@
+// Figure 3: frequency vs minimum operating voltage for the SA-1100, plus
+// the resulting active power and energy-per-cycle ratio at each step.
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Figure 3: Frequency vs. Voltage for SA-1100",
+                      "Simunic et al., DAC'01, Figure 3");
+
+  const hw::Sa1100& cpu = bench::cpu();
+  TextTable t;
+  t.set_header({"Step", "Frequency (MHz)", "Min voltage (V)", "Active P (mW)",
+                "Energy/cycle vs max"});
+  CsvWriter csv{bench::csv_path("fig3_freq_voltage")};
+  csv.write_row(std::vector<std::string>{"freq_mhz", "volt", "power_mw",
+                                         "energy_per_cycle_ratio"});
+  for (std::size_t s = 0; s < cpu.num_steps(); ++s) {
+    t.add_row({std::to_string(s), TextTable::num(cpu.frequency_at(s).value(), 2),
+               TextTable::num(cpu.voltage_at(s).value(), 3),
+               TextTable::num(cpu.active_power_at(s).value(), 1),
+               TextTable::num(cpu.energy_per_cycle_ratio(s), 3)});
+    csv.write_row(std::vector<double>{cpu.frequency_at(s).value(),
+                                      cpu.voltage_at(s).value(),
+                                      cpu.active_power_at(s).value(),
+                                      cpu.energy_per_cycle_ratio(s)});
+  }
+  t.print();
+  std::printf("\nShape check: voltage rises monotonically 0.86 V -> 1.65 V over"
+              " 59.0 -> 221.25 MHz;\nrunning a fixed cycle count at the lowest"
+              " step costs %.0f%% of the energy at the top step\n(the quadratic"
+              " DVS win).  CSV: %s\n",
+              cpu.energy_per_cycle_ratio(0) * 100.0,
+              bench::csv_path("fig3_freq_voltage").c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figures 4 and 5: performance and energy vs CPU frequency, normalized to
+// the top step, for MP3 audio (memory-bound, Figure 4) and MPEG video
+// (CPU-bound, Figure 5).
+//
+// Per-frame energy at step s is decode_time(f_s) * P_cpu(f_s) for the
+// processor plus the frequency-independent memory term (the memory is busy
+// for a fixed number of accesses per frame, not for the stretched decode):
+//   E(s) = t(f_s) * P_cpu(f_s) + T_mem * P_mem.
+// MP3 decodes from the slow SRAM, MPEG from the fast SDRAM/DRAM.
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "hw/smartbadge_data.hpp"
+
+using namespace dvs;
+
+namespace {
+
+void emit(const workload::DecoderModel& dec, MilliWatts mem_power,
+          const std::string& figure, const std::string& csv_name) {
+  const hw::Sa1100& cpu = bench::cpu();
+  const std::size_t top = cpu.num_steps() - 1;
+
+  auto frame_energy = [&](std::size_t s) {
+    const Seconds t = dec.decode_time(cpu.frequency_at(s));
+    return energy(cpu.active_power_at(s), t).value() +
+           energy(mem_power, dec.memory_stall()).value();
+  };
+
+  TextTable t{figure};
+  t.set_header({"Frequency (MHz)", "Performance ratio", "Energy ratio"});
+  CsvWriter csv{bench::csv_path(csv_name)};
+  csv.write_row(std::vector<std::string>{"freq_mhz", "perf_ratio", "energy_ratio"});
+  for (std::size_t s = 0; s < cpu.num_steps(); ++s) {
+    const double perf = dec.performance_ratio(cpu.frequency_at(s));
+    const double e_ratio = frame_energy(s) / frame_energy(top);
+    t.add_row({TextTable::num(cpu.frequency_at(s).value(), 2),
+               TextTable::num(perf, 3), TextTable::num(e_ratio, 3)});
+    csv.write_row(std::vector<double>{cpu.frequency_at(s).value(), perf, e_ratio});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figures 4 & 5: performance and energy vs frequency",
+                      "Simunic et al., DAC'01, Figures 4 (MP3) and 5 (MPEG)");
+
+  const auto mp3 = workload::reference_mp3_decoder(bench::cpu().max_frequency());
+  const auto mpeg = workload::reference_mpeg_decoder(bench::cpu().max_frequency());
+  const MilliWatts sram = hw::smartbadge_spec(hw::BadgeComponentId::Sram).active_power;
+  const MilliWatts dram = hw::smartbadge_spec(hw::BadgeComponentId::Dram).active_power;
+
+  emit(mp3, sram, "Figure 4: MP3 audio (decoded from slow SRAM)",
+       "fig4_mp3_perf_energy");
+  std::printf("\n");
+  emit(mpeg, dram, "Figure 5: MPEG video (decoded from fast DRAM)",
+       "fig5_mpeg_perf_energy");
+
+  const double mp3_half = mp3.performance_ratio(bench::cpu().max_frequency() * 0.5);
+  const double mpeg_half = mpeg.performance_ratio(bench::cpu().max_frequency() * 0.5);
+  std::printf(
+      "\nShape check: at half the clock, MP3 keeps %.0f%% of its performance"
+      " (memory-bound,\nsub-linear — paper: \"speedup is not linear\") while"
+      " MPEG keeps %.0f%% (\"almost linear\").\n",
+      mp3_half * 100.0, mpeg_half * 100.0);
+  return 0;
+}

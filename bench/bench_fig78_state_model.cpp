@@ -1,0 +1,74 @@
+// Figures 7 & 8: the structure of the power manager's decision model.
+//
+// Figure 7 contrasts the naive 3-state system model with the time-indexed
+// model (idle/sleep states split by time since idle entry); Figure 8
+// expands the single active state into the family of (f, V) sub-states the
+// DVS governor chooses among.  These are model diagrams rather than data
+// plots, so this bench *instantiates* them: it prints the (f, V, P) active
+// sub-state set of the SmartBadge and the concrete time-indexed policy the
+// TISMDP solver computes over the idle bins — i.e. the content the figures
+// sketch.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "dpm/tismdp_solver.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Figures 7 & 8: time-indexed model and active-state expansion",
+                      "Simunic et al., DAC'01, Figures 7-8 (model structure)");
+
+  // ---- Figure 8: the expanded active state --------------------------------
+  const hw::Sa1100& cpu = bench::cpu();
+  TextTable active{"Figure 8: active-state (f, V) sub-states"};
+  active.set_header({"Sub-state", "f (MHz)", "V (V)", "CPU P (mW)"});
+  for (std::size_t s = 0; s < cpu.num_steps(); ++s) {
+    active.add_row({"active[f" + std::to_string(s) + "]",
+                    TextTable::num(cpu.frequency_at(s).value(), 2),
+                    TextTable::num(cpu.voltage_at(s).value(), 3),
+                    TextTable::num(cpu.active_power_at(s).value(), 1)});
+  }
+  active.print();
+
+  // ---- Figure 7: time-indexed idle states and the policy over them --------
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+  const auto idle = std::make_shared<dpm::ParetoIdle>(1.8, seconds(8.0));
+  const dpm::TismdpSolver solver{costs, idle};
+  const dpm::TimeIndexedPolicy policy = solver.solve_unconstrained();
+
+  std::printf("\nFigure 7: time-indexed idle states (Pareto idle, mean %.0f s)\n",
+              idle->mean().value());
+  TextTable t;
+  t.set_header({"Elapsed idle time", "P(still idle)", "Commanded state"});
+  // Print the action at a readable subset of boundaries plus every change.
+  hw::PowerState prev = hw::PowerState::Active;  // sentinel != first action
+  std::size_t printed = 0;
+  for (std::size_t i = 0; i < policy.boundaries.size(); ++i) {
+    const bool action_change = policy.actions[i] != prev;
+    const bool milestone = i % (policy.boundaries.size() / 12 + 1) == 0;
+    if (!action_change && !milestone) continue;
+    if (++printed > 24) break;
+    t.add_row({TextTable::num(policy.boundaries[i].value(), 3) + " s",
+               TextTable::num(idle->survival(policy.boundaries[i]), 3),
+               std::string(hw::to_string(policy.actions[i]))});
+    prev = policy.actions[i];
+  }
+  t.print();
+
+  const dpm::SleepPlan plan = policy.to_plan();
+  std::printf("\ncollapsed plan:");
+  for (const auto& step : plan.steps) {
+    std::printf("  ->%s @ %.2f s", std::string(hw::to_string(step.state)).c_str(),
+                step.after.value());
+  }
+  std::printf("\nexpected energy %.1f J/idle period, expected wakeup delay"
+              " %.3f s\n", policy.expected_energy, policy.expected_delay);
+
+  std::printf("\nShape check: the time index is what makes the policy"
+              " non-trivial — the commanded\nstate deepens with elapsed idle"
+              " time exactly because the Pareto tail makes long\nidleness"
+              " predict longer idleness; a memoryless model would collapse"
+              " to a single\nthreshold at t=0.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark): throughput of the pieces that run on
+// every frame — the simulation kernel, the detectors, and the policy — to
+// show the run-time machinery is cheap relative to frame periods (tens of
+// milliseconds on the SmartBadge).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "detect/change_point.hpp"
+#include "detect/ema.hpp"
+#include "policy/frequency_policy.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace dvs;
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(30.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(seconds(static_cast<double>(i)), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+void BM_EmaDetectorSample(benchmark::State& state) {
+  detect::EmaDetector det{0.03};
+  det.reset(hertz(30.0));
+  Rng rng{2};
+  Seconds now{0.0};
+  for (auto _ : state) {
+    const Seconds gap{rng.exponential(30.0)};
+    now += gap;
+    benchmark::DoNotOptimize(det.on_sample(now, gap));
+  }
+}
+BENCHMARK(BM_EmaDetectorSample);
+
+const std::shared_ptr<const detect::ThresholdTable>& micro_table() {
+  static const auto table = std::make_shared<const detect::ThresholdTable>([] {
+    detect::ChangePointConfig cfg;
+    cfg.mc_windows = 500;  // characterization cost is off-line; keep it small here
+    return cfg;
+  }());
+  return table;
+}
+
+void BM_ChangePointSample(benchmark::State& state) {
+  detect::ChangePointDetector det{micro_table()};
+  det.reset(hertz(30.0));
+  Rng rng{3};
+  Seconds now{0.0};
+  for (auto _ : state) {
+    const Seconds gap{rng.exponential(30.0)};
+    now += gap;
+    benchmark::DoNotOptimize(det.on_sample(now, gap));
+  }
+}
+BENCHMARK(BM_ChangePointSample);
+
+void BM_ThresholdCharacterization(benchmark::State& state) {
+  for (auto _ : state) {
+    detect::ChangePointConfig cfg;
+    cfg.mc_windows = static_cast<std::size_t>(state.range(0));
+    detect::ThresholdTable table{cfg};
+    benchmark::DoNotOptimize(table.scan_margin());
+  }
+}
+BENCHMARK(BM_ThresholdCharacterization)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_FrequencyPolicySelect(benchmark::State& state) {
+  const hw::Sa1100 cpu;
+  const auto dec = workload::reference_mp3_decoder(cpu.max_frequency());
+  const policy::FrequencyPolicy pol{cpu, dec.performance_curve(cpu), seconds(0.1)};
+  Rng rng{4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pol.select_step(hertz(rng.uniform(9.0, 44.0)), hertz(100.0)));
+  }
+}
+BENCHMARK(BM_FrequencyPolicySelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Table 3: MP3 audio DVS — energy and average total frame delay for the
+// three six-clip sequences under the four algorithms (Ideal, Change Point,
+// Exp. Average, Max).  The delay target is 0.15 s, i.e. ~6 extra buffered
+// audio frames at ~40 fr/s arrivals, matching the paper's setup.
+//
+// Unlike the paper's single measured run, each cell is the mean over five
+// independently generated workload seeds, with the standard deviation in
+// parentheses.
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/clips.hpp"
+
+using namespace dvs;
+
+namespace {
+
+constexpr int kSeeds = 5;
+
+std::string cell(const RunningStats& s, int precision) {
+  return TextTable::num(s.mean(), precision) + " (" +
+         TextTable::num(s.count() > 1 ? s.stddev() : 0.0, precision) + ")";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 3: MP3 audio DVS",
+                      "Simunic et al., DAC'01, Table 3 (sequences ACEFBD,"
+                      " BADECF, CEDAFB); mean (sd) over 5 seeds");
+
+  const auto dec = workload::reference_mp3_decoder(bench::cpu().max_frequency());
+  const Seconds target = seconds(0.15);
+  const auto& algorithms = bench::paper_algorithms();
+
+  TextTable t;
+  t.set_header({"MP3 sequence", "Result", "Ideal", "Change Point", "Exp. Ave.",
+                "Max"});
+
+  for (const std::string seq : {"ACEFBD", "BADECF", "CEDAFB"}) {
+    std::array<RunningStats, 4> energy;
+    std::array<RunningStats, 4> subsystem;
+    std::array<RunningStats, 4> delay;
+    std::array<RunningStats, 4> switches;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng rng{static_cast<std::uint64_t>(seq[0]) * 131 + seq[5] +
+              static_cast<std::uint64_t>(seed) * 7919};
+      const auto trace =
+          workload::build_mp3_trace(workload::mp3_sequence(seq), dec, rng);
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        core::RunOptions opts;
+        opts.detector = algorithms[a];
+        opts.target_delay = target;
+        opts.detector_cfg = &bench::detectors();
+        const core::Metrics m = core::run_single_trace(trace, dec, opts);
+        energy[a].add(m.energy_kj());
+        subsystem[a].add(m.cpu_memory_energy().value() / 1e3);
+        delay[a].add(m.mean_frame_delay.value());
+        switches[a].add(m.cpu_switches);
+      }
+    }
+    std::vector<std::string> energy_row{seq, "Energy (kJ)"};
+    std::vector<std::string> subsystem_row{"", "CPU+mem (kJ)"};
+    std::vector<std::string> delay_row{"", "Fr. Delay (s)"};
+    std::vector<std::string> switch_row{"", "Freq switches"};
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      energy_row.push_back(cell(energy[a], 3));
+      subsystem_row.push_back(cell(subsystem[a], 3));
+      delay_row.push_back(cell(delay[a], 2));
+      switch_row.push_back(cell(switches[a], 0));
+    }
+    t.add_row(energy_row);
+    t.add_row(subsystem_row);
+    t.add_row(delay_row);
+    t.add_row(switch_row);
+  }
+  t.print();
+
+  std::printf(
+      "\nShape check (as in the paper): the change-point column sits within a"
+      " few percent\nof Ideal in energy with delay at or near the %.2f s"
+      " target; Exp. Ave. pays more\nenergy and/or delay from its"
+      " instability (visible in the switch counts); Max\nburns the most"
+      " energy with the smallest delay.  The CPU+mem rows isolate the\n"
+      "subsystem DVS controls, where the savings factor is largest.\n",
+      0.15);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// power_profile: samples the whole-badge power over a mixed usage session
+// and renders an ASCII profile, side by side for "no management" and the
+// combined DVS+DPM manager — the Table 5 story as a picture.
+//
+//   ./build/examples/power_profile
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "dpm/policy.hpp"
+
+using namespace dvs;
+
+namespace {
+
+/// Renders samples as rows of a fixed-height column chart (time flows down).
+void render(const std::vector<std::pair<double, double>>& samples,
+            const std::vector<std::pair<double, double>>& reference,
+            double full_scale_mw, int bucket_s) {
+  const std::string header =
+      "power (0.." + std::to_string(static_cast<int>(full_scale_mw)) + " mW)";
+  std::printf("%8s  %-40s %10s %10s\n", "time", header.c_str(), "none", "both");
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (int t = 0; i < samples.size() || j < reference.size(); t += bucket_s) {
+    // Average each series over the bucket.
+    double sum_b = 0.0;
+    int n_b = 0;
+    while (i < samples.size() && samples[i].first < t + bucket_s) {
+      sum_b += samples[i].second;
+      ++n_b;
+      ++i;
+    }
+    double sum_r = 0.0;
+    int n_r = 0;
+    while (j < reference.size() && reference[j].first < t + bucket_s) {
+      sum_r += reference[j].second;
+      ++n_r;
+      ++j;
+    }
+    if (n_b == 0 && n_r == 0) continue;
+    const double both = n_b ? sum_b / n_b : 0.0;
+    const double none = n_r ? sum_r / n_r : 0.0;
+    const int bar_none = static_cast<int>(40.0 * std::min(none / full_scale_mw, 1.0));
+    const int bar_both = static_cast<int>(40.0 * std::min(both / full_scale_mw, 1.0));
+    std::string bar(40, ' ');
+    for (int k = 0; k < bar_none; ++k) bar[static_cast<std::size_t>(k)] = '.';
+    for (int k = 0; k < bar_both; ++k) bar[static_cast<std::size_t>(k)] = '#';
+    std::printf("%6d s  %-40s %8.0f %8.0f\n", t, bar.c_str(), none, both);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const hw::Sa1100 cpu;
+  core::SessionConfig scfg;
+  scfg.cycles = 2;
+  scfg.mpeg_segment = seconds(45.0);
+  scfg.idle = std::make_shared<dpm::ParetoIdle>(1.8, seconds(40.0));
+  scfg.seed = 33;
+  const core::Session session = core::build_session(scfg, cpu);
+
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+
+  core::DetectorFactoryConfig shared;
+  auto run = [&](core::DetectorKind kind, dpm::DpmPolicyPtr policy) {
+    core::RunOptions opts;
+    opts.detector = kind;
+    opts.detector_cfg = &shared;
+    opts.dpm_policy = std::move(policy);
+    opts.power_sample_period = seconds(2.0);
+    return core::run_items(session.items, opts);
+  };
+
+  const core::Metrics none = run(core::DetectorKind::Max, nullptr);
+  const core::Metrics both =
+      run(core::DetectorKind::ChangePoint,
+          std::make_shared<dpm::TismdpPolicy>(costs, session.idle_model,
+                                              seconds(0.5)));
+
+  std::printf("session: %.0f s (%.0f media / %.0f idle)\n", session.duration.value(),
+              session.media_time.value(), session.idle_time.value());
+  std::printf("'.' = no management, '#' = DVS+DPM (overlaid)\n\n");
+  render(both.power_trace, none.power_trace, 2500.0, 20);
+
+  std::printf("\naverage power: none %.0f mW, both %.0f mW (%.1fx)\n",
+              none.average_power.value(), both.average_power.value(),
+              none.average_power.value() / both.average_power.value());
+  std::printf("The '#' bars collapse toward zero during idle stretches (DPM"
+              " sleeping) and sit\nbelow the '.' bars during playback (DVS"
+              " at reduced f/V) — the two halves of the\npaper's combined"
+              " saving.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench harnesses export.
+
+Run the benches first (they drop CSVs into the current directory):
+
+    cd build && for b in bench/*; do ./$b; done
+    python3 ../scripts/plot_benches.py            # writes PNGs next to the CSVs
+
+Requires matplotlib; degrades to a listing of available CSVs without it.
+"""
+
+import csv
+import os
+import sys
+
+FIGURES = {
+    "fig3_freq_voltage.csv": {
+        "title": "Figure 3: SA-1100 frequency vs voltage",
+        "x": "freq_mhz",
+        "series": [("volt", "min voltage (V)")],
+        "xlabel": "frequency (MHz)",
+    },
+    "fig4_mp3_perf_energy.csv": {
+        "title": "Figure 4: MP3 performance and energy vs frequency",
+        "x": "freq_mhz",
+        "series": [("perf_ratio", "performance"), ("energy_ratio", "energy")],
+        "xlabel": "frequency (MHz)",
+    },
+    "fig5_mpeg_perf_energy.csv": {
+        "title": "Figure 5: MPEG performance and energy vs frequency",
+        "x": "freq_mhz",
+        "series": [("perf_ratio", "performance"), ("energy_ratio", "energy")],
+        "xlabel": "frequency (MHz)",
+    },
+    "fig6_arrival_fit.csv": {
+        "title": "Figure 6: arrival CDF vs exponential fit",
+        "x": "interarrival_s",
+        "series": [("empirical_cdf", "experimental"), ("exponential_cdf", "exponential fit")],
+        "xlabel": "interarrival time (s)",
+    },
+    "fig9_rates_vs_freq.csv": {
+        "title": "Figure 9: frame rates vs CPU frequency",
+        "x": "freq_mhz",
+        "series": [("cpu_rate", "CPU rate"), ("wlan_rate", "WLAN rate")],
+        "xlabel": "CPU frequency (MHz)",
+    },
+    "fig10_detection.csv": {
+        "title": "Figure 10: rate change detection",
+        "x": "frame",
+        "series": [
+            ("ideal", "ideal"),
+            ("change_point", "change point"),
+            ("ema_g0.03", "exp. average g=0.03"),
+            ("ema_g0.05", "exp. average g=0.05"),
+        ],
+        "xlabel": "frame number",
+    },
+    "ablation_delay_target.csv": {
+        "title": "Ablation: energy vs delay target",
+        "x": "target_s",
+        "series": [("energy_kj", "whole badge (kJ)"), ("cpu_mem_kj", "CPU+mem (kJ)")],
+        "xlabel": "delay target (s)",
+    },
+}
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs present:")
+        for name in FIGURES:
+            print(" ", name, "(found)" if os.path.exists(name) else "(missing)")
+        return 1
+
+    made = 0
+    for name, spec in FIGURES.items():
+        if not os.path.exists(name):
+            print(f"skip {name}: not found (run the benches first)")
+            continue
+        rows = read_csv(name)
+        xs = [float(r[spec["x"]]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for col, label in spec["series"]:
+            ax.plot(xs, [float(r[col]) for r in rows], marker=".", label=label)
+        ax.set_title(spec["title"])
+        ax.set_xlabel(spec["xlabel"])
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+        out = os.path.splitext(name)[0] + ".png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=140)
+        plt.close(fig)
+        print("wrote", out)
+        made += 1
+    return 0 if made else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+// Lightweight precondition / invariant checking.
+//
+// DVS_CHECK is always on (these models are not hot enough for checks to
+// matter, and a silently wrong power number is worse than a throw).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dvs::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("check failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace dvs::detail
+
+#define DVS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::dvs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DVS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::dvs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,28 @@
+// Minimal CSV writer for exporting bench series (figure reproductions) so
+// they can be plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dvs {
+
+/// Writes rows of cells to a CSV file, quoting cells that need it.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for purely numeric rows.
+  void write_row(const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace dvs

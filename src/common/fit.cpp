@@ -1,0 +1,95 @@
+#include "common/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dvs {
+
+double exponential_cdf(double rate, double t) {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate * t);
+}
+
+double pareto_cdf(double shape, double scale, double t) {
+  if (t <= scale) return 0.0;
+  return 1.0 - std::pow(scale / t, shape);
+}
+
+EmpiricalCdf empirical_cdf(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("empirical_cdf: empty sample");
+  EmpiricalCdf out;
+  out.xs.assign(sample.begin(), sample.end());
+  std::sort(out.xs.begin(), out.xs.end());
+  out.ps.resize(out.xs.size());
+  const double n = static_cast<double>(out.xs.size());
+  for (std::size_t i = 0; i < out.xs.size(); ++i) {
+    out.ps[i] = (static_cast<double>(i) + 0.5) / n;
+  }
+  return out;
+}
+
+ExponentialFit fit_exponential(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("fit_exponential: empty sample");
+  double sum = 0.0;
+  for (double x : sample) {
+    if (x <= 0.0) throw std::invalid_argument("fit_exponential: values must be > 0");
+    sum += x;
+  }
+  ExponentialFit fit;
+  fit.n = sample.size();
+  fit.mean = sum / static_cast<double>(sample.size());
+  fit.rate = 1.0 / fit.mean;
+
+  const EmpiricalCdf ecdf = empirical_cdf(sample);
+  double err_sum = 0.0;
+  double ks = 0.0;
+  for (std::size_t i = 0; i < ecdf.xs.size(); ++i) {
+    const double diff = std::abs(ecdf.ps[i] - exponential_cdf(fit.rate, ecdf.xs[i]));
+    err_sum += diff;
+    ks = std::max(ks, diff);
+  }
+  fit.avg_cdf_error = err_sum / static_cast<double>(ecdf.xs.size());
+  fit.ks_statistic = ks;
+  return fit;
+}
+
+ParetoFit fit_pareto(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("fit_pareto: empty sample");
+  double min_x = sample[0];
+  for (double x : sample) {
+    if (x <= 0.0) throw std::invalid_argument("fit_pareto: values must be > 0");
+    min_x = std::min(min_x, x);
+  }
+  // Hill / ML estimator for shape with known scale = min sample value.
+  double log_sum = 0.0;
+  std::size_t n_above = 0;
+  for (double x : sample) {
+    if (x > min_x) {
+      log_sum += std::log(x / min_x);
+      ++n_above;
+    }
+  }
+  ParetoFit fit;
+  fit.n = sample.size();
+  fit.scale = min_x;
+  // If every point equals the scale the distribution is degenerate; use a
+  // very large shape so the CDF is a near-step at the scale.
+  fit.shape = (n_above == 0 || log_sum <= 0.0)
+                  ? 1e9
+                  : static_cast<double>(n_above) / log_sum;
+
+  const EmpiricalCdf ecdf = empirical_cdf(sample);
+  double err_sum = 0.0;
+  double ks = 0.0;
+  for (std::size_t i = 0; i < ecdf.xs.size(); ++i) {
+    const double diff = std::abs(ecdf.ps[i] - pareto_cdf(fit.shape, fit.scale, ecdf.xs[i]));
+    err_sum += diff;
+    ks = std::max(ks, diff);
+  }
+  fit.avg_cdf_error = err_sum / static_cast<double>(ecdf.xs.size());
+  fit.ks_statistic = ks;
+  return fit;
+}
+
+}  // namespace dvs

@@ -1,0 +1,61 @@
+// Monotone piecewise-linear curves.
+//
+// The paper's frequency-setting policy uses "piece-wise linear approximation
+// based on the application frequency-performance tradeoff curve (Figures 4
+// and 5)" to map a required decoding rate back to a processor frequency, and
+// the V(f) curve of Figure 3 to set the voltage.  This class provides both
+// forward evaluation and (for strictly monotone curves) inversion.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace dvs {
+
+/// Piecewise-linear interpolant over sorted (x, y) knots.
+///
+/// Out-of-range queries clamp to the end values (the hardware cannot run
+/// below its lowest or above its highest frequency, so clamping matches the
+/// physical behaviour the policy needs).
+class PiecewiseLinear {
+ public:
+  using Point = std::pair<double, double>;
+
+  PiecewiseLinear() = default;
+
+  /// Knots must be sorted by strictly increasing x; throws otherwise or if
+  /// fewer than two knots are given.
+  explicit PiecewiseLinear(std::vector<Point> knots);
+  PiecewiseLinear(std::initializer_list<Point> knots);
+
+  /// Linear interpolation at x (clamped to [x_front, x_back]).
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Inverse evaluation: the x such that f(x) == y.  Requires the curve to
+  /// be strictly monotone in y (checked at construction time lazily on the
+  /// first inverse call; throws std::logic_error otherwise).  Out-of-range
+  /// y clamps to the corresponding end x.
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] bool increasing() const;
+  [[nodiscard]] bool strictly_monotone() const;
+
+  [[nodiscard]] std::size_t size() const { return knots_.size(); }
+  [[nodiscard]] const std::vector<Point>& knots() const { return knots_; }
+  [[nodiscard]] double x_min() const { return knots_.front().first; }
+  [[nodiscard]] double x_max() const { return knots_.back().first; }
+  [[nodiscard]] double y_at_x_min() const { return knots_.front().second; }
+  [[nodiscard]] double y_at_x_max() const { return knots_.back().second; }
+
+  /// Returns a new curve with every y multiplied by s.
+  [[nodiscard]] PiecewiseLinear scaled_y(double s) const;
+
+ private:
+  void validate() const;
+
+  std::vector<Point> knots_;
+};
+
+}  // namespace dvs

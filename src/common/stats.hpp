@@ -1,0 +1,123 @@
+// Streaming statistics and histograms.
+//
+// Used by the simulation metrics (mean frame delay, energy accounting
+// cross-checks), by the off-line change-point characterization (quantile of
+// the log-likelihood-ratio histogram, Section 3.1 of the paper), and by the
+// exponential-fit validation of Figure 6.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dvs {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  /// Mean of the samples; throws if empty.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; throws if fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  /// sqrt(variance()).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Fixed-range histogram with uniform bins plus underflow/overflow counters.
+///
+/// The paper's off-line characterization accumulates ln(P_max) values "in a
+/// histogram, and then the value ... that gives very high probability that
+/// the rate has changed is chosen" — i.e. a quantile query, provided here.
+class Histogram {
+ public:
+  /// Builds a histogram covering [lo, hi) with `bins` uniform bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(double x, std::size_t weight);
+
+  [[nodiscard]] std::size_t total_count() const { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Value below which fraction q of the mass lies (linear interpolation
+  /// within the containing bin).  q in [0, 1]; throws if the histogram is
+  /// empty.  Underflow mass counts as lo(), overflow as hi().
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Exact empirical quantile over a stored sample (for small sample sets
+/// such as per-experiment delays).
+class SampleQuantiles {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  /// q in [0,1]; nearest-rank with linear interpolation.  Throws if empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. mean queue
+/// length or mean power over simulated time.
+class TimeWeightedStats {
+ public:
+  /// Records that the signal held `value` for duration `dt` (dt >= 0).
+  void add(double value, double dt);
+
+  [[nodiscard]] double total_time() const { return total_time_; }
+  /// Time-weighted mean; throws if no time has been accumulated.
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dvs

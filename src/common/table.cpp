@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dvs {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::str() const {
+  // Column widths across header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render_row = [&](const std::vector<std::string>& r, std::ostringstream& os) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << "| " << cell << std::string(widths[i] - cell.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  std::size_t rule_len = 1;  // leading '|'
+  for (std::size_t w : widths) rule_len += w + 3;
+  const std::string rule(rule_len, '-');
+  os << rule << '\n';
+  if (!header_.empty()) {
+    render_row(header_, os);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) render_row(r, os);
+  os << rule << '\n';
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace dvs

@@ -1,0 +1,41 @@
+// ASCII table formatting for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// rows of text; TextTable keeps that output aligned and uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dvs {
+
+/// Column-aligned text table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Sets the header row (first row, underlined by a rule).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; rows may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the table as a string (trailing newline included).
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvs

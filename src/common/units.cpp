@@ -1,0 +1,23 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace dvs {
+namespace {
+
+std::string fmt(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g %s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Seconds t) { return fmt(t.value(), "s"); }
+std::string to_string(Hertz r) { return fmt(r.value(), "1/s"); }
+std::string to_string(MegaHertz f) { return fmt(f.value(), "MHz"); }
+std::string to_string(Volts v) { return fmt(v.value(), "V"); }
+std::string to_string(MilliWatts p) { return fmt(p.value(), "mW"); }
+std::string to_string(Joules e) { return fmt(e.value(), "J"); }
+
+}  // namespace dvs

@@ -1,0 +1,43 @@
+#include "core/detectors.hpp"
+
+#include "common/check.hpp"
+#include "detect/ema.hpp"
+#include "detect/ideal.hpp"
+#include "detect/sliding_window.hpp"
+
+namespace dvs::core {
+
+std::string to_string(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::Ideal: return "Ideal";
+    case DetectorKind::ChangePoint: return "Change Point";
+    case DetectorKind::ExpAverage: return "Exp. Ave.";
+    case DetectorKind::Max: return "Max";
+    case DetectorKind::SlidingWindow: return "Sliding Win.";
+  }
+  return "?";
+}
+
+detect::RateDetectorPtr make_detector(DetectorKind kind,
+                                      DetectorFactoryConfig& cfg, TruthFn truth) {
+  switch (kind) {
+    case DetectorKind::Ideal:
+      DVS_CHECK_MSG(static_cast<bool>(truth), "make_detector: ideal needs a truth source");
+      return std::make_unique<detect::IdealDetector>(std::move(truth));
+    case DetectorKind::ChangePoint:
+      if (!cfg.thresholds) {
+        cfg.thresholds =
+            std::make_shared<const detect::ThresholdTable>(cfg.change_point);
+      }
+      return std::make_unique<detect::ChangePointDetector>(cfg.thresholds);
+    case DetectorKind::ExpAverage:
+      return std::make_unique<detect::EmaDetector>(cfg.ema_gain);
+    case DetectorKind::Max:
+      return nullptr;
+    case DetectorKind::SlidingWindow:
+      return std::make_unique<detect::SlidingWindowDetector>(cfg.sliding_window);
+  }
+  return nullptr;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,45 @@
+// Detector selection: the four algorithm columns of Tables 3 and 4 plus the
+// extra sliding-window baseline.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "detect/change_point.hpp"
+#include "detect/detector.hpp"
+#include "detect/threshold_table.hpp"
+
+namespace dvs::core {
+
+enum class DetectorKind {
+  Ideal,        ///< oracle: reads the trace ground truth
+  ChangePoint,  ///< this paper's algorithm
+  ExpAverage,   ///< Equation 6, prior work
+  Max,          ///< no detection; CPU pinned at the top step
+  SlidingWindow ///< extra baseline for ablations
+};
+
+std::string to_string(DetectorKind kind);
+
+/// Everything needed to instantiate any detector kind.
+struct DetectorFactoryConfig {
+  double ema_gain = 0.03;
+  std::size_t sliding_window = 50;
+  detect::ChangePointConfig change_point{};
+  /// Shared threshold table; built lazily (and cached here) on the first
+  /// change-point instantiation.
+  std::shared_ptr<const detect::ThresholdTable> thresholds;
+};
+
+/// Truth source for the ideal detector (bound to a trace's arrival or
+/// service truth).
+using TruthFn = std::function<Hertz(Seconds)>;
+
+/// Builds a detector.  `truth` is required for DetectorKind::Ideal and
+/// ignored otherwise.  Returns nullptr for DetectorKind::Max (the governor
+/// then runs non-adaptive).
+detect::RateDetectorPtr make_detector(DetectorKind kind,
+                                      DetectorFactoryConfig& cfg, TruthFn truth);
+
+}  // namespace dvs::core

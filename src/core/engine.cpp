@@ -1,0 +1,337 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::core {
+
+Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
+    : cfg_(std::move(cfg)),
+      items_(std::move(items)),
+      badge_(cfg_.cpu),
+      buffer_(cfg_.buffer_capacity) {
+  DVS_CHECK_MSG(!items_.empty(), "Engine: no playback items");
+  DVS_CHECK_MSG(cfg_.target_delay.value() > 0.0, "Engine: target delay must be > 0");
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    DVS_CHECK_MSG(!items_[i].trace.frames().empty(), "Engine: empty trace item");
+    DVS_CHECK_MSG(items_[i].decoder.max_frequency() == badge_.cpu().max_frequency(),
+                  "Engine: item decoder parameterized for a different CPU");
+    if (i > 0) {
+      DVS_CHECK_MSG(items_[i].trace.frames().front().arrival >= items_[i - 1].end,
+                    "Engine: overlapping playback items");
+    }
+  }
+  if (!cfg_.dpm_policy) {
+    cfg_.dpm_policy = std::make_shared<dpm::NeverSleepPolicy>();
+  }
+  pm_ = std::make_unique<dpm::PowerManager>(sim_, badge_, cfg_.dpm_policy,
+                                            cfg_.seed ^ 0xd9a17ULL);
+}
+
+policy::DvsGovernor& Engine::governor_for(workload::MediaType type) {
+  auto it = governors_.find(type);
+  DVS_CHECK_MSG(it != governors_.end(), "Engine: no governor for media type");
+  return *it->second;
+}
+
+const workload::DecoderModel& Engine::decoder_for(workload::MediaType type) const {
+  for (const auto& item : items_) {
+    if (item.trace.type() == type) return item.decoder;
+  }
+  throw std::logic_error("Engine: no decoder for media type");
+}
+
+void Engine::note_frequency(Seconds now) {
+  // Closes the segment since the last note at the *current* frequency; call
+  // before any frequency change and once at the end of the run.
+  DVS_CHECK(now >= last_freq_note_);
+  freq_tw_.add(badge_.cpu_frequency().value(), (now - last_freq_note_).value());
+  last_freq_note_ = now;
+}
+
+void Engine::ensure_media_context(const PlaybackItem& item) {
+  const workload::MediaType type = item.trace.type();
+  const Seconds now = sim_.now();
+  auto it = governors_.find(type);
+  if (it == governors_.end()) {
+    // Build the governor for this media type.
+    policy::FrequencyPolicy policy{badge_.cpu(),
+                                   item.decoder.performance_curve(badge_.cpu()),
+                                   cfg_.target_delay, cfg_.service_cv2};
+    std::unique_ptr<policy::DvsGovernor> gov;
+    if (cfg_.detector == DetectorKind::Max) {
+      gov = policy::DvsGovernor::max_performance(badge_, item.decoder,
+                                                 std::move(policy));
+    } else {
+      // The ideal detector reads the ground truth of whichever item is
+      // playing at query time.
+      auto arrival_truth = [this](Seconds t) {
+        const PlaybackItem& cur = items_[std::min(active_item_, items_.size() - 1)];
+        return cur.trace.true_arrival_rate(t);
+      };
+      auto service_truth = [this](Seconds t) {
+        const PlaybackItem& cur = items_[std::min(active_item_, items_.size() - 1)];
+        return cur.trace.true_service_rate_at_max(t);
+      };
+      gov = std::make_unique<policy::DvsGovernor>(
+          badge_, item.decoder, std::move(policy),
+          make_detector(cfg_.detector, cfg_.detectors, arrival_truth),
+          make_detector(cfg_.detector, cfg_.detectors, service_truth));
+    }
+    it = governors_.emplace(type, std::move(gov)).first;
+    note_frequency(now);
+    it->second->initialize(item.nominal_arrival, item.nominal_service_at_max, now);
+  }
+  return;
+}
+
+void Engine::schedule_arrival_cursor() {
+  if (item_ >= items_.size()) {
+    next_arrival_ = std::nullopt;
+    return;
+  }
+  const PlaybackItem& it = items_[item_];
+  const workload::TraceFrame& tf = it.trace.frames()[frame_idx_];
+  next_arrival_ = tf.arrival;
+  sim_.schedule_at(tf.arrival, [this] { handle_arrival(); });
+}
+
+void Engine::handle_arrival() {
+  const Seconds now = sim_.now();
+  const PlaybackItem& item = items_[item_];
+  const workload::TraceFrame& tf = item.trace.frames()[frame_idx_];
+  ++frames_arrived_;
+
+  // DPM: cancel any pending sleep plan / idle filter; wake if sleeping.
+  cancel_arm();
+  const Seconds ready = pm_->on_request(now);
+  device_ready_ = std::max(device_ready_, ready);
+
+  // Media / governor context.
+  const bool item_switch = active_item_ != item_;
+  active_item_ = item_;
+  ensure_media_context(item);
+  policy::DvsGovernor& gov = governor_for(item.trace.type());
+  if (item_switch && item_ > 0) {
+    // New application launch: reseed the adaptive detectors with the app's
+    // nominal rates (never the clip's true rates).
+    note_frequency(now);
+    gov.initialize(item.nominal_arrival, item.nominal_service_at_max, now);
+    prev_arrival_.reset();
+  }
+
+  start_wlan_burst(std::max(now, device_ready_));
+
+  buffer_.push(workload::Frame{tf.id, item.trace.type(), now, tf.work}, now);
+
+  // Arrival-rate sample, gated against idle gaps.
+  if (prev_arrival_) {
+    const Seconds gap = now - *prev_arrival_;
+    if (gap.value() > 0.0 && gap < cfg_.session_gap_threshold) {
+      gov.on_arrival(now, gap, static_cast<double>(buffer_.size()));
+    }
+  }
+  prev_arrival_ = now;
+  maybe_start_decode(std::max(now, device_ready_));
+
+  // Advance the cursor.
+  ++frame_idx_;
+  if (frame_idx_ >= item.trace.frames().size()) {
+    frame_idx_ = 0;
+    ++item_;
+  }
+  schedule_arrival_cursor();
+}
+
+void Engine::start_wlan_burst(Seconds at) {
+  wlan_busy_until_ = std::max(wlan_busy_until_, at + cfg_.wlan_rx_time);
+  sim_.schedule_at(at, [this] {
+    auto& wlan = badge_.component(hw::BadgeComponentId::WlanRf);
+    if (wlan.state() == hw::PowerState::Idle && !wlan.transitioning()) {
+      wlan.set_state(hw::PowerState::Active, sim_.now());
+    }
+  });
+  sim_.schedule_at(wlan_busy_until_, [this] {
+    auto& wlan = badge_.component(hw::BadgeComponentId::WlanRf);
+    if (sim_.now() >= wlan_busy_until_ &&
+        wlan.state() == hw::PowerState::Active && !wlan.transitioning()) {
+      wlan.set_state(hw::PowerState::Idle, sim_.now());
+    }
+  });
+}
+
+void Engine::maybe_start_decode(Seconds at) {
+  if (busy_ || decode_start_pending_ || buffer_.empty()) return;
+  decode_start_pending_ = true;
+  sim_.schedule_at(std::max(at, sim_.now()), [this] { handle_decode_start(); });
+}
+
+void Engine::handle_decode_start() {
+  decode_start_pending_ = false;
+  if (busy_ || buffer_.empty()) return;
+  const Seconds now = sim_.now();
+  if (now < device_ready_) {
+    maybe_start_decode(device_ready_);
+    return;
+  }
+  badge_.finish_wakeups(now);
+  const Seconds pending = badge_.latest_wakeup_completion(now);
+  if (pending > now) {
+    maybe_start_decode(pending);
+    return;
+  }
+
+  workload::Frame frame = *buffer_.pop(now);
+  busy_ = true;
+
+  policy::DvsGovernor& gov = governor_for(frame.type);
+  note_frequency(now);
+  const Seconds switch_latency = gov.apply(now);
+  activate_components(frame.type, now);
+
+  const workload::DecoderModel& dec = decoder_for(frame.type);
+  const MegaHertz f = badge_.cpu_frequency();
+  const Seconds pure = dec.decode_time(f, frame.work);
+
+  // The memory is busy only for the frequency-independent stall portion of
+  // the decode (a fixed number of accesses per frame); slowing the CPU does
+  // not stretch memory energy.  Release it early.
+  const Seconds mem_busy = dec.memory_stall() * frame.work;
+  if (mem_busy < pure) {
+    const hw::BadgeComponentId mem = frame.type == workload::MediaType::Mp3Audio
+                                         ? hw::BadgeComponentId::Sram
+                                         : hw::BadgeComponentId::Dram;
+    sim_.schedule_at(now + switch_latency + mem_busy, [this, mem] {
+      auto& c = badge_.component(mem);
+      if (c.state() == hw::PowerState::Active && !c.transitioning()) {
+        c.set_state(hw::PowerState::Idle, sim_.now());
+      }
+    });
+  }
+
+  sim_.schedule_at(now + switch_latency + pure, [this, frame, pure, f] {
+    handle_decode_complete(frame, pure, f);
+  });
+}
+
+void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
+                                    MegaHertz freq) {
+  const Seconds now = sim_.now();
+  buffer_.record_departure(frame.arrival, now);
+  deactivate_components(frame.type, now);
+  busy_ = false;
+  governor_for(frame.type).on_decode_complete(now, pure_decode, freq,
+                                              static_cast<double>(buffer_.size()));
+
+  if (!buffer_.empty()) {
+    maybe_start_decode(now);
+    return;
+  }
+  arm_dpm(now);
+}
+
+void Engine::activate_components(workload::MediaType type, Seconds now) {
+  badge_.component(hw::BadgeComponentId::Cpu).set_state(hw::PowerState::Active, now);
+  if (type == workload::MediaType::Mp3Audio) {
+    badge_.component(hw::BadgeComponentId::Sram).set_state(hw::PowerState::Active, now);
+  } else {
+    badge_.component(hw::BadgeComponentId::Dram).set_state(hw::PowerState::Active, now);
+    auto& display = badge_.component(hw::BadgeComponentId::Display);
+    if (display.state() != hw::PowerState::Active && !display.transitioning()) {
+      display.set_state(hw::PowerState::Active, now);
+    }
+  }
+}
+
+void Engine::deactivate_components(workload::MediaType type, Seconds now) {
+  badge_.component(hw::BadgeComponentId::Cpu).set_state(hw::PowerState::Idle, now);
+  if (type == workload::MediaType::Mp3Audio) {
+    badge_.component(hw::BadgeComponentId::Sram).set_state(hw::PowerState::Idle, now);
+  } else {
+    badge_.component(hw::BadgeComponentId::Dram).set_state(hw::PowerState::Idle, now);
+    // The display stays lit between video frames; it auto-idles at the
+    // hardware-idle filter (arm_dpm).
+  }
+}
+
+void Engine::arm_dpm(Seconds now) {
+  cancel_arm();
+  arm_event_ = sim_.schedule_at(now + cfg_.dpm_arm_delay, [this] {
+    const Seconds t = sim_.now();
+    // Playback stopped: the display is no longer being accessed.
+    auto& display = badge_.component(hw::BadgeComponentId::Display);
+    if (display.state() == hw::PowerState::Active && !display.transitioning()) {
+      display.set_state(hw::PowerState::Idle, t);
+    }
+    std::optional<Seconds> hint;
+    if (next_arrival_) hint = *next_arrival_ - t;
+    pm_->on_idle_enter(t, hint);
+  });
+}
+
+void Engine::schedule_power_sample(Seconds at) {
+  // The chain stops at the session end so it cannot keep the event loop
+  // alive forever.
+  if (at > items_.back().end) return;
+  sim_.schedule_at(at, [this] {
+    power_trace_.emplace_back(sim_.now().value(), badge_.total_power().value());
+    schedule_power_sample(sim_.now() + cfg_.power_sample_period);
+  });
+}
+
+void Engine::cancel_arm() {
+  if (arm_event_.valid()) {
+    sim_.cancel(arm_event_);
+    arm_event_ = sim::EventId{};
+  }
+}
+
+Metrics Engine::run() {
+  DVS_CHECK_MSG(!ran_, "Engine: run() is single-shot");
+  ran_ = true;
+  schedule_arrival_cursor();
+  if (cfg_.power_sample_period.value() > 0.0) {
+    schedule_power_sample(cfg_.power_sample_period);
+  }
+  sim_.run();
+  const Seconds end = std::max(sim_.now(), items_.back().end);
+  return collect(end);
+}
+
+Metrics Engine::collect(Seconds end) {
+  Metrics m;
+  m.duration = end;
+  note_frequency(end);
+  for (std::size_t i = 0; i < badge_.num_components(); ++i) {
+    const auto id = static_cast<hw::BadgeComponentId>(i);
+    m.component_energy[i] = badge_.component(id).energy_consumed(end);
+    m.total_energy += m.component_energy[i];
+  }
+  if (end.value() > 0.0) {
+    m.average_power = MilliWatts{m.total_energy.value() / end.value() * 1e3};
+  }
+  m.frames_arrived = frames_arrived_;
+  m.frames_decoded = buffer_.delay_stats().count();
+  m.frames_dropped = buffer_.dropped();
+  if (!buffer_.delay_stats().empty()) {
+    m.mean_frame_delay = Seconds{buffer_.delay_stats().mean()};
+    m.max_frame_delay = Seconds{buffer_.delay_stats().max()};
+  }
+  if (buffer_.occupancy_stats().total_time() > 0.0) {
+    m.mean_buffered_frames = buffer_.occupancy_stats().mean();
+  }
+  m.cpu_switches = badge_.cpu_switch_count();
+  if (freq_tw_.total_time() > 0.0) {
+    m.mean_cpu_frequency = MegaHertz{freq_tw_.mean()};
+  }
+  m.dpm_idle_periods = pm_->idle_periods();
+  m.dpm_sleeps = pm_->sleeps_commanded();
+  m.dpm_wakeups = pm_->wakeups();
+  m.dpm_total_wakeup_delay = pm_->total_wakeup_delay();
+  m.power_trace = std::move(power_trace_);
+  return m;
+}
+
+}  // namespace dvs::core

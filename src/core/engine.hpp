@@ -1,0 +1,151 @@
+// Full-system simulation: workload -> WLAN -> frame buffer -> decoder, with
+// the combined power manager (DVS governor in the active state, DPM policy
+// across idle periods) driving the SmartBadge model.
+//
+// This is the executable version of Figure 1 (workload / queue / device /
+// power manager) with the expanded active state of Figure 8: while frames
+// flow, the governor picks the (f, V) sub-state; when the queue drains and
+// stays empty past a short hardware-idle filter, the DPM policy takes over
+// and schedules sleep transitions; the next arrival wakes everything up and
+// pays the Table 1 wakeup latencies.
+//
+// Modelling choices (documented in DESIGN.md):
+//  * A decode in progress completes at the frequency it started with; the
+//    governor's desired step commits at decode boundaries, paying the
+//    ~150 us switch latency as CPU-busy time.
+//  * The WLAN is active for a short burst around each frame reception and
+//    auto-idles after, like every component ("the idle state is entered
+//    immediately by each component ... as soon as that component is not
+//    accessed").
+//  * MP3 decode touches CPU+SRAM; MPEG decode touches CPU+DRAM and keeps
+//    the display lit between frames.  The display auto-idles when playback
+//    stops (at the idle filter), independent of the DPM policy.
+//  * Arrival-rate samples are gated: a gap larger than
+//    `session_gap_threshold` is an idle period, not rate information (the
+//    paper models idle-state arrivals separately from the active state).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/detectors.hpp"
+#include "core/metrics.hpp"
+#include "dpm/policy.hpp"
+#include "dpm/power_manager.hpp"
+#include "hw/smartbadge.hpp"
+#include "policy/governor.hpp"
+#include "queue/frame_buffer.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::core {
+
+/// One playback item: a trace (absolute timestamps) and the decoder that
+/// services it.  The nominal rates seed adaptive detectors at item start —
+/// application-level knowledge (the app and its offline-measured curve),
+/// never the clip's actual rates.
+struct PlaybackItem {
+  workload::FrameTrace trace;
+  workload::DecoderModel decoder;
+  Hertz nominal_arrival;
+  Hertz nominal_service_at_max;
+  Seconds end;  ///< absolute end of this item
+};
+
+struct EngineConfig {
+  DetectorKind detector = DetectorKind::ChangePoint;
+  Seconds target_delay{0.1};
+  /// The processor model the badge is built around (default: stock
+  /// SA-1100; see hw/cpu_catalog.hpp for alternatives).  Item decoders must
+  /// be parameterized with this part's max frequency.
+  hw::Sa1100 cpu{};
+  /// Service-time variability assumed by the frequency policy: 1.0 = the
+  /// paper's M/M/1 (Eq. 5); other values use the M/G/1 P-K inversion.
+  double service_cv2 = 1.0;
+  DetectorFactoryConfig detectors{};
+  dpm::DpmPolicyPtr dpm_policy;  ///< null -> NeverSleepPolicy
+  Seconds wlan_rx_time{0.002};
+  Seconds session_gap_threshold{2.0};
+  Seconds dpm_arm_delay{0.5};  ///< hardware-idle filter before the DPM owns the period
+  std::size_t buffer_capacity = 0;  ///< 0 = unbounded
+  /// > 0: sample the instantaneous whole-badge power on this period into
+  /// Metrics::power_trace (for power-profile plots).
+  Seconds power_sample_period{0.0};
+  std::uint64_t seed = 1;
+};
+
+class Engine {
+ public:
+  /// Items must be time-ordered and non-overlapping.
+  Engine(EngineConfig cfg, std::vector<PlaybackItem> items);
+
+  /// Runs the whole session and returns the metrics.  Single-shot.
+  Metrics run();
+
+  /// Read access for tests.
+  [[nodiscard]] const hw::SmartBadge& badge() const { return badge_; }
+  [[nodiscard]] const queue::FrameBuffer& buffer() const { return buffer_; }
+  [[nodiscard]] const dpm::PowerManager& power_manager() const { return *pm_; }
+
+ private:
+  policy::DvsGovernor& governor_for(workload::MediaType type);
+  const workload::DecoderModel& decoder_for(workload::MediaType type) const;
+
+  void schedule_arrival_cursor();
+  void handle_arrival();
+  void ensure_media_context(const PlaybackItem& item);
+  void start_wlan_burst(Seconds at);
+  void maybe_start_decode(Seconds at);
+  void handle_decode_start();
+  void handle_decode_complete(workload::Frame frame, Seconds pure_decode,
+                              MegaHertz freq);
+  void activate_components(workload::MediaType type, Seconds now);
+  void deactivate_components(workload::MediaType type, Seconds now);
+  void arm_dpm(Seconds now);
+  void cancel_arm();
+  void schedule_power_sample(Seconds at);
+  void note_frequency(Seconds now);
+  Metrics collect(Seconds end);
+
+  EngineConfig cfg_;
+  std::vector<PlaybackItem> items_;
+
+  hw::SmartBadge badge_;
+  sim::Simulator sim_;
+  queue::FrameBuffer buffer_;
+  std::unique_ptr<dpm::PowerManager> pm_;
+  std::map<workload::MediaType, std::unique_ptr<policy::DvsGovernor>> governors_;
+
+  // Arrival cursor.
+  std::size_t item_ = 0;
+  std::size_t frame_idx_ = 0;
+  std::optional<Seconds> next_arrival_;
+  std::optional<Seconds> prev_arrival_;
+  std::size_t active_item_ = SIZE_MAX;
+
+  // Decode state.
+  bool busy_ = false;
+  bool decode_start_pending_ = false;
+
+  // Device readiness after DPM wakeups.
+  Seconds device_ready_{0.0};
+
+  // WLAN burst bookkeeping.
+  Seconds wlan_busy_until_{0.0};
+
+  // DPM arming.
+  sim::EventId arm_event_{};
+
+  // Frequency tracking for metrics.
+  TimeWeightedStats freq_tw_;
+  Seconds last_freq_note_{0.0};
+
+  std::uint64_t frames_arrived_ = 0;
+  std::vector<std::pair<double, double>> power_trace_;
+  bool ran_ = false;
+};
+
+}  // namespace dvs::core

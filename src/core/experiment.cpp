@@ -1,0 +1,134 @@
+#include "core/experiment.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::core {
+
+Hertz default_nominal_arrival(workload::MediaType type) {
+  // Typical stream rates an application would assume before measuring:
+  // 44.1 kHz MP3 (38.3 fr/s), PAL video (25 fr/s).
+  return type == workload::MediaType::Mp3Audio ? hertz(38.3) : hertz(25.0);
+}
+
+Hertz default_nominal_service(workload::MediaType type) {
+  return type == workload::MediaType::Mp3Audio ? hertz(workload::kMp3ReferenceRate)
+                                               : hertz(workload::kMpegReferenceRate);
+}
+
+namespace {
+
+EngineConfig make_engine_config(const RunOptions& opts) {
+  EngineConfig cfg;
+  cfg.detector = opts.detector;
+  cfg.target_delay = opts.target_delay;
+  cfg.service_cv2 = opts.service_cv2;
+  if (opts.detector_cfg != nullptr) cfg.detectors = *opts.detector_cfg;
+  cfg.dpm_policy = opts.dpm_policy;
+  cfg.seed = opts.seed;
+  cfg.dpm_arm_delay = opts.dpm_arm_delay;
+  cfg.session_gap_threshold = opts.session_gap_threshold;
+  cfg.power_sample_period = opts.power_sample_period;
+  if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
+  return cfg;
+}
+
+void save_threshold_cache(const RunOptions& opts, const EngineConfig& cfg) {
+  // Keep the lazily-built threshold table for the caller's next run.
+  if (opts.detector_cfg != nullptr && !opts.detector_cfg->thresholds &&
+      cfg.detectors.thresholds) {
+    opts.detector_cfg->thresholds = cfg.detectors.thresholds;
+  }
+}
+
+}  // namespace
+
+Metrics run_single_trace(const workload::FrameTrace& trace,
+                         const workload::DecoderModel& decoder,
+                         const RunOptions& opts) {
+  std::vector<PlaybackItem> items;
+  items.push_back(PlaybackItem{trace, decoder,
+                               default_nominal_arrival(trace.type()),
+                               default_nominal_service(trace.type()),
+                               trace.duration()});
+  return run_items(std::move(items), opts);
+}
+
+Metrics run_items(std::vector<PlaybackItem> items, const RunOptions& opts) {
+  EngineConfig cfg = make_engine_config(opts);
+  Engine engine{cfg, std::move(items)};
+  Metrics m = engine.run();
+  save_threshold_cache(opts, cfg);
+  return m;
+}
+
+dpm::IdleDistributionPtr default_idle_distribution() {
+  return std::make_shared<dpm::ParetoIdle>(1.8, seconds(8.0));
+}
+
+Session build_session(const SessionConfig& cfg, const hw::Sa1100& cpu) {
+  DVS_CHECK_MSG(cfg.cycles > 0, "build_session: need at least one cycle");
+  DVS_CHECK_MSG(!cfg.mp3_labels.empty(), "build_session: empty clip rotation");
+
+  Session session;
+  session.idle_model = cfg.idle ? cfg.idle : default_idle_distribution();
+  Rng rng{cfg.seed};
+
+  const workload::DecoderModel mp3_dec =
+      workload::reference_mp3_decoder(cpu.max_frequency());
+  const workload::DecoderModel mpeg_dec =
+      workload::reference_mpeg_decoder(cpu.max_frequency());
+
+  Seconds t{0.0};
+  for (int c = 0; c < cfg.cycles; ++c) {
+    // One audio clip.
+    {
+      const char label =
+          cfg.mp3_labels[static_cast<std::size_t>(c) % cfg.mp3_labels.size()];
+      const workload::Mp3Clip clip = workload::mp3_clip(label);
+      const std::vector<workload::Mp3Clip> seq{clip};
+      workload::FrameTrace trace =
+          workload::build_mp3_trace(seq, mp3_dec, rng, cfg.trace_opts).shifted(t);
+      const Seconds end = t + clip.duration;
+      session.media_time += clip.duration;
+      session.items.push_back(PlaybackItem{
+          std::move(trace), mp3_dec,
+          default_nominal_arrival(workload::MediaType::Mp3Audio),
+          default_nominal_service(workload::MediaType::Mp3Audio), end});
+      t = end;
+    }
+    // Idle gap.
+    {
+      const Seconds gap = session.idle_model->sample(rng);
+      session.idle_time += gap;
+      t += gap;
+    }
+    // One video segment (alternating source clips, truncated).
+    {
+      workload::MpegClip clip =
+          (c % 2 == 0) ? workload::football_clip() : workload::terminator2_clip();
+      clip.duration = cfg.mpeg_segment;
+      workload::FrameTrace trace =
+          workload::build_mpeg_trace(clip, mpeg_dec, rng, {}, cfg.trace_opts)
+              .shifted(t);
+      const Seconds end = t + clip.duration;
+      session.media_time += clip.duration;
+      session.items.push_back(PlaybackItem{
+          std::move(trace), mpeg_dec,
+          default_nominal_arrival(workload::MediaType::MpegVideo),
+          default_nominal_service(workload::MediaType::MpegVideo), end});
+      t = end;
+    }
+    // Trailing idle gap after the video.
+    {
+      const Seconds gap = session.idle_model->sample(rng);
+      session.idle_time += gap;
+      t += gap;
+    }
+  }
+  session.duration = t;
+  return session;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,82 @@
+// Experiment runners: thin, reusable wrappers around the Engine that the
+// bench harnesses, tests and examples share.
+//
+// Tables 3 and 4 compare detectors on identical workloads, so the callers
+// generate a FrameTrace once per seed and run it through run_single_trace
+// for each DetectorKind.  Table 5 builds a whole usage session (audio and
+// video clips separated by heavy-tailed idle periods) and runs it under the
+// four management configurations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "dpm/idle_model.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::core {
+
+/// Options for a single run.
+struct RunOptions {
+  DetectorKind detector = DetectorKind::ChangePoint;
+  Seconds target_delay{0.1};
+  /// Queueing model the policy inverts: 1.0 = M/M/1 (paper), else M/G/1.
+  double service_cv2 = 1.0;
+  dpm::DpmPolicyPtr dpm_policy;  ///< null = never sleep (pure-DVS experiments)
+  std::uint64_t seed = 1;
+  /// Shared detector configuration; lets callers reuse one change-point
+  /// threshold table across many runs.  May be null (a default is used).
+  DetectorFactoryConfig* detector_cfg = nullptr;
+  Seconds dpm_arm_delay{0.5};
+  Seconds session_gap_threshold{2.0};
+  /// > 0: fill Metrics::power_trace with whole-badge power samples.
+  Seconds power_sample_period{0.0};
+  /// Non-null: build the badge around this processor model instead of the
+  /// stock SA-1100 (hw/cpu_catalog.hpp).  Decoders in the items must use
+  /// its max frequency.
+  const hw::Sa1100* cpu = nullptr;
+};
+
+/// Default nominal (seed) rates per media type: application-level knowledge
+/// only, never the clip's actual rates.
+Hertz default_nominal_arrival(workload::MediaType type);
+Hertz default_nominal_service(workload::MediaType type);
+
+/// Runs one trace through the engine with a matching reference decoder.
+Metrics run_single_trace(const workload::FrameTrace& trace,
+                         const workload::DecoderModel& decoder,
+                         const RunOptions& opts);
+
+/// Runs a pre-built item list (sessions).
+Metrics run_items(std::vector<PlaybackItem> items, const RunOptions& opts);
+
+// ---- Table 5 sessions -----------------------------------------------------------
+
+struct SessionConfig {
+  int cycles = 6;                     ///< audio-clip + video-segment pairs
+  std::string mp3_labels = "ACEFBD";  ///< rotates one clip per cycle
+  Seconds mpeg_segment{120.0};        ///< truncated video segment length
+  dpm::IdleDistributionPtr idle;      ///< gap distribution (default Pareto)
+  workload::TraceOptions trace_opts{};
+  std::uint64_t seed = 42;
+};
+
+struct Session {
+  std::vector<PlaybackItem> items;
+  Seconds duration{0.0};
+  Seconds media_time{0.0};
+  Seconds idle_time{0.0};
+  dvs::dpm::IdleDistributionPtr idle_model;
+};
+
+/// Default heavy-tailed idle gaps (Pareto shape 1.8, scale 8 s).
+dpm::IdleDistributionPtr default_idle_distribution();
+
+/// Builds a usage session: alternating MP3 clips and MPEG segments with
+/// idle gaps between items.
+Session build_session(const SessionConfig& cfg, const hw::Sa1100& cpu);
+
+}  // namespace dvs::core

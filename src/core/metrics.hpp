@@ -1,0 +1,56 @@
+// Result metrics for one simulated run — the numbers the paper's tables
+// report (energy in kJ, average total frame delay in seconds) plus the
+// supporting detail used by the benches and tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/smartbadge_data.hpp"
+
+namespace dvs::core {
+
+struct Metrics {
+  Seconds duration{0.0};
+  Joules total_energy{0.0};
+  std::array<Joules, hw::kNumBadgeComponents> component_energy{};
+  MilliWatts average_power{0.0};
+
+  std::uint64_t frames_arrived = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_dropped = 0;
+
+  Seconds mean_frame_delay{0.0};  ///< the paper's "Fr. Delay" column
+  Seconds max_frame_delay{0.0};
+  double mean_buffered_frames = 0.0;
+
+  int cpu_switches = 0;
+  MegaHertz mean_cpu_frequency{0.0};  ///< time-weighted over the whole run
+
+  int dpm_idle_periods = 0;
+  int dpm_sleeps = 0;
+  int dpm_wakeups = 0;
+  Seconds dpm_total_wakeup_delay{0.0};
+
+  /// (time s, whole-badge power mW) samples; filled only when
+  /// EngineConfig::power_sample_period > 0.
+  std::vector<std::pair<double, double>> power_trace;
+
+  /// Energy in kilojoules, as the paper's tables print it.
+  [[nodiscard]] double energy_kj() const { return total_energy.value() / 1e3; }
+
+  /// Energy of the processing subsystem (SA-1100 + FLASH + SRAM + DRAM) —
+  /// the part DVS acts on directly; radio and display are reported in the
+  /// whole-badge total.
+  [[nodiscard]] Joules cpu_memory_energy() const {
+    return component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Cpu)] +
+           component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Flash)] +
+           component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Sram)] +
+           component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Dram)];
+  }
+};
+
+}  // namespace dvs::core

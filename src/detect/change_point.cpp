@@ -1,0 +1,154 @@
+#include "detect/change_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dvs::detect {
+namespace {
+
+/// Like max_log_likelihood_ratio but also reports the best change position
+/// (index of the first post-change sample).
+double max_llr_with_argmax(const std::vector<double>& z, double ratio,
+                           const ChangePointConfig& cfg, std::size_t& best_k) {
+  const std::size_t m = z.size();
+  const double log_r = std::log(ratio);
+  double best = -std::numeric_limits<double>::infinity();
+  best_k = 0;
+  double tail_sum = 0.0;
+  for (std::size_t j = m; j-- > 0;) {
+    tail_sum += z[j];
+    const std::size_t tail_len = m - j;
+    if (tail_len < cfg.min_tail) continue;
+    if (j % std::max<std::size_t>(cfg.check_interval, 1) != 0) continue;
+    const double lnp =
+        static_cast<double>(tail_len) * log_r - (ratio - 1.0) * tail_sum;
+    if (lnp > best) {
+      best = lnp;
+      best_k = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ChangePointDetector::ChangePointDetector(
+    std::shared_ptr<const ThresholdTable> thresholds)
+    : thresholds_(std::move(thresholds)) {
+  DVS_CHECK_MSG(thresholds_ != nullptr, "ChangePointDetector: null threshold table");
+}
+
+ChangePointDetector::ChangePointDetector(const ChangePointConfig& cfg)
+    : ChangePointDetector(std::make_shared<const ThresholdTable>(cfg)) {}
+
+void ChangePointDetector::reset(Hertz initial) {
+  window_.clear();
+  samples_since_check_ = 0;
+  settling_ = 0;
+  rate_ = initial;
+  warmed_up_ = initial.value() > 0.0;
+  changes_ = 0;
+  change_times_.clear();
+}
+
+Hertz ChangePointDetector::on_sample(Seconds now, Seconds interval) {
+  DVS_CHECK_MSG(interval.value() > 0.0, "ChangePointDetector: non-positive interval");
+  const ChangePointConfig& cfg = thresholds_->config();
+
+  window_.push_back(interval.value());
+  if (window_.size() > cfg.window) window_.pop_front();
+  if (settling_ < cfg.window) ++settling_;
+
+  if (!warmed_up_) {
+    // No prior estimate: bootstrap the rate from the first min_tail samples.
+    if (window_.size() >= cfg.min_tail) {
+      double sum = 0.0;
+      for (double x : window_) sum += x;
+      rate_ = Hertz{static_cast<double>(window_.size()) / sum};
+      warmed_up_ = true;
+    }
+    return rate_;
+  }
+
+  // Just after a declared change the rate estimate came from a short tail
+  // and is noisy; keep refining it from the accumulating post-change
+  // samples until a full window's worth has been seen, then freeze.  The
+  // detector's defining property (Fig. 10) is that its output is piecewise
+  // constant — settling briefly after each change and never drifting in
+  // between (the 3% deadband keeps the settling monotone-ish rather than
+  // jittery).
+  if (settling_ < cfg.window) {
+    const std::size_t n = std::min(settling_, window_.size());
+    double sum = 0.0;
+    for (std::size_t j = window_.size() - n; j < window_.size(); ++j) {
+      sum += window_[j];
+    }
+    if (n >= cfg.min_tail && sum > 0.0) {
+      const double refined = static_cast<double>(n) / sum;
+      if (std::abs(refined - rate_.value()) > 0.03 * rate_.value()) {
+        rate_ = Hertz{refined};
+      }
+    }
+  }
+
+  ++samples_since_check_;
+  if (samples_since_check_ >= cfg.check_interval &&
+      window_.size() >= 2 * cfg.min_tail) {
+    samples_since_check_ = 0;
+    detect(now);
+  }
+  return rate_;
+}
+
+bool ChangePointDetector::detect(Seconds now) {
+  const ChangePointConfig& cfg = thresholds_->config();
+  const double lambda_o = rate_.value();
+  DVS_CHECK_MSG(lambda_o > 0.0, "ChangePointDetector: no current rate");
+
+  // Normalize so the window is Exp(1) under the null hypothesis; the
+  // statistic then depends only on the candidate ratio.
+  std::vector<double> z(window_.begin(), window_.end());
+  for (double& x : z) x *= lambda_o;
+
+  // Scan every candidate ratio; require the best margin to clear the
+  // scan-level calibration (see ThresholdTable::scan_margin).
+  double best_margin = thresholds_->scan_margin();
+  double best_ratio = 1.0;
+  std::size_t best_k = 0;
+  bool found = false;
+  for (double r : thresholds_->ratios()) {
+    std::size_t k = 0;
+    const double stat = max_llr_with_argmax(z, r, cfg, k);
+    const double margin = stat - thresholds_->threshold_for_ratio(r);
+    if (margin > best_margin) {
+      best_margin = margin;
+      best_ratio = r;
+      best_k = k;
+      found = true;
+    }
+  }
+  if (!found) return false;
+
+  // Change declared: re-estimate the rate from the post-change tail by
+  // maximum likelihood and drop the pre-change samples.
+  double tail_sum = 0.0;
+  std::size_t tail_len = 0;
+  for (std::size_t j = best_k; j < window_.size(); ++j) {
+    tail_sum += window_[j];
+    ++tail_len;
+  }
+  DVS_CHECK(tail_len >= cfg.min_tail && tail_sum > 0.0);
+  rate_ = Hertz{static_cast<double>(tail_len) / tail_sum};
+  window_.erase(window_.begin(),
+                window_.begin() + static_cast<std::ptrdiff_t>(best_k));
+  settling_ = window_.size();
+  ++changes_;
+  change_times_.push_back(now);
+  (void)best_ratio;
+  return true;
+}
+
+}  // namespace dvs::detect

@@ -1,0 +1,72 @@
+// On-line change-point detection (Section 3.1, Equations 3-4).
+//
+// The detector keeps a sliding window of the last m interval samples.
+// Every `check_interval` samples it evaluates, for each candidate new rate
+// lambda_n in a geometric rate set, the maximum-likelihood ratio
+//
+//   ln P_max = max_k [ (m-k) ln(lambda_n/lambda_o)
+//                      - (lambda_n - lambda_o) sum_{j>k} x_j ]
+//
+// against the threshold characterized off-line for that rate ratio
+// (ThresholdTable).  When the threshold is exceeded there is >= 99.5%
+// likelihood the rate changed: the estimate moves to the maximum-likelihood
+// rate of the post-change tail, and the pre-change samples are discarded.
+//
+// "Only the sum of interarrival (or decoding) times needs to be updated
+// upon every arrival" — the suffix-sum evaluation in
+// max_log_likelihood_ratio is exactly that computation.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/threshold_table.hpp"
+
+namespace dvs::detect {
+
+class ChangePointDetector final : public RateDetector {
+ public:
+  /// `thresholds` may be shared across detectors with identical config.
+  explicit ChangePointDetector(std::shared_ptr<const ThresholdTable> thresholds);
+
+  /// Convenience: builds (and owns) a threshold table for `cfg`.
+  explicit ChangePointDetector(const ChangePointConfig& cfg);
+
+  Hertz on_sample(Seconds now, Seconds interval) override;
+  [[nodiscard]] Hertz current_rate() const override { return rate_; }
+  void reset(Hertz initial) override;
+  [[nodiscard]] std::string name() const override { return "change-point"; }
+
+  [[nodiscard]] const ChangePointConfig& config() const {
+    return thresholds_->config();
+  }
+
+  /// Number of change points declared since construction/reset.
+  [[nodiscard]] std::uint64_t changes_detected() const { return changes_; }
+
+  /// Times (sample timestamps) at which changes were declared.
+  [[nodiscard]] const std::vector<Seconds>& change_times() const {
+    return change_times_;
+  }
+
+ private:
+  /// Runs the likelihood test over the current window; returns true and
+  /// updates rate_ when a change is declared.
+  bool detect(Seconds now);
+
+  std::shared_ptr<const ThresholdTable> thresholds_;
+  std::deque<double> window_;         ///< last m raw interval samples
+  std::size_t samples_since_check_ = 0;
+  /// Post-change samples seen so far; the estimate refines while this is
+  /// below the window size and freezes afterwards (piecewise-constant
+  /// output between change points).
+  std::size_t settling_ = 0;
+  Hertz rate_{0.0};
+  bool warmed_up_ = false;
+  std::uint64_t changes_ = 0;
+  std::vector<Seconds> change_times_;
+};
+
+}  // namespace dvs::detect

@@ -1,0 +1,38 @@
+// Rate-detector interface.
+//
+// A detector watches a stream of interval samples — frame interarrival
+// times for the arrival-rate detector, decode times normalized to the top
+// frequency for the service-rate detector — and maintains an estimate of
+// the generating rate.  The four implementations are the four columns of
+// Tables 3 and 4: ideal (oracle), change-point (this paper), exponential
+// moving average (prior work), and, implicitly, "max" which uses no
+// detector at all.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace dvs::detect {
+
+class RateDetector {
+ public:
+  virtual ~RateDetector() = default;
+
+  /// Feeds one interval sample observed at absolute time `now` (the sample
+  /// is the gap that just ended at `now`).  Returns the updated estimate.
+  virtual Hertz on_sample(Seconds now, Seconds interval) = 0;
+
+  /// Current rate estimate without feeding a sample.
+  [[nodiscard]] virtual Hertz current_rate() const = 0;
+
+  /// Clears state and seeds the estimate.
+  virtual void reset(Hertz initial) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using RateDetectorPtr = std::unique_ptr<RateDetector>;
+
+}  // namespace dvs::detect

@@ -1,0 +1,34 @@
+#include "detect/ema.hpp"
+
+#include "common/check.hpp"
+
+namespace dvs::detect {
+
+EmaDetector::EmaDetector(double gain) : gain_(gain) {
+  DVS_CHECK_MSG(gain > 0.0 && gain <= 1.0, "EmaDetector: gain must be in (0,1]");
+}
+
+Hertz EmaDetector::on_sample(Seconds /*now*/, Seconds interval) {
+  DVS_CHECK_MSG(interval.value() > 0.0, "EmaDetector: non-positive interval");
+  if (smoothed_interval_ <= 0.0) {
+    smoothed_interval_ = interval.value();
+  } else {
+    smoothed_interval_ =
+        (1.0 - gain_) * smoothed_interval_ + gain_ * interval.value();
+  }
+  return current_rate();
+}
+
+Hertz EmaDetector::current_rate() const {
+  return smoothed_interval_ > 0.0 ? Hertz{1.0 / smoothed_interval_} : Hertz{0.0};
+}
+
+void EmaDetector::reset(Hertz initial) {
+  smoothed_interval_ = initial.value() > 0.0 ? 1.0 / initial.value() : 0.0;
+}
+
+std::string EmaDetector::name() const {
+  return "ema(g=" + std::to_string(gain_).substr(0, 4) + ")";
+}
+
+}  // namespace dvs::detect

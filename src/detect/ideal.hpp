@@ -1,0 +1,35 @@
+// Ideal (oracle) detection: "assumes knowledge of the future; thus the
+// system detects the change in rate exactly when the change occurs."
+// The oracle reads the ground truth recorded in the FrameTrace.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "detect/detector.hpp"
+
+namespace dvs::detect {
+
+class IdealDetector final : public RateDetector {
+ public:
+  using Truth = std::function<Hertz(Seconds)>;
+
+  explicit IdealDetector(Truth truth) : truth_(std::move(truth)) {}
+
+  Hertz on_sample(Seconds now, Seconds /*interval*/) override {
+    last_ = truth_(now);
+    return last_;
+  }
+
+  [[nodiscard]] Hertz current_rate() const override { return last_; }
+
+  void reset(Hertz initial) override { last_ = initial; }
+
+  [[nodiscard]] std::string name() const override { return "ideal"; }
+
+ private:
+  Truth truth_;
+  Hertz last_{0.0};
+};
+
+}  // namespace dvs::detect

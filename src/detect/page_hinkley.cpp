@@ -1,0 +1,74 @@
+#include "detect/page_hinkley.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dvs::detect {
+
+PageHinkleyDetector::PageHinkleyDetector(double delta, double threshold,
+                                         std::size_t warmup)
+    : delta_(delta), threshold_(threshold), warmup_(warmup) {
+  DVS_CHECK_MSG(delta_ >= 0.0, "PageHinkleyDetector: delta must be >= 0");
+  DVS_CHECK_MSG(threshold_ > 0.0, "PageHinkleyDetector: threshold must be > 0");
+  DVS_CHECK_MSG(warmup_ >= 2, "PageHinkleyDetector: warmup must be >= 2");
+}
+
+void PageHinkleyDetector::restart() {
+  // Keep reporting the previous regime's mean while the new one warms up.
+  n_ = 0;
+  warm_sum_ = 0.0;
+  cum_up_ = min_up_ = 0.0;
+  cum_dn_ = max_dn_ = 0.0;
+}
+
+void PageHinkleyDetector::reset(Hertz initial) {
+  restart();
+  changes_ = 0;
+  if (initial.value() > 0.0) {
+    mean_ = 1.0 / initial.value();
+    n_ = warmup_;  // treat the seed as an established regime
+  } else {
+    mean_ = 0.0;
+  }
+}
+
+Hertz PageHinkleyDetector::current_rate() const {
+  return mean_ > 0.0 ? Hertz{1.0 / mean_} : Hertz{0.0};
+}
+
+Hertz PageHinkleyDetector::on_sample(Seconds /*now*/, Seconds interval) {
+  DVS_CHECK_MSG(interval.value() > 0.0, "PageHinkleyDetector: non-positive interval");
+  const double x = interval.value();
+
+  if (n_ < warmup_) {
+    // (Re)estimating the regime mean; the previous estimate keeps serving
+    // queries until the new one is ready.
+    warm_sum_ += x;
+    ++n_;
+    if (n_ >= warmup_) {
+      mean_ = warm_sum_ / static_cast<double>(warmup_);
+      warm_sum_ = 0.0;
+    }
+    return current_rate();
+  }
+
+  // Normalized deviation from the regime mean.
+  const double dev = x / mean_ - 1.0;
+  // Mean increase (intervals getting longer -> rate dropping).
+  cum_up_ += dev - delta_;
+  min_up_ = std::min(min_up_, cum_up_);
+  // Mean decrease.
+  cum_dn_ += dev + delta_;
+  max_dn_ = std::max(max_dn_, cum_dn_);
+
+  const bool up = cum_up_ - min_up_ > threshold_;
+  const bool down = max_dn_ - cum_dn_ > threshold_;
+  if (up || down) {
+    ++changes_;
+    restart();
+  }
+  return current_rate();
+}
+
+}  // namespace dvs::detect

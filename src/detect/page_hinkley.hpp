@@ -1,0 +1,50 @@
+// Page-Hinkley mean-shift detector — a distribution-free baseline.
+//
+// Classic sequential analysis: accumulate the deviation of each interval
+// from the running mean (with a tolerance delta); when the accumulated
+// drift exceeds a threshold in either direction, declare a change, reset
+// the accumulators and re-estimate the mean from scratch.  No likelihood
+// model, no off-line characterization — the price is hand-tuned (delta,
+// threshold) parameters and a normalization problem the likelihood-ratio
+// detector does not have: the "right" threshold scales with the unknown
+// mean, which this implementation handles by working on *normalized*
+// deviations (x / mean - 1).
+#pragma once
+
+#include "detect/detector.hpp"
+
+namespace dvs::detect {
+
+class PageHinkleyDetector final : public RateDetector {
+ public:
+  /// delta: drift tolerance (fraction of the mean, e.g. 0.1);
+  /// threshold: accumulated normalized drift that triggers (e.g. 12);
+  /// warmup: samples used to (re)estimate the mean after a change.
+  PageHinkleyDetector(double delta = 0.1, double threshold = 12.0,
+                      std::size_t warmup = 10);
+
+  Hertz on_sample(Seconds now, Seconds interval) override;
+  [[nodiscard]] Hertz current_rate() const override;
+  void reset(Hertz initial) override;
+  [[nodiscard]] std::string name() const override { return "page-hinkley"; }
+
+  [[nodiscard]] std::uint64_t changes_detected() const { return changes_; }
+
+ private:
+  void restart();
+
+  double delta_;
+  double threshold_;
+  std::size_t warmup_;
+
+  double mean_ = 0.0;          ///< current mean-interval estimate (0 = none)
+  std::size_t n_ = 0;          ///< samples into the current regime
+  double warm_sum_ = 0.0;
+  double cum_up_ = 0.0;        ///< Page-Hinkley statistic for mean increase
+  double min_up_ = 0.0;
+  double cum_dn_ = 0.0;        ///< and for mean decrease
+  double max_dn_ = 0.0;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace dvs::detect

@@ -1,0 +1,35 @@
+#include "detect/sliding_window.hpp"
+
+#include "common/check.hpp"
+
+namespace dvs::detect {
+
+SlidingWindowDetector::SlidingWindowDetector(std::size_t window) : window_(window) {
+  DVS_CHECK_MSG(window_ > 0, "SlidingWindowDetector: window must be > 0");
+}
+
+Hertz SlidingWindowDetector::on_sample(Seconds /*now*/, Seconds interval) {
+  DVS_CHECK_MSG(interval.value() > 0.0, "SlidingWindowDetector: non-positive interval");
+  samples_.push_back(interval.value());
+  sum_ += interval.value();
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+  if (sum_ > 0.0) {
+    estimate_ = Hertz{static_cast<double>(samples_.size()) / sum_};
+  }
+  return estimate_;
+}
+
+void SlidingWindowDetector::reset(Hertz initial) {
+  samples_.clear();
+  sum_ = 0.0;
+  estimate_ = initial;
+}
+
+std::string SlidingWindowDetector::name() const {
+  return "sliding-window(" + std::to_string(window_) + ")";
+}
+
+}  // namespace dvs::detect

@@ -1,0 +1,29 @@
+// Naive sliding-window mean-rate estimator: rate = n / sum of the last n
+// intervals.  Not one of the paper's four algorithms; included as an extra
+// baseline for the ablation benches (it is smoother than the EMA but lags a
+// change by a full window).
+#pragma once
+
+#include <deque>
+
+#include "detect/detector.hpp"
+
+namespace dvs::detect {
+
+class SlidingWindowDetector final : public RateDetector {
+ public:
+  explicit SlidingWindowDetector(std::size_t window = 50);
+
+  Hertz on_sample(Seconds now, Seconds interval) override;
+  [[nodiscard]] Hertz current_rate() const override { return estimate_; }
+  void reset(Hertz initial) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+  Hertz estimate_{0.0};
+};
+
+}  // namespace dvs::detect

@@ -1,0 +1,60 @@
+#include "detect/weibull_change_point.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dvs::detect {
+
+WeibullChangePointDetector::WeibullChangePointDetector(
+    double shape, std::shared_ptr<const ThresholdTable> thresholds)
+    : shape_(shape),
+      gamma_factor_(std::tgamma(1.0 + 1.0 / shape)),
+      inner_(std::move(thresholds)) {
+  DVS_CHECK_MSG(shape_ > 0.0, "WeibullChangePointDetector: shape must be > 0");
+}
+
+WeibullChangePointDetector::WeibullChangePointDetector(
+    double shape, const ChangePointConfig& cfg)
+    : WeibullChangePointDetector(shape,
+                                 std::make_shared<const ThresholdTable>(cfg)) {}
+
+double WeibullChangePointDetector::to_transformed_rate(double frame_rate) const {
+  // frame rate r = 1/E[X] = a / Gamma(1 + 1/k)  =>  a = r * Gamma(1 + 1/k);
+  // the transformed samples X^k are Exp(a^k).
+  const double a = frame_rate * gamma_factor_;
+  return std::pow(a, shape_);
+}
+
+double WeibullChangePointDetector::to_frame_rate(double transformed_rate) const {
+  const double a = std::pow(transformed_rate, 1.0 / shape_);
+  return a / gamma_factor_;
+}
+
+Hertz WeibullChangePointDetector::on_sample(Seconds now, Seconds interval) {
+  DVS_CHECK_MSG(interval.value() > 0.0,
+                "WeibullChangePointDetector: non-positive interval");
+  const double transformed = std::pow(interval.value(), shape_);
+  const Hertz inner_rate = inner_.on_sample(now, Seconds{transformed});
+  return Hertz{to_frame_rate(inner_rate.value())};
+}
+
+Hertz WeibullChangePointDetector::current_rate() const {
+  const double inner_rate = inner_.current_rate().value();
+  if (inner_rate <= 0.0) return Hertz{0.0};
+  return Hertz{to_frame_rate(inner_rate)};
+}
+
+void WeibullChangePointDetector::reset(Hertz initial) {
+  if (initial.value() <= 0.0) {
+    inner_.reset(Hertz{0.0});
+    return;
+  }
+  inner_.reset(Hertz{to_transformed_rate(initial.value())});
+}
+
+std::string WeibullChangePointDetector::name() const {
+  return "weibull-change-point(k=" + std::to_string(shape_).substr(0, 3) + ")";
+}
+
+}  // namespace dvs::detect

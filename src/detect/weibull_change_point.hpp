@@ -1,0 +1,55 @@
+// Change-point detection for Weibull intervals.
+//
+// The paper notes that "the same change point detection algorithm can be
+// used for any type of distribution."  For a Weibull with *known shape k*
+// there is an exact reduction to the exponential machinery: if
+// X ~ Weibull(k, rate a) then X^k ~ Exp(a^k).  This detector raises every
+// interval sample to the k-th power, runs the exponential change-point
+// detector (same window, same off-line thresholds — the transformed samples
+// really are exponential), and converts the detected scale back into a
+// frame rate through the Weibull mean E[X] = Gamma(1 + 1/k) / a.
+//
+// Shape 1 degenerates to the plain detector; shape ~2-3 models the more
+// regular interarrival processes of paced senders, where the plain
+// exponential detector is mis-calibrated (its Monte-Carlo thresholds assume
+// the wrong null distribution).
+#pragma once
+
+#include <memory>
+
+#include "detect/change_point.hpp"
+#include "detect/detector.hpp"
+
+namespace dvs::detect {
+
+class WeibullChangePointDetector final : public RateDetector {
+ public:
+  /// `shape` must be > 0; thresholds may be shared with plain detectors
+  /// (the transformed samples are exponential, so the same characterization
+  /// applies).
+  WeibullChangePointDetector(double shape,
+                             std::shared_ptr<const ThresholdTable> thresholds);
+  WeibullChangePointDetector(double shape, const ChangePointConfig& cfg);
+
+  Hertz on_sample(Seconds now, Seconds interval) override;
+  [[nodiscard]] Hertz current_rate() const override;
+  void reset(Hertz initial) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] std::uint64_t changes_detected() const {
+    return inner_.changes_detected();
+  }
+
+ private:
+  /// frame rate (1/E[X]) -> transformed exponential rate a^k.
+  [[nodiscard]] double to_transformed_rate(double frame_rate) const;
+  /// transformed exponential rate a^k -> frame rate.
+  [[nodiscard]] double to_frame_rate(double transformed_rate) const;
+
+  double shape_;
+  double gamma_factor_;  ///< Gamma(1 + 1/k)
+  ChangePointDetector inner_;
+};
+
+}  // namespace dvs::detect

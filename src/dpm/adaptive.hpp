@@ -1,0 +1,72 @@
+// Adaptive DPM: learn the idle-period distribution online.
+//
+// The paper's stochastic policies (renewal, TISMDP) assume the idle-period
+// distribution is known — the authors measured it offline on the real
+// workload.  A deployed power manager has to *learn* it: this policy
+// collects the durations of completed idle periods, periodically fits both
+// an exponential and a Pareto model (the two families the authors'
+// measurements discriminated between), keeps whichever fits better by
+// average CDF error, and re-optimizes its sleep plan against the fitted
+// distribution with the same constrained plan search TismdpPolicy uses.
+//
+// Until enough idle periods have been observed it falls back to a
+// conservative fixed timeout (sleeping late costs bounded energy; sleeping
+// eagerly on a wrong model costs wakeup storms).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dpm/policy.hpp"
+
+namespace dvs::dpm {
+
+struct AdaptiveDpmConfig {
+  std::size_t min_observations = 20;   ///< before this: fallback timeout
+  std::size_t refit_every = 10;        ///< re-fit/re-optimize cadence
+  std::size_t max_history = 500;       ///< sliding window of idle durations
+  Seconds fallback_standby{5.0};
+  Seconds fallback_off{60.0};
+  Seconds max_expected_delay{0.5};     ///< constraint for the plan search
+};
+
+class AdaptiveDpmPolicy final : public DpmPolicy {
+ public:
+  AdaptiveDpmPolicy(DpmCostModel costs, AdaptiveDpmConfig cfg = {});
+
+  /// Call when an idle period completes, with its measured duration.  The
+  /// PowerManager engine does this automatically when the policy is
+  /// installed through it; standalone users call it directly.
+  void observe_idle_period(Seconds duration);
+
+  void on_idle_period_end(Seconds duration) override {
+    observe_idle_period(duration);
+  }
+
+  SleepPlan plan(std::optional<Seconds>, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+
+  /// Introspection for tests and benches.
+  [[nodiscard]] std::size_t observations() const { return history_.size(); }
+  [[nodiscard]] bool learned() const { return fitted_ != nullptr; }
+  [[nodiscard]] const IdleDistribution* fitted_distribution() const {
+    return fitted_.get();
+  }
+  [[nodiscard]] const SleepPlan& current_primary_plan() const { return primary_; }
+  [[nodiscard]] double mix_probability() const { return mix_p_; }
+
+ private:
+  void refit();
+
+  DpmCostModel costs_;
+  AdaptiveDpmConfig cfg_;
+  std::vector<double> history_;   ///< completed idle durations (seconds)
+  std::size_t since_refit_ = 0;
+  IdleDistributionPtr fitted_;
+  SleepPlan fallback_;
+  SleepPlan primary_;
+  SleepPlan secondary_;
+  double mix_p_ = 1.0;
+};
+
+}  // namespace dvs::dpm

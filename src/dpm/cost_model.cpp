@@ -1,0 +1,46 @@
+#include "dpm/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "hw/smartbadge_data.hpp"
+
+namespace dvs::dpm {
+
+Seconds DpmCostModel::break_even(const SleepOption& opt) const {
+  const double saved = idle_power.value() - opt.power.value();
+  if (saved <= 0.0) return Seconds{std::numeric_limits<double>::infinity()};
+  return Seconds{opt.wakeup_energy.value() / (saved * 1e-3)};
+}
+
+DpmCostModel smartbadge_cost_model(const hw::SmartBadge& badge) {
+  DpmCostModel model;
+  MilliWatts idle{0.0};
+  MilliWatts active{0.0};
+  MilliWatts standby{0.0};
+  MilliWatts off{0.0};
+  Seconds worst_sby{0.0};
+  Seconds worst_off{0.0};
+  for (std::size_t i = 0; i < badge.num_components(); ++i) {
+    const auto id = static_cast<hw::BadgeComponentId>(i);
+    const hw::ComponentSpec& spec = badge.component(id).spec();
+    idle += spec.idle_power;
+    active += spec.active_power;
+    standby += spec.standby_power;
+    off += spec.off_power;
+    worst_sby = std::max(worst_sby, spec.wakeup_from_standby);
+    worst_off = std::max(worst_off, spec.wakeup_from_off);
+  }
+  model.idle_power = idle;
+  model.active_power = active;
+  model.options.push_back({hw::PowerState::Standby, standby, worst_sby,
+                           energy(active, worst_sby)});
+  model.options.push_back(
+      {hw::PowerState::Off, off, worst_off, energy(active, worst_off)});
+  DVS_CHECK_MSG(model.options[0].power >= model.options[1].power,
+                "smartbadge_cost_model: off should not draw more than standby");
+  return model;
+}
+
+}  // namespace dvs::dpm

@@ -1,0 +1,46 @@
+// Whole-device cost model consumed by the DPM policies.
+//
+// Policies reason about aggregate badge power per power state (the "Total"
+// row of Table 1) plus the wakeup latency and wakeup energy of each sleep
+// state.  Wakeup latency is the slowest component's transition time (the
+// badge is usable only when everything is back), and wakeup energy charges
+// active power for that latency — matching the Component model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/power_state.hpp"
+#include "hw/smartbadge.hpp"
+
+namespace dvs::dpm {
+
+/// One commandable sleep state with its costs.
+struct SleepOption {
+  hw::PowerState state;
+  MilliWatts power;        ///< badge power while resident in the state
+  Seconds wakeup_latency;  ///< worst-case component wakeup
+  Joules wakeup_energy;    ///< energy burned waking up
+
+  [[nodiscard]] std::string name() const { return std::string(hw::to_string(state)); }
+};
+
+/// Aggregate costs for the device the policy manages.
+struct DpmCostModel {
+  MilliWatts idle_power;    ///< power while idle and undisturbed
+  MilliWatts active_power;  ///< power while servicing (used for wakeup energy)
+  std::vector<SleepOption> options;  ///< ordered shallow -> deep
+
+  /// Break-even time of a sleep option: the idle-period length above which
+  /// sleeping immediately beats staying idle.  Derived from
+  ///   P_idle * T  >  P_s * T + E_wake
+  /// => T_be = E_wake / (P_idle - P_s).  Infinite when the state saves
+  /// nothing.
+  [[nodiscard]] Seconds break_even(const SleepOption& opt) const;
+};
+
+/// Builds the cost model for a SmartBadge (Table 1 aggregates).
+DpmCostModel smartbadge_cost_model(const hw::SmartBadge& badge);
+
+}  // namespace dvs::dpm

@@ -1,0 +1,88 @@
+// Idle-period models.
+//
+// The authors' DPM line of work (refs [2, 3] of the paper) established that
+// real idle periods are *not* exponential — the tail is heavy, and policies
+// must account for the time already spent idle.  Both distributions are
+// provided: exponential (the classic but wrong assumption) and Pareto (the
+// heavy-tailed model their measurements supported).  Policies consume this
+// interface analytically — survival, truncated means — and the session
+// generator samples from it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dvs::dpm {
+
+/// Distribution of the length of one idle period.
+class IdleDistribution {
+ public:
+  virtual ~IdleDistribution() = default;
+
+  /// P(T > t).
+  [[nodiscard]] virtual double survival(Seconds t) const = 0;
+  /// E[T].
+  [[nodiscard]] virtual Seconds mean() const = 0;
+  /// E[(T - t)^+] — expected residual idle time beyond t.
+  [[nodiscard]] virtual Seconds mean_excess(Seconds t) const = 0;
+  /// E[min(T, t)] — expected idle time spent before t (or the whole period).
+  [[nodiscard]] virtual Seconds mean_truncated(Seconds t) const = 0;
+
+  [[nodiscard]] virtual Seconds sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Conditional mean residual life E[T - t | T > t] = mean_excess(t)/S(t).
+  /// For heavy tails this *grows* with t — the longer the system has been
+  /// idle, the longer it should expect to stay idle, which is exactly the
+  /// information the time-indexed (TISMDP) policies exploit and memoryless
+  /// models throw away.
+  [[nodiscard]] Seconds mean_residual(Seconds t) const {
+    const double s = survival(t);
+    if (s <= 0.0) return Seconds{0.0};
+    return Seconds{mean_excess(t).value() / s};
+  }
+};
+
+using IdleDistributionPtr = std::shared_ptr<const IdleDistribution>;
+
+/// Exponential idle periods with the given mean.
+class ExponentialIdle final : public IdleDistribution {
+ public:
+  explicit ExponentialIdle(Seconds mean);
+
+  [[nodiscard]] double survival(Seconds t) const override;
+  [[nodiscard]] Seconds mean() const override { return Seconds{1.0 / rate_}; }
+  [[nodiscard]] Seconds mean_excess(Seconds t) const override;
+  [[nodiscard]] Seconds mean_truncated(Seconds t) const override;
+  [[nodiscard]] Seconds sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+
+ private:
+  double rate_;
+};
+
+/// Pareto idle periods: survival (scale/t)^shape for t >= scale.
+/// Requires shape > 1 so the mean exists.
+class ParetoIdle final : public IdleDistribution {
+ public:
+  ParetoIdle(double shape, Seconds scale);
+
+  [[nodiscard]] double survival(Seconds t) const override;
+  [[nodiscard]] Seconds mean() const override;
+  [[nodiscard]] Seconds mean_excess(Seconds t) const override;
+  [[nodiscard]] Seconds mean_truncated(Seconds t) const override;
+  [[nodiscard]] Seconds sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "pareto"; }
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] Seconds scale() const { return scale_; }
+
+ private:
+  double shape_;
+  Seconds scale_;
+};
+
+}  // namespace dvs::dpm

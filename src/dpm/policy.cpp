@@ -1,0 +1,257 @@
+#include "dpm/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::dpm {
+
+void SleepPlan::validate() const {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    DVS_CHECK_MSG(steps[i].after.value() >= 0.0, "SleepPlan: negative timeout");
+    DVS_CHECK_MSG(hw::is_sleep_state(steps[i].state),
+                  "SleepPlan: step targets a non-sleep state");
+    if (i > 0) {
+      DVS_CHECK_MSG(steps[i].after > steps[i - 1].after,
+                    "SleepPlan: timeouts must be strictly increasing");
+      DVS_CHECK_MSG(hw::deeper_than(steps[i].state, steps[i - 1].state),
+                    "SleepPlan: steps must deepen");
+    }
+  }
+}
+
+namespace {
+
+const SleepOption& option_for(const DpmCostModel& costs, hw::PowerState s) {
+  for (const auto& opt : costs.options) {
+    if (opt.state == s) return opt;
+  }
+  throw std::logic_error("DpmCostModel: no option for state " +
+                         std::string(hw::to_string(s)));
+}
+
+}  // namespace
+
+PlanEvaluation evaluate_plan(const SleepPlan& plan, const DpmCostModel& costs,
+                             const IdleDistribution& idle) {
+  plan.validate();
+  PlanEvaluation out;
+  if (plan.empty()) {
+    out.expected_energy = energy(costs.idle_power, idle.mean());
+    return out;
+  }
+
+  // Residency energy, segment by segment.
+  double e = 0.0;  // joules
+  // Idle segment [0, tau_1).
+  e += costs.idle_power.value() * 1e-3 * idle.mean_truncated(plan.steps[0].after).value();
+  // Sleep segments.
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const SleepOption& opt = option_for(costs, plan.steps[i].state);
+    const Seconds seg_start = plan.steps[i].after;
+    const bool last = i + 1 == plan.steps.size();
+    const double resident =
+        last ? idle.mean_excess(seg_start).value()
+             : (idle.mean_truncated(plan.steps[i + 1].after) -
+                idle.mean_truncated(seg_start))
+                   .value();
+    e += opt.power.value() * 1e-3 * resident;
+
+    // Wakeup cost and delay, weighted by P(the period ends in this segment).
+    const double p_this = last ? idle.survival(seg_start)
+                               : idle.survival(seg_start) -
+                                     idle.survival(plan.steps[i + 1].after);
+    e += p_this * opt.wakeup_energy.value();
+    out.expected_delay += opt.wakeup_latency * p_this;
+  }
+  out.expected_energy = Joules{e};
+  out.sleep_probability = idle.survival(plan.steps[0].after);
+  return out;
+}
+
+Joules idle_only_energy(const DpmCostModel& costs, const IdleDistribution& idle) {
+  return energy(costs.idle_power, idle.mean());
+}
+
+// ---- FixedTimeoutPolicy -------------------------------------------------------
+
+FixedTimeoutPolicy::FixedTimeoutPolicy(Seconds standby_timeout, Seconds off_timeout) {
+  const double inf = std::numeric_limits<double>::infinity();
+  if (standby_timeout.value() < inf) {
+    plan_.steps.push_back({standby_timeout, hw::PowerState::Standby});
+  }
+  if (off_timeout.value() < inf) {
+    DVS_CHECK_MSG(plan_.empty() || off_timeout > standby_timeout,
+                  "FixedTimeoutPolicy: off timeout must exceed standby timeout");
+    plan_.steps.push_back({off_timeout, hw::PowerState::Off});
+  }
+  plan_.validate();
+}
+
+SleepPlan FixedTimeoutPolicy::plan(std::optional<Seconds>, Rng&) { return plan_; }
+
+std::string FixedTimeoutPolicy::name() const { return "timeout"; }
+
+// ---- OraclePolicy --------------------------------------------------------------
+
+OraclePolicy::OraclePolicy(DpmCostModel costs) : costs_(std::move(costs)) {}
+
+SleepPlan OraclePolicy::plan(std::optional<Seconds> oracle_idle_length, Rng&) {
+  if (!oracle_idle_length.has_value()) {
+    // No future request exists (end of session): the idle period is
+    // unbounded, so the deepest (lowest-power) state wins outright.
+    SleepPlan plan;
+    const SleepOption* deepest = nullptr;
+    for (const auto& opt : costs_.options) {
+      if (deepest == nullptr || opt.power < deepest->power) deepest = &opt;
+    }
+    if (deepest != nullptr) plan.steps.push_back({Seconds{0.0}, deepest->state});
+    return plan;
+  }
+  const double t = oracle_idle_length->value();
+  // Stay idle: P_idle * T.  Sleep into s now: P_s * T + E_wake(s).
+  double best_cost = costs_.idle_power.value() * 1e-3 * t;
+  const SleepOption* best = nullptr;
+  for (const auto& opt : costs_.options) {
+    const double cost = opt.power.value() * 1e-3 * t + opt.wakeup_energy.value();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &opt;
+    }
+  }
+  SleepPlan plan;
+  if (best != nullptr) plan.steps.push_back({Seconds{0.0}, best->state});
+  return plan;
+}
+
+// ---- candidate enumeration -------------------------------------------------------
+
+std::vector<Seconds> timeout_grid(Seconds horizon, std::size_t points_per_decade) {
+  DVS_CHECK_MSG(horizon.value() > 0.01, "timeout_grid: horizon too small");
+  DVS_CHECK_MSG(points_per_decade >= 2, "timeout_grid: too few points");
+  std::vector<Seconds> grid;
+  grid.push_back(Seconds{0.0});
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(points_per_decade));
+  for (double t = 0.01; t <= horizon.value() * (1.0 + 1e-12); t *= step) {
+    grid.push_back(Seconds{t});
+  }
+  return grid;
+}
+
+std::vector<SleepPlan> candidate_plans(const DpmCostModel& costs, Seconds horizon) {
+  const std::vector<Seconds> grid = timeout_grid(horizon);
+  std::vector<SleepPlan> plans;
+  plans.push_back({});  // never sleep
+  for (const auto& opt : costs.options) {
+    for (Seconds tau : grid) {
+      SleepPlan p;
+      p.steps.push_back({tau, opt.state});
+      plans.push_back(std::move(p));
+    }
+  }
+  // Chained standby-then-off plans.
+  if (costs.options.size() >= 2) {
+    const auto& shallow = costs.options.front();
+    const auto& deep = costs.options.back();
+    if (hw::deeper_than(deep.state, shallow.state)) {
+      for (Seconds t1 : grid) {
+        for (Seconds t2 : grid) {
+          if (t2 <= t1) continue;
+          SleepPlan p;
+          p.steps.push_back({t1, shallow.state});
+          p.steps.push_back({t2, deep.state});
+          plans.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+// ---- RenewalPolicy ---------------------------------------------------------------
+
+RenewalPolicy::RenewalPolicy(DpmCostModel costs, IdleDistributionPtr idle) {
+  DVS_CHECK_MSG(idle != nullptr, "RenewalPolicy: null idle distribution");
+  // Renewal formulation: one decision state, single sleep transition per
+  // cycle; minimize expected energy per renewal cycle divided by expected
+  // cycle length.  The cycle is idle period + wakeup (the active part is
+  // policy-independent, so it drops out of the argmin).
+  double best = std::numeric_limits<double>::infinity();
+  const Seconds horizon = std::max(Seconds{60.0}, idle->mean() * 10.0);
+  for (const SleepPlan& p : candidate_plans(costs, horizon)) {
+    if (p.steps.size() > 1) continue;  // single decision in the renewal model
+    const PlanEvaluation ev = evaluate_plan(p, costs, *idle);
+    const double cycle = idle->mean().value() + ev.expected_delay.value();
+    const double rate = ev.expected_energy.value() / cycle;
+    if (rate < best) {
+      best = rate;
+      plan_ = p;
+    }
+  }
+}
+
+// ---- TismdpPolicy -----------------------------------------------------------------
+
+TismdpPolicy::TismdpPolicy(DpmCostModel costs, IdleDistributionPtr idle,
+                           Seconds max_expected_delay) {
+  DVS_CHECK_MSG(idle != nullptr, "TismdpPolicy: null idle distribution");
+  DVS_CHECK_MSG(max_expected_delay.value() >= 0.0,
+                "TismdpPolicy: negative delay constraint");
+
+  const Seconds horizon = std::max(Seconds{60.0}, idle->mean() * 10.0);
+
+  // Optimize expected energy subject to E[delay] <= constraint over the
+  // time-indexed plan class.  Track the best feasible plan and the best
+  // unconstrained plan; when the unconstrained optimum is infeasible the
+  // TISMDP optimum randomizes between the two so the constraint binds with
+  // equality (the standard structure of constrained-MDP optima).
+  double best_feasible = std::numeric_limits<double>::infinity();
+  double best_any = std::numeric_limits<double>::infinity();
+  SleepPlan feasible;
+  SleepPlan any;
+  PlanEvaluation feasible_ev;
+  PlanEvaluation any_ev;
+  for (const SleepPlan& p : candidate_plans(costs, horizon)) {
+    const PlanEvaluation ev = evaluate_plan(p, costs, *idle);
+    if (ev.expected_energy.value() < best_any) {
+      best_any = ev.expected_energy.value();
+      any = p;
+      any_ev = ev;
+    }
+    if (ev.expected_delay <= max_expected_delay &&
+        ev.expected_energy.value() < best_feasible) {
+      best_feasible = ev.expected_energy.value();
+      feasible = p;
+      feasible_ev = ev;
+    }
+  }
+
+  if (any_ev.expected_delay <= max_expected_delay) {
+    // Unconstrained optimum already feasible: deterministic policy.
+    primary_ = any;
+    secondary_ = any;
+    mix_p_ = 1.0;
+    return;
+  }
+  DVS_CHECK_MSG(std::isfinite(best_feasible),
+                "TismdpPolicy: no feasible plan (constraint too tight)");
+  primary_ = feasible;    // meets the constraint
+  secondary_ = any;       // cheaper but too slow
+  // Mix p * feasible + (1-p) * any so the expected delay equals the bound.
+  const double d_f = feasible_ev.expected_delay.value();
+  const double d_a = any_ev.expected_delay.value();
+  if (d_a > d_f) {
+    mix_p_ = std::clamp((d_a - max_expected_delay.value()) / (d_a - d_f), 0.0, 1.0);
+  } else {
+    mix_p_ = 1.0;
+  }
+}
+
+SleepPlan TismdpPolicy::plan(std::optional<Seconds>, Rng& rng) {
+  return rng.bernoulli(mix_p_) ? primary_ : secondary_;
+}
+
+}  // namespace dvs::dpm

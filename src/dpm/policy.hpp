@@ -1,0 +1,158 @@
+// DPM policies: when, after entering idle, to command sleep states.
+//
+// "Once the decoding is completed, the system enters idle state.  At this
+// point the power manager observes the time spent in the idle state, and
+// depending on the policy obtained using either renewal theory or TISMDP
+// model, it decides when to transition into one of the sleep states."
+//
+// A policy's output is a SleepPlan: a schedule of (time-since-idle-entry,
+// target state) steps, deepening over time — the time-indexed structure of
+// Figure 7.  Policies are evaluated analytically against an idle-period
+// distribution (evaluate_plan) and executed by the PowerManager engine.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dpm/cost_model.hpp"
+#include "dpm/idle_model.hpp"
+
+namespace dvs::dpm {
+
+/// One step of a plan: `after` seconds into the idle period, command
+/// `state`.
+struct SleepStep {
+  Seconds after;
+  hw::PowerState state;
+};
+
+/// A schedule of deepening sleep steps (possibly empty = stay idle).
+struct SleepPlan {
+  std::vector<SleepStep> steps;
+
+  [[nodiscard]] bool empty() const { return steps.empty(); }
+  /// Validates ordering (ascending times, deepening states); throws on
+  /// violation.
+  void validate() const;
+};
+
+/// Analytic evaluation of a plan against an idle-period distribution.
+struct PlanEvaluation {
+  Joules expected_energy{0.0};   ///< per idle period, including wakeup energy
+  Seconds expected_delay{0.0};   ///< expected wakeup latency per idle period
+  double sleep_probability = 0.0;  ///< P(any sleep step fires before the period ends)
+};
+PlanEvaluation evaluate_plan(const SleepPlan& plan, const DpmCostModel& costs,
+                             const IdleDistribution& idle);
+
+/// Expected energy of *not* sleeping at all (baseline for savings).
+Joules idle_only_energy(const DpmCostModel& costs, const IdleDistribution& idle);
+
+// ---- policy interface ---------------------------------------------------------
+
+class DpmPolicy {
+ public:
+  virtual ~DpmPolicy() = default;
+
+  /// Produces the plan for one idle period.  `oracle_idle_length` is the
+  /// true upcoming idle length; only the oracle policy reads it.  `rng`
+  /// resolves randomized policies.
+  virtual SleepPlan plan(std::optional<Seconds> oracle_idle_length, Rng& rng) = 0;
+
+  /// Feedback hook: the idle period that this policy last planned for has
+  /// ended after `duration`.  Called by the PowerManager engine; adaptive
+  /// policies learn from it, everything else ignores it.
+  virtual void on_idle_period_end(Seconds duration) { (void)duration; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DpmPolicyPtr = std::shared_ptr<DpmPolicy>;
+
+/// Never sleeps — the "no DPM" rows of Table 5.
+class NeverSleepPolicy final : public DpmPolicy {
+ public:
+  SleepPlan plan(std::optional<Seconds>, Rng&) override { return {}; }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Classic fixed timeouts: standby after t_sby, off after t_off (either may
+/// be disabled by passing an infinite timeout).
+class FixedTimeoutPolicy final : public DpmPolicy {
+ public:
+  FixedTimeoutPolicy(Seconds standby_timeout, Seconds off_timeout);
+
+  SleepPlan plan(std::optional<Seconds>, Rng&) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  SleepPlan plan_;
+};
+
+/// Oracle: knows the idle length, sleeps immediately into the state that
+/// minimizes the period's energy (never worse than any causal policy).
+class OraclePolicy final : public DpmPolicy {
+ public:
+  explicit OraclePolicy(DpmCostModel costs);
+
+  SleepPlan plan(std::optional<Seconds> oracle_idle_length, Rng&) override;
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  DpmCostModel costs_;
+};
+
+/// Renewal-theory policy [ref 2 of the paper]: a single decision on idle
+/// entry; minimizes expected energy per renewal cycle over single-state
+/// timeout plans, with no performance constraint.
+class RenewalPolicy final : public DpmPolicy {
+ public:
+  RenewalPolicy(DpmCostModel costs, IdleDistributionPtr idle);
+
+  SleepPlan plan(std::optional<Seconds>, Rng&) override { return plan_; }
+  [[nodiscard]] std::string name() const override { return "renewal"; }
+
+  [[nodiscard]] const SleepPlan& chosen_plan() const { return plan_; }
+
+ private:
+  SleepPlan plan_;
+};
+
+/// TISMDP-style policy [ref 3]: time-indexed idle states, decisions allowed
+/// at any index, optimized against the idle distribution *subject to a
+/// performance constraint* (expected wakeup delay per idle period).  The
+/// optimum over this class is a randomized mix of two deepening-timeout
+/// plans; plan() samples the mix.
+class TismdpPolicy final : public DpmPolicy {
+ public:
+  /// max_expected_delay: performance constraint per idle period.
+  TismdpPolicy(DpmCostModel costs, IdleDistributionPtr idle,
+               Seconds max_expected_delay);
+
+  SleepPlan plan(std::optional<Seconds>, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "tismdp"; }
+
+  [[nodiscard]] const SleepPlan& primary_plan() const { return primary_; }
+  [[nodiscard]] const SleepPlan& secondary_plan() const { return secondary_; }
+  /// Probability of using the primary plan.
+  [[nodiscard]] double mix_probability() const { return mix_p_; }
+
+ private:
+  SleepPlan primary_;
+  SleepPlan secondary_;
+  double mix_p_ = 1.0;
+};
+
+/// Candidate timeout grid used by the optimizing policies (geometric from
+/// 10 ms to `horizon`, plus 0).  Exposed for the ablation benches.
+std::vector<Seconds> timeout_grid(Seconds horizon, std::size_t points_per_decade = 8);
+
+/// Enumerates candidate plans over the grid: single-state plans for every
+/// option/timeout, plus chained standby-then-off plans.
+std::vector<SleepPlan> candidate_plans(const DpmCostModel& costs, Seconds horizon);
+
+}  // namespace dvs::dpm

@@ -1,0 +1,63 @@
+#include "dpm/power_manager.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::dpm {
+
+PowerManager::PowerManager(sim::Simulator& sim, hw::SmartBadge& badge,
+                           DpmPolicyPtr policy, std::uint64_t seed)
+    : sim_(&sim), badge_(&badge), policy_(std::move(policy)), rng_(seed) {
+  DVS_CHECK_MSG(policy_ != nullptr, "PowerManager: null policy");
+}
+
+void PowerManager::cancel_pending() {
+  for (sim::EventId id : pending_) sim_->cancel(id);
+  pending_.clear();
+}
+
+void PowerManager::on_idle_enter(Seconds now,
+                                 std::optional<Seconds> idle_length_hint) {
+  DVS_CHECK_MSG(!asleep(), "PowerManager: idle entry while asleep");
+  ++idle_periods_;
+  idle_started_at_ = now;
+  SleepPlan plan = policy_->plan(idle_length_hint, rng_);
+  plan.validate();
+  for (const SleepStep& step : plan.steps) {
+    const hw::PowerState target = step.state;
+    pending_.push_back(sim_->schedule_at(now + step.after, [this, target] {
+      // Deepening while idle is instantaneous in the component model.
+      badge_->set_all(target, sim_->now());
+      depth_ = target;
+      ++sleeps_;
+    }));
+  }
+}
+
+Seconds PowerManager::on_request(Seconds now) {
+  cancel_pending();
+  if (idle_started_at_.has_value()) {
+    // Feedback for adaptive policies: the idle period just ended.
+    policy_->on_idle_period_end(now - *idle_started_at_);
+    idle_started_at_.reset();
+  }
+  if (!asleep()) return now;
+
+  // Wake every component back to idle; the decode path will activate what
+  // it needs.  The badge reports the slowest wakeup.
+  badge_->set_all(hw::PowerState::Idle, now);
+  const Seconds ready = badge_->latest_wakeup_completion(now);
+  const Seconds delay = ready - now;
+  total_wakeup_delay_ += delay;
+  ++wakeups_;
+  depth_ = hw::PowerState::Idle;
+  if (ready > now) {
+    sim_->schedule_at(ready, [this] { badge_->finish_wakeups(sim_->now()); });
+  } else {
+    badge_->finish_wakeups(now);
+  }
+  return ready;
+}
+
+}  // namespace dvs::dpm

@@ -1,0 +1,28 @@
+#include "hw/battery.hpp"
+
+#include <cmath>
+
+namespace dvs::hw {
+
+Battery::Battery(Joules nominal_energy, MilliWatts rated_power, double peukert)
+    : nominal_(nominal_energy), rated_power_(rated_power), peukert_(peukert) {
+  DVS_CHECK_MSG(nominal_.value() > 0.0, "Battery: non-positive capacity");
+  DVS_CHECK_MSG(rated_power_.value() > 0.0, "Battery: non-positive rated power");
+  DVS_CHECK_MSG(peukert_ >= 1.0, "Battery: Peukert exponent must be >= 1");
+}
+
+Joules Battery::effective_capacity(MilliWatts draw) const {
+  DVS_CHECK_MSG(draw.value() >= 0.0, "Battery: negative draw");
+  if (draw.value() <= rated_power_.value()) return nominal_;
+  // Above rated power the deliverable energy shrinks as (rated/draw)^(k-1).
+  const double ratio = rated_power_.value() / draw.value();
+  return nominal_ * std::pow(ratio, peukert_ - 1.0);
+}
+
+Seconds Battery::lifetime(MilliWatts draw) const {
+  DVS_CHECK_MSG(draw.value() > 0.0, "Battery: lifetime needs positive draw");
+  const Joules cap = effective_capacity(draw);
+  return Seconds{cap.value() / (draw.value() * 1e-3)};
+}
+
+}  // namespace dvs::hw

@@ -1,0 +1,36 @@
+// Battery model for lifetime estimation (examples/badge_lifetime).
+//
+// A rated-capacity cell with Peukert-style derating: sustained draw above
+// the rated current yields less than nominal capacity.  Good enough to turn
+// "factor of three energy savings" (Table 5) into "hours of badge
+// lifetime", which is the quantity the paper's introduction motivates.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace dvs::hw {
+
+class Battery {
+ public:
+  /// nominal_energy: full-charge energy at the rated discharge power.
+  /// rated_power: discharge power at which nominal energy is delivered.
+  /// peukert: exponent >= 1; 1.0 disables derating.
+  Battery(Joules nominal_energy, MilliWatts rated_power, double peukert = 1.1);
+
+  /// Effective deliverable energy at a constant discharge power.
+  [[nodiscard]] Joules effective_capacity(MilliWatts draw) const;
+
+  /// Lifetime at a constant average draw; throws on non-positive draw.
+  [[nodiscard]] Seconds lifetime(MilliWatts draw) const;
+
+  [[nodiscard]] Joules nominal_energy() const { return nominal_; }
+  [[nodiscard]] MilliWatts rated_power() const { return rated_power_; }
+
+ private:
+  Joules nominal_;
+  MilliWatts rated_power_;
+  double peukert_;
+};
+
+}  // namespace dvs::hw

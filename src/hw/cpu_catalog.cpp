@@ -1,0 +1,29 @@
+#include "hw/cpu_catalog.hpp"
+
+namespace dvs::hw {
+
+Sa1100 smartbadge_sa1100() { return Sa1100{}; }
+
+Sa1100 crusoe_like() {
+  std::vector<FrequencyStep> steps;
+  // 300 -> 667 MHz in 12 steps; voltage 1.20 -> 1.60 V, mildly super-linear.
+  for (int i = 0; i < 12; ++i) {
+    const double f = 300.0 + (667.0 - 300.0) * i / 11.0;
+    const double fn = static_cast<double>(i) / 11.0;
+    const double v = 1.20 + 0.32 * fn + 0.08 * fn * fn;
+    steps.push_back({megahertz(f), volts(v)});
+  }
+  return Sa1100{std::move(steps), milliwatts(1500.0), microseconds(300.0)};
+}
+
+Sa1100 frequency_only_sa1100() {
+  const Sa1100 stock;
+  std::vector<FrequencyStep> steps;
+  for (const auto& s : stock.steps()) {
+    steps.push_back({s.frequency, stock.steps().back().min_voltage});
+  }
+  return Sa1100{std::move(steps), milliwatts(400.0),
+                stock.frequency_switch_latency()};
+}
+
+}  // namespace dvs::hw

@@ -1,0 +1,28 @@
+// A small catalog of DVS-capable processor models beyond the stock
+// SA-1100, for what-if studies.  The paper's introduction points at
+// Transmeta's Crusoe as the commercial embodiment of frequency+voltage
+// setting ("this principle is exploited by the recently announced
+// Transmeta's Crusoe processor"); the catalog lets the benches quantify how
+// much of the DVS win comes from the *voltage range* a part exposes.
+#pragma once
+
+#include "hw/sa1100.hpp"
+
+namespace dvs::hw {
+
+/// The stock SmartBadge part (same as Sa1100's default constructor):
+/// 59.0-221.25 MHz, 0.86-1.65 V, 400 mW at the top step.
+Sa1100 smartbadge_sa1100();
+
+/// A Crusoe-like part (TM5400 class): 300-667 MHz in ~33 MHz steps,
+/// 1.20-1.60 V, ~1.5 W at the top step.  Wider absolute frequency range but
+/// a narrower voltage ratio than the SA-1100.
+Sa1100 crusoe_like();
+
+/// A frequency-only scaler: the SA-1100 clock ladder with the voltage
+/// pinned at the top value — what DVS would be worth on a part without
+/// voltage setting (energy per cycle is then constant; only the race-to-
+/// idle trade remains).
+Sa1100 frequency_only_sa1100();
+
+}  // namespace dvs::hw

@@ -1,0 +1,39 @@
+// Component power states.
+//
+// "All components have four main power states: active, idle, standby and
+// off." (paper, Section 1).  Idle is entered autonomously by hardware when a
+// component is not accessed; standby and off transitions are commanded by
+// the power manager and pay a wakeup latency on the way back (Table 1).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace dvs::hw {
+
+enum class PowerState { Active, Idle, Standby, Off };
+
+inline constexpr std::array<PowerState, 4> kAllPowerStates = {
+    PowerState::Active, PowerState::Idle, PowerState::Standby, PowerState::Off};
+
+constexpr std::string_view to_string(PowerState s) {
+  switch (s) {
+    case PowerState::Active: return "active";
+    case PowerState::Idle: return "idle";
+    case PowerState::Standby: return "standby";
+    case PowerState::Off: return "off";
+  }
+  return "?";
+}
+
+/// True for the states the power manager may command as sleep targets.
+constexpr bool is_sleep_state(PowerState s) {
+  return s == PowerState::Standby || s == PowerState::Off;
+}
+
+/// Deeper state == lower power.  Active < Idle < Standby < Off.
+constexpr bool deeper_than(PowerState a, PowerState b) {
+  return static_cast<int>(a) > static_cast<int>(b);
+}
+
+}  // namespace dvs::hw

@@ -1,0 +1,42 @@
+#include "hw/smartbadge_data.hpp"
+
+#include <array>
+
+namespace dvs::hw {
+namespace {
+
+const std::array<ComponentSpec, kNumBadgeComponents>& specs() {
+  static const std::array<ComponentSpec, kNumBadgeComponents> table = {{
+      // name        active            idle              standby            off              t_sby              t_off
+      {"Display", milliwatts(1000.0), milliwatts(300.0), milliwatts(30.0), milliwatts(0.0), milliseconds(100.0), milliseconds(240.0)},
+      {"WLAN RF", milliwatts(1500.0), milliwatts(180.0), milliwatts(30.0), milliwatts(0.0), milliseconds(40.0), milliseconds(400.0)},
+      {"SA-1100", milliwatts(400.0), milliwatts(170.0), milliwatts(0.1), milliwatts(0.0), milliseconds(10.0), milliseconds(35.0)},
+      {"FLASH", milliwatts(75.0), milliwatts(5.0), milliwatts(0.023), milliwatts(0.0), milliseconds(0.6), milliseconds(160.0)},
+      {"SRAM", milliwatts(115.0), milliwatts(17.0), milliwatts(0.13), milliwatts(0.0), milliseconds(5.0), milliseconds(100.0)},
+      {"DRAM", milliwatts(400.0), milliwatts(10.0), milliwatts(4.0), milliwatts(0.0), milliseconds(4.0), milliseconds(90.0)},
+  }};
+  return table;
+}
+
+}  // namespace
+
+std::span<const ComponentSpec> smartbadge_component_specs() { return specs(); }
+
+const ComponentSpec& smartbadge_spec(BadgeComponentId id) {
+  return specs()[static_cast<std::size_t>(id)];
+}
+
+MilliWatts smartbadge_total_power(PowerState s) {
+  MilliWatts total{0.0};
+  for (const auto& spec : specs()) {
+    switch (s) {
+      case PowerState::Active: total += spec.active_power; break;
+      case PowerState::Idle: total += spec.idle_power; break;
+      case PowerState::Standby: total += spec.standby_power; break;
+      case PowerState::Off: total += spec.off_power; break;
+    }
+  }
+  return total;
+}
+
+}  // namespace dvs::hw

@@ -1,0 +1,97 @@
+#include "policy/governor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::policy {
+
+DvsGovernor::DvsGovernor(hw::SmartBadge& badge,
+                         const workload::DecoderModel& decoder,
+                         FrequencyPolicy policy,
+                         detect::RateDetectorPtr arrival_detector,
+                         detect::RateDetectorPtr service_detector)
+    : DvsGovernor(badge, decoder, std::move(policy), std::move(arrival_detector),
+                  std::move(service_detector), /*adaptive=*/true) {
+  DVS_CHECK_MSG(arrival_detector_ && service_detector_,
+                "DvsGovernor: adaptive governor needs both detectors");
+}
+
+DvsGovernor::DvsGovernor(hw::SmartBadge& badge,
+                         const workload::DecoderModel& decoder,
+                         FrequencyPolicy policy,
+                         detect::RateDetectorPtr arrival_detector,
+                         detect::RateDetectorPtr service_detector, bool adaptive)
+    : badge_(&badge),
+      decoder_(&decoder),
+      policy_(std::move(policy)),
+      arrival_detector_(std::move(arrival_detector)),
+      service_detector_(std::move(service_detector)),
+      desired_step_(badge.cpu().num_steps() - 1) {
+  (void)adaptive;
+}
+
+std::unique_ptr<DvsGovernor> DvsGovernor::max_performance(
+    hw::SmartBadge& badge, const workload::DecoderModel& decoder,
+    FrequencyPolicy policy) {
+  // Private ctor: make_unique cannot reach it.
+  return std::unique_ptr<DvsGovernor>(new DvsGovernor(
+      badge, decoder, std::move(policy), nullptr, nullptr, /*adaptive=*/false));
+}
+
+Seconds DvsGovernor::initialize(Hertz arrival_rate, Hertz service_rate_at_max,
+                                Seconds now) {
+  if (adaptive()) {
+    arrival_detector_->reset(arrival_rate);
+    service_detector_->reset(service_rate_at_max);
+    recompute();
+  } else {
+    desired_step_ = badge_->cpu().num_steps() - 1;
+  }
+  return apply(now);
+}
+
+void DvsGovernor::on_arrival(Seconds now, Seconds interarrival,
+                             double buffered_frames) {
+  if (!adaptive()) return;
+  last_queue_len_ = buffered_frames;
+  if (interarrival.value() <= 0.0) return;  // coincident arrivals carry no rate info
+  arrival_detector_->on_sample(now, interarrival);
+  recompute();
+}
+
+void DvsGovernor::on_decode_complete(Seconds now, Seconds decode_time,
+                                     MegaHertz during, double buffered_frames) {
+  if (!adaptive()) return;
+  last_queue_len_ = buffered_frames;
+  const Seconds normalized = decoder_->normalize_to_max(decode_time, during);
+  if (normalized.value() <= 0.0) return;
+  service_detector_->on_sample(now, normalized);
+  recompute();
+}
+
+void DvsGovernor::recompute() {
+  desired_step_ = policy_.select_step(arrival_detector_->current_rate(),
+                                      service_detector_->current_rate(),
+                                      last_queue_len_);
+}
+
+Seconds DvsGovernor::apply(Seconds now) {
+  if (desired_step_ == badge_->cpu_step()) return Seconds{0.0};
+  ++retunes_;
+  return badge_->set_cpu_step(desired_step_, now);
+}
+
+Hertz DvsGovernor::arrival_estimate() const {
+  return adaptive() ? arrival_detector_->current_rate() : Hertz{0.0};
+}
+
+Hertz DvsGovernor::service_estimate_at_max() const {
+  return adaptive() ? service_detector_->current_rate() : Hertz{0.0};
+}
+
+std::string DvsGovernor::detector_name() const {
+  return adaptive() ? arrival_detector_->name() : "max";
+}
+
+}  // namespace dvs::policy

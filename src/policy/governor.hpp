@@ -1,0 +1,88 @@
+// The DVS governor: detectors + frequency policy, producing a desired CPU
+// step.
+//
+// This is the run-time half of the paper's power manager while the system
+// is active: "the PM checks if the rate of incoming or decoding frames has
+// changed, and then adjusts the CPU frequency and voltage accordingly."
+//
+// The governor owns two detectors — one on frame interarrival times, one on
+// decode times normalized to the top frequency step — and recomputes the
+// desired step whenever either estimate moves.  The system simulation
+// applies the desired step at decode boundaries (a decode in progress
+// finishes at the frequency it started with), paying the hardware's switch
+// latency through apply().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "detect/detector.hpp"
+#include "hw/smartbadge.hpp"
+#include "policy/frequency_policy.hpp"
+#include "workload/decoder_model.hpp"
+
+namespace dvs::policy {
+
+class DvsGovernor {
+ public:
+  /// An adaptive governor.  Both detectors must be non-null.
+  DvsGovernor(hw::SmartBadge& badge, const workload::DecoderModel& decoder,
+              FrequencyPolicy policy, detect::RateDetectorPtr arrival_detector,
+              detect::RateDetectorPtr service_detector);
+
+  /// The "Max" baseline: pins the CPU at the top step and ignores samples.
+  static std::unique_ptr<DvsGovernor> max_performance(
+      hw::SmartBadge& badge, const workload::DecoderModel& decoder,
+      FrequencyPolicy policy);
+
+  /// Seeds both detectors (e.g. with the first clip's nominal rates),
+  /// recomputes the desired step, and applies it immediately (callers
+  /// initialize while the device is idle, where an immediate switch is
+  /// safe).  Returns the switch latency paid.
+  Seconds initialize(Hertz arrival_rate, Hertz service_rate_at_max, Seconds now);
+
+  /// Frame arrived at `now`, `interarrival` after the previous one;
+  /// `buffered_frames` is the queue length after the push.
+  void on_arrival(Seconds now, Seconds interarrival, double buffered_frames = 0.0);
+
+  /// A frame finished decoding at `now`; `decode_time` is the pure decode
+  /// duration, `during` the frequency it ran at, and `buffered_frames` the
+  /// queue length after the departure.
+  void on_decode_complete(Seconds now, Seconds decode_time, MegaHertz during,
+                          double buffered_frames = 0.0);
+
+  /// Step the policy currently wants.
+  [[nodiscard]] std::size_t desired_step() const { return desired_step_; }
+
+  /// Commits the desired step to the hardware (called at decode
+  /// boundaries).  Returns the switch latency paid (zero if unchanged).
+  Seconds apply(Seconds now);
+
+  [[nodiscard]] bool adaptive() const { return arrival_detector_ != nullptr; }
+  [[nodiscard]] Hertz arrival_estimate() const;
+  [[nodiscard]] Hertz service_estimate_at_max() const;
+  [[nodiscard]] const FrequencyPolicy& policy() const { return policy_; }
+  [[nodiscard]] const workload::DecoderModel& decoder() const { return *decoder_; }
+  [[nodiscard]] std::string detector_name() const;
+
+  /// Number of committed frequency switches.
+  [[nodiscard]] int retune_count() const { return retunes_; }
+
+ private:
+  DvsGovernor(hw::SmartBadge& badge, const workload::DecoderModel& decoder,
+              FrequencyPolicy policy, detect::RateDetectorPtr arrival_detector,
+              detect::RateDetectorPtr service_detector, bool adaptive);
+
+  void recompute();
+
+  hw::SmartBadge* badge_;
+  const workload::DecoderModel* decoder_;
+  FrequencyPolicy policy_;
+  detect::RateDetectorPtr arrival_detector_;
+  detect::RateDetectorPtr service_detector_;
+  std::size_t desired_step_;
+  double last_queue_len_ = 0.0;
+  int retunes_ = 0;
+};
+
+}  // namespace dvs::policy

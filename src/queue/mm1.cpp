@@ -1,0 +1,64 @@
+#include "queue/mm1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvs::queue {
+
+Mm1::Mm1(Hertz arrival_rate, Hertz service_rate)
+    : lambda_u_(arrival_rate), lambda_d_(service_rate) {
+  if (lambda_u_.value() <= 0.0 || lambda_d_.value() <= 0.0) {
+    throw std::domain_error("Mm1: rates must be > 0");
+  }
+}
+
+double Mm1::utilization() const { return lambda_u_.value() / lambda_d_.value(); }
+
+bool Mm1::stable() const { return lambda_u_ < lambda_d_; }
+
+void Mm1::require_stable() const {
+  if (!stable()) throw std::domain_error("Mm1: unstable (arrival >= service rate)");
+}
+
+Seconds Mm1::mean_total_delay() const {
+  require_stable();
+  return Seconds{1.0 / (lambda_d_.value() - lambda_u_.value())};
+}
+
+Seconds Mm1::mean_waiting_time() const {
+  require_stable();
+  return Seconds{utilization() / (lambda_d_.value() - lambda_u_.value())};
+}
+
+double Mm1::mean_frames_in_system() const {
+  require_stable();
+  return lambda_u_.value() / (lambda_d_.value() - lambda_u_.value());
+}
+
+double Mm1::mean_frames_waiting() const {
+  require_stable();
+  const double rho = utilization();
+  return rho * rho / (1.0 - rho);
+}
+
+double Mm1::prob_n_in_system(unsigned n) const {
+  require_stable();
+  const double rho = utilization();
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+Hertz Mm1::required_service_rate(Hertz arrival_rate, Seconds target_delay) {
+  if (arrival_rate.value() <= 0.0) {
+    throw std::domain_error("Mm1: arrival rate must be > 0");
+  }
+  if (target_delay.value() <= 0.0) {
+    throw std::domain_error("Mm1: target delay must be > 0");
+  }
+  return Hertz{arrival_rate.value() + 1.0 / target_delay.value()};
+}
+
+double Mm1::buffered_frames_at(Hertz arrival_rate, Seconds target_delay) {
+  return arrival_rate.value() * target_delay.value();
+}
+
+}  // namespace dvs::queue

@@ -1,0 +1,73 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dvs::sim {
+
+EventId Simulator::schedule_impl(double at, Callback fn) {
+  DVS_CHECK_MSG(at >= now_.value(), "cannot schedule into the past");
+  DVS_CHECK_MSG(static_cast<bool>(fn), "null event callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Scheduled{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_at(Seconds at, Callback fn) {
+  return schedule_impl(at.value(), std::move(fn));
+}
+
+EventId Simulator::schedule_in(Seconds delay, Callback fn) {
+  DVS_CHECK_MSG(delay.value() >= 0.0, "negative delay");
+  return schedule_impl(now_.value() + delay.value(), std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id.value) > 0;
+}
+
+bool Simulator::pending(EventId id) const {
+  return callbacks_.contains(id.value);
+}
+
+std::size_t Simulator::pending_count() const { return callbacks_.size(); }
+
+void Simulator::execute_next() {
+  // Precondition: heap has a live head.
+  const Scheduled top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  DVS_CHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = Seconds{top.at};
+  ++executed_;
+  fn();
+}
+
+bool Simulator::step() {
+  // Skip tombstones of cancelled events.
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+  if (heap_.empty()) return false;
+  execute_next();
+  return true;
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+void Simulator::run_until(Seconds horizon) {
+  DVS_CHECK_MSG(horizon.value() >= now_.value(), "horizon is in the past");
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+    if (heap_.empty() || heap_.top().at > horizon.value()) break;
+    execute_next();
+  }
+  if (!stop_requested_ && now_ < horizon) now_ = horizon;
+}
+
+}  // namespace dvs::sim

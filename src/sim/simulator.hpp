@@ -1,0 +1,102 @@
+// Discrete-event simulation kernel.
+//
+// Everything in the reproduction — frame arrivals, decode completions, power
+// state transitions, DPM timeouts — runs as events on this kernel.  Events
+// fire in timestamp order; ties break in scheduling order so runs are fully
+// deterministic.  Events are cancellable (a DPM policy cancels its pending
+// sleep transition when a request arrives).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace dvs::sim {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+/// Event-driven simulator with a monotonically advancing clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.  Starts at 0.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Seconds at, Callback fn);
+
+  /// Schedules `fn` to run `delay` from now (delay must be >= 0).
+  EventId schedule_in(Seconds delay, Callback fn);
+
+  /// Cancels a pending event.  Returns true if the event was pending (and is
+  /// now guaranteed not to fire); false if it already fired, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// True if an event with this id is still pending.
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Number of events waiting to fire.
+  [[nodiscard]] std::size_t pending_count() const;
+
+  /// Runs a single event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with timestamp <= horizon, then sets the clock to exactly
+  /// `horizon` (even if no event lands on it).  Stops early on stop().
+  void run_until(Seconds horizon);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Total number of events executed so far (for microbenchmarks and tests).
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    double at;
+    std::uint64_t seq;   // FIFO among equal timestamps
+    std::uint64_t id;
+    // Ordering for a min-heap via std::greater.
+    friend bool operator>(const Scheduled& a, const Scheduled& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId schedule_impl(double at, Callback fn);
+  void execute_next();
+
+  Seconds now_{0.0};
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> heap_;
+  // Callbacks for live events; cancelled events stay in the heap as
+  // tombstones (absent from this map) and are skipped when popped.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace dvs::sim

@@ -1,0 +1,53 @@
+#include "workload/clips.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dvs::workload {
+namespace {
+
+const std::array<Mp3Clip, 6>& clips() {
+  // Durations: 100+110+105+120+108+110 = 653 s (paper: "six audio clips
+  // totaling 653 seconds").
+  static const std::array<Mp3Clip, 6> table = {{
+      {'A', 16.0, 16.0, hertz(115.0), seconds(100.0)},
+      {'B', 32.0, 16.0, hertz(105.0), seconds(110.0)},
+      {'C', 64.0, 22.05, hertz(95.0), seconds(105.0)},
+      {'D', 64.0, 44.1, hertz(86.0), seconds(120.0)},
+      {'E', 128.0, 44.1, hertz(78.0), seconds(108.0)},
+      {'F', 128.0, 48.0, hertz(72.0), seconds(110.0)},
+  }};
+  return table;
+}
+
+}  // namespace
+
+std::span<const Mp3Clip> mp3_clip_table() { return clips(); }
+
+const Mp3Clip& mp3_clip(char label) {
+  if (label < 'A' || label > 'F') {
+    throw std::out_of_range(std::string("mp3_clip: no clip '") + label + "'");
+  }
+  return clips()[static_cast<std::size_t>(label - 'A')];
+}
+
+std::vector<Mp3Clip> mp3_sequence(const std::string& labels) {
+  std::vector<Mp3Clip> seq;
+  seq.reserve(labels.size());
+  for (char c : labels) seq.push_back(mp3_clip(c));
+  return seq;
+}
+
+const MpegClip& football_clip() {
+  static const MpegClip clip{"Football", seconds(875.0), hertz(25.0), hertz(44.0),
+                             0.10};
+  return clip;
+}
+
+const MpegClip& terminator2_clip() {
+  static const MpegClip clip{"Terminator2", seconds(1200.0), hertz(25.0),
+                             hertz(52.0), 0.04};
+  return clip;
+}
+
+}  // namespace dvs::workload

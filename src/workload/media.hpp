@@ -1,0 +1,33 @@
+// Basic media-stream vocabulary shared by the workload generators, the
+// queue, and the full-system simulation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace dvs::workload {
+
+enum class MediaType { Mp3Audio, MpegVideo };
+
+constexpr std::string_view to_string(MediaType t) {
+  switch (t) {
+    case MediaType::Mp3Audio: return "mp3-audio";
+    case MediaType::MpegVideo: return "mpeg-video";
+  }
+  return "?";
+}
+
+/// One frame as it travels from the WLAN into the frame buffer and through
+/// the decoder.
+struct Frame {
+  std::uint64_t id = 0;
+  MediaType type = MediaType::Mp3Audio;
+  Seconds arrival{0.0};
+  /// Decode-work multiplier relative to the clip's mean frame (1.0 = mean).
+  /// MPEG I-frames are ~3x a B-frame; MP3 frames are nearly uniform.
+  double work = 1.0;
+};
+
+}  // namespace dvs::workload

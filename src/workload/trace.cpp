@@ -1,0 +1,147 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "workload/work_model.hpp"
+
+namespace dvs::workload {
+
+FrameTrace::FrameTrace(MediaType type, std::vector<TraceFrame> frames,
+                       std::vector<RateTruth> truth, Seconds duration)
+    : type_(type),
+      frames_(std::move(frames)),
+      truth_(std::move(truth)),
+      duration_(duration) {
+  DVS_CHECK_MSG(!truth_.empty(), "FrameTrace: missing ground truth");
+  for (std::size_t i = 1; i < frames_.size(); ++i) {
+    DVS_CHECK_MSG(frames_[i].arrival >= frames_[i - 1].arrival,
+                  "FrameTrace: arrivals must be non-decreasing");
+  }
+  for (std::size_t i = 1; i < truth_.size(); ++i) {
+    DVS_CHECK_MSG(truth_[i].time >= truth_[i - 1].time,
+                  "FrameTrace: truth segments must be non-decreasing");
+  }
+}
+
+namespace {
+
+template <typename Get>
+Hertz truth_lookup(std::span<const RateTruth> truth, Seconds t, Get get) {
+  Hertz r = get(truth.front());
+  for (const auto& seg : truth) {
+    if (seg.time <= t) {
+      r = get(seg);
+    } else {
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Hertz FrameTrace::true_arrival_rate(Seconds t) const {
+  return truth_lookup(truth_, t, [](const RateTruth& s) { return s.arrival_rate; });
+}
+
+Hertz FrameTrace::true_service_rate_at_max(Seconds t) const {
+  return truth_lookup(truth_, t,
+                      [](const RateTruth& s) { return s.service_rate_at_max; });
+}
+
+FrameTrace FrameTrace::shifted(Seconds offset) const {
+  std::vector<TraceFrame> frames = frames_;
+  for (auto& f : frames) f.arrival += offset;
+  std::vector<RateTruth> truth = truth_;
+  for (auto& s : truth) s.time += offset;
+  return FrameTrace{type_, std::move(frames), std::move(truth), duration_};
+}
+
+DecoderModel reference_mp3_decoder(MegaHertz max_frequency) {
+  return DecoderModel::mp3(hertz(kMp3ReferenceRate), max_frequency);
+}
+
+DecoderModel reference_mpeg_decoder(MegaHertz max_frequency) {
+  return DecoderModel::mpeg(hertz(kMpegReferenceRate), max_frequency);
+}
+
+FrameTrace build_mp3_trace(std::span<const Mp3Clip> sequence,
+                           const DecoderModel& decoder, Rng& rng,
+                           const TraceOptions& opts) {
+  DVS_CHECK_MSG(!sequence.empty(), "build_mp3_trace: empty sequence");
+  DVS_CHECK_MSG(decoder.type() == MediaType::Mp3Audio,
+                "build_mp3_trace: decoder is not an MP3 decoder");
+
+  const double ref_rate = decoder.mean_decode_rate(decoder.max_frequency()).value();
+
+  std::vector<TraceFrame> frames;
+  std::vector<RateTruth> truth;
+  Mp3Work jitter{opts.mp3_work_sigma};
+
+  Seconds clip_start{0.0};
+  std::uint64_t id = 0;
+  for (const auto& clip : sequence) {
+    const Seconds clip_end = clip_start + clip.duration;
+    // Work multiplier that makes the reference decoder hit this clip's
+    // Table 2 decode rate at the top step (for the clip's mean frame).
+    const double clip_work = ref_rate / clip.decode_rate_at_max.value();
+    truth.push_back({clip_start, clip.arrival_rate(), clip.decode_rate_at_max});
+
+    RateSchedule sched;
+    sched.append(clip_start, clip.arrival_rate());
+    ArrivalProcess arrivals{std::move(sched), opts.arrival_jitter_sigma};
+
+    Seconds t = clip_start;
+    for (;;) {
+      t = arrivals.next_after(t, rng);
+      if (t >= clip_end) break;
+      frames.push_back({id++, t, clip_work * jitter.next(rng)});
+    }
+    clip_start = clip_end;
+  }
+  return FrameTrace{MediaType::Mp3Audio, std::move(frames), std::move(truth),
+                    clip_start};
+}
+
+FrameTrace build_mpeg_trace(const MpegClip& clip, const DecoderModel& decoder,
+                            Rng& rng, const MpegArrivalModel& net,
+                            const TraceOptions& opts) {
+  DVS_CHECK_MSG(decoder.type() == MediaType::MpegVideo,
+                "build_mpeg_trace: decoder is not an MPEG decoder");
+  DVS_CHECK_MSG(net.rate_hi >= net.rate_lo && net.rate_lo.value() > 0.0,
+                "build_mpeg_trace: bad arrival-rate range");
+  DVS_CHECK_MSG(net.network_epoch.value() > 0.0,
+                "build_mpeg_trace: network epoch must be > 0");
+
+  const double ref_rate = decoder.mean_decode_rate(decoder.max_frequency()).value();
+  const double clip_work = ref_rate / clip.decode_rate_at_max.value();
+
+  // Network epochs: the WLAN delivery rate re-draws every epoch.
+  RateSchedule sched;
+  std::vector<RateTruth> truth;
+  for (Seconds t{0.0}; t < clip.duration; t += net.network_epoch) {
+    const Hertz r =
+        hertz(rng.uniform(net.rate_lo.value(), net.rate_hi.value()));
+    sched.append(t, r);
+    truth.push_back({t, r, clip.decode_rate_at_max});
+  }
+  ArrivalProcess arrivals{std::move(sched), opts.arrival_jitter_sigma};
+
+  MpegWork gop{MpegWork::Weights{},
+               std::min(0.99, opts.mpeg_content_sigma + clip.motion_variability)};
+
+  std::vector<TraceFrame> frames;
+  std::uint64_t id = 0;
+  Seconds t{0.0};
+  for (;;) {
+    t = arrivals.next_after(t, rng);
+    if (t >= clip.duration) break;
+    frames.push_back({id++, t, clip_work * gop.next(rng)});
+  }
+  return FrameTrace{MediaType::MpegVideo, std::move(frames), std::move(truth),
+                    clip.duration};
+}
+
+}  // namespace dvs::workload

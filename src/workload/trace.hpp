@@ -1,0 +1,102 @@
+// Frame traces: pre-generated workloads with ground truth attached.
+//
+// Tables 3 and 4 compare four detection algorithms *on the same inputs*
+// (ideal detection "assumes knowledge of the future").  A FrameTrace is the
+// mechanism: it is generated once per experiment seed and fed to every
+// algorithm, and it carries the true generating rates so the ideal detector
+// can read the future and so tests can score detection latency.
+//
+// Clip-to-clip difficulty is expressed through the per-frame work
+// multiplier: the decoder hardware model is fixed per media type (one MP3
+// decoder, one MPEG decoder), and a clip whose Table 2 decode rate is R
+// gets multiplier reference_rate / R on top of its frame-level jitter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/arrival.hpp"
+#include "workload/clips.hpp"
+#include "workload/decoder_model.hpp"
+#include "workload/media.hpp"
+
+namespace dvs::workload {
+
+/// One generated frame with its ground truth.
+struct TraceFrame {
+  std::uint64_t id = 0;
+  Seconds arrival{0.0};
+  double work = 1.0;  ///< decode-work multiplier vs the decoder model's mean
+};
+
+/// Ground-truth rate segment: in force from `time` until the next entry.
+struct RateTruth {
+  Seconds time;
+  Hertz arrival_rate;
+  /// Mean decode rate at the top frequency step for frames of this segment.
+  Hertz service_rate_at_max;
+};
+
+/// An immutable generated workload.
+class FrameTrace {
+ public:
+  FrameTrace(MediaType type, std::vector<TraceFrame> frames,
+             std::vector<RateTruth> truth, Seconds duration);
+
+  [[nodiscard]] MediaType type() const { return type_; }
+  [[nodiscard]] std::span<const TraceFrame> frames() const { return frames_; }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] Seconds duration() const { return duration_; }
+  [[nodiscard]] std::span<const RateTruth> truth() const { return truth_; }
+
+  /// Ground-truth rates in force at time t.
+  [[nodiscard]] Hertz true_arrival_rate(Seconds t) const;
+  [[nodiscard]] Hertz true_service_rate_at_max(Seconds t) const;
+
+  /// Shifts every timestamp by `offset` (used when splicing traces into a
+  /// longer session).
+  [[nodiscard]] FrameTrace shifted(Seconds offset) const;
+
+ private:
+  MediaType type_;
+  std::vector<TraceFrame> frames_;
+  std::vector<RateTruth> truth_;
+  Seconds duration_;
+};
+
+/// Default reference decode rates (work multiplier 1.0) at the top step.
+inline constexpr double kMp3ReferenceRate = 100.0;   // frames/s
+inline constexpr double kMpegReferenceRate = 48.0;   // frames/s
+
+/// Reference decoders for the SmartBadge's top frequency (221.25 MHz).
+DecoderModel reference_mp3_decoder(MegaHertz max_frequency);
+DecoderModel reference_mpeg_decoder(MegaHertz max_frequency);
+
+/// Options controlling trace generation.
+struct TraceOptions {
+  double arrival_jitter_sigma = 0.35;  ///< network-delay jitter (Fig. 6 ~8% CDF error)
+  double mp3_work_sigma = 0.05;        ///< per-frame MP3 work jitter
+  double mpeg_content_sigma = 0.12;    ///< per-frame MPEG lognormal noise
+};
+
+/// Generates a trace for a sequence of MP3 clips played back-to-back.
+FrameTrace build_mp3_trace(std::span<const Mp3Clip> sequence,
+                           const DecoderModel& decoder, Rng& rng,
+                           const TraceOptions& opts = {});
+
+/// Generates a trace for one MPEG clip.  The arrival rate re-draws uniformly
+/// in [rate_lo, rate_hi] every `network_epoch` to model the paper's 9-32
+/// fr/s WLAN variation.
+struct MpegArrivalModel {
+  Hertz rate_lo{9.0};
+  Hertz rate_hi{32.0};
+  Seconds network_epoch{60.0};
+};
+FrameTrace build_mpeg_trace(const MpegClip& clip, const DecoderModel& decoder,
+                            Rng& rng, const MpegArrivalModel& net = {},
+                            const TraceOptions& opts = {});
+
+}  // namespace dvs::workload

@@ -1,0 +1,100 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs::workload {
+namespace {
+
+constexpr const char* kMagic = "dvs-trace v1";
+
+std::string type_tag(MediaType t) { return std::string(to_string(t)); }
+
+MediaType parse_type(const std::string& tag) {
+  if (tag == to_string(MediaType::Mp3Audio)) return MediaType::Mp3Audio;
+  if (tag == to_string(MediaType::MpegVideo)) return MediaType::MpegVideo;
+  throw std::runtime_error("load_trace: unknown media type '" + tag + "'");
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("load_trace: malformed input: " + what);
+}
+
+}  // namespace
+
+void save_trace(const FrameTrace& trace, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "type " << type_tag(trace.type()) << '\n';
+  out << std::setprecision(17);
+  out << "duration " << trace.duration().value() << '\n';
+  for (const RateTruth& seg : trace.truth()) {
+    out << "truth " << seg.time.value() << ' ' << seg.arrival_rate.value() << ' '
+        << seg.service_rate_at_max.value() << '\n';
+  }
+  for (const TraceFrame& f : trace.frames()) {
+    out << "frame " << f.id << ' ' << f.arrival.value() << ' ' << f.work << '\n';
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed");
+}
+
+void save_trace(const FrameTrace& trace, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  save_trace(trace, out);
+}
+
+FrameTrace load_trace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) malformed("missing magic header");
+
+  MediaType type = MediaType::Mp3Audio;
+  bool have_type = false;
+  double duration = -1.0;
+  std::vector<RateTruth> truth;
+  std::vector<TraceFrame> frames;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "type") {
+      std::string tag;
+      ls >> tag;
+      type = parse_type(tag);
+      have_type = true;
+    } else if (key == "duration") {
+      ls >> duration;
+    } else if (key == "truth") {
+      double t = 0.0;
+      double arr = 0.0;
+      double svc = 0.0;
+      ls >> t >> arr >> svc;
+      if (!ls) malformed("bad truth line: " + line);
+      truth.push_back({Seconds{t}, Hertz{arr}, Hertz{svc}});
+    } else if (key == "frame") {
+      TraceFrame f;
+      double arrival = 0.0;
+      ls >> f.id >> arrival >> f.work;
+      if (!ls) malformed("bad frame line: " + line);
+      f.arrival = Seconds{arrival};
+      frames.push_back(f);
+    } else {
+      malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!have_type) malformed("missing type");
+  if (duration < 0.0) malformed("missing duration");
+  if (truth.empty()) malformed("missing truth segments");
+  return FrameTrace{type, std::move(frames), std::move(truth), Seconds{duration}};
+}
+
+FrameTrace load_trace(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace dvs::workload

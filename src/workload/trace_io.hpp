@@ -1,0 +1,32 @@
+// FrameTrace serialization: record a generated workload to a file and
+// replay it later.
+//
+// The format is a line-oriented text file, versioned and self-describing,
+// so traces can be shared between experiments, diffed, and regenerated
+// bit-for-bit across machines:
+//
+//   dvs-trace v1
+//   type mp3-audio|mpeg-video
+//   duration <seconds>
+//   truth <time> <arrival_rate> <service_rate_at_max>      (one per segment)
+//   frame <id> <arrival> <work>                            (one per frame)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace dvs::workload {
+
+/// Writes a trace; throws std::runtime_error on I/O failure.
+void save_trace(const FrameTrace& trace, std::ostream& out);
+void save_trace(const FrameTrace& trace, const std::string& path);
+
+/// Reads a trace; throws std::runtime_error on malformed input or I/O
+/// failure.  Round-trips exactly: load(save(t)) == t field-for-field at
+/// full double precision.
+FrameTrace load_trace(std::istream& in);
+FrameTrace load_trace(const std::string& path);
+
+}  // namespace dvs::workload

@@ -1,0 +1,86 @@
+#include "common/piecewise_linear.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs {
+namespace {
+
+PiecewiseLinear make_curve() {
+  return PiecewiseLinear{{0.0, 0.0}, {1.0, 10.0}, {3.0, 20.0}};
+}
+
+TEST(PiecewiseLinear, InterpolatesWithinSegments) {
+  const PiecewiseLinear f = make_curve();
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 15.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 20.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutOfRange) {
+  const PiecewiseLinear f = make_curve();
+  EXPECT_DOUBLE_EQ(f(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 20.0);
+}
+
+TEST(PiecewiseLinear, RejectsBadKnots) {
+  EXPECT_THROW((void)(PiecewiseLinear({{0.0, 1.0}})), std::invalid_argument);
+  EXPECT_THROW((void)(PiecewiseLinear({{1.0, 0.0}, {1.0, 1.0}})), std::invalid_argument);
+  EXPECT_THROW((void)(PiecewiseLinear({{2.0, 0.0}, {1.0, 1.0}})), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, InverseRoundTrips) {
+  const PiecewiseLinear f = make_curve();
+  for (double x : {0.0, 0.3, 0.9, 1.5, 2.7, 3.0}) {
+    EXPECT_NEAR(f.inverse(f(x)), x, 1e-12);
+  }
+}
+
+TEST(PiecewiseLinear, InverseOfDecreasingCurve) {
+  const PiecewiseLinear f{{0.0, 10.0}, {1.0, 4.0}, {2.0, 0.0}};
+  EXPECT_FALSE(f.increasing());
+  EXPECT_TRUE(f.strictly_monotone());
+  EXPECT_NEAR(f.inverse(7.0), 0.5, 1e-12);
+  EXPECT_NEAR(f.inverse(2.0), 1.5, 1e-12);
+  // Clamps.
+  EXPECT_DOUBLE_EQ(f.inverse(11.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.inverse(-1.0), 2.0);
+}
+
+TEST(PiecewiseLinear, InverseClampsAtEnds) {
+  const PiecewiseLinear f = make_curve();
+  EXPECT_DOUBLE_EQ(f.inverse(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.inverse(25.0), 3.0);
+}
+
+TEST(PiecewiseLinear, NonMonotoneInverseThrows) {
+  const PiecewiseLinear f{{0.0, 0.0}, {1.0, 5.0}, {2.0, 3.0}};
+  EXPECT_FALSE(f.strictly_monotone());
+  EXPECT_THROW((void)(f.inverse(4.0)), std::logic_error);
+}
+
+TEST(PiecewiseLinear, FlatSegmentIsNotStrictlyMonotone) {
+  const PiecewiseLinear f{{0.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_FALSE(f.strictly_monotone());
+}
+
+TEST(PiecewiseLinear, ScaledY) {
+  const PiecewiseLinear f = make_curve();
+  const PiecewiseLinear g = f.scaled_y(0.5);
+  EXPECT_DOUBLE_EQ(g(2.0), 7.5);
+  EXPECT_DOUBLE_EQ(g.x_min(), f.x_min());
+}
+
+TEST(PiecewiseLinear, Accessors) {
+  const PiecewiseLinear f = make_curve();
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.x_min(), 0.0);
+  EXPECT_DOUBLE_EQ(f.x_max(), 3.0);
+  EXPECT_DOUBLE_EQ(f.y_at_x_min(), 0.0);
+  EXPECT_DOUBLE_EQ(f.y_at_x_max(), 20.0);
+  EXPECT_TRUE(f.increasing());
+}
+
+}  // namespace
+}  // namespace dvs

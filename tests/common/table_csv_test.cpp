@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace dvs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t{"Table X"};
+  t.set_header({"Algo", "Energy", "Delay"});
+  t.add_row({"Ideal", "1.20", "0.10"});
+  t.add_row({"Max", "2.40", "0.02"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  EXPECT_NE(s.find("Algo"), std::string::npos);
+  EXPECT_NE(s.find("Ideal"), std::string::npos);
+  EXPECT_NE(s.find("2.40"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t;
+  t.set_header({"name", "v"});
+  t.add_row({"longer-name", "1"});
+  const std::string s = t.str();
+  // Every rendered line between rules has the same length.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(Csv, WritesEscapedCells) {
+  const std::string path = testing::TempDir() + "/dvs_csv_test.csv";
+  {
+    CsvWriter w{path};
+    w.write_row(std::vector<std::string>{"a", "b,c", "d\"e"});
+    w.write_row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in{path};
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW((void)(CsvWriter{"/nonexistent-dir/x.csv"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,114 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs::core {
+namespace {
+
+TEST(Detectors, Names) {
+  EXPECT_EQ(to_string(DetectorKind::Ideal), "Ideal");
+  EXPECT_EQ(to_string(DetectorKind::ChangePoint), "Change Point");
+  EXPECT_EQ(to_string(DetectorKind::ExpAverage), "Exp. Ave.");
+  EXPECT_EQ(to_string(DetectorKind::Max), "Max");
+}
+
+TEST(Detectors, FactoryBuildsEachKind) {
+  DetectorFactoryConfig cfg;
+  cfg.change_point.mc_windows = 500;
+  auto truth = [](Seconds) { return hertz(10.0); };
+  EXPECT_NE(make_detector(DetectorKind::Ideal, cfg, truth), nullptr);
+  EXPECT_NE(make_detector(DetectorKind::ExpAverage, cfg, nullptr), nullptr);
+  EXPECT_NE(make_detector(DetectorKind::SlidingWindow, cfg, nullptr), nullptr);
+  EXPECT_EQ(make_detector(DetectorKind::Max, cfg, nullptr), nullptr);
+  // Ideal requires a truth source.
+  EXPECT_THROW((void)(make_detector(DetectorKind::Ideal, cfg, nullptr)), std::logic_error);
+  // Change-point builds and caches the threshold table.
+  EXPECT_EQ(cfg.thresholds, nullptr);
+  EXPECT_NE(make_detector(DetectorKind::ChangePoint, cfg, nullptr), nullptr);
+  EXPECT_NE(cfg.thresholds, nullptr);
+  const auto* cached = cfg.thresholds.get();
+  make_detector(DetectorKind::ChangePoint, cfg, nullptr);
+  EXPECT_EQ(cfg.thresholds.get(), cached);  // reused, not rebuilt
+}
+
+TEST(Detectors, NominalDefaultsPerMedia) {
+  EXPECT_NEAR(default_nominal_arrival(workload::MediaType::Mp3Audio).value(),
+              38.3, 1e-9);
+  EXPECT_NEAR(default_nominal_arrival(workload::MediaType::MpegVideo).value(),
+              25.0, 1e-9);
+  EXPECT_NEAR(default_nominal_service(workload::MediaType::Mp3Audio).value(),
+              workload::kMp3ReferenceRate, 1e-9);
+  EXPECT_NEAR(default_nominal_service(workload::MediaType::MpegVideo).value(),
+              workload::kMpegReferenceRate, 1e-9);
+}
+
+TEST(Session, BuildsAlternatingItemsWithGaps) {
+  const hw::Sa1100 cpu;
+  SessionConfig cfg;
+  cfg.cycles = 3;
+  cfg.mpeg_segment = seconds(50.0);
+  cfg.seed = 5;
+  const Session session = build_session(cfg, cpu);
+  ASSERT_EQ(session.items.size(), 6u);  // audio+video per cycle
+  // Types alternate.
+  EXPECT_EQ(session.items[0].trace.type(), workload::MediaType::Mp3Audio);
+  EXPECT_EQ(session.items[1].trace.type(), workload::MediaType::MpegVideo);
+  // Items are time-ordered with gaps.
+  for (std::size_t i = 1; i < session.items.size(); ++i) {
+    EXPECT_GE(session.items[i].trace.frames().front().arrival,
+              session.items[i - 1].end);
+  }
+  EXPECT_GT(session.idle_time.value(), 0.0);
+  EXPECT_NEAR(session.duration.value(),
+              session.media_time.value() + session.idle_time.value(), 1e-6);
+  EXPECT_NE(session.idle_model, nullptr);
+}
+
+TEST(Session, DeterministicPerSeed) {
+  const hw::Sa1100 cpu;
+  SessionConfig cfg;
+  cfg.cycles = 2;
+  cfg.seed = 9;
+  const Session a = build_session(cfg, cpu);
+  const Session b = build_session(cfg, cpu);
+  EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
+  ASSERT_EQ(a.items.size(), b.items.size());
+  EXPECT_EQ(a.items[0].trace.size(), b.items[0].trace.size());
+}
+
+TEST(Session, RunsEndToEndUnderCombinedManagement) {
+  const hw::Sa1100 cpu;
+  SessionConfig scfg;
+  scfg.cycles = 1;
+  scfg.mpeg_segment = seconds(30.0);
+  scfg.seed = 31;
+  Session session = build_session(scfg, cpu);
+
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+
+  DetectorFactoryConfig dcfg;
+  dcfg.change_point.mc_windows = 1000;
+  RunOptions opts;
+  opts.detector = DetectorKind::ChangePoint;
+  opts.detector_cfg = &dcfg;
+  opts.dpm_policy =
+      std::make_shared<dpm::TismdpPolicy>(costs, session.idle_model, seconds(0.3));
+  const Metrics m = run_items(session.items, opts);
+  EXPECT_GT(m.frames_decoded, 0u);
+  EXPECT_EQ(m.frames_decoded, m.frames_arrived);
+  EXPECT_GT(m.total_energy.value(), 0.0);
+}
+
+TEST(Session, InvalidConfigRejected) {
+  const hw::Sa1100 cpu;
+  SessionConfig cfg;
+  cfg.cycles = 0;
+  EXPECT_THROW((void)(build_session(cfg, cpu)), std::logic_error);
+  cfg.cycles = 1;
+  cfg.mp3_labels = "";
+  EXPECT_THROW((void)(build_session(cfg, cpu)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,120 @@
+// Behavioural tests of the engine across media switches and session
+// boundaries — the seams between the DVS governor, the DPM manager and the
+// playback state machine.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::core {
+namespace {
+
+const hw::Sa1100& cpu() {
+  static const hw::Sa1100 instance;
+  return instance;
+}
+
+DetectorFactoryConfig& shared_detectors() {
+  static DetectorFactoryConfig cfg = [] {
+    DetectorFactoryConfig c;
+    c.change_point.mc_windows = 1000;
+    return c;
+  }();
+  return cfg;
+}
+
+std::vector<PlaybackItem> mixed_media_items(std::uint64_t seed) {
+  std::vector<PlaybackItem> items;
+  const auto mp3 = workload::reference_mp3_decoder(cpu().max_frequency());
+  const auto mpeg = workload::reference_mpeg_decoder(cpu().max_frequency());
+  Rng rng{seed};
+  auto audio = workload::build_mp3_trace(workload::mp3_sequence("A"), mp3, rng);
+  workload::MpegClip clip = workload::football_clip();
+  clip.duration = seconds(50.0);
+  auto video = workload::build_mpeg_trace(clip, mpeg, rng).shifted(seconds(160.0));
+  items.push_back({std::move(audio), mp3,
+                   default_nominal_arrival(workload::MediaType::Mp3Audio),
+                   default_nominal_service(workload::MediaType::Mp3Audio),
+                   seconds(100.0)});
+  items.push_back({std::move(video), mpeg,
+                   default_nominal_arrival(workload::MediaType::MpegVideo),
+                   default_nominal_service(workload::MediaType::MpegVideo),
+                   seconds(210.0)});
+  return items;
+}
+
+TEST(SessionBehavior, MediaSwitchDecodesEverything) {
+  auto items = mixed_media_items(61);
+  const std::uint64_t total = items[0].trace.size() + items[1].trace.size();
+  RunOptions opts;
+  opts.detector = DetectorKind::ChangePoint;
+  opts.detector_cfg = &shared_detectors();
+  const Metrics m = run_items(std::move(items), opts);
+  EXPECT_EQ(m.frames_decoded, total);
+  EXPECT_LT(m.mean_frame_delay.value(), 0.5);
+}
+
+TEST(SessionBehavior, DisplayOnlyBurnsDuringVideo) {
+  auto items = mixed_media_items(62);
+  RunOptions opts;
+  opts.detector = DetectorKind::Max;
+  opts.detector_cfg = &shared_detectors();
+  const Metrics m = run_items(std::move(items), opts);
+  const double display_j =
+      m.component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Display)]
+          .value();
+  // Video span is 50 s at 1 W = 50 J; audio + gaps run at display-idle
+  // 0.3 W.  Anything near all-active display would be ~210 J.
+  EXPECT_GT(display_j, 50.0);
+  EXPECT_LT(display_j, 120.0);
+}
+
+TEST(SessionBehavior, MaxDetectorIgnoresMediaSwitches) {
+  auto items = mixed_media_items(63);
+  RunOptions opts;
+  opts.detector = DetectorKind::Max;
+  opts.detector_cfg = &shared_detectors();
+  const Metrics m = run_items(std::move(items), opts);
+  EXPECT_EQ(m.cpu_switches, 0);
+  EXPECT_NEAR(m.mean_cpu_frequency.value(), cpu().max_frequency().value(), 1e-6);
+}
+
+TEST(SessionBehavior, AdaptiveGovernorsRetuneAcrossTheSwitch) {
+  auto items = mixed_media_items(64);
+  RunOptions opts;
+  opts.detector = DetectorKind::ChangePoint;
+  opts.detector_cfg = &shared_detectors();
+  const Metrics m = run_items(std::move(items), opts);
+  // Clip A decodes at 115 fr/s vs 14 fr/s arrivals -> deep DVS; video at
+  // up to 32 fr/s arrivals vs 44 fr/s decode -> near-top steps.  The mean
+  // must land strictly between the extremes, proving both regimes ran.
+  EXPECT_GT(m.mean_cpu_frequency.value(), cpu().min_frequency().value() + 5.0);
+  EXPECT_LT(m.mean_cpu_frequency.value(), cpu().max_frequency().value() - 5.0);
+  EXPECT_GT(m.cpu_switches, 2);
+}
+
+TEST(SessionBehavior, ArrivalDetectorNotPoisonedByTheGap) {
+  // The 60 s inter-item gap must not feed the arrival detector (gating):
+  // if it did, the estimate would crater and the first video frames would
+  // see a massively under-provisioned CPU.  Compare the video-phase delay
+  // against a video-only run: they must be in the same ballpark.
+  auto items = mixed_media_items(65);
+  RunOptions opts;
+  opts.detector = DetectorKind::ChangePoint;
+  opts.detector_cfg = &shared_detectors();
+  const Metrics mixed = run_items(std::move(items), opts);
+
+  const auto mpeg = workload::reference_mpeg_decoder(cpu().max_frequency());
+  Rng rng{66};
+  workload::MpegClip clip = workload::football_clip();
+  clip.duration = seconds(50.0);
+  const auto video_only = workload::build_mpeg_trace(clip, mpeg, rng);
+  const Metrics solo = run_single_trace(video_only, mpeg, opts);
+
+  EXPECT_LT(mixed.max_frame_delay.value(),
+            std::max(1.0, 4.0 * solo.max_frame_delay.value()));
+}
+
+}  // namespace
+}  // namespace dvs::core

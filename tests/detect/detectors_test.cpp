@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "detect/ema.hpp"
+#include "detect/ideal.hpp"
+#include "detect/sliding_window.hpp"
+
+namespace dvs::detect {
+namespace {
+
+TEST(Ema, SmoothsInIntervalDomain) {
+  EmaDetector d{0.5};
+  d.reset(hertz(10.0));  // smoothed interval 0.1 s
+  // New smoothed interval = 0.5*0.1 + 0.5*0.05 = 0.075 -> rate 13.33.
+  EXPECT_NEAR(d.on_sample(seconds(1.0), seconds(0.05)).value(), 1.0 / 0.075,
+              1e-12);
+  EXPECT_NEAR(d.current_rate().value(), 1.0 / 0.075, 1e-12);
+}
+
+TEST(Ema, FirstSampleSeedsWhenUnreset) {
+  EmaDetector d{0.1};
+  EXPECT_DOUBLE_EQ(d.current_rate().value(), 0.0);
+  EXPECT_NEAR(d.on_sample(seconds(0.0), seconds(0.1)).value(), 10.0, 1e-12);
+}
+
+TEST(Ema, DegenerateSamplesStayFinite) {
+  EmaDetector d{1.0};  // estimate = current sample
+  d.reset(hertz(10.0));
+  EXPECT_GT(d.on_sample(seconds(0.0), seconds(1e-9)).value(), 0.0);
+  EXPECT_GT(d.on_sample(seconds(1.0), seconds(1e9)).value(), 0.0);
+  EXPECT_THROW((void)(d.on_sample(seconds(2.0), seconds(0.0))), std::logic_error);
+}
+
+TEST(Ema, InvalidGainRejected) {
+  EXPECT_THROW((void)(EmaDetector{0.0}), std::logic_error);
+  EXPECT_THROW((void)(EmaDetector{1.5}), std::logic_error);
+}
+
+TEST(Ema, LagsRateStepAndKeepsOscillating) {
+  // The Figure 10 pathology, in two parts.  (1) Lag: 30 samples after a
+  // 10 -> 60 fr/s step the g=0.03 estimate is still far from the truth.
+  Rng rng{1};
+  EmaDetector d{0.03};
+  d.reset(hertz(10.0));
+  Seconds now{0.0};
+  for (int i = 0; i < 30; ++i) {
+    const Seconds gap{rng.exponential(60.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  EXPECT_LT(d.current_rate().value(), 40.0);
+
+  // (2) Residual oscillation: after full convergence the estimate keeps
+  // wobbling sample to sample instead of holding a constant value the way
+  // the change-point detector does.
+  for (int i = 0; i < 1000; ++i) {
+    const Seconds gap{rng.exponential(60.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  RunningStats wobble;
+  for (int i = 0; i < 500; ++i) {
+    const Seconds gap{rng.exponential(60.0)};
+    now += gap;
+    wobble.add(d.on_sample(now, gap).value());
+  }
+  EXPECT_GT(wobble.stddev(), 2.0);
+  EXPECT_NEAR(wobble.mean(), 60.0, 12.0);
+}
+
+TEST(Ideal, ReadsTruth) {
+  IdealDetector d{[](Seconds t) {
+    return t < seconds(10.0) ? hertz(10.0) : hertz(60.0);
+  }};
+  EXPECT_NEAR(d.on_sample(seconds(5.0), seconds(0.1)).value(), 10.0, 1e-12);
+  EXPECT_NEAR(d.on_sample(seconds(15.0), seconds(0.1)).value(), 60.0, 1e-12);
+  EXPECT_EQ(d.name(), "ideal");
+}
+
+TEST(SlidingWindow, ConvergesToWindowMeanRate) {
+  SlidingWindowDetector d{10};
+  d.reset(hertz(1.0));
+  for (int i = 0; i < 10; ++i) d.on_sample(seconds(i), seconds(0.02));
+  EXPECT_NEAR(d.current_rate().value(), 50.0, 1e-9);
+  // A new regime replaces the window after `window` samples.
+  for (int i = 0; i < 10; ++i) d.on_sample(seconds(100 + i), seconds(0.2));
+  EXPECT_NEAR(d.current_rate().value(), 5.0, 1e-9);
+}
+
+TEST(SlidingWindow, RejectsBadInput) {
+  EXPECT_THROW((void)(SlidingWindowDetector{0}), std::logic_error);
+  SlidingWindowDetector d{5};
+  EXPECT_THROW((void)(d.on_sample(seconds(0.0), seconds(-1.0))), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs::detect

@@ -1,0 +1,231 @@
+// Tests for the general-distribution detection extensions: the
+// Weibull-aware change-point detector and the Page-Hinkley baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "detect/page_hinkley.hpp"
+#include "detect/weibull_change_point.hpp"
+
+namespace dvs::detect {
+namespace {
+
+std::shared_ptr<const ThresholdTable> test_table() {
+  static const auto table = std::make_shared<const ThresholdTable>([] {
+    ChangePointConfig cfg;
+    cfg.mc_windows = 1500;
+    return cfg;
+  }());
+  return table;
+}
+
+/// Draws a Weibull interval whose *mean* corresponds to frame rate `r`.
+double weibull_gap(Rng& rng, double shape, double r) {
+  // E[X] = scale * Gamma(1 + 1/k) = 1/r.
+  const double scale = 1.0 / (r * std::tgamma(1.0 + 1.0 / shape));
+  return rng.weibull(shape, scale);
+}
+
+TEST(RngWeibull, MomentsMatch) {
+  Rng rng{1};
+  const double shape = 2.0;
+  const double scale = 0.05;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.weibull(shape, scale));
+  // E[X] = scale * Gamma(1.5) = scale * sqrt(pi)/2.
+  EXPECT_NEAR(stats.mean(), scale * std::tgamma(1.5), 5e-4);
+  EXPECT_THROW((void)(rng.weibull(0.0, 1.0)), std::domain_error);
+  EXPECT_THROW((void)(rng.weibull(1.0, -1.0)), std::domain_error);
+}
+
+TEST(RngWeibull, ShapeOneIsExponential) {
+  Rng rng{2};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.weibull(1.0, 0.1));
+  EXPECT_NEAR(stats.mean(), 0.1, 2e-3);
+  EXPECT_NEAR(stats.stddev(), 0.1, 3e-3);  // exponential: sd == mean
+}
+
+TEST(WeibullChangePoint, ShapeOneMatchesPlainDetectorExactly) {
+  WeibullChangePointDetector wd{1.0, test_table()};
+  ChangePointDetector pd{test_table()};
+  wd.reset(hertz(20.0));
+  pd.reset(hertz(20.0));
+  Rng rng{3};
+  Seconds now{0.0};
+  for (int i = 0; i < 500; ++i) {
+    const Seconds gap{rng.exponential(20.0)};
+    now += gap;
+    const Hertz a = wd.on_sample(now, gap);
+    const Hertz b = pd.on_sample(now, gap);
+    EXPECT_NEAR(a.value(), b.value(), 1e-9);
+  }
+}
+
+TEST(WeibullChangePoint, TracksRateOnWeibullTraffic) {
+  const double shape = 2.5;  // regular, paced arrivals
+  WeibullChangePointDetector d{shape, test_table()};
+  d.reset(hertz(20.0));
+  Rng rng{4};
+  Seconds now{0.0};
+  for (int i = 0; i < 600; ++i) {
+    const Seconds gap{weibull_gap(rng, shape, 20.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  EXPECT_NEAR(d.current_rate().value(), 20.0, 2.5);
+}
+
+TEST(WeibullChangePoint, DetectsStepOnWeibullTraffic) {
+  const double shape = 2.0;
+  WeibullChangePointDetector d{shape, test_table()};
+  d.reset(hertz(10.0));
+  Rng rng{5};
+  Seconds now{0.0};
+  for (int i = 0; i < 300; ++i) {
+    const Seconds gap{weibull_gap(rng, shape, 10.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  int latency = -1;
+  for (int i = 0; i < 300; ++i) {
+    const Seconds gap{weibull_gap(rng, shape, 60.0)};
+    now += gap;
+    d.on_sample(now, gap);
+    if (latency < 0 && std::abs(d.current_rate().value() - 60.0) < 12.0) {
+      latency = i + 1;
+    }
+  }
+  ASSERT_GE(latency, 0);
+  // The transform sharpens contrast: a 6x rate step becomes a 36x scale
+  // step at shape 2, so detection is at least as fast as the plain case.
+  EXPECT_LE(latency, 25);
+}
+
+TEST(WeibullChangePoint, StableUnderConstantWeibullRate) {
+  const double shape = 2.0;
+  WeibullChangePointDetector d{shape, test_table()};
+  d.reset(hertz(30.0));
+  Rng rng{6};
+  Seconds now{0.0};
+  for (int i = 0; i < 3000; ++i) {
+    const Seconds gap{weibull_gap(rng, shape, 30.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  EXPECT_LE(d.changes_detected(), 4u);
+  EXPECT_NEAR(d.current_rate().value(), 30.0, 4.0);
+}
+
+TEST(WeibullChangePoint, PlainDetectorMiscalibratedOnBurstyTraffic) {
+  // The point of the extension: feeding bursty (shape < 1) Weibull gaps to
+  // the *exponential* detector violates its calibrated null — occasional
+  // huge gaps look like rate drops — producing far more false changes than
+  // the matched detector under a constant rate.
+  const double shape = 0.6;
+  ChangePointDetector plain{test_table()};
+  WeibullChangePointDetector matched{shape, test_table()};
+  plain.reset(hertz(30.0));
+  matched.reset(hertz(30.0));
+  Rng rng{7};
+  Seconds now{0.0};
+  for (int i = 0; i < 5000; ++i) {
+    const Seconds gap{weibull_gap(rng, shape, 30.0)};
+    now += gap;
+    plain.on_sample(now, gap);
+    matched.on_sample(now, gap);
+  }
+  EXPECT_GT(plain.changes_detected(), 3 * (matched.changes_detected() + 1));
+}
+
+TEST(WeibullChangePoint, PlainDetectorConservativeOnRegularTraffic) {
+  // The dual failure mode: on *regular* (shape > 1) traffic the
+  // exponential detector's thresholds are too high, so it reacts to a real
+  // step later than the matched detector.
+  const double shape = 2.5;
+  auto latency = [&](RateDetector& d, std::uint64_t seed) {
+    d.reset(hertz(10.0));
+    Rng rng{seed};
+    Seconds now{0.0};
+    for (int i = 0; i < 300; ++i) {
+      const Seconds gap{weibull_gap(rng, shape, 10.0)};
+      now += gap;
+      d.on_sample(now, gap);
+    }
+    for (int i = 0; i < 300; ++i) {
+      const Seconds gap{weibull_gap(rng, shape, 25.0)};
+      now += gap;
+      d.on_sample(now, gap);
+      if (std::abs(d.current_rate().value() - 25.0) < 5.0) return i + 1;
+    }
+    return 10000;  // not detected
+  };
+  double plain_total = 0.0;
+  double matched_total = 0.0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    ChangePointDetector plain{test_table()};
+    WeibullChangePointDetector matched{shape, test_table()};
+    plain_total += latency(plain, 100 + s);
+    matched_total += latency(matched, 100 + s);
+  }
+  EXPECT_LT(matched_total, plain_total);
+}
+
+TEST(WeibullChangePoint, InvalidShapeRejected) {
+  EXPECT_THROW((void)(WeibullChangePointDetector(0.0, test_table())), std::logic_error);
+}
+
+// ---- Page-Hinkley -------------------------------------------------------------
+
+TEST(PageHinkley, WarmsUpThenEstimates) {
+  PageHinkleyDetector d;
+  d.reset(hertz(0.0));
+  Rng rng{8};
+  Seconds now{0.0};
+  for (int i = 0; i < 200; ++i) {
+    const Seconds gap{rng.exponential(25.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  EXPECT_NEAR(d.current_rate().value(), 25.0, 8.0);
+}
+
+TEST(PageHinkley, DetectsLargeSteps) {
+  PageHinkleyDetector d{0.1, 12.0, 10};
+  d.reset(hertz(10.0));
+  Rng rng{9};
+  Seconds now{0.0};
+  for (int i = 0; i < 200; ++i) {
+    const Seconds gap{rng.exponential(10.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  const auto before = d.changes_detected();
+  for (int i = 0; i < 200; ++i) {
+    const Seconds gap{rng.exponential(60.0)};
+    now += gap;
+    d.on_sample(now, gap);
+  }
+  EXPECT_GT(d.changes_detected(), before);
+  EXPECT_NEAR(d.current_rate().value(), 60.0, 20.0);
+}
+
+TEST(PageHinkley, ParameterValidation) {
+  EXPECT_THROW((void)(PageHinkleyDetector(-0.1, 12.0, 10)), std::logic_error);
+  EXPECT_THROW((void)(PageHinkleyDetector(0.1, 0.0, 10)), std::logic_error);
+  EXPECT_THROW((void)(PageHinkleyDetector(0.1, 12.0, 1)), std::logic_error);
+  PageHinkleyDetector d;
+  EXPECT_THROW((void)(d.on_sample(seconds(0.0), seconds(0.0))), std::logic_error);
+}
+
+TEST(PageHinkley, SeededResetSkipsWarmup) {
+  PageHinkleyDetector d;
+  d.reset(hertz(40.0));
+  EXPECT_NEAR(d.current_rate().value(), 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dvs::detect

@@ -1,0 +1,83 @@
+#include "dpm/idle_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace dvs::dpm {
+namespace {
+
+TEST(ExponentialIdle, AnalyticQuantities) {
+  const ExponentialIdle idle{seconds(10.0)};
+  EXPECT_DOUBLE_EQ(idle.mean().value(), 10.0);
+  EXPECT_DOUBLE_EQ(idle.survival(seconds(0.0)), 1.0);
+  EXPECT_NEAR(idle.survival(seconds(10.0)), std::exp(-1.0), 1e-12);
+  // Memorylessness: mean excess = S(t) * mean.
+  EXPECT_NEAR(idle.mean_excess(seconds(10.0)).value(), std::exp(-1.0) * 10.0, 1e-12);
+  // Truncated + excess = mean.
+  EXPECT_NEAR(idle.mean_truncated(seconds(7.0)).value() +
+                  idle.mean_excess(seconds(7.0)).value(),
+              10.0, 1e-12);
+  EXPECT_THROW((void)(ExponentialIdle{seconds(0.0)}), std::logic_error);
+}
+
+TEST(ParetoIdle, AnalyticQuantities) {
+  const ParetoIdle idle{2.0, seconds(4.0)};
+  EXPECT_DOUBLE_EQ(idle.mean().value(), 8.0);  // a*m/(a-1)
+  EXPECT_DOUBLE_EQ(idle.survival(seconds(2.0)), 1.0);  // below scale
+  EXPECT_NEAR(idle.survival(seconds(8.0)), 0.25, 1e-12);
+  // Identity: truncated + excess = mean, above and below the scale.
+  for (double t : {1.0, 4.0, 9.0, 50.0}) {
+    EXPECT_NEAR(idle.mean_truncated(seconds(t)).value() +
+                    idle.mean_excess(seconds(t)).value(),
+                idle.mean().value(), 1e-9)
+        << "t=" << t;
+  }
+  EXPECT_THROW((void)(ParetoIdle(1.0, seconds(1.0))), std::logic_error);
+  EXPECT_THROW((void)(ParetoIdle(2.0, seconds(0.0))), std::logic_error);
+}
+
+TEST(ParetoIdle, ConditionalResidualGrowsWithT) {
+  // The heavy-tail signature: the longer you have been idle, the longer you
+  // should expect to *remain* idle, conditionally.  This is exactly why the
+  // time-indexed policies beat memoryless ones.
+  const ParetoIdle idle{1.8, seconds(8.0)};
+  EXPECT_GT(idle.mean_residual(seconds(50.0)), idle.mean_residual(seconds(10.0)));
+  // Pareto: E[T - t | T > t] = t/(a-1) above the scale.
+  EXPECT_NEAR(idle.mean_residual(seconds(40.0)).value(), 40.0 / 0.8, 1e-9);
+  // Exponential is memoryless: the conditional residual never changes.
+  const ExponentialIdle expo{seconds(10.0)};
+  EXPECT_NEAR(expo.mean_residual(seconds(50.0)).value(),
+              expo.mean_residual(seconds(10.0)).value(), 1e-9);
+  // The *unconditional* excess shrinks for both (less mass survives).
+  EXPECT_LT(idle.mean_excess(seconds(50.0)), idle.mean_excess(seconds(10.0)));
+}
+
+TEST(IdleModels, SamplesMatchAnalyticMoments) {
+  Rng rng{31};
+  const ParetoIdle pareto{2.2, seconds(5.0)};
+  RunningStats p_stats;
+  for (int i = 0; i < 200000; ++i) p_stats.add(pareto.sample(rng).value());
+  EXPECT_NEAR(p_stats.mean(), pareto.mean().value(), 0.15);
+  EXPECT_GE(p_stats.min(), 5.0);
+
+  const ExponentialIdle expo{seconds(12.0)};
+  RunningStats e_stats;
+  for (int i = 0; i < 200000; ++i) e_stats.add(expo.sample(rng).value());
+  EXPECT_NEAR(e_stats.mean(), 12.0, 0.2);
+}
+
+TEST(IdleModels, SurvivalMatchesEmpirical) {
+  Rng rng{32};
+  const ParetoIdle pareto{1.8, seconds(8.0)};
+  int beyond = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (pareto.sample(rng) > seconds(30.0)) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / n, pareto.survival(seconds(30.0)),
+              0.01);
+}
+
+}  // namespace
+}  // namespace dvs::dpm

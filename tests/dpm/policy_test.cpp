@@ -1,0 +1,252 @@
+#include "dpm/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace dvs::dpm {
+namespace {
+
+DpmCostModel badge_costs() {
+  const hw::SmartBadge badge;
+  return smartbadge_cost_model(badge);
+}
+
+TEST(CostModel, AggregatesTableOne) {
+  const DpmCostModel costs = badge_costs();
+  EXPECT_NEAR(costs.active_power.value(), 3490.0, 1.0);
+  ASSERT_EQ(costs.options.size(), 2u);
+  EXPECT_EQ(costs.options[0].state, hw::PowerState::Standby);
+  EXPECT_EQ(costs.options[1].state, hw::PowerState::Off);
+  // Worst component wakeups: display 100 ms from standby, WLAN 400 ms from off.
+  EXPECT_NEAR(costs.options[0].wakeup_latency.value(), 0.1, 1e-9);
+  EXPECT_NEAR(costs.options[1].wakeup_latency.value(), 0.4, 1e-9);
+  EXPECT_GT(costs.idle_power, costs.options[0].power);
+}
+
+TEST(CostModel, BreakEvenIsFinitePositive) {
+  const DpmCostModel costs = badge_costs();
+  for (const auto& opt : costs.options) {
+    const Seconds be = costs.break_even(opt);
+    EXPECT_GT(be.value(), 0.0);
+    EXPECT_LT(be.value(), 10.0);
+  }
+  // A useless sleep state (saves nothing) has infinite break-even.
+  DpmCostModel degenerate = costs;
+  degenerate.options[0].power = degenerate.idle_power;
+  EXPECT_TRUE(std::isinf(degenerate.break_even(degenerate.options[0]).value()));
+}
+
+TEST(SleepPlan, ValidatesOrderingAndDepth) {
+  SleepPlan bad;
+  bad.steps.push_back({seconds(2.0), hw::PowerState::Standby});
+  bad.steps.push_back({seconds(1.0), hw::PowerState::Off});
+  EXPECT_THROW((void)(bad.validate()), std::logic_error);
+
+  SleepPlan not_deepening;
+  not_deepening.steps.push_back({seconds(1.0), hw::PowerState::Off});
+  not_deepening.steps.push_back({seconds(2.0), hw::PowerState::Standby});
+  EXPECT_THROW((void)(not_deepening.validate()), std::logic_error);
+
+  SleepPlan non_sleep;
+  non_sleep.steps.push_back({seconds(1.0), hw::PowerState::Idle});
+  EXPECT_THROW((void)(non_sleep.validate()), std::logic_error);
+
+  SleepPlan good;
+  good.steps.push_back({seconds(1.0), hw::PowerState::Standby});
+  good.steps.push_back({seconds(5.0), hw::PowerState::Off});
+  EXPECT_NO_THROW(good.validate());
+}
+
+TEST(EvaluatePlan, EmptyPlanIsPureIdleEnergy) {
+  const DpmCostModel costs = badge_costs();
+  const ExponentialIdle idle{seconds(10.0)};
+  const PlanEvaluation ev = evaluate_plan({}, costs, idle);
+  EXPECT_NEAR(ev.expected_energy.value(),
+              costs.idle_power.value() * 1e-3 * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ev.expected_delay.value(), 0.0);
+  EXPECT_DOUBLE_EQ(ev.sleep_probability, 0.0);
+}
+
+TEST(EvaluatePlan, MatchesMonteCarlo) {
+  const DpmCostModel costs = badge_costs();
+  const ParetoIdle idle{1.8, seconds(8.0)};
+  SleepPlan plan;
+  plan.steps.push_back({seconds(2.0), hw::PowerState::Standby});
+  plan.steps.push_back({seconds(20.0), hw::PowerState::Off});
+  const PlanEvaluation ev = evaluate_plan(plan, costs, idle);
+
+  Rng rng{41};
+  RunningStats energy_mc;
+  RunningStats delay_mc;
+  for (int i = 0; i < 200000; ++i) {
+    const double T = idle.sample(rng).value();
+    double e = 0.0;
+    double d = 0.0;
+    const double in_idle = std::min(T, 2.0);
+    e += costs.idle_power.value() * 1e-3 * in_idle;
+    if (T > 2.0) {
+      const double in_sby = std::min(T, 20.0) - 2.0;
+      e += costs.options[0].power.value() * 1e-3 * in_sby;
+      if (T > 20.0) {
+        e += costs.options[1].power.value() * 1e-3 * (T - 20.0);
+        e += costs.options[1].wakeup_energy.value();
+        d = costs.options[1].wakeup_latency.value();
+      } else {
+        e += costs.options[0].wakeup_energy.value();
+        d = costs.options[0].wakeup_latency.value();
+      }
+    }
+    energy_mc.add(e);
+    delay_mc.add(d);
+  }
+  EXPECT_NEAR(ev.expected_energy.value(), energy_mc.mean(),
+              energy_mc.mean() * 0.03);
+  EXPECT_NEAR(ev.expected_delay.value(), delay_mc.mean(), delay_mc.mean() * 0.05);
+  EXPECT_NEAR(ev.sleep_probability, idle.survival(seconds(2.0)), 1e-12);
+}
+
+TEST(FixedTimeout, BuildsChainedPlan) {
+  Rng rng{1};
+  FixedTimeoutPolicy policy{seconds(1.0), seconds(10.0)};
+  const SleepPlan plan = policy.plan(std::nullopt, rng);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].state, hw::PowerState::Standby);
+  EXPECT_EQ(plan.steps[1].state, hw::PowerState::Off);
+  // Off-only policy via infinite standby timeout.
+  const double inf = std::numeric_limits<double>::infinity();
+  FixedTimeoutPolicy off_only{Seconds{inf}, seconds(5.0)};
+  EXPECT_EQ(off_only.plan(std::nullopt, rng).steps.size(), 1u);
+  EXPECT_THROW((void)(FixedTimeoutPolicy(seconds(10.0), seconds(5.0))), std::logic_error);
+}
+
+TEST(Oracle, SleepsOnlyWhenWorthIt) {
+  const DpmCostModel costs = badge_costs();
+  OraclePolicy oracle{costs};
+  Rng rng{2};
+  // Tiny idle period: staying idle is cheapest.
+  EXPECT_TRUE(oracle.plan(seconds(0.05), rng).empty());
+  // Long idle period: sleep immediately, into the deepest state.
+  const SleepPlan plan = oracle.plan(seconds(1000.0), rng);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.steps[0].after.value(), 0.0);
+  EXPECT_EQ(plan.steps[0].state, hw::PowerState::Off);
+  // No hint = unbounded idle: the oracle dives straight to the deepest state.
+  const SleepPlan unbounded = oracle.plan(std::nullopt, rng);
+  ASSERT_EQ(unbounded.steps.size(), 1u);
+  EXPECT_EQ(unbounded.steps[0].state, hw::PowerState::Off);
+  EXPECT_DOUBLE_EQ(unbounded.steps[0].after.value(), 0.0);
+}
+
+TEST(Oracle, LowerBoundsEveryPolicyInExpectation) {
+  const DpmCostModel costs = badge_costs();
+  const auto idle = std::make_shared<ParetoIdle>(1.8, seconds(8.0));
+  OraclePolicy oracle{costs};
+  Rng rng{3};
+
+  // Monte-Carlo the oracle's expected energy.
+  RunningStats oracle_energy;
+  for (int i = 0; i < 50000; ++i) {
+    const Seconds T = idle->sample(rng);
+    const SleepPlan plan = oracle.plan(T, rng);
+    double e;
+    if (plan.empty()) {
+      e = costs.idle_power.value() * 1e-3 * T.value();
+    } else {
+      const auto& opt = plan.steps[0].state == hw::PowerState::Off
+                            ? costs.options[1]
+                            : costs.options[0];
+      e = opt.power.value() * 1e-3 * T.value() + opt.wakeup_energy.value();
+    }
+    oracle_energy.add(e);
+  }
+
+  // Any causal plan evaluated analytically must not beat the oracle.
+  for (const SleepPlan& plan : candidate_plans(costs, seconds(100.0))) {
+    const PlanEvaluation ev = evaluate_plan(plan, costs, *idle);
+    EXPECT_GE(ev.expected_energy.value(), oracle_energy.mean() * 0.97);
+  }
+}
+
+TEST(Renewal, PicksSingleStepPlanThatBeatsNeverSleeping) {
+  const DpmCostModel costs = badge_costs();
+  const auto idle = std::make_shared<ParetoIdle>(1.8, seconds(8.0));
+  RenewalPolicy policy{costs, idle};
+  const SleepPlan& plan = policy.chosen_plan();
+  ASSERT_LE(plan.steps.size(), 1u);
+  ASSERT_FALSE(plan.empty());
+  const PlanEvaluation ev = evaluate_plan(plan, costs, *idle);
+  EXPECT_LT(ev.expected_energy.value(), idle_only_energy(costs, *idle).value());
+}
+
+TEST(Tismdp, RespectsPerformanceConstraint) {
+  const DpmCostModel costs = badge_costs();
+  const auto idle = std::make_shared<ParetoIdle>(1.8, seconds(8.0));
+  // Tight constraint: expected wakeup delay <= 20 ms per idle period.
+  TismdpPolicy tight{costs, idle, milliseconds(20.0)};
+  Rng rng{4};
+  // The mixed policy's expected delay meets the bound.
+  const PlanEvaluation ev1 = evaluate_plan(tight.primary_plan(), costs, *idle);
+  const PlanEvaluation ev2 = evaluate_plan(tight.secondary_plan(), costs, *idle);
+  const double p = tight.mix_probability();
+  const double mixed_delay =
+      p * ev1.expected_delay.value() + (1.0 - p) * ev2.expected_delay.value();
+  EXPECT_LE(mixed_delay, 0.020 + 1e-9);
+  // plan() returns one of the two mixture components.
+  const SleepPlan drawn = tight.plan(std::nullopt, rng);
+  EXPECT_TRUE(drawn.steps.size() == tight.primary_plan().steps.size() ||
+              drawn.steps.size() == tight.secondary_plan().steps.size());
+}
+
+TEST(Tismdp, LooseConstraintMatchesUnconstrainedOptimum) {
+  const DpmCostModel costs = badge_costs();
+  const auto idle = std::make_shared<ParetoIdle>(1.8, seconds(8.0));
+  TismdpPolicy loose{costs, idle, seconds(10.0)};
+  EXPECT_DOUBLE_EQ(loose.mix_probability(), 1.0);
+  // And saves energy vs never sleeping.
+  const PlanEvaluation ev = evaluate_plan(loose.primary_plan(), costs, *idle);
+  EXPECT_LT(ev.expected_energy.value(), idle_only_energy(costs, *idle).value());
+}
+
+TEST(Tismdp, TighterConstraintCostsMoreEnergy) {
+  const DpmCostModel costs = badge_costs();
+  const auto idle = std::make_shared<ParetoIdle>(1.8, seconds(8.0));
+  auto expected_energy = [&](Seconds constraint) {
+    TismdpPolicy p{costs, idle, constraint};
+    const PlanEvaluation e1 = evaluate_plan(p.primary_plan(), costs, *idle);
+    const PlanEvaluation e2 = evaluate_plan(p.secondary_plan(), costs, *idle);
+    return p.mix_probability() * e1.expected_energy.value() +
+           (1.0 - p.mix_probability()) * e2.expected_energy.value();
+  };
+  EXPECT_GE(expected_energy(milliseconds(5.0)),
+            expected_energy(seconds(10.0)) - 1e-9);
+}
+
+TEST(TimeoutGrid, CoversRangeGeometrically) {
+  const auto grid = timeout_grid(seconds(60.0));
+  ASSERT_GE(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(grid[0].value(), 0.0);
+  EXPECT_LE(grid.back().value(), 60.0 * 1.0001);
+  for (std::size_t i = 2; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+  EXPECT_THROW((void)(timeout_grid(seconds(0.001))), std::logic_error);
+}
+
+TEST(CandidatePlans, AllValidAndIncludeChains) {
+  const DpmCostModel costs = badge_costs();
+  const auto plans = candidate_plans(costs, seconds(60.0));
+  bool has_chain = false;
+  for (const auto& p : plans) {
+    EXPECT_NO_THROW(p.validate());
+    if (p.steps.size() == 2) has_chain = true;
+  }
+  EXPECT_TRUE(has_chain);
+}
+
+}  // namespace
+}  // namespace dvs::dpm

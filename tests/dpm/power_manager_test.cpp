@@ -1,0 +1,131 @@
+#include "dpm/power_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs::dpm {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  hw::SmartBadge badge;
+
+  PowerManager manager(DpmPolicyPtr policy) {
+    return PowerManager{sim, badge, std::move(policy), 7};
+  }
+};
+
+TEST(PowerManager, NeverSleepStaysIdle) {
+  Rig rig;
+  PowerManager pm = rig.manager(std::make_shared<NeverSleepPolicy>());
+  pm.on_idle_enter(seconds(0.0), std::nullopt);
+  rig.sim.run_until(seconds(100.0));
+  EXPECT_FALSE(pm.asleep());
+  EXPECT_EQ(pm.sleeps_commanded(), 0);
+  EXPECT_DOUBLE_EQ(pm.on_request(seconds(100.0)).value(), 100.0);
+  EXPECT_EQ(pm.wakeups(), 0);
+}
+
+TEST(PowerManager, TimeoutPolicySleepsAndWakes) {
+  Rig rig;
+  PowerManager pm =
+      rig.manager(std::make_shared<FixedTimeoutPolicy>(seconds(2.0), seconds(30.0)));
+  pm.on_idle_enter(seconds(0.0), std::nullopt);
+  rig.sim.run_until(seconds(10.0));
+  EXPECT_TRUE(pm.asleep());
+  EXPECT_EQ(pm.depth(), hw::PowerState::Standby);
+  EXPECT_EQ(rig.badge.component(hw::BadgeComponentId::Display).state(),
+            hw::PowerState::Standby);
+
+  // Request at t=10: wake; display is the slowest from standby (100 ms).
+  const Seconds ready = pm.on_request(seconds(10.0));
+  EXPECT_NEAR(ready.value(), 10.1, 1e-9);
+  EXPECT_FALSE(pm.asleep());
+  EXPECT_EQ(pm.wakeups(), 1);
+  EXPECT_NEAR(pm.total_wakeup_delay().value(), 0.1, 1e-9);
+  rig.sim.run_until(seconds(11.0));
+  EXPECT_FALSE(rig.badge.component(hw::BadgeComponentId::Display).transitioning());
+}
+
+TEST(PowerManager, DeepensToOffOnLongIdle) {
+  Rig rig;
+  PowerManager pm =
+      rig.manager(std::make_shared<FixedTimeoutPolicy>(seconds(2.0), seconds(30.0)));
+  pm.on_idle_enter(seconds(0.0), std::nullopt);
+  rig.sim.run_until(seconds(60.0));
+  EXPECT_EQ(pm.depth(), hw::PowerState::Off);
+  EXPECT_EQ(pm.sleeps_commanded(), 2);
+  // Wakeup now pays the t_off of the slowest component (WLAN, 400 ms).
+  const Seconds ready = pm.on_request(seconds(60.0));
+  EXPECT_NEAR(ready.value(), 60.4, 1e-9);
+}
+
+TEST(PowerManager, RequestBeforeTimeoutCancelsPlan) {
+  Rig rig;
+  PowerManager pm =
+      rig.manager(std::make_shared<FixedTimeoutPolicy>(seconds(5.0), seconds(30.0)));
+  pm.on_idle_enter(seconds(0.0), std::nullopt);
+  // Request arrives before the 5 s timeout.
+  EXPECT_DOUBLE_EQ(pm.on_request(seconds(1.0)).value(), 1.0);
+  rig.sim.run_until(seconds(100.0));
+  EXPECT_FALSE(pm.asleep());
+  EXPECT_EQ(pm.sleeps_commanded(), 0);
+}
+
+TEST(PowerManager, SleepEnergyBeatsIdling) {
+  Rig idle_rig;
+  Rig sleep_rig;
+  PowerManager idle_pm = idle_rig.manager(std::make_shared<NeverSleepPolicy>());
+  PowerManager sleep_pm =
+      sleep_rig.manager(std::make_shared<FixedTimeoutPolicy>(seconds(1.0), seconds(10.0)));
+  idle_pm.on_idle_enter(seconds(0.0), std::nullopt);
+  sleep_pm.on_idle_enter(seconds(0.0), std::nullopt);
+  idle_rig.sim.run_until(seconds(600.0));
+  sleep_rig.sim.run_until(seconds(600.0));
+  const double e_idle = idle_rig.badge.total_energy(seconds(600.0)).value();
+  const double e_sleep = sleep_rig.badge.total_energy(seconds(600.0)).value();
+  EXPECT_LT(e_sleep, e_idle / 5.0);
+}
+
+TEST(PowerManager, OracleUsesHint) {
+  Rig rig;
+  const DpmCostModel costs = smartbadge_cost_model(rig.badge);
+  PowerManager pm = rig.manager(std::make_shared<OraclePolicy>(costs));
+  // Long idle: sleeps immediately.
+  pm.on_idle_enter(seconds(0.0), seconds(500.0));
+  rig.sim.run_until(seconds(0.5));
+  EXPECT_TRUE(pm.asleep());
+  pm.on_request(seconds(500.0));
+  rig.sim.run_until(seconds(501.0));
+  // Short idle: does not sleep at all.
+  pm.on_idle_enter(seconds(501.0), milliseconds(50.0));
+  rig.sim.run_until(seconds(501.05));
+  EXPECT_FALSE(pm.asleep());
+}
+
+TEST(PowerManager, IdleEnterWhileAsleepIsAnError) {
+  Rig rig;
+  PowerManager pm =
+      rig.manager(std::make_shared<FixedTimeoutPolicy>(seconds(1.0), seconds(10.0)));
+  pm.on_idle_enter(seconds(0.0), std::nullopt);
+  rig.sim.run_until(seconds(5.0));
+  ASSERT_TRUE(pm.asleep());
+  EXPECT_THROW((void)(pm.on_idle_enter(seconds(5.0), std::nullopt)), std::logic_error);
+}
+
+TEST(PowerManager, NullPolicyRejected) {
+  Rig rig;
+  EXPECT_THROW((void)(PowerManager(rig.sim, rig.badge, nullptr, 1)), std::logic_error);
+}
+
+TEST(PowerManager, CountsIdlePeriods) {
+  Rig rig;
+  PowerManager pm = rig.manager(std::make_shared<NeverSleepPolicy>());
+  for (int i = 0; i < 5; ++i) {
+    pm.on_idle_enter(seconds(i * 10.0), std::nullopt);
+    pm.on_request(seconds(i * 10.0 + 5.0));
+  }
+  EXPECT_EQ(pm.idle_periods(), 5);
+}
+
+}  // namespace
+}  // namespace dvs::dpm

@@ -1,0 +1,72 @@
+// Randomized state-machine fuzz for the Component power model: apply long
+// random-but-valid operation sequences and check the invariants that every
+// caller in the system relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/component.hpp"
+#include "hw/smartbadge_data.hpp"
+
+namespace dvs::hw {
+namespace {
+
+class ComponentFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComponentFuzz, InvariantsUnderRandomValidOperations) {
+  Rng rng{GetParam()};
+  // Fuzz a random Table 1 component each run.
+  const auto specs = smartbadge_component_specs();
+  Component c{specs[rng.uniform_index(specs.size())]};
+
+  Seconds now{0.0};
+  double last_energy = 0.0;
+  int wakeups_seen = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    now += Seconds{rng.uniform(0.0, 0.5)};
+
+    if (c.transitioning()) {
+      // The only legal moves during a wakeup: accrue or finish (on time).
+      if (rng.bernoulli(0.5) && now >= c.wakeup_complete_at()) {
+        c.finish_wakeup(now);
+      } else {
+        c.accrue(now);
+      }
+    } else {
+      const double dice = rng.uniform();
+      if (dice < 0.5) {
+        // Random state command.
+        const PowerState target = kAllPowerStates[rng.uniform_index(4)];
+        const PowerState from = c.state();
+        const bool waking =
+            target != from && is_sleep_state(from) && !is_sleep_state(target);
+        const Seconds latency = c.set_state(target, now);
+        if (waking && latency.value() > 0.0) {
+          ++wakeups_seen;
+          EXPECT_TRUE(c.transitioning());
+          EXPECT_DOUBLE_EQ(c.wakeup_complete_at().value(),
+                           now.value() + c.wakeup_latency_from(from).value());
+        } else {
+          EXPECT_DOUBLE_EQ(latency.value(), 0.0);
+        }
+      } else if (dice < 0.7) {
+        c.set_active_power(milliwatts(rng.uniform(0.0, 2000.0)), now);
+      } else {
+        c.accrue(now);
+      }
+    }
+
+    // Invariants after every operation.
+    const double e = c.energy_so_far().value();
+    EXPECT_GE(e, last_energy) << "energy decreased at step " << step;
+    last_energy = e;
+    EXPECT_GE(c.current_power().value(), 0.0);
+  }
+  EXPECT_EQ(c.wakeup_count(), wakeups_seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace dvs::hw

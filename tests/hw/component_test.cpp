@@ -1,0 +1,144 @@
+#include "hw/component.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs::hw {
+namespace {
+
+ComponentSpec test_spec() {
+  return {"test", milliwatts(1000.0), milliwatts(100.0), milliwatts(10.0),
+          milliwatts(0.0), milliseconds(50.0), milliseconds(200.0)};
+}
+
+TEST(Component, StartsIdleWithZeroEnergy) {
+  Component c{test_spec()};
+  EXPECT_EQ(c.state(), PowerState::Idle);
+  EXPECT_FALSE(c.transitioning());
+  EXPECT_DOUBLE_EQ(c.energy_consumed(seconds(0.0)).value(), 0.0);
+}
+
+TEST(Component, PowerPerState) {
+  Component c{test_spec()};
+  EXPECT_DOUBLE_EQ(c.power_in(PowerState::Active).value(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.power_in(PowerState::Idle).value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.power_in(PowerState::Standby).value(), 10.0);
+  EXPECT_DOUBLE_EQ(c.power_in(PowerState::Off).value(), 0.0);
+}
+
+TEST(Component, EnergyIntegratesPerState) {
+  Component c{test_spec()};
+  // 10 s idle = 1 J.
+  c.set_state(PowerState::Active, seconds(10.0));
+  EXPECT_NEAR(c.energy_so_far().value(), 1.0, 1e-12);
+  // 5 s active = 5 J.
+  c.set_state(PowerState::Idle, seconds(15.0));
+  EXPECT_NEAR(c.energy_so_far().value(), 6.0, 1e-12);
+}
+
+TEST(Component, ShutdownIsInstantaneous) {
+  Component c{test_spec()};
+  EXPECT_DOUBLE_EQ(c.set_state(PowerState::Standby, seconds(1.0)).value(), 0.0);
+  EXPECT_FALSE(c.transitioning());
+  EXPECT_EQ(c.state(), PowerState::Standby);
+  EXPECT_DOUBLE_EQ(c.set_state(PowerState::Off, seconds(2.0)).value(), 0.0);
+  EXPECT_EQ(c.state(), PowerState::Off);
+}
+
+TEST(Component, WakeupPaysLatencyAtActivePower) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Standby, seconds(0.0));
+  const Seconds latency = c.set_state(PowerState::Active, seconds(10.0));
+  EXPECT_DOUBLE_EQ(latency.value(), 0.05);
+  EXPECT_TRUE(c.transitioning());
+  EXPECT_DOUBLE_EQ(c.wakeup_complete_at().value(), 10.05);
+  // During the wakeup the component draws active power.
+  EXPECT_DOUBLE_EQ(c.current_power().value(), 1000.0);
+  c.finish_wakeup(seconds(10.05));
+  EXPECT_FALSE(c.transitioning());
+  // Energy: 10 s standby (0.1 J) + 0.05 s wakeup at 1 W (0.05 J).
+  EXPECT_NEAR(c.energy_consumed(seconds(10.05)).value(), 0.1 + 0.05, 1e-9);
+}
+
+TEST(Component, WakeupFromOffIsSlower) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Off, seconds(0.0));
+  const Seconds latency = c.set_state(PowerState::Idle, seconds(1.0));
+  EXPECT_DOUBLE_EQ(latency.value(), 0.2);
+  EXPECT_EQ(c.state(), PowerState::Idle);
+  c.finish_wakeup(seconds(1.2));
+  EXPECT_FALSE(c.transitioning());
+}
+
+TEST(Component, ActiveToIdleNeedsNoWakeup) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Active, seconds(0.0));
+  EXPECT_DOUBLE_EQ(c.set_state(PowerState::Idle, seconds(1.0)).value(), 0.0);
+  EXPECT_FALSE(c.transitioning());
+}
+
+TEST(Component, StateChangeDuringWakeupThrows) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Standby, seconds(0.0));
+  c.set_state(PowerState::Active, seconds(1.0));
+  EXPECT_THROW((void)(c.set_state(PowerState::Idle, seconds(1.01))), std::logic_error);
+}
+
+TEST(Component, FinishWakeupEarlyThrows) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Standby, seconds(0.0));
+  c.set_state(PowerState::Active, seconds(1.0));
+  EXPECT_THROW((void)(c.finish_wakeup(seconds(1.01))), std::logic_error);
+}
+
+TEST(Component, TimeCannotFlowBackwards) {
+  Component c{test_spec()};
+  c.accrue(seconds(5.0));
+  EXPECT_THROW((void)(c.accrue(seconds(4.0))), std::logic_error);
+}
+
+TEST(Component, SetActivePowerTakesEffectForward) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Active, seconds(0.0));
+  c.set_active_power(milliwatts(500.0), seconds(2.0));  // 2 s at 1 W = 2 J
+  const Joules e = c.energy_consumed(seconds(4.0));     // + 2 s at 0.5 W = 1 J
+  EXPECT_NEAR(e.value(), 3.0, 1e-12);
+  EXPECT_THROW((void)(c.set_active_power(milliwatts(-1.0), seconds(5.0))), std::logic_error);
+}
+
+TEST(Component, TransitionCountsTracked) {
+  Component c{test_spec()};
+  c.set_state(PowerState::Standby, seconds(1.0));
+  c.set_state(PowerState::Active, seconds(2.0));
+  c.finish_wakeup(seconds(2.05));
+  c.set_state(PowerState::Off, seconds(3.0));
+  c.set_state(PowerState::Idle, seconds(4.0));
+  c.finish_wakeup(seconds(4.2));
+  EXPECT_EQ(c.sleep_transition_count(), 2);
+  EXPECT_EQ(c.wakeup_count(), 2);
+}
+
+TEST(Component, SettingSameStateIsNoOp) {
+  Component c{test_spec()};
+  EXPECT_DOUBLE_EQ(c.set_state(PowerState::Idle, seconds(1.0)).value(), 0.0);
+  EXPECT_EQ(c.sleep_transition_count(), 0);
+}
+
+TEST(Component, NegativeSpecRejected) {
+  ComponentSpec bad = test_spec();
+  bad.idle_power = milliwatts(-1.0);
+  EXPECT_THROW((void)(Component{bad}), std::logic_error);
+}
+
+TEST(PowerStateHelpers, Classification) {
+  EXPECT_TRUE(is_sleep_state(PowerState::Standby));
+  EXPECT_TRUE(is_sleep_state(PowerState::Off));
+  EXPECT_FALSE(is_sleep_state(PowerState::Active));
+  EXPECT_FALSE(is_sleep_state(PowerState::Idle));
+  EXPECT_TRUE(deeper_than(PowerState::Off, PowerState::Standby));
+  EXPECT_TRUE(deeper_than(PowerState::Standby, PowerState::Idle));
+  EXPECT_FALSE(deeper_than(PowerState::Active, PowerState::Idle));
+  EXPECT_EQ(to_string(PowerState::Standby), "standby");
+}
+
+}  // namespace
+}  // namespace dvs::hw

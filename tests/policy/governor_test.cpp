@@ -1,0 +1,121 @@
+#include "policy/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "detect/change_point.hpp"
+#include "detect/ema.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::policy {
+namespace {
+
+struct Rig {
+  hw::SmartBadge badge;
+  workload::DecoderModel decoder =
+      workload::reference_mp3_decoder(badge.cpu().max_frequency());
+
+  FrequencyPolicy make_policy() {
+    return FrequencyPolicy{badge.cpu(), decoder.performance_curve(badge.cpu()),
+                           seconds(0.1)};
+  }
+
+  std::unique_ptr<DvsGovernor> adaptive() {
+    return std::make_unique<DvsGovernor>(
+        badge, decoder, make_policy(),
+        std::make_unique<detect::EmaDetector>(0.5),
+        std::make_unique<detect::EmaDetector>(0.5));
+  }
+};
+
+TEST(Governor, MaxPerformancePinsTopStep) {
+  Rig rig;
+  auto gov = DvsGovernor::max_performance(rig.badge, rig.decoder, rig.make_policy());
+  EXPECT_FALSE(gov->adaptive());
+  gov->initialize(hertz(10.0), hertz(100.0), seconds(0.0));
+  EXPECT_EQ(gov->desired_step(), rig.badge.cpu().num_steps() - 1);
+  // Samples are ignored.
+  gov->on_arrival(seconds(1.0), seconds(0.1));
+  gov->on_decode_complete(seconds(1.1), seconds(0.01), megahertz(221.25));
+  EXPECT_EQ(gov->desired_step(), rig.badge.cpu().num_steps() - 1);
+  EXPECT_EQ(gov->detector_name(), "max");
+}
+
+TEST(Governor, InitializeSeedsAndApplies) {
+  Rig rig;
+  auto gov = rig.adaptive();
+  gov->initialize(hertz(14.0), hertz(100.0), seconds(0.0));
+  // Light load: the badge is immediately retuned below the top step.
+  EXPECT_LT(rig.badge.cpu_step(), rig.badge.cpu().num_steps() - 1);
+  EXPECT_NEAR(gov->arrival_estimate().value(), 14.0, 1e-9);
+  EXPECT_NEAR(gov->service_estimate_at_max().value(), 100.0, 1e-9);
+}
+
+TEST(Governor, ArrivalSamplesMoveDesiredStep) {
+  Rig rig;
+  auto gov = rig.adaptive();
+  gov->initialize(hertz(14.0), hertz(100.0), seconds(0.0));
+  const std::size_t low = gov->desired_step();
+  // A burst of fast arrivals raises the estimate and the desired step.
+  Seconds now{0.0};
+  for (int i = 0; i < 50; ++i) {
+    now += seconds(1.0 / 80.0);
+    gov->on_arrival(now, seconds(1.0 / 80.0));
+  }
+  EXPECT_GT(gov->desired_step(), low);
+}
+
+TEST(Governor, DecodeSamplesAreNormalizedAcrossFrequencies) {
+  Rig rig;
+  auto gov = rig.adaptive();
+  gov->initialize(hertz(20.0), hertz(100.0), seconds(0.0));
+  gov->apply(seconds(0.0));
+  // Feed decode times measured at a low frequency that correspond exactly
+  // to the 100 fr/s reference at max: the service estimate must stay ~100.
+  const MegaHertz f = rig.badge.cpu().frequency_at(2);
+  const Seconds observed = rig.decoder.decode_time(f, 1.0);
+  Seconds now{0.0};
+  for (int i = 0; i < 50; ++i) {
+    now += seconds(0.05);
+    gov->on_decode_complete(now, observed, f);
+  }
+  EXPECT_NEAR(gov->service_estimate_at_max().value(), 100.0, 2.0);
+}
+
+TEST(Governor, ApplyPaysSwitchLatencyOnlyOnChange) {
+  Rig rig;
+  auto gov = rig.adaptive();
+  gov->initialize(hertz(14.0), hertz(100.0), seconds(0.0));
+  const int switches = gov->retune_count();
+  // Re-applying the same step is free.
+  EXPECT_DOUBLE_EQ(gov->apply(seconds(1.0)).value(), 0.0);
+  EXPECT_EQ(gov->retune_count(), switches);
+  // Forcing a different desired step pays the PLL latency.
+  Seconds now{1.0};
+  for (int i = 0; i < 50; ++i) {
+    now += seconds(1.0 / 80.0);
+    gov->on_arrival(now, seconds(1.0 / 80.0));
+  }
+  ASSERT_NE(gov->desired_step(), rig.badge.cpu_step());
+  EXPECT_NEAR(gov->apply(now).value(), 150e-6, 1e-9);
+  EXPECT_EQ(gov->retune_count(), switches + 1);
+}
+
+TEST(Governor, ZeroIntervalSampleIgnored) {
+  Rig rig;
+  auto gov = rig.adaptive();
+  gov->initialize(hertz(14.0), hertz(100.0), seconds(0.0));
+  const Hertz before = gov->arrival_estimate();
+  gov->on_arrival(seconds(1.0), seconds(0.0));
+  EXPECT_DOUBLE_EQ(gov->arrival_estimate().value(), before.value());
+}
+
+TEST(Governor, AdaptiveRequiresBothDetectors) {
+  Rig rig;
+  EXPECT_THROW(DvsGovernor(rig.badge, rig.decoder, rig.make_policy(),
+                           std::make_unique<detect::EmaDetector>(0.5), nullptr),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs::policy

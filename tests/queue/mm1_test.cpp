@@ -1,0 +1,107 @@
+#include "queue/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dvs::queue {
+namespace {
+
+TEST(Mm1, EquationFiveDelay) {
+  // Figure 9's worked example: 0.1 s target at lambda_u 20 needs
+  // lambda_d = 30.
+  const Mm1 q{hertz(20.0), hertz(30.0)};
+  EXPECT_NEAR(q.mean_total_delay().value(), 0.1, 1e-12);
+  EXPECT_NEAR(q.utilization(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.mean_frames_in_system(), 2.0, 1e-12);
+}
+
+TEST(Mm1, LittleLawConsistency) {
+  const Mm1 q{hertz(38.3), hertz(50.0)};
+  // L = lambda * W.
+  EXPECT_NEAR(q.mean_frames_in_system(),
+              q.arrival_rate().value() * q.mean_total_delay().value(), 1e-9);
+  EXPECT_NEAR(q.mean_frames_waiting(),
+              q.arrival_rate().value() * q.mean_waiting_time().value(), 1e-9);
+}
+
+TEST(Mm1, WaitingPlusServiceEqualsTotal) {
+  const Mm1 q{hertz(10.0), hertz(25.0)};
+  EXPECT_NEAR(q.mean_waiting_time().value() + 1.0 / 25.0,
+              q.mean_total_delay().value(), 1e-12);
+}
+
+TEST(Mm1, OccupancyDistributionSumsToOne) {
+  const Mm1 q{hertz(30.0), hertz(40.0)};
+  double sum = 0.0;
+  for (unsigned n = 0; n < 200; ++n) sum += q.prob_n_in_system(n);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mm1, UnstableQueueThrows) {
+  const Mm1 q{hertz(30.0), hertz(30.0)};
+  EXPECT_FALSE(q.stable());
+  EXPECT_THROW((void)(q.mean_total_delay()), std::domain_error);
+  EXPECT_THROW((void)(q.mean_frames_in_system()), std::domain_error);
+  EXPECT_THROW((void)(Mm1(hertz(0.0), hertz(1.0))), std::domain_error);
+}
+
+TEST(Mm1, RequiredServiceRateInvertsEqFive) {
+  const Hertz lambda_d = Mm1::required_service_rate(hertz(38.3), seconds(0.1));
+  EXPECT_NEAR(lambda_d.value(), 48.3, 1e-12);
+  const Mm1 q{hertz(38.3), lambda_d};
+  EXPECT_NEAR(q.mean_total_delay().value(), 0.1, 1e-12);
+  EXPECT_THROW(Mm1::required_service_rate(hertz(0.0), seconds(0.1)),
+               std::domain_error);
+  EXPECT_THROW(Mm1::required_service_rate(hertz(1.0), seconds(0.0)),
+               std::domain_error);
+}
+
+TEST(Mm1, BufferedFramesQuote) {
+  // "an average 0.1 s total frame delay (corresponding to 2 extra frames of
+  // video)" at ~20 fr/s arrivals.
+  EXPECT_NEAR(Mm1::buffered_frames_at(hertz(20.0), seconds(0.1)), 2.0, 1e-12);
+  // "~6 extra frames of audio" at 0.15 s and 38-44 fr/s.
+  EXPECT_NEAR(Mm1::buffered_frames_at(hertz(40.0), seconds(0.15)), 6.0, 1e-12);
+}
+
+// ---- property test: simulation matches theory across a rate grid ----------
+
+class Mm1SimProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Mm1SimProperty, SimulatedDelayMatchesEquationFive) {
+  const auto [lambda_u, lambda_d] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(lambda_u * 1000 + lambda_d)};
+
+  // Event-free single-server FIFO simulation with exponential interarrival
+  // and service times.
+  RunningStats delays;
+  double t_arrival = 0.0;
+  double server_free = 0.0;
+  for (int i = 0; i < 400000; ++i) {
+    t_arrival += rng.exponential(lambda_u);
+    const double start = std::max(t_arrival, server_free);
+    const double service = rng.exponential(lambda_d);
+    server_free = start + service;
+    delays.add(server_free - t_arrival);
+  }
+
+  const Mm1 q{hertz(lambda_u), hertz(lambda_d)};
+  EXPECT_NEAR(delays.mean(), q.mean_total_delay().value(),
+              q.mean_total_delay().value() * 0.08)
+      << "lambda_u=" << lambda_u << " lambda_d=" << lambda_d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateGrid, Mm1SimProperty,
+    ::testing::Values(std::make_tuple(10.0, 20.0), std::make_tuple(20.0, 30.0),
+                      std::make_tuple(38.3, 48.3), std::make_tuple(30.0, 90.0),
+                      std::make_tuple(44.0, 54.0), std::make_tuple(9.0, 19.0),
+                      std::make_tuple(25.0, 75.0), std::make_tuple(60.0, 70.0)));
+
+}  // namespace
+}  // namespace dvs::queue

@@ -1,0 +1,91 @@
+// Edge cases of the event kernel that the engine relies on implicitly.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvs::sim {
+namespace {
+
+TEST(SimulatorEdge, CancelFromInsideCallback) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId second{};
+  sim.schedule_at(seconds(1.0), [&] { sim.cancel(second); });
+  second = sim.schedule_at(seconds(2.0), [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimulatorEdge, CancelSameTimestampLaterEvent) {
+  // Event A cancels event B scheduled for the same instant; FIFO order
+  // guarantees A runs first, so B must not fire.
+  Simulator sim;
+  bool b_fired = false;
+  EventId b{};
+  sim.schedule_at(seconds(1.0), [&] { sim.cancel(b); });
+  b = sim.schedule_at(seconds(1.0), [&] { b_fired = true; });
+  sim.run();
+  EXPECT_FALSE(b_fired);
+}
+
+TEST(SimulatorEdge, ScheduleAtCurrentTimeFromCallback) {
+  Simulator sim;
+  int order = 0;
+  int a_at = 0;
+  int b_at = 0;
+  sim.schedule_at(seconds(1.0), [&] {
+    a_at = ++order;
+    sim.schedule_at(sim.now(), [&] { b_at = ++order; });
+  });
+  sim.run();
+  EXPECT_EQ(a_at, 1);
+  EXPECT_EQ(b_at, 2);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 1.0);
+}
+
+TEST(SimulatorEdge, RunUntilThenContinue) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(Seconds{t}, [&fired, &sim] { fired.push_back(sim.now().value()); });
+  }
+  sim.run_until(seconds(2.5));
+  EXPECT_EQ(fired.size(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(fired.back(), 4.0);
+}
+
+TEST(SimulatorEdge, RunUntilPastHorizonThrows) {
+  Simulator sim;
+  sim.run_until(seconds(5.0));
+  EXPECT_THROW((void)(sim.run_until(seconds(1.0))), std::logic_error);
+}
+
+TEST(SimulatorEdge, TombstonesDoNotLeakIntoExecution) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventId> ids;
+  ids.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(seconds(1.0 + i), [&] { ++fired; }));
+  }
+  // Cancel every even event.
+  for (int i = 0; i < 100; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(sim.executed_count(), 50u);
+}
+
+TEST(SimulatorEdge, StopInsideRunUntilPreservesClock) {
+  Simulator sim;
+  sim.schedule_at(seconds(1.0), [&] { sim.stop(); });
+  sim.schedule_at(seconds(2.0), [] {});
+  sim.run_until(seconds(10.0));
+  // Stopped at the first event; the clock must not jump to the horizon.
+  EXPECT_DOUBLE_EQ(sim.now().value(), 1.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dvs::sim

@@ -1,0 +1,153 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dvs::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().value(), 3.0);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(seconds(1.0), [&] { order.push_back(2); });
+  sim.schedule_at(seconds(1.0), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(seconds(5.0), [&] {
+    sim.schedule_in(seconds(2.5), [&] { fired_at = sim.now().value(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CannotScheduleIntoPast) {
+  Simulator sim;
+  sim.schedule_at(seconds(2.0), [] {});
+  sim.run();
+  EXPECT_THROW((void)(sim.schedule_at(seconds(1.0), [] {})), std::logic_error);
+  EXPECT_THROW((void)(sim.schedule_in(seconds(-0.1), [] {})), std::logic_error);
+}
+
+TEST(Simulator, NullCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW((void)(sim.schedule_at(seconds(1.0), Simulator::Callback{})), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(seconds(1.0), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) sim.schedule_in(seconds(1.0), chain);
+  };
+  sim.schedule_at(seconds(0.0), chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 9.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(seconds(5.0), [&] { ++fired; });
+  sim.run_until(seconds(3.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 3.0);
+  sim.run_until(seconds(10.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 10.0);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1.0), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(seconds(2.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stop_requested());
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(seconds(1.0), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, PendingCountTracksQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_count(), 0u);
+  const EventId a = sim.schedule_at(seconds(1.0), [] {});
+  sim.schedule_at(seconds(2.0), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.executed_count(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Deterministic scramble of times.
+    const double t = static_cast<double>((i * 7919) % 10007);
+    sim.schedule_at(seconds(t), [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_count(), 10000u);
+}
+
+}  // namespace
+}  // namespace dvs::sim

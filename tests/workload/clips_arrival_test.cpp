@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "workload/arrival.hpp"
+#include "workload/clips.hpp"
+
+namespace dvs::workload {
+namespace {
+
+TEST(Clips, TableTwoShape) {
+  const auto table = mp3_clip_table();
+  ASSERT_EQ(table.size(), 6u);
+  // Durations sum to the paper's 653 s of audio.
+  double total = 0.0;
+  for (const auto& clip : table) total += clip.duration.value();
+  EXPECT_NEAR(total, 653.0, 1e-9);
+  // Decode rate falls as bit rate/sample rate rise (harder clips).
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LT(table[i].decode_rate_at_max, table[i - 1].decode_rate_at_max);
+  }
+}
+
+TEST(Clips, ArrivalRatesInPaperRange) {
+  // The paper's sequences span roughly 14-44 fr/s arrivals.
+  for (const auto& clip : mp3_clip_table()) {
+    EXPECT_GE(clip.arrival_rate().value(), 13.0) << clip.label;
+    EXPECT_LE(clip.arrival_rate().value(), 44.0) << clip.label;
+    // Every clip decodes faster than real time at the top step.
+    EXPECT_GT(clip.decode_rate_at_max.value(), clip.arrival_rate().value())
+        << clip.label;
+  }
+  EXPECT_NEAR(mp3_clip('D').arrival_rate().value(), 44100.0 / 1152.0, 1e-9);
+}
+
+TEST(Clips, LookupByLabel) {
+  EXPECT_EQ(mp3_clip('A').label, 'A');
+  EXPECT_EQ(mp3_clip('F').label, 'F');
+  EXPECT_THROW((void)(mp3_clip('G')), std::out_of_range);
+  EXPECT_THROW((void)(mp3_clip('a')), std::out_of_range);
+}
+
+TEST(Clips, SequenceBuilder) {
+  const auto seq = mp3_sequence("ACEFBD");
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq[0].label, 'A');
+  EXPECT_EQ(seq[5].label, 'D');
+  EXPECT_THROW((void)(mp3_sequence("AXE")), std::out_of_range);
+}
+
+TEST(Clips, MpegClipsMatchPaper) {
+  EXPECT_NEAR(football_clip().duration.value(), 875.0, 1e-9);
+  EXPECT_NEAR(terminator2_clip().duration.value(), 1200.0, 1e-9);
+  // Football is the high-motion clip.
+  EXPECT_GT(football_clip().motion_variability,
+            terminator2_clip().motion_variability);
+}
+
+TEST(RateSchedule, RateLookupAndSegmentEnd) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(10.0));
+  sched.append(seconds(100.0), hertz(60.0));
+  EXPECT_DOUBLE_EQ(sched.rate_at(seconds(0.0)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(seconds(99.9)).value(), 10.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(seconds(100.0)).value(), 60.0);
+  EXPECT_DOUBLE_EQ(sched.segment_end(seconds(50.0)).value(), 100.0);
+  EXPECT_TRUE(std::isinf(sched.segment_end(seconds(150.0)).value()));
+  EXPECT_THROW((void)(sched.rate_at(seconds(-1.0))), std::logic_error);
+}
+
+TEST(RateSchedule, RejectsBadInput) {
+  RateSchedule sched;
+  sched.append(seconds(10.0), hertz(5.0));
+  EXPECT_THROW((void)(sched.append(seconds(5.0), hertz(5.0))), std::logic_error);
+  EXPECT_THROW((void)(sched.append(seconds(20.0), hertz(0.0))), std::logic_error);
+  EXPECT_THROW((void)(RateSchedule{}.rate_at(seconds(0.0))), std::logic_error);
+}
+
+TEST(ArrivalProcess, PoissonRateRecovered) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(38.3));
+  const ArrivalProcess proc{sched, 0.0};
+  Rng rng{9};
+  Seconds t{0.0};
+  int count = 0;
+  while (t < seconds(1000.0)) {
+    t = proc.next_after(t, rng);
+    ++count;
+  }
+  EXPECT_NEAR(count / 1000.0, 38.3, 1.0);
+}
+
+TEST(ArrivalProcess, RespectsRateChange) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(10.0));
+  sched.append(seconds(100.0), hertz(60.0));
+  const ArrivalProcess proc{sched, 0.0};
+  Rng rng{10};
+  int before = 0;
+  int after = 0;
+  Seconds t{0.0};
+  while (t < seconds(200.0)) {
+    t = proc.next_after(t, rng);
+    if (t < seconds(100.0)) {
+      ++before;
+    } else if (t < seconds(200.0)) {
+      ++after;
+    }
+  }
+  EXPECT_NEAR(before, 1000, 150);
+  EXPECT_NEAR(after, 6000, 400);
+}
+
+TEST(ArrivalProcess, StrictlyForward) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(100.0));
+  const ArrivalProcess proc{sched, 0.3};
+  Rng rng{11};
+  Seconds t{0.0};
+  for (int i = 0; i < 10000; ++i) {
+    const Seconds next = proc.next_after(t, rng);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalProcess, JitterPreservesMeanRate) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(30.0));
+  const ArrivalProcess proc{sched, 0.35};
+  Rng rng{12};
+  Seconds t{0.0};
+  int count = 0;
+  while (t < seconds(2000.0)) {
+    t = proc.next_after(t, rng);
+    ++count;
+  }
+  // The lognormal factor has unit mean, so the rate is approximately kept.
+  EXPECT_NEAR(count / 2000.0, 30.0, 1.5);
+}
+
+TEST(ArrivalProcess, InvalidConfig) {
+  RateSchedule sched;
+  sched.append(seconds(0.0), hertz(1.0));
+  EXPECT_THROW((void)(ArrivalProcess(RateSchedule{}, 0.0)), std::logic_error);
+  EXPECT_THROW((void)(ArrivalProcess(sched, -0.1)), std::logic_error);
+  EXPECT_THROW((void)(ArrivalProcess(sched, 1.5)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs::workload

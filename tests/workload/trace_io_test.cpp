@@ -1,0 +1,101 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/clips.hpp"
+
+namespace dvs::workload {
+namespace {
+
+FrameTrace make_trace(std::uint64_t seed = 51) {
+  const hw::Sa1100 cpu;
+  const DecoderModel dec = reference_mp3_decoder(cpu.max_frequency());
+  Rng rng{seed};
+  return build_mp3_trace(mp3_sequence("AC"), dec, rng);
+}
+
+void expect_equal(const FrameTrace& a, const FrameTrace& b) {
+  EXPECT_EQ(a.type(), b.type());
+  EXPECT_DOUBLE_EQ(a.duration().value(), b.duration().value());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.frames()[i].id, b.frames()[i].id);
+    EXPECT_DOUBLE_EQ(a.frames()[i].arrival.value(), b.frames()[i].arrival.value());
+    EXPECT_DOUBLE_EQ(a.frames()[i].work, b.frames()[i].work);
+  }
+  ASSERT_EQ(a.truth().size(), b.truth().size());
+  for (std::size_t i = 0; i < a.truth().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.truth()[i].time.value(), b.truth()[i].time.value());
+    EXPECT_DOUBLE_EQ(a.truth()[i].arrival_rate.value(),
+                     b.truth()[i].arrival_rate.value());
+    EXPECT_DOUBLE_EQ(a.truth()[i].service_rate_at_max.value(),
+                     b.truth()[i].service_rate_at_max.value());
+  }
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const FrameTrace trace = make_trace();
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  const FrameTrace loaded = load_trace(buffer);
+  expect_equal(trace, loaded);
+}
+
+TEST(TraceIo, RoundTripsThroughFile) {
+  const FrameTrace trace = make_trace(52);
+  const std::string path = testing::TempDir() + "/dvs_trace_roundtrip.trace";
+  save_trace(trace, path);
+  const FrameTrace loaded = load_trace(path);
+  expect_equal(trace, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MpegTraceRoundTrips) {
+  const hw::Sa1100 cpu;
+  const DecoderModel dec = reference_mpeg_decoder(cpu.max_frequency());
+  Rng rng{53};
+  MpegClip clip = football_clip();
+  clip.duration = seconds(60.0);
+  const FrameTrace trace = build_mpeg_trace(clip, dec, rng);
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  expect_equal(trace, load_trace(buffer));
+}
+
+TEST(TraceIo, RejectsMissingMagic) {
+  std::stringstream buffer{"not a trace\n"};
+  EXPECT_THROW((void)(load_trace(buffer)), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownType) {
+  std::stringstream buffer{"dvs-trace v1\ntype ogg-vorbis\nduration 1\n"};
+  EXPECT_THROW((void)(load_trace(buffer)), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  std::stringstream buffer{
+      "dvs-trace v1\ntype mp3-audio\nduration 10\ntruth 0 nonsense 1\n"};
+  EXPECT_THROW((void)(load_trace(buffer)), std::runtime_error);
+  std::stringstream buffer2{
+      "dvs-trace v1\ntype mp3-audio\nduration 10\ntruth 0 1 1\nbogus-key 1\n"};
+  EXPECT_THROW((void)(load_trace(buffer2)), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingSections) {
+  std::stringstream no_truth{"dvs-trace v1\ntype mp3-audio\nduration 10\n"};
+  EXPECT_THROW((void)(load_trace(no_truth)), std::runtime_error);
+  std::stringstream no_duration{"dvs-trace v1\ntype mp3-audio\ntruth 0 1 1\n"};
+  EXPECT_THROW((void)(load_trace(no_duration)), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)(load_trace("/nonexistent/path.trace")), std::runtime_error);
+  const FrameTrace trace = make_trace();
+  EXPECT_THROW((void)(save_trace(trace, "/nonexistent-dir/x.trace")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dvs::workload

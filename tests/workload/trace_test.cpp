@@ -1,0 +1,127 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace dvs::workload {
+namespace {
+
+const hw::Sa1100& cpu() {
+  static const hw::Sa1100 instance;
+  return instance;
+}
+
+TEST(FrameTrace, Mp3TraceCoversSequence) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{21};
+  const auto seq = mp3_sequence("ACE");
+  const FrameTrace trace = build_mp3_trace(seq, dec, rng);
+  EXPECT_EQ(trace.type(), MediaType::Mp3Audio);
+  EXPECT_NEAR(trace.duration().value(), 100.0 + 105.0 + 108.0, 1e-9);
+  EXPECT_EQ(trace.truth().size(), 3u);
+  // Frame count roughly matches sum of clip arrival-rate * duration.
+  double expected = 0.0;
+  for (const auto& c : seq) expected += c.frame_count();
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.1);
+}
+
+TEST(FrameTrace, ArrivalsAreMonotone) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{22};
+  const FrameTrace trace = build_mp3_trace(mp3_sequence("BD"), dec, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace.frames()[i].arrival, trace.frames()[i - 1].arrival);
+  }
+}
+
+TEST(FrameTrace, TruthTracksClipRates) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{23};
+  const FrameTrace trace = build_mp3_trace(mp3_sequence("AF"), dec, rng);
+  // Clip A: 16 kHz -> 13.9 fr/s arrivals, 115 fr/s decode at max.
+  EXPECT_NEAR(trace.true_arrival_rate(seconds(50.0)).value(), 13.9, 0.1);
+  EXPECT_NEAR(trace.true_service_rate_at_max(seconds(50.0)).value(), 115.0, 1e-9);
+  // Clip F starts at t=100: 41.7 fr/s arrivals, 72 fr/s decode.
+  EXPECT_NEAR(trace.true_arrival_rate(seconds(150.0)).value(), 41.67, 0.1);
+  EXPECT_NEAR(trace.true_service_rate_at_max(seconds(150.0)).value(), 72.0, 1e-9);
+}
+
+TEST(FrameTrace, WorkEncodesClipDifficulty) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{24};
+  const FrameTrace trace = build_mp3_trace(mp3_sequence("F"), dec, rng);
+  // Clip F decodes at 72 fr/s on a 100 fr/s reference decoder: mean work
+  // multiplier must be ~100/72.
+  RunningStats work;
+  for (const auto& f : trace.frames()) work.add(f.work);
+  EXPECT_NEAR(work.mean(), 100.0 / 72.0, 0.02);
+}
+
+TEST(FrameTrace, MpegTraceHasGopVariance) {
+  const DecoderModel dec = reference_mpeg_decoder(cpu().max_frequency());
+  Rng rng{25};
+  const FrameTrace trace = build_mpeg_trace(football_clip(), dec, rng);
+  EXPECT_EQ(trace.type(), MediaType::MpegVideo);
+  EXPECT_NEAR(trace.duration().value(), 875.0, 1e-9);
+  RunningStats work;
+  for (const auto& f : trace.frames()) work.add(f.work);
+  // Mean multiplier ~ reference/decode = 48/44.
+  EXPECT_NEAR(work.mean(), 48.0 / 44.0, 0.05);
+  // Large per-frame spread (GOP structure), unlike MP3.
+  EXPECT_GT(work.stddev() / work.mean(), 0.3);
+}
+
+TEST(FrameTrace, MpegArrivalRateVariesAcrossEpochs) {
+  const DecoderModel dec = reference_mpeg_decoder(cpu().max_frequency());
+  Rng rng{26};
+  const FrameTrace trace = build_mpeg_trace(football_clip(), dec, rng);
+  RunningStats rates;
+  for (const auto& seg : trace.truth()) rates.add(seg.arrival_rate.value());
+  EXPECT_GE(rates.min(), 9.0 - 1e-9);
+  EXPECT_LE(rates.max(), 32.0 + 1e-9);
+  EXPECT_GT(rates.max() - rates.min(), 5.0);  // it does actually vary
+}
+
+TEST(FrameTrace, ShiftedMovesEverything) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{27};
+  const FrameTrace base = build_mp3_trace(mp3_sequence("A"), dec, rng);
+  const FrameTrace moved = base.shifted(seconds(500.0));
+  ASSERT_EQ(moved.size(), base.size());
+  EXPECT_NEAR(moved.frames()[0].arrival.value(),
+              base.frames()[0].arrival.value() + 500.0, 1e-9);
+  EXPECT_NEAR(moved.truth()[0].time.value(), base.truth()[0].time.value() + 500.0,
+              1e-9);
+  EXPECT_NEAR(moved.true_service_rate_at_max(seconds(510.0)).value(), 115.0, 1e-9);
+}
+
+TEST(FrameTrace, GeneratorIsDeterministicPerSeed) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng1{42};
+  Rng rng2{42};
+  const FrameTrace a = build_mp3_trace(mp3_sequence("C"), dec, rng1);
+  const FrameTrace b = build_mp3_trace(mp3_sequence("C"), dec, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.frames()[i].arrival.value(), b.frames()[i].arrival.value());
+    EXPECT_DOUBLE_EQ(a.frames()[i].work, b.frames()[i].work);
+  }
+}
+
+TEST(FrameTrace, WrongDecoderTypeRejected) {
+  const DecoderModel mpeg = reference_mpeg_decoder(cpu().max_frequency());
+  Rng rng{28};
+  EXPECT_THROW((void)(build_mp3_trace(mp3_sequence("A"), mpeg, rng)), std::logic_error);
+  const DecoderModel mp3 = reference_mp3_decoder(cpu().max_frequency());
+  EXPECT_THROW((void)(build_mpeg_trace(football_clip(), mp3, rng)), std::logic_error);
+}
+
+TEST(FrameTrace, EmptySequenceRejected) {
+  const DecoderModel dec = reference_mp3_decoder(cpu().max_frequency());
+  Rng rng{29};
+  EXPECT_THROW((void)(build_mp3_trace({}, dec, rng)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs::workload

@@ -1,0 +1,239 @@
+// dvs_sim: command-line driver for the DVS+DPM simulation.
+//
+//   dvs_sim --media mp3 --sequence ACEFBD --detector change-point
+//   dvs_sim --media mpeg --clip football --seconds 300 --detector ideal
+//   dvs_sim --session --cycles 4 --detector change-point --dpm tismdp
+//   dvs_sim --media mp3 --save-trace out.trace
+//   dvs_sim --load-trace out.trace --detector ema
+//
+// Options:
+//   --media mp3|mpeg          workload type (default mp3)
+//   --sequence <labels>       MP3 clip labels, e.g. ACEFBD (default ACEFBD)
+//   --clip football|terminator2   MPEG source clip (default football)
+//   --seconds <n>             truncate the MPEG clip / session length knob
+//   --session                 run a mixed audio/video/idle session instead
+//   --cycles <n>              session cycles (default 4)
+//   --detector ideal|change-point|ema|max|sliding-window   (default change-point)
+//   --ema-gain <g>            EMA gain (default 0.03)
+//   --delay <s>               target mean total frame delay (default 0.1/0.15)
+//   --cv2 <v>                 service-variability model for the policy (default 1 = M/M/1)
+//   --dpm none|timeout|renewal|tismdp|tismdp-dp|adaptive|oracle  (default none)
+//   --dpm-delay <s>           TISMDP expected-wakeup-delay bound (default 0.5)
+//   --seed <n>                workload seed (default 1)
+//   --save-trace <path>       write the generated trace and exit
+//   --load-trace <path>       run on a previously saved trace
+//   --power-csv <path>        dump a 1 Hz whole-badge power trace
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+#include "dpm/adaptive.hpp"
+#include "dpm/tismdp_solver.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace dvs;
+
+namespace {
+
+struct CliOptions {
+  std::string media = "mp3";
+  std::string sequence = "ACEFBD";
+  std::string clip = "football";
+  double seconds_limit = 0.0;
+  bool session = false;
+  int cycles = 4;
+  std::string detector = "change-point";
+  double ema_gain = 0.03;
+  double delay = 0.0;  // 0 = per-media default
+  double cv2 = 1.0;
+  std::string dpm = "none";
+  double dpm_delay = 0.5;
+  std::uint64_t seed = 1;
+  std::string save_trace;
+  std::string load_trace;
+  std::string power_csv;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "dvs_sim: %s\nsee the header of tools/dvs_sim_cli.cpp for usage\n",
+               msg);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--media") { o.media = need(i); ++i; }
+    else if (a == "--sequence") { o.sequence = need(i); ++i; }
+    else if (a == "--clip") { o.clip = need(i); ++i; }
+    else if (a == "--seconds") { o.seconds_limit = std::stod(need(i)); ++i; }
+    else if (a == "--session") { o.session = true; }
+    else if (a == "--cycles") { o.cycles = std::stoi(need(i)); ++i; }
+    else if (a == "--detector") { o.detector = need(i); ++i; }
+    else if (a == "--ema-gain") { o.ema_gain = std::stod(need(i)); ++i; }
+    else if (a == "--delay") { o.delay = std::stod(need(i)); ++i; }
+    else if (a == "--cv2") { o.cv2 = std::stod(need(i)); ++i; }
+    else if (a == "--dpm") { o.dpm = need(i); ++i; }
+    else if (a == "--dpm-delay") { o.dpm_delay = std::stod(need(i)); ++i; }
+    else if (a == "--seed") { o.seed = std::stoull(need(i)); ++i; }
+    else if (a == "--save-trace") { o.save_trace = need(i); ++i; }
+    else if (a == "--load-trace") { o.load_trace = need(i); ++i; }
+    else if (a == "--power-csv") { o.power_csv = need(i); ++i; }
+    else if (a == "--help" || a == "-h") { usage("help requested"); }
+    else { usage(("unknown option " + a).c_str()); }
+  }
+  return o;
+}
+
+core::DetectorKind detector_kind(const std::string& name) {
+  if (name == "ideal") return core::DetectorKind::Ideal;
+  if (name == "change-point" || name == "cp") return core::DetectorKind::ChangePoint;
+  if (name == "ema" || name == "exp-average") return core::DetectorKind::ExpAverage;
+  if (name == "max") return core::DetectorKind::Max;
+  if (name == "sliding-window") return core::DetectorKind::SlidingWindow;
+  usage(("unknown detector " + name).c_str());
+}
+
+dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
+                           const dpm::IdleDistributionPtr& idle) {
+  if (o.dpm == "none") return nullptr;
+  if (o.dpm == "timeout") {
+    return std::make_shared<dpm::FixedTimeoutPolicy>(seconds(2.0), seconds(30.0));
+  }
+  if (o.dpm == "renewal") return std::make_shared<dpm::RenewalPolicy>(costs, idle);
+  if (o.dpm == "tismdp") {
+    return std::make_shared<dpm::TismdpPolicy>(costs, idle, seconds(o.dpm_delay));
+  }
+  if (o.dpm == "tismdp-dp") {
+    return std::make_shared<dpm::SolverTismdpPolicy>(costs, idle,
+                                                     seconds(o.dpm_delay));
+  }
+  if (o.dpm == "adaptive") {
+    dpm::AdaptiveDpmConfig acfg;
+    acfg.max_expected_delay = seconds(o.dpm_delay);
+    return std::make_shared<dpm::AdaptiveDpmPolicy>(costs, acfg);
+  }
+  if (o.dpm == "oracle") return std::make_shared<dpm::OraclePolicy>(costs);
+  usage(("unknown dpm policy " + o.dpm).c_str());
+}
+
+void print_metrics(const core::Metrics& m) {
+  std::printf("duration            %10.1f s\n", m.duration.value());
+  std::printf("energy              %10.1f J  (%.3f kJ)\n", m.total_energy.value(),
+              m.energy_kj());
+  std::printf("  cpu+memory        %10.1f J\n", m.cpu_memory_energy().value());
+  std::printf("average power       %10.1f mW\n", m.average_power.value());
+  std::printf("frames              %10llu arrived, %llu decoded, %llu dropped\n",
+              static_cast<unsigned long long>(m.frames_arrived),
+              static_cast<unsigned long long>(m.frames_decoded),
+              static_cast<unsigned long long>(m.frames_dropped));
+  std::printf("mean frame delay    %10.3f s  (max %.3f)\n",
+              m.mean_frame_delay.value(), m.max_frame_delay.value());
+  std::printf("mean buffered       %10.2f frames\n", m.mean_buffered_frames);
+  std::printf("mean cpu frequency  %10.1f MHz  (%d switches)\n",
+              m.mean_cpu_frequency.value(), m.cpu_switches);
+  std::printf("dpm                 %10d idle periods, %d sleeps, %d wakeups,"
+              " %.2f s wakeup delay\n",
+              m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
+              m.dpm_total_wakeup_delay.value());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+  const hw::Sa1100 cpu;
+
+  core::DetectorFactoryConfig detector_cfg;
+  detector_cfg.ema_gain = o.ema_gain;
+
+  core::RunOptions opts;
+  opts.detector = detector_kind(o.detector);
+  opts.detector_cfg = &detector_cfg;
+  opts.service_cv2 = o.cv2;
+  opts.seed = o.seed;
+  if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
+
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+
+  core::Metrics m;
+  if (o.session) {
+    core::SessionConfig scfg;
+    scfg.cycles = o.cycles;
+    scfg.seed = o.seed;
+    if (o.seconds_limit > 0.0) scfg.mpeg_segment = seconds(o.seconds_limit);
+    const core::Session session = core::build_session(scfg, cpu);
+    opts.dpm_policy = make_dpm(o, costs, session.idle_model);
+    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
+    std::printf("session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
+                session.duration.value(), session.media_time.value(),
+                session.idle_time.value(), session.items.size());
+    m = core::run_items(session.items, opts);
+  } else {
+    std::optional<workload::FrameTrace> trace;
+    std::optional<workload::DecoderModel> decoder;
+    if (!o.load_trace.empty()) {
+      trace = workload::load_trace(o.load_trace);
+      decoder = trace->type() == workload::MediaType::Mp3Audio
+                    ? workload::reference_mp3_decoder(cpu.max_frequency())
+                    : workload::reference_mpeg_decoder(cpu.max_frequency());
+    } else if (o.media == "mp3") {
+      decoder = workload::reference_mp3_decoder(cpu.max_frequency());
+      Rng rng{o.seed};
+      trace = workload::build_mp3_trace(workload::mp3_sequence(o.sequence),
+                                        *decoder, rng);
+    } else if (o.media == "mpeg") {
+      decoder = workload::reference_mpeg_decoder(cpu.max_frequency());
+      workload::MpegClip clip = o.clip == "terminator2"
+                                    ? workload::terminator2_clip()
+                                    : workload::football_clip();
+      if (o.seconds_limit > 0.0) {
+        clip.duration = seconds(
+            std::min(o.seconds_limit, clip.duration.value()));
+      }
+      Rng rng{o.seed};
+      trace = workload::build_mpeg_trace(clip, *decoder, rng);
+    } else {
+      usage(("unknown media " + o.media).c_str());
+    }
+
+    if (!o.save_trace.empty()) {
+      workload::save_trace(*trace, o.save_trace);
+      std::printf("wrote %zu frames to %s\n", trace->size(), o.save_trace.c_str());
+      return 0;
+    }
+
+    const auto idle = core::default_idle_distribution();
+    opts.dpm_policy = make_dpm(o, costs, idle);
+    const bool audio = trace->type() == workload::MediaType::Mp3Audio;
+    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
+    std::printf("trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
+                trace->duration().value(),
+                std::string(workload::to_string(trace->type())).c_str());
+    m = core::run_single_trace(*trace, *decoder, opts);
+  }
+
+  print_metrics(m);
+
+  if (!o.power_csv.empty()) {
+    CsvWriter csv{o.power_csv};
+    csv.write_row(std::vector<std::string>{"time_s", "power_mw"});
+    for (const auto& [t, p] : m.power_trace) {
+      csv.write_row(std::vector<double>{t, p});
+    }
+    std::printf("\npower trace (%zu samples) -> %s\n", m.power_trace.size(),
+                o.power_csv.c_str());
+  }
+  return 0;
+}
