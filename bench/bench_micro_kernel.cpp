@@ -5,10 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <sstream>
 
 #include "common/rng.hpp"
 #include "detect/change_point.hpp"
 #include "detect/ema.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace_recorder.hpp"
 #include "policy/frequency_policy.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
@@ -82,6 +85,52 @@ void BM_ThresholdCharacterization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdCharacterization)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  // The DPM idiom: re-arm and cancel a far-future sleep on every request.
+  // Without lazy compaction the heap grows by one tombstone per iteration.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::EventId pending{};
+    for (int i = 0; i < 1000; ++i) {
+      if (pending.valid()) sim.cancel(pending);
+      pending = sim.schedule_at(seconds(1e6 + i), [] {});
+      sim.schedule_at(seconds(static_cast<double>(i)), [] {});
+    }
+    sim.cancel(pending);
+    sim.run();
+    benchmark::DoNotOptimize(sim.heap_size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_TraceRecorderNullPath(benchmark::State& state) {
+  // The cost an untraced run pays at every instrumentation site: one
+  // active() test, no payload construction.
+  obs::TraceRecorder rec;
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    if (rec.active()) {
+      rec.record(1.0, obs::FrameArrival{frame, "mp3", 1});
+    }
+    benchmark::DoNotOptimize(++frame);
+  }
+}
+BENCHMARK(BM_TraceRecorderNullPath);
+
+void BM_TraceRecorderJsonlSink(benchmark::State& state) {
+  std::ostringstream os;
+  obs::TraceRecorder rec;
+  rec.add_sink(std::make_unique<obs::JsonlSink>(os));
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    rec.record(1.0, obs::FrameArrival{frame++, "mp3", 1});
+    if (os.tellp() > (1 << 20)) os.str({});  // cap memory growth
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rec.events_recorded()));
+}
+BENCHMARK(BM_TraceRecorderJsonlSink);
 
 void BM_FrequencyPolicySelect(benchmark::State& state) {
   const hw::Sa1100 cpu;

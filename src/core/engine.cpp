@@ -1,9 +1,11 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace dvs::core {
 
@@ -28,6 +30,65 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
   }
   pm_ = std::make_unique<dpm::PowerManager>(sim_, badge_, cfg_.dpm_policy,
                                             cfg_.seed ^ 0xd9a17ULL);
+  pm_->set_observability(cfg_.trace, cfg_.metrics);
+  if (cfg_.metrics != nullptr) {
+    delay_hist_ = &cfg_.metrics->histogram("frames.delay_s", 0.0, 2.0, 200);
+    decode_hist_ = &cfg_.metrics->histogram("frames.decode_s", 0.0, 0.2, 200);
+    detect_latency_hist_ =
+        &cfg_.metrics->histogram("detector.detection_latency_s", 0.0, 60.0, 120);
+  }
+  if (tracing()) install_component_observers();
+}
+
+void Engine::install_component_observers() {
+  for (std::size_t i = 0; i < badge_.num_components(); ++i) {
+    badge_.component(static_cast<hw::BadgeComponentId>(i))
+        .set_state_observer([this](const hw::Component& c, hw::PowerState from,
+                                   hw::PowerState to, Seconds at) {
+          cfg_.trace->record(
+              at.value(), obs::ComponentState{c.name(), hw::to_string(from),
+                                              hw::to_string(to),
+                                              c.current_power().value()});
+        });
+  }
+}
+
+void Engine::wire_governor_observability(policy::DvsGovernor& gov) {
+  gov.set_trace(cfg_.trace);
+  if (!observing()) return;
+  const auto wire = [this](detect::RateDetector* det, const char* stream) {
+    if (det == nullptr) return;
+    det->set_decision_observer(
+        [this, stream](Seconds at, const detect::DetectorDecisionInfo& info) {
+          if (tracing()) {
+            cfg_.trace->record(at.value(),
+                               obs::DetectorDecision{stream, info.ln_p_max,
+                                                     info.threshold,
+                                                     info.detected,
+                                                     info.rate.value()});
+          }
+          if (cfg_.metrics == nullptr) return;
+          ++cfg_.metrics->counter("detector.decisions");
+          if (info.detected) {
+            ++cfg_.metrics->counter("detector.changes");
+            if (rate_change_at_) {
+              detect_latency_hist_->add((at - *rate_change_at_).value());
+              rate_change_at_.reset();
+            }
+          }
+        });
+  };
+  wire(gov.arrival_detector(), "arrival");
+  wire(gov.service_detector(), "service");
+}
+
+void Engine::record_detector_sample(const policy::DvsGovernor& gov,
+                                    std::string_view stream, Seconds now,
+                                    Seconds interval, Hertz estimate) {
+  const std::string name = gov.detector_name();
+  cfg_.trace->record(now.value(), obs::DetectorSample{stream, name,
+                                                      interval.value(),
+                                                      estimate.value()});
 }
 
 policy::DvsGovernor& Engine::governor_for(workload::MediaType type) {
@@ -81,8 +142,12 @@ void Engine::ensure_media_context(const PlaybackItem& item) {
           make_detector(cfg_.detector, cfg_.detectors, service_truth));
     }
     it = governors_.emplace(type, std::move(gov)).first;
+    wire_governor_observability(*it->second);
     note_frequency(now);
     it->second->initialize(item.nominal_arrival, item.nominal_service_at_max, now);
+    // The detectors start from nominal rates; the gap to the clip's true
+    // rates is the change the detector has to find.
+    rate_change_at_ = now;
   }
   return;
 }
@@ -120,17 +185,33 @@ void Engine::handle_arrival() {
     note_frequency(now);
     gov.initialize(item.nominal_arrival, item.nominal_service_at_max, now);
     prev_arrival_.reset();
+    rate_change_at_ = now;
   }
 
   start_wlan_burst(std::max(now, device_ready_));
 
-  buffer_.push(workload::Frame{tf.id, item.trace.type(), now, tf.work}, now);
+  const workload::MediaType media = item.trace.type();
+  const bool accepted =
+      buffer_.push(workload::Frame{tf.id, media, now, tf.work}, now);
+  if (tracing()) {
+    if (accepted) {
+      cfg_.trace->record(now.value(), obs::FrameArrival{tf.id,
+                                                        workload::to_string(media),
+                                                        buffer_.size()});
+    } else {
+      cfg_.trace->record(now.value(),
+                         obs::FrameDrop{tf.id, workload::to_string(media)});
+    }
+  }
 
   // Arrival-rate sample, gated against idle gaps.
   if (prev_arrival_) {
     const Seconds gap = now - *prev_arrival_;
     if (gap.value() > 0.0 && gap < cfg_.session_gap_threshold) {
       gov.on_arrival(now, gap, static_cast<double>(buffer_.size()));
+      if (tracing() && gov.adaptive()) {
+        record_detector_sample(gov, "arrival", now, gap, gov.arrival_estimate());
+      }
     }
   }
   prev_arrival_ = now;
@@ -195,6 +276,12 @@ void Engine::handle_decode_start() {
   const MegaHertz f = badge_.cpu_frequency();
   const Seconds pure = dec.decode_time(f, frame.work);
 
+  if (tracing()) {
+    cfg_.trace->record(now.value(),
+                       obs::DecodeStart{frame.id, workload::to_string(frame.type),
+                                        f.value(), switch_latency.value()});
+  }
+
   // The memory is busy only for the frequency-independent stall portion of
   // the decode (a fixed number of accesses per frame); slowing the CPU does
   // not stretch memory energy.  Release it early.
@@ -222,8 +309,22 @@ void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
   buffer_.record_departure(frame.arrival, now);
   deactivate_components(frame.type, now);
   busy_ = false;
-  governor_for(frame.type).on_decode_complete(now, pure_decode, freq,
-                                              static_cast<double>(buffer_.size()));
+  const Seconds delay = now - frame.arrival;
+  if (delay_hist_ != nullptr) delay_hist_->add(delay.value());
+  if (decode_hist_ != nullptr) decode_hist_->add(pure_decode.value());
+  if (tracing()) {
+    cfg_.trace->record(now.value(),
+                       obs::DecodeDone{frame.id, workload::to_string(frame.type),
+                                       pure_decode.value(), delay.value(),
+                                       buffer_.size()});
+  }
+  policy::DvsGovernor& gov = governor_for(frame.type);
+  gov.on_decode_complete(now, pure_decode, freq,
+                         static_cast<double>(buffer_.size()));
+  if (tracing() && gov.adaptive()) {
+    record_detector_sample(gov, "service", now, pure_decode,
+                           gov.service_estimate_at_max());
+  }
 
   if (!buffer_.empty()) {
     maybe_start_decode(now);
@@ -295,7 +396,10 @@ Metrics Engine::run() {
   if (cfg_.power_sample_period.value() > 0.0) {
     schedule_power_sample(cfg_.power_sample_period);
   }
-  sim_.run();
+  {
+    obs::ScopedTimer timer{cfg_.metrics, "wall.engine_run_s"};
+    sim_.run();
+  }
   const Seconds end = std::max(sim_.now(), items_.back().end);
   return collect(end);
 }
@@ -331,7 +435,43 @@ Metrics Engine::collect(Seconds end) {
   m.dpm_wakeups = pm_->wakeups();
   m.dpm_total_wakeup_delay = pm_->total_wakeup_delay();
   m.power_trace = std::move(power_trace_);
+  if (cfg_.metrics != nullptr) fill_registry(m);
   return m;
+}
+
+void Engine::fill_registry(const Metrics& m) {
+  obs::MetricsRegistry& reg = *cfg_.metrics;
+  reg.counter("frames_arrived") += m.frames_arrived;
+  reg.counter("frames_decoded") += m.frames_decoded;
+  reg.counter("frames_dropped") += m.frames_dropped;
+  reg.counter("cpu_switches") += static_cast<std::uint64_t>(m.cpu_switches);
+  reg.counter("dpm.idle_periods") +=
+      static_cast<std::uint64_t>(m.dpm_idle_periods);
+  reg.counter("dpm.sleeps") += static_cast<std::uint64_t>(m.dpm_sleeps);
+  reg.counter("dpm.wakeups") += static_cast<std::uint64_t>(m.dpm_wakeups);
+  reg.gauge("duration_s") = m.duration.value();
+  reg.gauge("energy_j") = m.total_energy.value();
+  reg.gauge("avg_power_mw") = m.average_power.value();
+  reg.gauge("mean_frame_delay_s") = m.mean_frame_delay.value();
+  reg.gauge("mean_cpu_mhz") = m.mean_cpu_frequency.value();
+  reg.gauge("dpm.total_wakeup_delay_s") = m.dpm_total_wakeup_delay.value();
+
+  // Kernel self-profile: how hard the simulator itself worked.
+  const sim::SimulatorStats& s = sim_.stats();
+  reg.counter("sim.events_scheduled") += s.scheduled;
+  reg.counter("sim.events_executed") += s.executed;
+  reg.counter("sim.events_cancelled") += s.cancelled;
+  reg.counter("sim.tombstones_purged") += s.tombstones_purged;
+  reg.counter("sim.heap_compactions") += s.compactions;
+  reg.gauge("sim.max_heap_size") = static_cast<double>(s.max_heap_size);
+  const double wall = reg.gauge_value("wall.engine_run_s");
+  if (wall > 0.0) {
+    reg.gauge("wall.events_per_sec") =
+        static_cast<double>(s.executed) / wall;
+  }
+  if (cfg_.trace != nullptr) {
+    reg.counter("trace.events_recorded") += cfg_.trace->events_recorded();
+  }
 }
 
 }  // namespace dvs::core

@@ -36,6 +36,8 @@
 #include "dpm/policy.hpp"
 #include "dpm/power_manager.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_recorder.hpp"
 #include "policy/governor.hpp"
 #include "queue/frame_buffer.hpp"
 #include "sim/simulator.hpp"
@@ -75,6 +77,12 @@ struct EngineConfig {
   /// Metrics::power_trace (for power-profile plots).
   Seconds power_sample_period{0.0};
   std::uint64_t seed = 1;
+  /// Optional observability: structured trace events fan out to the
+  /// recorder's sinks, and run statistics land in the registry.  Both may
+  /// be null (the default); an untraced run pays only a pointer test per
+  /// instrumentation site.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {
@@ -109,6 +117,20 @@ class Engine {
   void schedule_power_sample(Seconds at);
   void note_frequency(Seconds now);
   Metrics collect(Seconds end);
+
+  // ---- observability ------------------------------------------------------
+  [[nodiscard]] bool tracing() const {
+    return cfg_.trace != nullptr && cfg_.trace->active();
+  }
+  [[nodiscard]] bool observing() const {
+    return tracing() || cfg_.metrics != nullptr;
+  }
+  void install_component_observers();
+  void wire_governor_observability(policy::DvsGovernor& gov);
+  void record_detector_sample(const policy::DvsGovernor& gov,
+                              std::string_view stream, Seconds now,
+                              Seconds interval, Hertz estimate);
+  void fill_registry(const Metrics& m);
 
   EngineConfig cfg_;
   std::vector<PlaybackItem> items_;
@@ -146,6 +168,14 @@ class Engine {
   std::uint64_t frames_arrived_ = 0;
   std::vector<std::pair<double, double>> power_trace_;
   bool ran_ = false;
+
+  // Observability state (null when metrics are off).
+  obs::HistogramMetric* delay_hist_ = nullptr;
+  obs::HistogramMetric* decode_hist_ = nullptr;
+  obs::HistogramMetric* detect_latency_hist_ = nullptr;
+  /// Time of the last workload rate change (item start / item switch) not
+  /// yet acknowledged by a detector — feeds the detection-latency histogram.
+  std::optional<Seconds> rate_change_at_;
 };
 
 }  // namespace dvs::core

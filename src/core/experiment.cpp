@@ -31,6 +31,8 @@ EngineConfig make_engine_config(const RunOptions& opts) {
   cfg.session_gap_threshold = opts.session_gap_threshold;
   cfg.power_sample_period = opts.power_sample_period;
   if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
+  cfg.trace = opts.trace;
+  cfg.metrics = opts.metrics;
   return cfg;
 }
 

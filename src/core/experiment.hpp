@@ -38,6 +38,9 @@ struct RunOptions {
   /// stock SA-1100 (hw/cpu_catalog.hpp).  Decoders in the items must use
   /// its max frequency.
   const hw::Sa1100* cpu = nullptr;
+  /// Optional observability (see EngineConfig::trace / metrics).
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Default nominal (seed) rates per media type: application-level knowledge

@@ -115,22 +115,34 @@ bool ChangePointDetector::detect(Seconds now) {
 
   // Scan every candidate ratio; require the best margin to clear the
   // scan-level calibration (see ThresholdTable::scan_margin).
-  double best_margin = thresholds_->scan_margin();
+  double best_margin = -std::numeric_limits<double>::infinity();
+  double best_stat = -std::numeric_limits<double>::infinity();
+  double best_threshold = 0.0;
   double best_ratio = 1.0;
   std::size_t best_k = 0;
-  bool found = false;
   for (double r : thresholds_->ratios()) {
     std::size_t k = 0;
     const double stat = max_llr_with_argmax(z, r, cfg, k);
-    const double margin = stat - thresholds_->threshold_for_ratio(r);
+    const double threshold = thresholds_->threshold_for_ratio(r);
+    const double margin = stat - threshold;
     if (margin > best_margin) {
       best_margin = margin;
+      best_stat = stat;
+      best_threshold = threshold;
       best_ratio = r;
       best_k = k;
-      found = true;
     }
   }
-  if (!found) return false;
+  const bool found = best_margin > thresholds_->scan_margin();
+  if (!found) {
+    if (has_decision_observer()) {
+      notify_decision(now, DetectorDecisionInfo{
+                               best_stat,
+                               best_threshold + thresholds_->scan_margin(),
+                               false, rate_});
+    }
+    return false;
+  }
 
   // Change declared: re-estimate the rate from the post-change tail by
   // maximum likelihood and drop the pre-change samples.
@@ -148,6 +160,12 @@ bool ChangePointDetector::detect(Seconds now) {
   ++changes_;
   change_times_.push_back(now);
   (void)best_ratio;
+  if (has_decision_observer()) {
+    notify_decision(now, DetectorDecisionInfo{
+                             best_stat,
+                             best_threshold + thresholds_->scan_margin(),
+                             true, rate_});
+  }
   return true;
 }
 

@@ -9,12 +9,24 @@
 // detector at all.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "common/units.hpp"
 
 namespace dvs::detect {
+
+/// One evaluation of a detector's decision rule (for change-point: the
+/// likelihood test of Section 3.1).  Reported to an optional observer so
+/// the observability layer can trace ln P_max and the verdict without the
+/// detector knowing about sinks.
+struct DetectorDecisionInfo {
+  double ln_p_max = 0.0;   ///< best test statistic over the candidate set
+  double threshold = 0.0;  ///< level it had to clear (incl. scan margin)
+  bool detected = false;   ///< verdict
+  Hertz rate{0.0};         ///< estimate after the check
+};
 
 class RateDetector {
  public:
@@ -31,6 +43,26 @@ class RateDetector {
   virtual void reset(Hertz initial) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Installs an observer called on every decision-rule evaluation.
+  /// Detectors without an explicit decision rule (EMA, sliding window)
+  /// never call it.
+  using DecisionObserver =
+      std::function<void(Seconds now, const DetectorDecisionInfo&)>;
+  void set_decision_observer(DecisionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ protected:
+  [[nodiscard]] bool has_decision_observer() const {
+    return static_cast<bool>(observer_);
+  }
+  void notify_decision(Seconds now, const DetectorDecisionInfo& info) const {
+    if (observer_) observer_(now, info);
+  }
+
+ private:
+  DecisionObserver observer_;
 };
 
 using RateDetectorPtr = std::unique_ptr<RateDetector>;

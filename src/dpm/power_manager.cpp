@@ -12,6 +12,14 @@ PowerManager::PowerManager(sim::Simulator& sim, hw::SmartBadge& badge,
   DVS_CHECK_MSG(policy_ != nullptr, "PowerManager: null policy");
 }
 
+void PowerManager::set_observability(obs::TraceRecorder* trace,
+                                     obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  idle_hist_ = metrics == nullptr
+                   ? nullptr
+                   : &metrics->histogram("dpm.idle_period_s", 0.0, 120.0, 240);
+}
+
 void PowerManager::cancel_pending() {
   for (sim::EventId id : pending_) sim_->cancel(id);
   pending_.clear();
@@ -22,6 +30,11 @@ void PowerManager::on_idle_enter(Seconds now,
   DVS_CHECK_MSG(!asleep(), "PowerManager: idle entry while asleep");
   ++idle_periods_;
   idle_started_at_ = now;
+  if (tracing()) {
+    trace_->record(now.value(), obs::DpmIdleEnter{
+                                    idle_length_hint ? idle_length_hint->value()
+                                                     : -1.0});
+  }
   SleepPlan plan = policy_->plan(idle_length_hint, rng_);
   plan.validate();
   for (const SleepStep& step : plan.steps) {
@@ -31,27 +44,39 @@ void PowerManager::on_idle_enter(Seconds now,
       badge_->set_all(target, sim_->now());
       depth_ = target;
       ++sleeps_;
+      if (tracing()) {
+        trace_->record(sim_->now().value(),
+                       obs::DpmSleepCommand{hw::to_string(target)});
+      }
     }));
   }
 }
 
 Seconds PowerManager::on_request(Seconds now) {
   cancel_pending();
+  Seconds idle_length{0.0};
   if (idle_started_at_.has_value()) {
     // Feedback for adaptive policies: the idle period just ended.
-    policy_->on_idle_period_end(now - *idle_started_at_);
+    idle_length = now - *idle_started_at_;
+    policy_->on_idle_period_end(idle_length);
+    if (idle_hist_ != nullptr) idle_hist_->add(idle_length.value());
     idle_started_at_.reset();
   }
   if (!asleep()) return now;
 
   // Wake every component back to idle; the decode path will activate what
   // it needs.  The badge reports the slowest wakeup.
+  const hw::PowerState was = depth_;
   badge_->set_all(hw::PowerState::Idle, now);
   const Seconds ready = badge_->latest_wakeup_completion(now);
   const Seconds delay = ready - now;
   total_wakeup_delay_ += delay;
   ++wakeups_;
   depth_ = hw::PowerState::Idle;
+  if (tracing()) {
+    trace_->record(now.value(), obs::DpmWakeup{hw::to_string(was), delay.value(),
+                                               idle_length.value()});
+  }
   if (ready > now) {
     sim_->schedule_at(ready, [this] { badge_->finish_wakeups(sim_->now()); });
   } else {

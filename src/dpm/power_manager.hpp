@@ -13,6 +13,8 @@
 #include "common/rng.hpp"
 #include "dpm/policy.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace dvs::dpm {
@@ -42,13 +44,23 @@ class PowerManager {
 
   [[nodiscard]] const DpmPolicy& policy() const { return *policy_; }
 
+  /// Attaches observability: trace events for idle-enter / sleep / wakeup,
+  /// and an idle-period-length histogram in the registry.  Either pointer
+  /// may be null.
+  void set_observability(obs::TraceRecorder* trace, obs::MetricsRegistry* metrics);
+
  private:
   void cancel_pending();
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->active();
+  }
 
   sim::Simulator* sim_;
   hw::SmartBadge* badge_;
   DpmPolicyPtr policy_;
   Rng rng_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::HistogramMetric* idle_hist_ = nullptr;
   hw::PowerState depth_ = hw::PowerState::Idle;  ///< deepest commanded state
   std::optional<Seconds> idle_started_at_;       ///< open idle period, if any
   std::vector<sim::EventId> pending_;

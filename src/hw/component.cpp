@@ -52,7 +52,10 @@ Seconds Component::set_state(PowerState s, Seconds now) {
   const PowerState from = state_;
   state_ = s;
   if (is_sleep_state(s)) ++sleep_transitions_;
-  if (!waking) return Seconds{0.0};
+  if (!waking) {
+    if (observer_) observer_(*this, from, s, now);
+    return Seconds{0.0};
+  }
 
   const Seconds latency = wakeup_latency_from(from);
   if (latency.value() > 0.0) {
@@ -60,6 +63,7 @@ Seconds Component::set_state(PowerState s, Seconds now) {
     wakeup_done_ = now + latency;
     ++wakeups_;
   }
+  if (observer_) observer_(*this, from, s, now);
   return latency;
 }
 

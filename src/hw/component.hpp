@@ -10,6 +10,7 @@
 // decision non-trivial).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/check.hpp"
@@ -93,6 +94,16 @@ class Component {
   /// Number of wakeups started.
   [[nodiscard]] int wakeup_count() const { return wakeups_; }
 
+  /// Observer called after every actual state change (not on same-state
+  /// commands).  Null by default; the observability layer installs one to
+  /// build per-component power-state timelines.
+  using StateObserver =
+      std::function<void(const Component&, PowerState from, PowerState to,
+                         Seconds now)>;
+  void set_state_observer(StateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   ComponentSpec spec_;
   PowerState state_ = PowerState::Idle;
@@ -102,6 +113,7 @@ class Component {
   Joules energy_{0.0};
   int sleep_transitions_ = 0;
   int wakeups_ = 0;
+  StateObserver observer_;
 };
 
 }  // namespace dvs::hw

@@ -1,0 +1,74 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cstdio>
+
+namespace dvs::obs {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, HistogramMetric{lo, hi, bins}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << fmt_num(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": {\"count\": " << h.count();
+    if (h.count() > 0) {
+      os << ", \"mean\": " << fmt_num(h.stats().mean())
+         << ", \"min\": " << fmt_num(h.stats().min())
+         << ", \"max\": " << fmt_num(h.stats().max())
+         << ", \"p50\": " << fmt_num(h.histogram().quantile(0.5))
+         << ", \"p90\": " << fmt_num(h.histogram().quantile(0.9))
+         << ", \"p99\": " << fmt_num(h.histogram().quantile(0.99));
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace dvs::obs

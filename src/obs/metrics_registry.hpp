@@ -1,0 +1,67 @@
+// MetricsRegistry: named counters, gauges, and histograms for one run.
+//
+// Counters are monotone event tallies, gauges hold the latest value of a
+// measurement (or an accumulated wall-clock total), and histograms combine
+// common/stats.hpp::Histogram (binned, for quantiles) with RunningStats
+// (exact mean/min/max).  The registry serializes to a single JSON object —
+// the payload behind `dvs_sim --metrics-json`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace dvs::obs {
+
+/// A histogram plus exact moments of the same sample stream.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins) : hist_(lo, hi, bins) {}
+
+  void add(double x) {
+    hist_.add(x);
+    stats_.add(x);
+  }
+
+  [[nodiscard]] const Histogram& histogram() const { return hist_; }
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t count() const { return stats_.count(); }
+
+ private:
+  Histogram hist_;
+  RunningStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create; returned references stay valid for the registry's
+  /// lifetime (node-based map).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  double& gauge(const std::string& name) { return gauges_[name]; }
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  /// Read-only lookups (0 / nullptr when absent) for tests and reports.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(
+      const std::string& name) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
+  /// max,p50,p90,p99}}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramMetric> histograms_;
+};
+
+}  // namespace dvs::obs

@@ -1,0 +1,44 @@
+// ScopedTimer: wall-clock self-profiling of the simulator.
+//
+// Accumulates the scope's elapsed wall time (seconds) into a named gauge,
+// so repeated scopes sum — e.g. "wall.engine_run_s" across a whole run.
+// This measures the *simulator's* speed, not simulated time; the engine
+// derives events-per-second from it.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics_registry.hpp"
+
+namespace dvs::obs {
+
+class ScopedTimer {
+ public:
+  /// `registry` may be null — the timer is then a no-op.
+  ScopedTimer(MetricsRegistry* registry, std::string gauge_name)
+      : registry_(registry),
+        name_(std::move(gauge_name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    registry_->gauge(name_) += elapsed_seconds();
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dvs::obs

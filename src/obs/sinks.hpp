@@ -1,0 +1,95 @@
+// Trace sinks: JSONL, CSV timeline, and Chrome trace-event JSON.
+//
+// JSONL: one self-describing JSON object per line — the format to grep or
+// load into pandas.  CSV: a flat timeline with generic payload columns (see
+// docs/OBSERVABILITY.md for the per-type column mapping).  Chrome trace:
+// the trace-event JSON array understood by Perfetto / chrome://tracing,
+// with one lane per hardware component showing its power-state spans plus
+// counter tracks for CPU frequency, queue length, and rate estimates.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_recorder.hpp"
+
+namespace dvs::obs {
+
+/// Shared stream plumbing: either owns an ofstream opened on `path` or
+/// borrows a caller-owned ostream (tests).
+class StreamSinkBase : public TraceSink {
+ protected:
+  explicit StreamSinkBase(const std::string& path);
+  explicit StreamSinkBase(std::ostream& os) : os_(&os) {}
+  [[nodiscard]] std::ostream& out() { return *os_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+};
+
+/// One JSON object per event per line.
+class JsonlSink final : public StreamSinkBase {
+ public:
+  explicit JsonlSink(const std::string& path) : StreamSinkBase(path) {}
+  explicit JsonlSink(std::ostream& os) : StreamSinkBase(os) {}
+  void on_event(const Event& event) override;
+  void flush() override { out().flush(); }
+};
+
+/// Flat CSV timeline: ts,type,label,id,a,b,c.
+class CsvTimelineSink final : public StreamSinkBase {
+ public:
+  explicit CsvTimelineSink(const std::string& path) : StreamSinkBase(path) {}
+  explicit CsvTimelineSink(std::ostream& os) : StreamSinkBase(os) {}
+  void on_event(const Event& event) override;
+  void flush() override { out().flush(); }
+
+ private:
+  void header_once();
+  bool wrote_header_ = false;
+};
+
+/// Chrome trace-event JSON (the "JSON array format").  flush() finalizes
+/// the array; events recorded after flush are dropped.
+class ChromeTraceSink final : public StreamSinkBase {
+ public:
+  explicit ChromeTraceSink(const std::string& path) : StreamSinkBase(path) {}
+  explicit ChromeTraceSink(std::ostream& os) : StreamSinkBase(os) {}
+  ~ChromeTraceSink() override { flush(); }
+  void on_event(const Event& event) override;
+  void flush() override;
+
+ private:
+  int lane_for(const std::string& name);
+  void emit(double ts_us, char ph, int tid, const std::string& name,
+            const std::string& args_json);
+  void counter(double ts_us, const std::string& name, double value);
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool first_ = false;
+  double last_ts_us_ = 0.0;
+  int next_lane_ = 16;  // component lanes; fixed lanes live below 16
+  std::map<std::string, int> lanes_;
+  std::map<std::string, std::string> open_span_;  ///< component -> state
+  bool decode_open_ = false;
+};
+
+/// Forwards every event to a std::function — in-process consumers (metrics
+/// taps, tests) without a serialization format.
+class CallbackSink final : public TraceSink {
+ public:
+  using Fn = std::function<void(const Event&)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void on_event(const Event& event) override { fn_(event); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace dvs::obs

@@ -79,7 +79,15 @@ void DvsGovernor::recompute() {
 Seconds DvsGovernor::apply(Seconds now) {
   if (desired_step_ == badge_->cpu_step()) return Seconds{0.0};
   ++retunes_;
-  return badge_->set_cpu_step(desired_step_, now);
+  const Seconds latency = badge_->set_cpu_step(desired_step_, now);
+  if (trace_ != nullptr && trace_->active()) {
+    trace_->record(now.value(),
+                   obs::FreqCommit{badge_->cpu_step(),
+                                   badge_->cpu_frequency().value(),
+                                   badge_->cpu_voltage().value(),
+                                   latency.value()});
+  }
+  return latency;
 }
 
 Hertz DvsGovernor::arrival_estimate() const {

@@ -18,6 +18,7 @@
 
 #include "detect/detector.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/trace_recorder.hpp"
 #include "policy/frequency_policy.hpp"
 #include "workload/decoder_model.hpp"
 
@@ -68,6 +69,18 @@ class DvsGovernor {
   /// Number of committed frequency switches.
   [[nodiscard]] int retune_count() const { return retunes_; }
 
+  /// Attaches a trace recorder; apply() then emits a FreqCommit event for
+  /// every committed switch.  May be null (tracing off).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Detector access for observability wiring (null for the Max governor).
+  [[nodiscard]] detect::RateDetector* arrival_detector() {
+    return arrival_detector_.get();
+  }
+  [[nodiscard]] detect::RateDetector* service_detector() {
+    return service_detector_.get();
+  }
+
  private:
   DvsGovernor(hw::SmartBadge& badge, const workload::DecoderModel& decoder,
               FrequencyPolicy policy, detect::RateDetectorPtr arrival_detector,
@@ -83,6 +96,7 @@ class DvsGovernor {
   std::size_t desired_step_;
   double last_queue_len_ = 0.0;
   int retunes_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace dvs::policy

@@ -1,15 +1,24 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace dvs::sim {
+
+namespace {
+// Below this many tombstones compaction is not worth the heap rebuild.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
 
 EventId Simulator::schedule_impl(double at, Callback fn) {
   DVS_CHECK_MSG(at >= now_.value(), "cannot schedule into the past");
   DVS_CHECK_MSG(static_cast<bool>(fn), "null event callback");
   const std::uint64_t id = next_id_++;
-  heap_.push(Scheduled{at, next_seq_++, id});
+  heap_.push_back(Scheduled{at, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(fn));
+  ++stats_.scheduled;
+  stats_.max_heap_size = std::max(stats_.max_heap_size, heap_.size());
   return EventId{id};
 }
 
@@ -23,7 +32,25 @@ EventId Simulator::schedule_in(Seconds delay, Callback fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  return callbacks_.erase(id.value) > 0;
+  if (callbacks_.erase(id.value) == 0) return false;
+  ++tombstones_;
+  ++stats_.cancelled;
+  maybe_compact();
+  return true;
+}
+
+void Simulator::maybe_compact() {
+  // Lazy compaction: rebuild only when tombstones dominate, so the
+  // amortized cost per cancel stays O(log n) while the heap stays within a
+  // constant factor of the live event count.
+  if (tombstones_ < kCompactionFloor || tombstones_ <= callbacks_.size()) return;
+  std::erase_if(heap_, [this](const Scheduled& s) {
+    return !callbacks_.contains(s.id);
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  stats_.tombstones_purged += tombstones_;
+  tombstones_ = 0;
+  ++stats_.compactions;
 }
 
 bool Simulator::pending(EventId id) const {
@@ -32,22 +59,35 @@ bool Simulator::pending(EventId id) const {
 
 std::size_t Simulator::pending_count() const { return callbacks_.size(); }
 
+void Simulator::pop_heap_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+}
+
+void Simulator::skip_tombstones() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    pop_heap_top();
+    DVS_CHECK(tombstones_ > 0);
+    --tombstones_;
+    ++stats_.tombstones_purged;
+  }
+}
+
 void Simulator::execute_next() {
   // Precondition: heap has a live head.
-  const Scheduled top = heap_.top();
-  heap_.pop();
+  const Scheduled top = heap_.front();
+  pop_heap_top();
   auto it = callbacks_.find(top.id);
   DVS_CHECK(it != callbacks_.end());
   Callback fn = std::move(it->second);
   callbacks_.erase(it);
   now_ = Seconds{top.at};
-  ++executed_;
+  ++stats_.executed;
   fn();
 }
 
 bool Simulator::step() {
-  // Skip tombstones of cancelled events.
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+  skip_tombstones();
   if (heap_.empty()) return false;
   execute_next();
   return true;
@@ -63,8 +103,8 @@ void Simulator::run_until(Seconds horizon) {
   DVS_CHECK_MSG(horizon.value() >= now_.value(), "horizon is in the past");
   stop_requested_ = false;
   while (!stop_requested_) {
-    while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
-    if (heap_.empty() || heap_.top().at > horizon.value()) break;
+    skip_tombstones();
+    if (heap_.empty() || heap_.front().at > horizon.value()) break;
     execute_next();
   }
   if (!stop_requested_ && now_ < horizon) now_ = horizon;

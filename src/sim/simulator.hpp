@@ -5,11 +5,16 @@
 // fire in timestamp order; ties break in scheduling order so runs are fully
 // deterministic.  Events are cancellable (a DPM policy cancels its pending
 // sleep transition when a request arrives).
+//
+// Cancelled events stay in the heap as tombstones until popped — but the
+// heap compacts lazily whenever tombstones outnumber live callbacks, so a
+// cancel-heavy workload (a DPM policy cancelling a pending sleep on every
+// arrival) keeps the heap within a constant factor of the live event count
+// instead of growing without bound.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +29,17 @@ struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
   friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+/// Kernel-level instrumentation counters (obs::MetricsRegistry feeds on
+/// these; tests assert the compaction bound through them).
+struct SimulatorStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t tombstones_purged = 0;  ///< skipped on pop or compacted away
+  std::uint64_t compactions = 0;
+  std::size_t max_heap_size = 0;  ///< high-water mark incl. tombstones
 };
 
 /// Event-driven simulator with a monotonically advancing clock.
@@ -71,7 +87,14 @@ class Simulator {
   [[nodiscard]] bool stop_requested() const { return stop_requested_; }
 
   /// Total number of events executed so far (for microbenchmarks and tests).
-  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed_count() const { return stats_.executed; }
+
+  /// Kernel counters for observability.
+  [[nodiscard]] const SimulatorStats& stats() const { return stats_; }
+
+  /// Heap entries including tombstones; bounded by the lazy compaction at
+  /// < max(2 * pending_count(), compaction floor) + 1.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
  private:
   struct Scheduled {
@@ -87,16 +110,22 @@ class Simulator {
 
   EventId schedule_impl(double at, Callback fn);
   void execute_next();
+  void pop_heap_top();
+  void skip_tombstones();
+  void maybe_compact();
 
   Seconds now_{0.0};
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> heap_;
+  // Min-heap over (at, seq) maintained with std::push_heap/pop_heap so the
+  // storage is reachable for compaction.
+  std::vector<Scheduled> heap_;
+  std::size_t tombstones_ = 0;  ///< heap entries whose callback was cancelled
   // Callbacks for live events; cancelled events stay in the heap as
   // tombstones (absent from this map) and are skipped when popped.
   std::unordered_map<std::uint64_t, Callback> callbacks_;
+  SimulatorStats stats_;
 };
 
 }  // namespace dvs::sim

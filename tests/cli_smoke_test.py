@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the dvs_sim CLI observability surface.
+
+Runs the binary (path in argv[1]) on a change-point + TISMDP workload with
+--metrics-json - and --chrome-trace, then checks that:
+  * stdout is a single valid JSON document (human report goes to stderr),
+  * counters report a sane run (frames decoded, detector active),
+  * the Chrome trace is valid JSON with monotonically non-decreasing
+    timestamps and contains governor, detector, and DPM activity.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def fail(msg):
+    print("FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: cli_smoke_test.py <path-to-dvs-sim>")
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome = os.path.join(tmp, "trace.json")
+        cmd = [
+            binary,
+            "--media", "mp3",
+            "--sequence", "AC",
+            "--seconds", "30",
+            "--detector", "change-point",
+            "--dpm", "tismdp",
+            "--metrics-json", "-",
+            "--chrome-trace", chrome,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"exit code {proc.returncode}\nstderr:\n{proc.stderr}")
+
+        # stdout must be pure JSON (the human report went to stderr).
+        try:
+            metrics = json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            fail(f"stdout is not valid JSON: {e}\nstdout:\n{proc.stdout[:2000]}")
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                fail(f"metrics JSON missing section {section!r}")
+
+        counters = metrics["counters"]
+        if counters.get("frames_decoded", 0) <= 0:
+            fail(f"frames_decoded not positive: {counters}")
+        if counters.get("frames_arrived", 0) < counters["frames_decoded"]:
+            fail("more frames decoded than arrived")
+        if counters.get("detector.decisions", 0) <= 0:
+            fail("change-point detector never evaluated a decision")
+        if counters.get("trace.events_recorded", 0) <= 0:
+            fail("trace recorder saw no events despite an attached sink")
+        if metrics["gauges"].get("energy_j", 0.0) <= 0.0:
+            fail("energy gauge not positive")
+        if "frames.delay_s" not in metrics["histograms"]:
+            fail("frame-delay histogram missing")
+        if "mean frame delay" not in proc.stderr:
+            fail("human-readable report did not go to stderr")
+
+        # Chrome trace: valid JSON, monotone timestamps, expected content.
+        with open(chrome) as f:
+            trace = json.load(f)
+        events = trace if isinstance(trace, list) else trace["traceEvents"]
+        if not events:
+            fail("chrome trace is empty")
+        ts = [e["ts"] for e in events]
+        if any(b < a for a, b in zip(ts, ts[1:])):
+            fail("chrome trace timestamps are not monotonically non-decreasing")
+        names = {e["name"] for e in events}
+        for needed in ("freq_commit", "cpu_mhz", "decode", "idle_enter",
+                       "wakeup"):
+            if needed not in names:
+                fail(f"chrome trace missing expected event name {needed!r}; "
+                     f"saw {sorted(names)}")
+        if not any(n.startswith("sleep:") for n in names):
+            fail("chrome trace has no DPM sleep commands")
+        if not any(n.startswith("rate_") for n in names):
+            fail("chrome trace has no detector rate activity")
+
+    print("OK: frames_decoded =", counters["frames_decoded"],
+          "| trace events =", len(events))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,301 @@
+#include "obs/sinks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "dpm/policy.hpp"
+#include "obs/trace_recorder.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::obs {
+namespace {
+
+// ---- Minimal JSON validity checker ----------------------------------------
+// Recursive-descent over the grammar; enough to prove a sink's output parses
+// without pulling in a JSON library.  (The CLI smoke test cross-checks the
+// same outputs with python's json module.)
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// All "ts":<num> values in document order (none of the sinks nest a key
+/// named "ts" inside args).
+std::vector<double> extract_ts(const std::string& json) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::stod(json.substr(pos)));
+  }
+  return out;
+}
+
+/// A fixed event sequence exercising every payload type once.
+void record_fixture(TraceRecorder& rec) {
+  rec.record(0.5, FrameArrival{7, "mp3", 2});
+  rec.record(0.625, DecodeStart{7, "mp3", 103.2, 0.00015});
+  rec.record(0.75, DecodeDone{7, "mp3", 0.01, 0.25, 1});
+  rec.record(1.0, DetectorSample{"arrival", "change-point", 0.026, 38.5});
+  rec.record(1.0, DetectorDecision{"arrival", -2.5, 3.25, false, 38.5});
+  rec.record(1.5, FreqCommit{3, 147.5, 1.2, 0.00015});
+  rec.record(2.0, FrameDrop{8, "mp3"});
+  rec.record(2.0, DpmIdleEnter{-1.0});
+  rec.record(2.5, DpmSleepCommand{"standby"});
+  rec.record(3.0, DpmWakeup{"standby", 0.1, 1.0});
+  rec.record(3.0, ComponentState{"CPU", "sleep", "active", 400.0});
+  rec.flush();
+}
+
+TEST(TraceRecorder, InactiveWithoutSinksAndSkipsRecording) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.active());
+  rec.record(1.0, FrameArrival{1, "mp3", 1});
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  rec.flush();  // no-op, must not crash
+}
+
+TEST(TraceRecorder, CallbackSinkSeesEveryEvent) {
+  TraceRecorder rec;
+  std::vector<std::string> types;
+  rec.add_sink(std::make_unique<CallbackSink>([&](const Event& e) {
+    types.emplace_back(type_name(e.payload));
+  }));
+  EXPECT_TRUE(rec.active());
+  record_fixture(rec);
+  EXPECT_EQ(rec.events_recorded(), 11u);
+  const std::vector<std::string> want{
+      "frame_arrival", "decode_start",   "decode_done", "detector_sample",
+      "detector_decision", "freq_commit", "frame_drop",  "dpm_idle_enter",
+      "dpm_sleep",     "dpm_wakeup",     "component_state"};
+  EXPECT_EQ(types, want);
+}
+
+TEST(JsonlSink, GoldenEventSequence) {
+  std::ostringstream os;
+  TraceRecorder rec;
+  rec.add_sink(std::make_unique<JsonlSink>(os));
+  record_fixture(rec);
+
+  const std::string want =
+      R"({"ts":0.5,"type":"frame_arrival","frame":7,"media":"mp3","queue":2})"
+      "\n"
+      R"({"ts":0.625,"type":"decode_start","frame":7,"media":"mp3","freq_mhz":103.2,"switch_latency_s":0.00015})"
+      "\n"
+      R"({"ts":0.75,"type":"decode_done","frame":7,"media":"mp3","decode_s":0.01,"delay_s":0.25,"queue":1})"
+      "\n"
+      R"({"ts":1,"type":"detector_sample","stream":"arrival","detector":"change-point","interval_s":0.026,"rate_hz":38.5})"
+      "\n"
+      R"({"ts":1,"type":"detector_decision","stream":"arrival","ln_p_max":-2.5,"threshold":3.25,"detected":false,"rate_hz":38.5})"
+      "\n"
+      R"({"ts":1.5,"type":"freq_commit","step":3,"freq_mhz":147.5,"voltage_v":1.2,"switch_latency_s":0.00015})"
+      "\n"
+      R"({"ts":2,"type":"frame_drop","frame":8,"media":"mp3"})"
+      "\n"
+      R"({"ts":2,"type":"dpm_idle_enter"})"
+      "\n"
+      R"({"ts":2.5,"type":"dpm_sleep","state":"standby"})"
+      "\n"
+      R"({"ts":3,"type":"dpm_wakeup","from":"standby","latency_s":0.1,"idle_s":1})"
+      "\n"
+      R"({"ts":3,"type":"component_state","component":"CPU","from":"sleep","to":"active","power_mw":400})"
+      "\n";
+  EXPECT_EQ(os.str(), want);
+
+  // Every line is independently valid JSON.
+  std::istringstream lines{os.str()};
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker{line}.valid()) << line;
+  }
+}
+
+TEST(CsvTimelineSink, GoldenHeaderAndRows) {
+  std::ostringstream os;
+  TraceRecorder rec;
+  rec.add_sink(std::make_unique<CsvTimelineSink>(os));
+  rec.record(0.5, FrameArrival{7, "mp3", 2});
+  rec.record(1.5, FreqCommit{3, 147.5, 1.2, 0.00015});
+  rec.flush();
+
+  EXPECT_EQ(os.str(),
+            "ts,type,label,id,a,b,c\n"
+            "0.5,frame_arrival,mp3,7,2,0,0\n"
+            "1.5,freq_commit,cpu,3,147.5,1.2,0.00015\n");
+}
+
+TEST(ChromeTraceSink, FixtureProducesValidMonotoneJson) {
+  std::ostringstream os;
+  TraceRecorder rec;
+  rec.add_sink(std::make_unique<ChromeTraceSink>(os));
+  record_fixture(rec);
+
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker{json}.valid()) << json;
+
+  const std::vector<double> ts = extract_ts(json);
+  ASSERT_FALSE(ts.empty());
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_GE(ts[i], ts[i - 1]) << "ts regressed at event " << i;
+  }
+
+  // The lanes the fixture touches are all present.
+  EXPECT_NE(json.find("\"freq_commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"frame_arrival\""), std::string::npos);
+  EXPECT_NE(json.find("\"sleep:standby\""), std::string::npos);
+  EXPECT_NE(json.find("\"wakeup\""), std::string::npos);
+  // Power-state span opened by the fixture is closed by flush().
+  EXPECT_NE(json.find("\"active\",\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"active\",\"ph\":\"E\""), std::string::npos);
+}
+
+TEST(ChromeTraceSink, EmptyRunFlushesToEmptyArray) {
+  std::ostringstream os;
+  {
+    ChromeTraceSink sink{os};
+    sink.flush();
+    sink.flush();  // idempotent
+  }
+  EXPECT_EQ(os.str(), "[]\n");
+}
+
+// ---- End-to-end: a real engine run through the Chrome sink -----------------
+
+TEST(ChromeTraceSink, EngineSessionTraceIsValidAndComplete) {
+  const hw::Sa1100 cpu;
+  core::SessionConfig scfg;
+  scfg.cycles = 1;
+  scfg.mpeg_segment = seconds(5.0);
+  scfg.seed = 7;
+  core::Session session = core::build_session(scfg, cpu);
+
+  std::ostringstream os;
+  TraceRecorder rec;
+  rec.add_sink(std::make_unique<ChromeTraceSink>(os));
+
+  core::RunOptions opts;
+  opts.detector = core::DetectorKind::ExpAverage;
+  opts.dpm_policy =
+      std::make_shared<dpm::FixedTimeoutPolicy>(seconds(1.0), seconds(20.0));
+  opts.trace = &rec;
+  const core::Metrics m = core::run_items(std::move(session.items), opts);
+  rec.flush();
+
+  EXPECT_GT(m.frames_decoded, 0u);
+  EXPECT_GT(rec.events_recorded(), 0u);
+
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker{json}.valid());
+
+  const std::vector<double> ts = extract_ts(json);
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    ASSERT_GE(ts[i], ts[i - 1]) << "ts regressed at event " << i;
+  }
+
+  // Governor commits, decode spans, component lanes, and DPM transitions
+  // all show up in a session run.
+  EXPECT_NE(json.find("\"freq_commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_mhz\""), std::string::npos);
+  EXPECT_NE(json.find("\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"idle_enter\""), std::string::npos);
+  EXPECT_NE(json.find("\"wakeup\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs::obs

@@ -1,0 +1,101 @@
+// Regression test for unbounded tombstone growth: a policy that schedules a
+// far-future event and cancels it on every request (the DPM pattern) used to
+// leave one tombstone per cancel in the heap for the whole run.  The lazy
+// compaction must keep the heap within a constant factor of the live count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dvs::sim {
+namespace {
+
+// Generous bound: compaction triggers when tombstones exceed both the floor
+// (64) and the live count, so the heap never exceeds 2*live + floor slack.
+constexpr std::size_t kSlack = 128;
+
+TEST(SimulatorCompaction, CancelHeavyWorkloadKeepsHeapBounded) {
+  Simulator sim;
+  constexpr int kRequests = 20000;
+
+  EventId pending_sleep{};
+  int fired = 0;
+  std::size_t worst_heap = 0;
+
+  // Each "request" cancels the previous pending sleep and re-arms a new one
+  // far in the future — the cancel-heavy DPM idiom.
+  std::function<void(int)> request = [&](int k) {
+    if (pending_sleep.valid()) sim.cancel(pending_sleep);
+    pending_sleep =
+        sim.schedule_at(seconds(1e6 + k), [&] { ++fired; });
+    worst_heap = std::max(worst_heap, sim.heap_size());
+    if (k + 1 < kRequests) {
+      sim.schedule_in(seconds(0.001), [&, k] { request(k + 1); });
+    } else {
+      sim.cancel(pending_sleep);  // drain cleanly
+      pending_sleep = EventId{};
+    }
+  };
+  sim.schedule_in(seconds(0.0), [&] { request(0); });
+  sim.run();
+
+  // Live events never exceed 2 (one request + one pending sleep), so a
+  // bounded heap stays near the compaction floor — not near kRequests.
+  EXPECT_LE(worst_heap, 2 * 2 + kSlack);
+  EXPECT_LE(sim.stats().max_heap_size, 2 * 2 + kSlack);
+  EXPECT_EQ(fired, 0);
+
+  const SimulatorStats& st = sim.stats();
+  EXPECT_EQ(st.cancelled, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(st.compactions, 0u);
+  EXPECT_EQ(st.tombstones_purged, st.cancelled);  // all accounted for
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.heap_size(), 0u);
+}
+
+TEST(SimulatorCompaction, CompactionPreservesOrderAndPendingEvents) {
+  Simulator sim;
+  std::vector<int> order;
+
+  // Interleave survivors with five times as many cancelled events so a
+  // compaction definitely fires while survivors are still queued, then
+  // check the survivors run in order.
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(seconds(1000.0 + i), [&order, i] { order.push_back(i); });
+    for (int j = 0; j < 5; ++j) {
+      doomed.push_back(sim.schedule_at(seconds(2000.0 + 5 * i + j), [] {}));
+    }
+  }
+  for (EventId id : doomed) EXPECT_TRUE(sim.cancel(id));
+  EXPECT_GT(sim.stats().compactions, 0u);
+  EXPECT_EQ(sim.pending_count(), 100u);
+  // Compacted heap holds only live entries plus bounded tombstone slack.
+  EXPECT_LE(sim.heap_size(), 2 * 100u + kSlack);
+
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorCompaction, StatsCountersAreConsistent) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_in(seconds(i), [] {});
+  const EventId id = sim.schedule_in(seconds(99.0), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is rejected
+  sim.run();
+
+  const SimulatorStats& st = sim.stats();
+  EXPECT_EQ(st.scheduled, 11u);
+  EXPECT_EQ(st.executed, 10u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.tombstones_purged, 1u);
+  EXPECT_GE(st.max_heap_size, 11u);
+}
+
+}  // namespace
+}  // namespace dvs::sim

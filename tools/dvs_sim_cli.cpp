@@ -23,15 +23,30 @@
 //   --save-trace <path>       write the generated trace and exit
 //   --load-trace <path>       run on a previously saved trace
 //   --power-csv <path>        dump a 1 Hz whole-badge power trace
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   --trace-jsonl <path>      structured event log, one JSON object per line
+//   --trace-csv <path>        flat CSV timeline of the same events
+//   --chrome-trace <path>     Chrome trace-event JSON (open in Perfetto or
+//                             chrome://tracing; per-component power lanes)
+//   --metrics-json <path>     counters/gauges/histograms as JSON; "-" writes
+//                             the JSON to stdout and the human-readable
+//                             report to stderr
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/csv.hpp"
 #include "core/experiment.hpp"
 #include "dpm/adaptive.hpp"
 #include "dpm/tismdp_solver.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace_recorder.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
 #include "workload/trace_io.hpp"
@@ -57,6 +72,10 @@ struct CliOptions {
   std::string save_trace;
   std::string load_trace;
   std::string power_csv;
+  std::string trace_jsonl;
+  std::string trace_csv;
+  std::string chrome_trace;
+  std::string metrics_json;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -89,6 +108,10 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--save-trace") { o.save_trace = need(i); ++i; }
     else if (a == "--load-trace") { o.load_trace = need(i); ++i; }
     else if (a == "--power-csv") { o.power_csv = need(i); ++i; }
+    else if (a == "--trace-jsonl") { o.trace_jsonl = need(i); ++i; }
+    else if (a == "--trace-csv") { o.trace_csv = need(i); ++i; }
+    else if (a == "--chrome-trace") { o.chrome_trace = need(i); ++i; }
+    else if (a == "--metrics-json") { o.metrics_json = need(i); ++i; }
     else if (a == "--help" || a == "-h") { usage("help requested"); }
     else { usage(("unknown option " + a).c_str()); }
   }
@@ -127,25 +150,25 @@ dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
   usage(("unknown dpm policy " + o.dpm).c_str());
 }
 
-void print_metrics(const core::Metrics& m) {
-  std::printf("duration            %10.1f s\n", m.duration.value());
-  std::printf("energy              %10.1f J  (%.3f kJ)\n", m.total_energy.value(),
-              m.energy_kj());
-  std::printf("  cpu+memory        %10.1f J\n", m.cpu_memory_energy().value());
-  std::printf("average power       %10.1f mW\n", m.average_power.value());
-  std::printf("frames              %10llu arrived, %llu decoded, %llu dropped\n",
-              static_cast<unsigned long long>(m.frames_arrived),
-              static_cast<unsigned long long>(m.frames_decoded),
-              static_cast<unsigned long long>(m.frames_dropped));
-  std::printf("mean frame delay    %10.3f s  (max %.3f)\n",
-              m.mean_frame_delay.value(), m.max_frame_delay.value());
-  std::printf("mean buffered       %10.2f frames\n", m.mean_buffered_frames);
-  std::printf("mean cpu frequency  %10.1f MHz  (%d switches)\n",
-              m.mean_cpu_frequency.value(), m.cpu_switches);
-  std::printf("dpm                 %10d idle periods, %d sleeps, %d wakeups,"
-              " %.2f s wakeup delay\n",
-              m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
-              m.dpm_total_wakeup_delay.value());
+void print_metrics(std::FILE* out, const core::Metrics& m) {
+  std::fprintf(out, "duration            %10.1f s\n", m.duration.value());
+  std::fprintf(out, "energy              %10.1f J  (%.3f kJ)\n",
+               m.total_energy.value(), m.energy_kj());
+  std::fprintf(out, "  cpu+memory        %10.1f J\n", m.cpu_memory_energy().value());
+  std::fprintf(out, "average power       %10.1f mW\n", m.average_power.value());
+  std::fprintf(out, "frames              %10llu arrived, %llu decoded, %llu dropped\n",
+               static_cast<unsigned long long>(m.frames_arrived),
+               static_cast<unsigned long long>(m.frames_decoded),
+               static_cast<unsigned long long>(m.frames_dropped));
+  std::fprintf(out, "mean frame delay    %10.3f s  (max %.3f)\n",
+               m.mean_frame_delay.value(), m.max_frame_delay.value());
+  std::fprintf(out, "mean buffered       %10.2f frames\n", m.mean_buffered_frames);
+  std::fprintf(out, "mean cpu frequency  %10.1f MHz  (%d switches)\n",
+               m.mean_cpu_frequency.value(), m.cpu_switches);
+  std::fprintf(out, "dpm                 %10d idle periods, %d sleeps, %d wakeups,"
+               " %.2f s wakeup delay\n",
+               m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
+               m.dpm_total_wakeup_delay.value());
 }
 
 }  // namespace
@@ -154,14 +177,38 @@ int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
   const hw::Sa1100 cpu;
 
+  // Metrics to stdout move the human-readable report to stderr so the JSON
+  // stays machine-parseable.
+  const bool json_to_stdout = o.metrics_json == "-";
+  std::FILE* hout = json_to_stdout ? stderr : stdout;
+
   core::DetectorFactoryConfig detector_cfg;
   detector_cfg.ema_gain = o.ema_gain;
+
+  obs::TraceRecorder recorder;
+  try {
+    if (!o.trace_jsonl.empty()) {
+      recorder.add_sink(std::make_unique<obs::JsonlSink>(o.trace_jsonl));
+    }
+    if (!o.trace_csv.empty()) {
+      recorder.add_sink(std::make_unique<obs::CsvTimelineSink>(o.trace_csv));
+    }
+    if (!o.chrome_trace.empty()) {
+      recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(o.chrome_trace));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvs_sim: %s\n", e.what());
+    return 2;
+  }
+  obs::MetricsRegistry registry;
 
   core::RunOptions opts;
   opts.detector = detector_kind(o.detector);
   opts.detector_cfg = &detector_cfg;
   opts.service_cv2 = o.cv2;
   opts.seed = o.seed;
+  if (recorder.active()) opts.trace = &recorder;
+  if (!o.metrics_json.empty()) opts.metrics = &registry;
   if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
 
   hw::SmartBadge badge;
@@ -176,9 +223,9 @@ int main(int argc, char** argv) {
     const core::Session session = core::build_session(scfg, cpu);
     opts.dpm_policy = make_dpm(o, costs, session.idle_model);
     opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
-    std::printf("session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
-                session.duration.value(), session.media_time.value(),
-                session.idle_time.value(), session.items.size());
+    std::fprintf(hout, "session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
+                 session.duration.value(), session.media_time.value(),
+                 session.idle_time.value(), session.items.size());
     m = core::run_items(session.items, opts);
   } else {
     std::optional<workload::FrameTrace> trace;
@@ -218,13 +265,38 @@ int main(int argc, char** argv) {
     opts.dpm_policy = make_dpm(o, costs, idle);
     const bool audio = trace->type() == workload::MediaType::Mp3Audio;
     opts.target_delay = seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
-    std::printf("trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
-                trace->duration().value(),
-                std::string(workload::to_string(trace->type())).c_str());
+    std::fprintf(hout, "trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
+                 trace->duration().value(),
+                 std::string(workload::to_string(trace->type())).c_str());
     m = core::run_single_trace(*trace, *decoder, opts);
   }
 
-  print_metrics(m);
+  print_metrics(hout, m);
+
+  recorder.flush();
+  if (recorder.active()) {
+    std::fprintf(hout, "\ntrace: %llu events",
+                 static_cast<unsigned long long>(recorder.events_recorded()));
+    if (!o.trace_jsonl.empty()) std::fprintf(hout, "  jsonl -> %s", o.trace_jsonl.c_str());
+    if (!o.trace_csv.empty()) std::fprintf(hout, "  csv -> %s", o.trace_csv.c_str());
+    if (!o.chrome_trace.empty()) {
+      std::fprintf(hout, "  chrome-trace -> %s (open in Perfetto)", o.chrome_trace.c_str());
+    }
+    std::fprintf(hout, "\n");
+  }
+  if (!o.metrics_json.empty()) {
+    if (json_to_stdout) {
+      registry.write_json(std::cout);
+    } else {
+      std::ofstream os{o.metrics_json};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
+        return 1;
+      }
+      registry.write_json(os);
+      std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
+    }
+  }
 
   if (!o.power_csv.empty()) {
     CsvWriter csv{o.power_csv};
@@ -232,8 +304,8 @@ int main(int argc, char** argv) {
     for (const auto& [t, p] : m.power_trace) {
       csv.write_row(std::vector<double>{t, p});
     }
-    std::printf("\npower trace (%zu samples) -> %s\n", m.power_trace.size(),
-                o.power_csv.c_str());
+    std::fprintf(hout, "\npower trace (%zu samples) -> %s\n", m.power_trace.size(),
+                 o.power_csv.c_str());
   }
   return 0;
 }
