@@ -1,48 +1,34 @@
 // Ablation: the delay target d of the frequency-setting policy
 // (Equation 5).  Sweeping d traces the energy/latency trade-off the power
 // manager exposes: looser targets buffer more frames and allow lower
-// frequencies.
+// frequencies.  The delay axis is the "ablation-delay-target" scenario.
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
 #include "queue/mm1.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 
 int main() {
-  bench::print_header("Ablation: delay target (Equation 5 constant)",
-                      "Simunic et al., DAC'01, Section 3.1 / Tables 3-4"
-                      " setup");
-
-  const auto dec = workload::reference_mp3_decoder(bench::cpu().max_frequency());
-  Rng rng{1414};
-  const auto trace =
-      workload::build_mp3_trace(workload::mp3_sequence("ACEFBD"), dec, rng);
+  const core::ScenarioSpec& spec = *core::find_scenario("ablation-delay-target");
+  bench::print_header(spec.title, spec.paper_ref);
+  const core::SweepResult res = bench::run_scenario(spec);
 
   TextTable t;
   t.set_header({"Target d (s)", "Buffered frames @38 fr/s", "Energy (kJ)",
                 "CPU+mem (kJ)", "Measured delay (s)", "Mean f (MHz)"});
   CsvWriter csv{bench::csv_path("ablation_delay_target")};
-  csv.write_row(std::vector<std::string>{"target_s", "energy_kj",
-                                         "cpu_mem_kj", "measured_delay_s",
-                                         "mean_freq_mhz"});
-  for (double d : {0.05, 0.10, 0.15, 0.25, 0.50, 1.00}) {
-    core::RunOptions opts;
-    opts.detector = core::DetectorKind::ChangePoint;
-    opts.target_delay = seconds(d);
-    opts.detector_cfg = &bench::detectors();
-    const core::Metrics m = core::run_single_trace(trace, dec, opts);
+  csv.write_header({"target_s", "energy_kj", "cpu_mem_kj", "measured_delay_s",
+                    "mean_freq_mhz"});
+  for (const core::CellResult& c : res.cells) {
+    const double d = c.point.delay_target.value();
     t.add_row({TextTable::num(d, 2),
-               TextTable::num(queue::Mm1::buffered_frames_at(hertz(38.3), seconds(d)), 1),
-               TextTable::num(m.energy_kj(), 3),
-               TextTable::num(m.cpu_memory_energy().value() / 1e3, 3),
-               TextTable::num(m.mean_frame_delay.value(), 3),
-               TextTable::num(m.mean_cpu_frequency.value(), 1)});
-    csv.write_row(std::vector<double>{d, m.energy_kj(),
-                                      m.cpu_memory_energy().value() / 1e3,
-                                      m.mean_frame_delay.value(),
-                                      m.mean_cpu_frequency.value()});
+               TextTable::num(
+                   queue::Mm1::buffered_frames_at(hertz(38.3), seconds(d)), 1),
+               TextTable::num(c.energy_kj.mean, 3),
+               TextTable::num(c.cpu_mem_kj.mean, 3),
+               TextTable::num(c.delay_s.mean, 3),
+               TextTable::num(c.freq_mhz.mean, 1)});
+    csv.row(d, c.energy_kj.mean, c.cpu_mem_kj.mean, c.delay_s.mean,
+            c.freq_mhz.mean);
   }
   t.print();
 

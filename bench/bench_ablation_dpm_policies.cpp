@@ -105,5 +105,28 @@ int main() {
               " when hand-tuned near the break-even times;\nthe TISMDP"
               " constraint trades a bounded wakeup delay for a small energy"
               "\npremium over the unconstrained renewal optimum.\n");
+
+  // ---- simulated-session counterpart ("ablation-dpm-policies" scenario):
+  // the same policy family run end-to-end over replicated idle-heavy
+  // sessions, DVS pinned at Max so the idle mechanism is isolated.
+  const core::ScenarioSpec& spec = *core::find_scenario("ablation-dpm-policies");
+  std::printf("\n--- %s ---\n", spec.title.c_str());
+  const core::SweepResult res = bench::run_scenario(spec);
+
+  TextTable sim;
+  sim.set_header({"Policy", "Energy (kJ)", "Avg power (mW)", "vs none",
+                  "Sleeps", "Wakeup delay (s)"});
+  const double none_energy = res.cells[0].energy_kj.mean;
+  for (const core::CellResult& c : res.cells) {
+    sim.add_row({c.point.dpm.name(), bench::cell(c.energy_kj, 2),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(none_energy / c.energy_kj.mean, 2) + "x",
+                 TextTable::num(c.sleeps.mean, 0),
+                 TextTable::num(c.wakeup_delay_s.mean, 2)});
+  }
+  sim.print();
+
+  CsvWriter csv{bench::csv_path("ablation_dpm_policies_cells")};
+  res.write_cells_csv(csv);
   return 0;
 }

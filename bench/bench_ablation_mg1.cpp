@@ -5,19 +5,16 @@
 // needed."  MP3 decode times are nearly deterministic, so the exponential-
 // service assumption of Eq. 5 over-provisions; the Pollaczek-Khinchine
 // inversion prices the true variability and buys extra energy at the same
-// measured delay.
+// measured delay.  The cv2 axis is the "ablation-mg1" scenario.
 #include "bench_common.hpp"
-#include "common/table.hpp"
 #include "queue/mg1.hpp"
-#include "workload/clips.hpp"
 #include "workload/work_model.hpp"
 
 using namespace dvs;
 
 int main() {
-  bench::print_header("Ablation: queueing model in the frequency policy",
-                      "Simunic et al., DAC'01, Section 3.1 (general-"
-                      "distribution caveat)");
+  const core::ScenarioSpec& spec = *core::find_scenario("ablation-mg1");
+  bench::print_header(spec.title, spec.paper_ref);
 
   const workload::Mp3Work mp3_work{};
   const workload::MpegWork mpeg_work{};
@@ -25,28 +22,21 @@ int main() {
               " (GOP-structured)\n\n",
               mp3_work.cv2(), mpeg_work.cv2());
 
-  const auto mp3_dec = workload::reference_mp3_decoder(bench::cpu().max_frequency());
-  Rng rng{777};
-  const auto trace =
-      workload::build_mp3_trace(workload::mp3_sequence("ACEFBD"), mp3_dec, rng);
+  const core::SweepResult res = bench::run_scenario(spec);
 
   TextTable t{"MP3 sequence ACEFBD, change-point detection, target 0.15 s"};
   t.set_header({"Policy model (cv2)", "Required mu @38.3 fr/s", "Energy (kJ)",
                 "CPU+mem (kJ)", "Measured delay (s)", "Mean f (MHz)"});
-  for (double cv2 : {1.0, 0.25, mp3_work.cv2(), 0.0}) {
-    core::RunOptions opts;
-    opts.detector = core::DetectorKind::ChangePoint;
-    opts.target_delay = seconds(0.15);
-    opts.service_cv2 = cv2;
-    opts.detector_cfg = &bench::detectors();
-    const core::Metrics m = core::run_single_trace(trace, mp3_dec, opts);
+  for (const core::CellResult& c : res.cells) {
+    const double cv2 = c.point.service_cv2;
     const double mu =
-        queue::Mg1::required_service_rate(hertz(38.3), seconds(0.15), cv2).value();
+        queue::Mg1::required_service_rate(hertz(38.3), seconds(0.15), cv2)
+            .value();
     t.add_row({TextTable::num(cv2, 4), TextTable::num(mu, 1),
-               TextTable::num(m.energy_kj(), 3),
-               TextTable::num(m.cpu_memory_energy().value() / 1e3, 3),
-               TextTable::num(m.mean_frame_delay.value(), 3),
-               TextTable::num(m.mean_cpu_frequency.value(), 1)});
+               TextTable::num(c.energy_kj.mean, 3),
+               TextTable::num(c.cpu_mem_kj.mean, 3),
+               TextTable::num(c.delay_s.mean, 3),
+               TextTable::num(c.freq_mhz.mean, 1)});
   }
   t.print();
 

@@ -17,10 +17,20 @@ int main() {
                       "Simunic et al., DAC'01, Section 3.1 (\"we selected"
                       " 99.5% likelihood\")");
 
-  TextTable t;
-  t.set_header({"Confidence", "False changes/1k samples", "Detect latency (fr)",
-                "Detected"});
-  for (double conf : {0.90, 0.99, 0.995, 0.999}) {
+  struct Row {
+    double false_per_k = 0.0;
+    double latency = -1.0;
+    int detected = 0;
+    int trials = 0;
+  };
+  const std::vector<double> confidences = {0.90, 0.99, 0.995, 0.999};
+  std::vector<Row> rows(confidences.size());
+
+  // Each confidence level characterizes its own (expensive) threshold
+  // table; the levels run in parallel with per-level fixed seeds, so the
+  // results are schedule-independent.
+  core::parallel_for(confidences.size(), bench::jobs(), [&](std::size_t ci) {
+    const double conf = confidences[ci];
     detect::ChangePointConfig cfg;
     cfg.confidence = conf;
     cfg.mc_windows = 4000;  // the 99.9% quantile needs a larger histogram
@@ -37,7 +47,7 @@ int main() {
       now += gap;
       steady.on_sample(now, gap);
     }
-    const double false_per_k =
+    rows[ci].false_per_k =
         1000.0 * static_cast<double>(steady.changes_detected()) / n;
 
     // Latency on the Figure 10 step.
@@ -65,10 +75,20 @@ int main() {
         }
       }
     }
-    t.add_row({TextTable::num(conf * 100.0, 1) + "%",
-               TextTable::num(false_per_k, 2),
-               latency.empty() ? "-" : TextTable::num(latency.mean(), 1),
-               TextTable::num(100.0 * detected / trials, 0) + "%"});
+    rows[ci].latency = latency.empty() ? -1.0 : latency.mean();
+    rows[ci].detected = detected;
+    rows[ci].trials = trials;
+  });
+
+  TextTable t;
+  t.set_header({"Confidence", "False changes/1k samples", "Detect latency (fr)",
+                "Detected"});
+  for (std::size_t ci = 0; ci < confidences.size(); ++ci) {
+    const Row& r = rows[ci];
+    t.add_row({TextTable::num(confidences[ci] * 100.0, 1) + "%",
+               TextTable::num(r.false_per_k, 2),
+               r.latency < 0.0 ? "-" : TextTable::num(r.latency, 1),
+               TextTable::num(100.0 * r.detected / r.trials, 0) + "%"});
   }
   t.print();
 

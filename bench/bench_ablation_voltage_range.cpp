@@ -5,62 +5,38 @@
 // on three processor models — the stock SA-1100 (wide 0.86-1.65 V range), a
 // Crusoe-like part (narrower 1.20-1.60 V ratio), and a frequency-only
 // scaler (voltage pinned) — and reports the processing-subsystem energy
-// saved by the change-point governor vs pinned-max on each.
+// saved by the change-point governor vs pinned-max on each.  The cpu x
+// detector grid is the "ablation-voltage-range" scenario.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "hw/cpu_catalog.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 
-namespace {
-
-struct CpuEntry {
-  const char* name;
-  hw::Sa1100 cpu;
-};
-
-}  // namespace
-
 int main() {
-  bench::print_header("Ablation: DVS win vs processor voltage range",
-                      "Simunic et al., DAC'01, Section 1 (Crusoe reference)"
-                      " — what-if study");
+  const core::ScenarioSpec& spec =
+      *core::find_scenario("ablation-voltage-range");
+  bench::print_header(spec.title, spec.paper_ref);
+  const core::SweepResult res = bench::run_scenario(spec);
 
-  std::vector<CpuEntry> cpus;
-  cpus.push_back({"SA-1100 (0.86-1.65V)", hw::smartbadge_sa1100()});
-  cpus.push_back({"Crusoe-like (1.20-1.60V)", hw::crusoe_like()});
-  cpus.push_back({"frequency-only (1.65V fixed)", hw::frequency_only_sa1100()});
-
+  static const char* kLabels[] = {"SA-1100 (0.86-1.65V)",
+                                  "Crusoe-like (1.20-1.60V)",
+                                  "frequency-only (1.65V fixed)"};
   TextTable t;
   t.set_header({"Processor", "V ratio^2", "CPU+mem kJ (Max)",
                 "CPU+mem kJ (ChangePoint)", "DVS saving", "Mean f (MHz)"});
-  for (const CpuEntry& entry : cpus) {
-    const auto dec = workload::reference_mp3_decoder(entry.cpu.max_frequency());
-    Rng rng{4040};  // same workload statistics for every part
-    const auto trace =
-        workload::build_mp3_trace(workload::mp3_sequence("ACEFBD"), dec, rng);
-
-    auto run = [&](core::DetectorKind kind) {
-      core::RunOptions opts;
-      opts.detector = kind;
-      opts.target_delay = seconds(0.15);
-      opts.detector_cfg = &bench::detectors();
-      opts.cpu = &entry.cpu;
-      return core::run_single_trace(trace, dec, opts);
-    };
-    const core::Metrics max = run(core::DetectorKind::Max);
-    const core::Metrics cp = run(core::DetectorKind::ChangePoint);
-
-    const double v0 = entry.cpu.voltage_at(0).value();
-    const double vt = entry.cpu.voltage_at(entry.cpu.num_steps() - 1).value();
-    t.add_row({entry.name, TextTable::num((v0 / vt) * (v0 / vt), 3),
-               TextTable::num(max.cpu_memory_energy().value() / 1e3, 3),
-               TextTable::num(cp.cpu_memory_energy().value() / 1e3, 3),
-               TextTable::num(100.0 * (1.0 - cp.cpu_memory_energy().value() /
-                                                 max.cpu_memory_energy().value()),
-                              1) + "%",
-               TextTable::num(cp.mean_cpu_frequency.value(), 1)});
+  // Per cpu, cells arrive detector-inner in spec order: Max, ChangePoint.
+  for (std::size_t c = 0; c < spec.cpus.size(); ++c) {
+    const core::CellResult& max = res.cells[c * spec.detectors.size()];
+    const core::CellResult& cp = res.cells[c * spec.detectors.size() + 1];
+    const hw::Sa1100 part = core::cpu_by_name(spec.cpus[c]);
+    const double v0 = part.voltage_at(0).value();
+    const double vt = part.voltage_at(part.num_steps() - 1).value();
+    t.add_row({kLabels[c], TextTable::num((v0 / vt) * (v0 / vt), 3),
+               TextTable::num(max.cpu_mem_kj.mean, 3),
+               TextTable::num(cp.cpu_mem_kj.mean, 3),
+               TextTable::num(
+                   100.0 * (1.0 - cp.cpu_mem_kj.mean / max.cpu_mem_kj.mean),
+                   1) + "%",
+               TextTable::num(cp.freq_mhz.mean, 1)});
   }
   t.print();
 

@@ -85,30 +85,45 @@ int main() {
                       "Simunic et al., DAC'01, Section 3.1 (design-choice"
                       " discussion)");
 
+  // Each grid entry characterizes its own threshold table (the expensive
+  // part), so the entries run in parallel; outcomes are deterministic per
+  // entry (fixed seeds) and independent of the schedule.
+  const std::vector<std::size_t> windows = {30, 50, 100, 200, 400};
+  std::vector<Outcome> window_out(windows.size());
+  core::parallel_for(windows.size(), bench::jobs(), [&](std::size_t i) {
+    detect::ChangePointConfig cfg;
+    cfg.window = windows[i];
+    cfg.mc_windows = 1500;
+    window_out[i] = evaluate(cfg, 7000 + windows[i]);
+  });
+
   TextTable wt{"Window size m (check interval fixed at 10)"};
   wt.set_header({"m", "Detect latency (frames)", "Detected", "False/1k samples",
                  "ns/sample"});
-  for (std::size_t m : {30u, 50u, 100u, 200u, 400u}) {
-    detect::ChangePointConfig cfg;
-    cfg.window = m;
-    cfg.mc_windows = 1500;
-    const Outcome o = evaluate(cfg, 7000 + m);
-    wt.add_row({std::to_string(m), TextTable::num(o.mean_latency, 1),
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Outcome& o = window_out[i];
+    wt.add_row({std::to_string(windows[i]), TextTable::num(o.mean_latency, 1),
                 TextTable::num(o.detect_fraction * 100.0, 0) + "%",
                 TextTable::num(o.false_changes, 2),
                 TextTable::num(o.ns_per_sample, 0)});
   }
   wt.print();
 
+  const std::vector<std::size_t> intervals = {2, 5, 10, 25, 50};
+  std::vector<Outcome> interval_out(intervals.size());
+  core::parallel_for(intervals.size(), bench::jobs(), [&](std::size_t i) {
+    detect::ChangePointConfig cfg;
+    cfg.check_interval = intervals[i];
+    cfg.mc_windows = 1500;
+    interval_out[i] = evaluate(cfg, 9000 + intervals[i]);
+  });
+
   TextTable kt{"Check interval k (window fixed at 100)"};
   kt.set_header({"k", "Detect latency (frames)", "Detected", "False/1k samples",
                  "ns/sample"});
-  for (std::size_t k : {2u, 5u, 10u, 25u, 50u}) {
-    detect::ChangePointConfig cfg;
-    cfg.check_interval = k;
-    cfg.mc_windows = 1500;
-    const Outcome o = evaluate(cfg, 9000 + k);
-    kt.add_row({std::to_string(k), TextTable::num(o.mean_latency, 1),
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const Outcome& o = interval_out[i];
+    kt.add_row({std::to_string(intervals[i]), TextTable::num(o.mean_latency, 1),
                 TextTable::num(o.detect_fraction * 100.0, 0) + "%",
                 TextTable::num(o.false_changes, 2),
                 TextTable::num(o.ns_per_sample, 0)});

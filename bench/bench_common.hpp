@@ -2,14 +2,20 @@
 //
 // Every bench regenerates one table or figure from the paper and prints it
 // in the paper's row format (plus a CSV dump for plotting).  Seeds are fixed
-// so output is identical run to run.
+// so output is identical run to run; the sweep-backed benches are also
+// bit-identical at any --jobs level (core/sweep.hpp determinism contract).
 #pragma once
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "common/csv.hpp"
+#include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "workload/trace.hpp"
 
 namespace dvs::bench {
@@ -20,10 +26,14 @@ inline const hw::Sa1100& cpu() {
   return instance;
 }
 
-/// Detector configuration shared within a bench process so the change-point
-/// threshold table is characterized once.
-inline core::DetectorFactoryConfig& detectors() {
-  static core::DetectorFactoryConfig cfg;
+/// Detector configuration shared within a bench process, prepared up front
+/// so the change-point threshold table is characterized exactly once.
+inline const core::DetectorFactoryConfig& detectors() {
+  static const core::DetectorFactoryConfig cfg = [] {
+    core::DetectorFactoryConfig c;
+    c.prepare();
+    return c;
+  }();
   return cfg;
 }
 
@@ -40,7 +50,30 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
   std::printf("reproduces: %s\n\n", paper_ref.c_str());
 }
 
-/// Where benches drop CSV exports (current directory by default).
-inline std::string csv_path(const std::string& name) { return name + ".csv"; }
+/// Parallelism for sweep-backed benches: $DVS_BENCH_JOBS, default all cores.
+inline int jobs() {
+  if (const char* env = std::getenv("DVS_BENCH_JOBS")) return std::atoi(env);
+  return 0;  // resolve_jobs: hardware concurrency
+}
+
+/// "mean (sd)" cell — the replicated-table format of Tables 3 and 4.
+inline std::string cell(const core::Aggregate& a, int precision) {
+  return TextTable::num(a.mean, precision) + " (" +
+         TextTable::num(a.stddev, precision) + ")";
+}
+
+/// Runs a built-in scenario (core/scenario.hpp registry) and reports the
+/// sweep footprint, so every bench shows its parallel execution shape.
+inline core::SweepResult run_scenario(const core::ScenarioSpec& spec) {
+  core::SweepOptions opts;
+  opts.jobs = jobs();
+  const core::SweepResult res = core::SweepRunner{opts}.run(spec);
+  std::printf("[sweep %s: %zu points, jobs=%d, %.1f s]\n\n", res.scenario.c_str(),
+              res.points.size(), res.jobs, res.wall_seconds);
+  return res;
+}
+
+/// Where benches drop CSV exports ($DVS_CSV_DIR or the current directory).
+inline std::string csv_path(const std::string& name) { return dvs::csv_path(name); }
 
 }  // namespace dvs::bench

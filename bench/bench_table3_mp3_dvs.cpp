@@ -4,70 +4,37 @@
 // audio frames at ~40 fr/s arrivals, matching the paper's setup.
 //
 // Unlike the paper's single measured run, each cell is the mean over five
-// independently generated workload seeds, with the standard deviation in
-// parentheses.
+// replicate seeds, with the standard deviation in parentheses.  The grid
+// itself lives in the scenario registry ("table3"); this bench only formats
+// the sweep result into the paper's row layout.
 #include "bench_common.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 
-namespace {
-
-constexpr int kSeeds = 5;
-
-std::string cell(const RunningStats& s, int precision) {
-  return TextTable::num(s.mean(), precision) + " (" +
-         TextTable::num(s.count() > 1 ? s.stddev() : 0.0, precision) + ")";
-}
-
-}  // namespace
-
 int main() {
-  bench::print_header("Table 3: MP3 audio DVS",
-                      "Simunic et al., DAC'01, Table 3 (sequences ACEFBD,"
-                      " BADECF, CEDAFB); mean (sd) over 5 seeds");
-
-  const auto dec = workload::reference_mp3_decoder(bench::cpu().max_frequency());
-  const Seconds target = seconds(0.15);
-  const auto& algorithms = bench::paper_algorithms();
+  const core::ScenarioSpec& spec = *core::find_scenario("table3");
+  bench::print_header(spec.title,
+                      spec.paper_ref + " (sequences ACEFBD, BADECF, CEDAFB);"
+                                       " mean (sd) over 5 replicates");
+  const core::SweepResult res = bench::run_scenario(spec);
 
   TextTable t;
   t.set_header({"MP3 sequence", "Result", "Ideal", "Change Point", "Exp. Ave.",
                 "Max"});
-
-  for (const std::string seq : {"ACEFBD", "BADECF", "CEDAFB"}) {
-    std::array<RunningStats, 4> energy;
-    std::array<RunningStats, 4> subsystem;
-    std::array<RunningStats, 4> delay;
-    std::array<RunningStats, 4> switches;
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      Rng rng{static_cast<std::uint64_t>(seq[0]) * 131 + seq[5] +
-              static_cast<std::uint64_t>(seed) * 7919};
-      const auto trace =
-          workload::build_mp3_trace(workload::mp3_sequence(seq), dec, rng);
-      for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        core::RunOptions opts;
-        opts.detector = algorithms[a];
-        opts.target_delay = target;
-        opts.detector_cfg = &bench::detectors();
-        const core::Metrics m = core::run_single_trace(trace, dec, opts);
-        energy[a].add(m.energy_kj());
-        subsystem[a].add(m.cpu_memory_energy().value() / 1e3);
-        delay[a].add(m.mean_frame_delay.value());
-        switches[a].add(m.cpu_switches);
-      }
-    }
-    std::vector<std::string> energy_row{seq, "Energy (kJ)"};
+  const std::size_t algs = spec.detectors.size();
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    // Cells arrive in expansion order: workload outer, detector inner.
+    const core::CellResult* row = &res.cells[w * algs];
+    std::vector<std::string> energy_row{spec.workloads[w].mp3_labels,
+                                        "Energy (kJ)"};
     std::vector<std::string> subsystem_row{"", "CPU+mem (kJ)"};
     std::vector<std::string> delay_row{"", "Fr. Delay (s)"};
     std::vector<std::string> switch_row{"", "Freq switches"};
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      energy_row.push_back(cell(energy[a], 3));
-      subsystem_row.push_back(cell(subsystem[a], 3));
-      delay_row.push_back(cell(delay[a], 2));
-      switch_row.push_back(cell(switches[a], 0));
+    for (std::size_t a = 0; a < algs; ++a) {
+      energy_row.push_back(bench::cell(row[a].energy_kj, 3));
+      subsystem_row.push_back(bench::cell(row[a].cpu_mem_kj, 3));
+      delay_row.push_back(bench::cell(row[a].delay_s, 2));
+      switch_row.push_back(bench::cell(row[a].switches, 0));
     }
     t.add_row(energy_row);
     t.add_row(subsystem_row);
@@ -75,6 +42,9 @@ int main() {
     t.add_row(switch_row);
   }
   t.print();
+
+  CsvWriter csv{bench::csv_path("table3_cells")};
+  res.write_cells_csv(csv);
 
   std::printf(
       "\nShape check (as in the paper): the change-point column sits within a"

@@ -2,72 +2,42 @@
 // Football (875 s) and Terminator2 (1200 s) clips under the four
 // algorithms.  Delay target 0.1 s (~2 extra buffered video frames).
 //
-// Each cell is the mean over five independently generated workload seeds,
-// with the standard deviation in parentheses.
+// Each cell is the mean over five replicate seeds, with the standard
+// deviation in parentheses.  The grid lives in the scenario registry
+// ("table4"); this bench formats the sweep result into the paper's layout.
 #include "bench_common.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
 #include "workload/clips.hpp"
 
 using namespace dvs;
 
-namespace {
-
-constexpr int kSeeds = 5;
-
-std::string cell(const RunningStats& s, int precision) {
-  return TextTable::num(s.mean(), precision) + " (" +
-         TextTable::num(s.count() > 1 ? s.stddev() : 0.0, precision) + ")";
-}
-
-}  // namespace
-
 int main() {
-  bench::print_header("Table 4: MPEG video DVS",
-                      "Simunic et al., DAC'01, Table 4 (arrival rate varies"
-                      " 9-32 fr/s over the WLAN); mean (sd) over 5 seeds");
-
-  const auto dec = workload::reference_mpeg_decoder(bench::cpu().max_frequency());
-  const Seconds target = seconds(0.1);
-  const auto& algorithms = bench::paper_algorithms();
+  const core::ScenarioSpec& spec = *core::find_scenario("table4");
+  bench::print_header(spec.title,
+                      spec.paper_ref + " (arrival rate varies 9-32 fr/s over"
+                                       " the WLAN); mean (sd) over 5 replicates");
+  const core::SweepResult res = bench::run_scenario(spec);
 
   TextTable t;
   t.set_header({"MPEG clip", "Result", "Ideal", "Change Point", "Exp. Ave.",
                 "Max"});
-
-  for (const workload::MpegClip& clip :
-       {workload::football_clip(), workload::terminator2_clip()}) {
-    std::array<RunningStats, 4> energy;
-    std::array<RunningStats, 4> subsystem;
-    std::array<RunningStats, 4> delay;
-    std::array<RunningStats, 4> switches;
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      Rng rng{static_cast<std::uint64_t>(clip.duration.value()) +
-              static_cast<std::uint64_t>(seed) * 104729};
-      const auto trace = workload::build_mpeg_trace(clip, dec, rng);
-      for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        core::RunOptions opts;
-        opts.detector = algorithms[a];
-        opts.target_delay = target;
-        opts.detector_cfg = &bench::detectors();
-        const core::Metrics m = core::run_single_trace(trace, dec, opts);
-        energy[a].add(m.energy_kj());
-        subsystem[a].add(m.cpu_memory_energy().value() / 1e3);
-        delay[a].add(m.mean_frame_delay.value());
-        switches[a].add(m.cpu_switches);
-      }
-    }
+  const std::size_t algs = spec.detectors.size();
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    const core::CellResult* row = &res.cells[w * algs];
+    const workload::MpegClip clip = spec.workloads[w].mpeg_clip == "terminator2"
+                                        ? workload::terminator2_clip()
+                                        : workload::football_clip();
     const std::string label =
-        clip.name + " (" + std::to_string(static_cast<int>(clip.duration.value())) + "s)";
+        clip.name + " (" +
+        std::to_string(static_cast<int>(clip.duration.value())) + "s)";
     std::vector<std::string> energy_row{label, "Energy (kJ)"};
     std::vector<std::string> subsystem_row{"", "CPU+mem (kJ)"};
     std::vector<std::string> delay_row{"", "Fr. Delay (s)"};
     std::vector<std::string> switch_row{"", "Freq switches"};
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      energy_row.push_back(cell(energy[a], 3));
-      subsystem_row.push_back(cell(subsystem[a], 3));
-      delay_row.push_back(cell(delay[a], 2));
-      switch_row.push_back(cell(switches[a], 0));
+    for (std::size_t a = 0; a < algs; ++a) {
+      energy_row.push_back(bench::cell(row[a].energy_kj, 3));
+      subsystem_row.push_back(bench::cell(row[a].cpu_mem_kj, 3));
+      delay_row.push_back(bench::cell(row[a].delay_s, 2));
+      switch_row.push_back(bench::cell(row[a].switches, 0));
     }
     t.add_row(energy_row);
     t.add_row(subsystem_row);
@@ -75,6 +45,9 @@ int main() {
     t.add_row(switch_row);
   }
   t.print();
+
+  CsvWriter csv{bench::csv_path("table4_cells")};
+  res.write_cells_csv(csv);
 
   std::printf(
       "\nShape check: same ordering as Table 3.  Video stresses the detector —"

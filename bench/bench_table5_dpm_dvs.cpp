@@ -2,68 +2,52 @@
 // clips separated by heavy-tailed idle periods, run under four management
 // configurations: None, DVS only, DPM only, and Both.  The paper reports a
 // factor-of-three saving for the combination.
+//
+// The four configurations fall out of the "table5" scenario grid: detector
+// axis {Max, ChangePoint} x DPM axis {none, tismdp} enumerates the cells in
+// exactly that order.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "dpm/policy.hpp"
 
 using namespace dvs;
 
 int main() {
-  bench::print_header("Table 5: DPM and DVS",
-                      "Simunic et al., DAC'01, Table 5 (combined savings"
-                      " ~3x)");
+  const core::ScenarioSpec& spec = *core::find_scenario("table5");
+  bench::print_header(spec.title, spec.paper_ref);
 
-  // An idle-heavy day-in-the-life session: full audio clips and short video
-  // segments separated by Pareto idle gaps (mean ~3 min) — portable devices
-  // spend most of their life waiting for the user.
-  core::SessionConfig scfg;
-  scfg.cycles = 8;
-  scfg.mpeg_segment = seconds(45.0);
-  scfg.idle = std::make_shared<dpm::ParetoIdle>(1.8, seconds(70.0));
-  scfg.seed = 505;
-  const core::Session session = core::build_session(scfg, bench::cpu());
-  std::printf("session: %.0f s total, %.0f s media, %.0f s idle (%.0f%% idle),"
-              " %zu items\n\n",
-              session.duration.value(), session.media_time.value(),
-              session.idle_time.value(),
-              100.0 * session.idle_time.value() / session.duration.value(),
-              session.items.size());
+  // Print the session shape the sweep will generate (same trace seed scheme
+  // as the runner: one session per replicate row).
+  {
+    core::SessionConfig scfg = spec.workloads[0].session;
+    scfg.seed = spec.expand()[0].trace_seed;
+    const core::Session session = core::build_session(scfg, bench::cpu());
+    std::printf(
+        "session: %.0f s total, %.0f s media, %.0f s idle (%.0f%% idle),"
+        " %zu items\n",
+        session.duration.value(), session.media_time.value(),
+        session.idle_time.value(),
+        100.0 * session.idle_time.value() / session.duration.value(),
+        session.items.size());
+  }
 
-  hw::SmartBadge badge;
-  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
-  auto tismdp = std::make_shared<dpm::TismdpPolicy>(costs, session.idle_model,
-                                                    seconds(0.5));
+  const core::SweepResult res = bench::run_scenario(spec);
 
-  struct Row {
-    const char* name;
-    core::DetectorKind detector;
-    dpm::DpmPolicyPtr policy;
-  };
-  const std::vector<Row> rows = {
-      {"None", core::DetectorKind::Max, nullptr},
-      {"DVS", core::DetectorKind::ChangePoint, nullptr},
-      {"DPM", core::DetectorKind::Max, tismdp},
-      {"Both", core::DetectorKind::ChangePoint, tismdp},
-  };
-
+  static const char* kNames[] = {"None", "DVS", "DPM", "Both"};
   TextTable t;
   t.set_header({"Algorithm", "Energy (kJ)", "Avg power (mW)", "Factor",
                 "Sleeps", "Wakeup delay (s)"});
-  double none_energy = 0.0;
-  for (const Row& row : rows) {
-    core::RunOptions opts;
-    opts.detector = row.detector;
-    opts.detector_cfg = &bench::detectors();
-    opts.dpm_policy = row.policy;
-    const core::Metrics m = core::run_items(session.items, opts);
-    if (none_energy == 0.0) none_energy = m.total_energy.value();
-    t.add_row({row.name, TextTable::num(m.energy_kj(), 2),
-               TextTable::num(m.average_power.value(), 0),
-               TextTable::num(none_energy / m.total_energy.value(), 2),
-               std::to_string(m.dpm_sleeps),
-               TextTable::num(m.dpm_total_wakeup_delay.value(), 2)});
+  const double none_energy = res.cells[0].energy_kj.mean;
+  for (std::size_t i = 0; i < res.cells.size(); ++i) {
+    const core::CellResult& c = res.cells[i];
+    t.add_row({kNames[i], TextTable::num(c.energy_kj.mean, 2),
+               TextTable::num(c.power_mw.mean, 0),
+               TextTable::num(none_energy / c.energy_kj.mean, 2),
+               TextTable::num(c.sleeps.mean, 0),
+               TextTable::num(c.wakeup_delay_s.mean, 2)});
   }
   t.print();
+
+  CsvWriter csv{bench::csv_path("table5_cells")};
+  res.write_cells_csv(csv);
 
   std::printf("\nShape check: DVS and DPM each save on their own (active"
               " phases and idle phases\nrespectively), and the combination"

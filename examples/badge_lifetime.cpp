@@ -1,64 +1,57 @@
 // badge_lifetime: turns the Table 5 energy factors into what a user feels —
 // hours of battery life for a day-long usage pattern under the four power
 // management configurations, through the DC-DC converter and battery
-// models.
+// models.  The four configurations are the same detector x DPM grid the
+// "table5" scenario uses, here on a lighter session.
 //
 //   ./build/examples/badge_lifetime
 #include <cstdio>
 
-#include "core/experiment.hpp"
-#include "dpm/policy.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "hw/battery.hpp"
 #include "hw/dcdc.hpp"
 
 using namespace dvs;
 
 int main() {
-  const hw::Sa1100 cpu;
-
   // A repeating usage hour: a couple of audio clips and a short video,
   // separated by heavy-tailed idle gaps.
   core::SessionConfig scfg;
   scfg.cycles = 4;
   scfg.mpeg_segment = seconds(60.0);
   scfg.idle = std::make_shared<dpm::ParetoIdle>(1.8, seconds(90.0));
-  scfg.seed = 7;
-  const core::Session session = core::build_session(scfg, cpu);
-  std::printf("usage pattern: %.0f min per cycle block, %.0f%% idle\n\n",
-              session.duration.value() / 60.0,
-              100.0 * session.idle_time.value() / session.duration.value());
 
-  hw::SmartBadge badge;
-  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
-  auto tismdp = std::make_shared<dpm::TismdpPolicy>(costs, session.idle_model,
-                                                    seconds(0.5));
+  core::ScenarioSpec spec;
+  spec.name = "badge-lifetime";
+  spec.workloads = {core::WorkloadSpec::usage_session(scfg)};
+  spec.detectors = {core::DetectorKind::Max, core::DetectorKind::ChangePoint};
+  core::DpmSpec tismdp;
+  tismdp.kind = core::DpmKind::Tismdp;
+  tismdp.max_delay = seconds(0.5);
+  spec.dpm = {core::DpmSpec{}, tismdp};  // cells: None, DVS, DPM, Both
+  spec.base_seed = 7;
+
+  const core::SweepResult res = core::SweepRunner{}.run(spec);
+  std::printf("usage pattern: %.1f min per cycle block; combined management"
+              " cuts average\npower by %.0f%%\n\n",
+              res.points[0].metrics.duration.value() / 60.0,
+              100.0 * (1.0 - res.cells[3].power_mw.mean /
+                                 res.cells[0].power_mw.mean));
 
   // A compact Li-Ion cell: ~2 Wh usable at the badge's typical draw.
   const hw::Battery battery{kilojoules(7.2), watts(2.0), 1.1};
   const hw::DcDcConverter converter;
 
-  core::DetectorFactoryConfig shared;
+  static const char* kNames[] = {"None", "DVS", "DPM", "Both"};
   std::printf("%-6s %14s %16s %14s\n", "config", "avg power mW",
               "battery-side mW", "lifetime h");
-  struct Row {
-    const char* name;
-    core::DetectorKind kind;
-    dpm::DpmPolicyPtr policy;
-  };
-  for (const Row& row : {Row{"None", core::DetectorKind::Max, nullptr},
-                         Row{"DVS", core::DetectorKind::ChangePoint, nullptr},
-                         Row{"DPM", core::DetectorKind::Max, tismdp},
-                         Row{"Both", core::DetectorKind::ChangePoint, tismdp}}) {
-    core::RunOptions opts;
-    opts.detector = row.kind;
-    opts.detector_cfg = &shared;
-    opts.dpm_policy = row.policy;
-    const core::Metrics m = core::run_items(session.items, opts);
-    const MilliWatts battery_side = converter.input_power(m.average_power);
+  for (std::size_t i = 0; i < res.cells.size(); ++i) {
+    const MilliWatts badge_side{res.cells[i].power_mw.mean};
+    const MilliWatts battery_side = converter.input_power(badge_side);
     const Seconds life = battery.lifetime(battery_side);
-    std::printf("%-6s %14.0f %16.0f %14.1f\n", row.name,
-                m.average_power.value(), battery_side.value(),
-                life.value() / 3600.0);
+    std::printf("%-6s %14.0f %16.0f %14.1f\n", kNames[i], badge_side.value(),
+                battery_side.value(), life.value() / 3600.0);
   }
   std::printf("\nThe combined DVS+DPM manager turns the same battery into"
               " roughly 3x the usage\ntime — the paper's headline result,"

@@ -1,23 +1,19 @@
 // mp3_player: plays the full six-clip Table 2 corpus in sequence and shows
 // how each detector tracks the clip-to-clip rate changes — a narrated
-// version of the Table 3 experiment.
+// version of the Table 3 experiment, declared as a one-row ScenarioSpec.
 //
 //   ./build/examples/mp3_player [sequence]     (default ACEFBD)
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "workload/clips.hpp"
-#include "workload/trace.hpp"
 
 using namespace dvs;
 
 int main(int argc, char** argv) {
   const std::string sequence = argc > 1 ? argv[1] : "ACEFBD";
-
-  const hw::Sa1100 cpu;
-  const workload::DecoderModel decoder =
-      workload::reference_mp3_decoder(cpu.max_frequency());
 
   std::printf("playing MP3 sequence %s (Table 2 clips)\n\n", sequence.c_str());
   std::printf("%-5s %12s %14s %14s %10s\n", "clip", "bitrate", "arrivals",
@@ -32,26 +28,25 @@ int main(int argc, char** argv) {
   }
   std::printf("total %.0f s\n\n", total.value());
 
-  Rng rng{99};
-  const workload::FrameTrace trace =
-      workload::build_mp3_trace(workload::mp3_sequence(sequence), decoder, rng);
+  // Every detector runs the identical generated trace — the scenario's
+  // trace-seed scheme, which is also how Table 3 compares algorithms.
+  core::ScenarioSpec spec;
+  spec.name = "mp3-player";
+  spec.workloads = {core::WorkloadSpec::mp3(sequence)};
+  spec.detectors = {core::DetectorKind::Ideal, core::DetectorKind::ChangePoint,
+                    core::DetectorKind::ExpAverage,
+                    core::DetectorKind::SlidingWindow, core::DetectorKind::Max};
+  spec.delay_targets = {seconds(0.15)};
+  spec.base_seed = 99;
+  const core::SweepResult res = core::SweepRunner{}.run(spec);
 
-  core::DetectorFactoryConfig shared;
   std::printf("%-14s %10s %12s %12s %10s %10s\n", "detector", "energy J",
               "cpu+mem J", "delay s", "mean MHz", "switches");
-  for (core::DetectorKind kind :
-       {core::DetectorKind::Ideal, core::DetectorKind::ChangePoint,
-        core::DetectorKind::ExpAverage, core::DetectorKind::SlidingWindow,
-        core::DetectorKind::Max}) {
-    core::RunOptions opts;
-    opts.detector = kind;
-    opts.target_delay = seconds(0.15);
-    opts.detector_cfg = &shared;
-    const core::Metrics m = core::run_single_trace(trace, decoder, opts);
-    std::printf("%-14s %10.1f %12.1f %12.3f %10.1f %10d\n",
-                core::to_string(kind).c_str(), m.total_energy.value(),
-                m.cpu_memory_energy().value(), m.mean_frame_delay.value(),
-                m.mean_cpu_frequency.value(), m.cpu_switches);
+  for (const core::CellResult& c : res.cells) {
+    std::printf("%-14s %10.1f %12.1f %12.3f %10.1f %10.0f\n",
+                core::to_string(c.point.detector).c_str(),
+                c.energy_kj.mean * 1e3, c.cpu_mem_kj.mean * 1e3, c.delay_s.mean,
+                c.freq_mhz.mean, c.switches.mean);
   }
   std::printf("\nThe change-point governor matches the oracle's energy within a"
               " few percent while\nkeeping the frame delay near the 0.15 s"

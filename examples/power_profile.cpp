@@ -67,6 +67,7 @@ int main() {
   const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
 
   core::DetectorFactoryConfig shared;
+  shared.prepare();  // characterize the threshold table once for both runs
   auto run = [&](core::DetectorKind kind, dpm::DpmPolicyPtr policy) {
     core::RunOptions opts;
     opts.detector = kind;

@@ -2,47 +2,44 @@
 // DVS governor and print the energy/delay outcome against the
 // maximum-performance baseline.
 //
+// The comparison is declared as a two-cell ScenarioSpec and executed by the
+// SweepRunner — the same substrate the benches, the CLI, and the tests use.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "workload/clips.hpp"
-#include "workload/trace.hpp"
 
 using namespace dvs;
 
 int main() {
-  // The hardware: a SmartBadge's SA-1100 clock/voltage table.
-  const hw::Sa1100 cpu;
-
   // The workload: clip E of Table 2 (128 kb/s, 44.1 kHz MP3), generated as
-  // a Poisson frame-arrival trace with ground truth attached.
-  const workload::DecoderModel decoder =
-      workload::reference_mp3_decoder(cpu.max_frequency());
-  Rng rng{2024};
-  const std::vector<workload::Mp3Clip> clips = workload::mp3_sequence("E");
-  const workload::FrameTrace trace = workload::build_mp3_trace(clips, decoder, rng);
+  // a Poisson frame-arrival trace with ground truth attached.  Both cells
+  // share the same generated trace (scenario seed scheme).
+  core::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.workloads = {core::WorkloadSpec::mp3("E")};
+  spec.detectors = {core::DetectorKind::ChangePoint, core::DetectorKind::Max};
+  spec.delay_targets = {seconds(0.1)};
+  spec.base_seed = 2024;
 
-  std::printf("clip E: %zu frames over %.0f s (arrivals %.1f fr/s)\n\n",
-              trace.size(), trace.duration().value(),
+  std::printf("clip E: %.0f s of MP3 at %.1f fr/s arrivals\n\n",
+              workload::mp3_clip('E').duration.value(),
               workload::mp3_clip('E').arrival_rate().value());
 
   // Run the same trace under the paper's change-point governor and under
   // the fixed maximum-frequency baseline.
-  core::DetectorFactoryConfig shared;  // shares the threshold table
-  for (core::DetectorKind kind :
-       {core::DetectorKind::ChangePoint, core::DetectorKind::Max}) {
-    core::RunOptions opts;
-    opts.detector = kind;
-    opts.target_delay = seconds(0.1);
-    opts.detector_cfg = &shared;
-    const core::Metrics m = core::run_single_trace(trace, decoder, opts);
-    std::printf("%-13s energy %7.1f J   mean delay %6.3f s   mean f %5.1f MHz   switches %d\n",
-                core::to_string(kind).c_str(), m.total_energy.value(),
-                m.mean_frame_delay.value(), m.mean_cpu_frequency.value(),
-                m.cpu_switches);
+  const core::SweepResult res = core::SweepRunner{}.run(spec);
+  for (const core::CellResult& c : res.cells) {
+    std::printf("%-13s energy %7.1f J   mean delay %6.3f s   mean f %5.1f MHz"
+                "   switches %.0f\n",
+                core::to_string(c.point.detector).c_str(),
+                c.energy_kj.mean * 1e3, c.delay_s.mean, c.freq_mhz.mean,
+                c.switches.mean);
   }
   std::printf("\nLower energy at (approximately) the 0.1 s delay target is the"
               " whole game:\nthe governor tracks the clip's rates and runs the"

@@ -1,5 +1,6 @@
 #include "common/csv.hpp"
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -35,6 +36,14 @@ void CsvWriter::write_row(const std::vector<double>& values) {
     os << values[i];
   }
   out_ << os.str() << '\n';
+}
+
+std::string csv_path(const std::string& name) {
+  const char* dir = std::getenv("DVS_CSV_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    return std::string(dir) + "/" + name + ".csv";
+  }
+  return name + ".csv";
 }
 
 }  // namespace dvs

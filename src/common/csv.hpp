@@ -1,9 +1,13 @@
-// Minimal CSV writer for exporting bench series (figure reproductions) so
-// they can be plotted outside the harness.
+// CSV emission for experiment artifacts (figure/table reproductions, sweep
+// results) so they can be plotted outside the harness.  This is the one
+// CSV surface in the codebase: benches, the sweep runner, and the CLI all
+// write through it, so column formatting stays uniform.
 #pragma once
 
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dvs {
@@ -19,10 +23,34 @@ class CsvWriter {
   /// Convenience for purely numeric rows.
   void write_row(const std::vector<double>& values);
 
+  /// Semantic alias for the first row.
+  void write_header(const std::vector<std::string>& names) { write_row(names); }
+
+  /// Mixed-type row: strings pass through, arithmetic cells format exactly
+  /// like write_row(vector<double>) (stream default, 6 significant digits).
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    write_row(std::vector<std::string>{to_cell(cells)...});
+  }
+
+  /// The shared cell formatting (public so tests can pin it down).
+  static std::string to_cell(const std::string& cell) { return cell; }
+  static std::string to_cell(const char* cell) { return cell; }
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  static std::string to_cell(T value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
  private:
   static std::string escape(const std::string& cell);
 
   std::ofstream out_;
 };
+
+/// Where experiment artifacts drop their CSV exports: $DVS_CSV_DIR/<name>.csv
+/// when the environment variable is set, ./<name>.csv otherwise.
+std::string csv_path(const std::string& name);
 
 }  // namespace dvs

@@ -18,18 +18,26 @@ std::string to_string(DetectorKind kind) {
   return "?";
 }
 
+void DetectorFactoryConfig::prepare() {
+  if (!thresholds) {
+    thresholds = std::make_shared<const detect::ThresholdTable>(change_point);
+  }
+}
+
 detect::RateDetectorPtr make_detector(DetectorKind kind,
-                                      DetectorFactoryConfig& cfg, TruthFn truth) {
+                                      const DetectorFactoryConfig& cfg,
+                                      TruthFn truth) {
   switch (kind) {
     case DetectorKind::Ideal:
       DVS_CHECK_MSG(static_cast<bool>(truth), "make_detector: ideal needs a truth source");
       return std::make_unique<detect::IdealDetector>(std::move(truth));
-    case DetectorKind::ChangePoint:
-      if (!cfg.thresholds) {
-        cfg.thresholds =
-            std::make_shared<const detect::ThresholdTable>(cfg.change_point);
-      }
-      return std::make_unique<detect::ChangePointDetector>(cfg.thresholds);
+    case DetectorKind::ChangePoint: {
+      auto table = cfg.thresholds
+                       ? cfg.thresholds
+                       : std::make_shared<const detect::ThresholdTable>(
+                             cfg.change_point);
+      return std::make_unique<detect::ChangePointDetector>(std::move(table));
+    }
     case DetectorKind::ExpAverage:
       return std::make_unique<detect::EmaDetector>(cfg.ema_gain);
     case DetectorKind::Max:

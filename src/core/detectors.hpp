@@ -23,13 +23,21 @@ enum class DetectorKind {
 std::string to_string(DetectorKind kind);
 
 /// Everything needed to instantiate any detector kind.
+///
+/// A prepared config is immutable from the factory's point of view: callers
+/// build the ln P_max threshold table once with prepare() and may then share
+/// one config (read-only) across any number of concurrent runs.
 struct DetectorFactoryConfig {
   double ema_gain = 0.03;
   std::size_t sliding_window = 50;
   detect::ChangePointConfig change_point{};
-  /// Shared threshold table; built lazily (and cached here) on the first
-  /// change-point instantiation.
+  /// Shared threshold table; null until prepare() (or a caller) fills it.
   std::shared_ptr<const detect::ThresholdTable> thresholds;
+
+  /// Runs the off-line change-point characterization once and caches the
+  /// table.  Idempotent; call before sharing the config across threads.
+  void prepare();
+  [[nodiscard]] bool prepared() const { return thresholds != nullptr; }
 };
 
 /// Truth source for the ideal detector (bound to a trace's arrival or
@@ -38,8 +46,11 @@ using TruthFn = std::function<Hertz(Seconds)>;
 
 /// Builds a detector.  `truth` is required for DetectorKind::Ideal and
 /// ignored otherwise.  Returns nullptr for DetectorKind::Max (the governor
-/// then runs non-adaptive).
+/// then runs non-adaptive).  The config is read-only: an unprepared config
+/// costs a fresh threshold characterization per change-point detector, so
+/// callers instantiating more than one should prepare() first.
 detect::RateDetectorPtr make_detector(DetectorKind kind,
-                                      DetectorFactoryConfig& cfg, TruthFn truth);
+                                      const DetectorFactoryConfig& cfg,
+                                      TruthFn truth);
 
 }  // namespace dvs::core

@@ -28,6 +28,11 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
   if (!cfg_.dpm_policy) {
     cfg_.dpm_policy = std::make_shared<dpm::NeverSleepPolicy>();
   }
+  // Characterize the change-point threshold table once on the engine's own
+  // copy, so the per-media governors share it even when the caller passed an
+  // unprepared config.  Callers sharing one config across runs (or threads)
+  // prepare() it themselves and this is a no-op.
+  if (cfg_.detector == DetectorKind::ChangePoint) cfg_.detectors.prepare();
   pm_ = std::make_unique<dpm::PowerManager>(sim_, badge_, cfg_.dpm_policy,
                                             cfg_.seed ^ 0xd9a17ULL);
   pm_->set_observability(cfg_.trace, cfg_.metrics);

@@ -17,9 +17,7 @@ Hertz default_nominal_service(workload::MediaType type) {
                                                : hertz(workload::kMpegReferenceRate);
 }
 
-namespace {
-
-EngineConfig make_engine_config(const RunOptions& opts) {
+EngineConfig to_engine_config(const RunOptions& opts) {
   EngineConfig cfg;
   cfg.detector = opts.detector;
   cfg.target_delay = opts.target_delay;
@@ -29,22 +27,14 @@ EngineConfig make_engine_config(const RunOptions& opts) {
   cfg.seed = opts.seed;
   cfg.dpm_arm_delay = opts.dpm_arm_delay;
   cfg.session_gap_threshold = opts.session_gap_threshold;
+  cfg.wlan_rx_time = opts.wlan_rx_time;
+  cfg.buffer_capacity = opts.buffer_capacity;
   cfg.power_sample_period = opts.power_sample_period;
   if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
   cfg.trace = opts.trace;
   cfg.metrics = opts.metrics;
   return cfg;
 }
-
-void save_threshold_cache(const RunOptions& opts, const EngineConfig& cfg) {
-  // Keep the lazily-built threshold table for the caller's next run.
-  if (opts.detector_cfg != nullptr && !opts.detector_cfg->thresholds &&
-      cfg.detectors.thresholds) {
-    opts.detector_cfg->thresholds = cfg.detectors.thresholds;
-  }
-}
-
-}  // namespace
 
 Metrics run_single_trace(const workload::FrameTrace& trace,
                          const workload::DecoderModel& decoder,
@@ -58,11 +48,8 @@ Metrics run_single_trace(const workload::FrameTrace& trace,
 }
 
 Metrics run_items(std::vector<PlaybackItem> items, const RunOptions& opts) {
-  EngineConfig cfg = make_engine_config(opts);
-  Engine engine{cfg, std::move(items)};
-  Metrics m = engine.run();
-  save_threshold_cache(opts, cfg);
-  return m;
+  Engine engine{to_engine_config(opts), std::move(items)};
+  return engine.run();
 }
 
 dpm::IdleDistributionPtr default_idle_distribution() {

@@ -19,7 +19,9 @@
 
 namespace dvs::core {
 
-/// Options for a single run.
+/// Options for a single run.  Maps 1:1 onto EngineConfig (see
+/// to_engine_config); every field the engine honours is settable here, so
+/// nothing is silently dropped between the two layers.
 struct RunOptions {
   DetectorKind detector = DetectorKind::ChangePoint;
   Seconds target_delay{0.1};
@@ -29,9 +31,14 @@ struct RunOptions {
   std::uint64_t seed = 1;
   /// Shared detector configuration; lets callers reuse one change-point
   /// threshold table across many runs.  May be null (a default is used).
-  DetectorFactoryConfig* detector_cfg = nullptr;
+  /// Read-only: prepare() it once before sharing (also across threads).
+  const DetectorFactoryConfig* detector_cfg = nullptr;
   Seconds dpm_arm_delay{0.5};
   Seconds session_gap_threshold{2.0};
+  /// WLAN active burst around each frame reception.
+  Seconds wlan_rx_time{0.002};
+  /// Frame buffer bound; 0 = unbounded.
+  std::size_t buffer_capacity = 0;
   /// > 0: fill Metrics::power_trace with whole-badge power samples.
   Seconds power_sample_period{0.0};
   /// Non-null: build the badge around this processor model instead of the
@@ -42,6 +49,11 @@ struct RunOptions {
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// The exact EngineConfig a RunOptions resolves to — the single translation
+/// point between the two layers (round-trip-tested so the structs cannot
+/// drift apart again).
+EngineConfig to_engine_config(const RunOptions& opts);
 
 /// Default nominal (seed) rates per media type: application-level knowledge
 /// only, never the clip's actual rates.

@@ -1,0 +1,383 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "hw/smartbadge.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::core {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(resolve_jobs(jobs)), n);
+  if (n == 0) return;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Each worker owns a contiguous index range and pops from its front; an
+  // idle worker steals from the *back* of the victim with the most work
+  // left.  Units are whole simulations, so stealing one index at a time is
+  // granular enough.
+  struct Range {
+    std::mutex m;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Range> ranges(workers);
+  const std::size_t chunk = n / workers;
+  const std::size_t extra = n % workers;
+  std::size_t at = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    ranges[w].begin = at;
+    at += chunk + (w < extra ? 1 : 0);
+    ranges[w].end = at;
+  }
+
+  std::atomic<bool> stop{false};
+  std::exception_ptr first_error;
+  std::mutex error_m;
+
+  auto worker = [&](std::size_t self) {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      std::size_t i = n;  // sentinel: nothing claimed yet
+      {
+        std::lock_guard<std::mutex> lk(ranges[self].m);
+        if (ranges[self].begin < ranges[self].end) i = ranges[self].begin++;
+      }
+      if (i == n) {
+        std::size_t victim = workers;
+        std::size_t most = 0;
+        for (std::size_t v = 0; v < workers; ++v) {
+          if (v == self) continue;
+          std::lock_guard<std::mutex> lk(ranges[v].m);
+          const std::size_t left = ranges[v].end - ranges[v].begin;
+          if (left > most) {
+            most = left;
+            victim = v;
+          }
+        }
+        if (victim == workers) return;  // everything drained
+        {
+          std::lock_guard<std::mutex> lk(ranges[victim].m);
+          if (ranges[victim].begin < ranges[victim].end) {
+            i = --ranges[victim].end;
+          }
+        }
+        if (i == n) continue;  // lost the race; rescan
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_m);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double t95_quantile(std::size_t df) {
+  // Two-sided 95% (upper 97.5%) Student-t critical values, df = 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
+Aggregate aggregate(const RunningStats& s) {
+  Aggregate a;
+  a.n = s.count();
+  if (a.n == 0) return a;
+  a.mean = s.mean();
+  if (a.n >= 2) {
+    a.stddev = s.stddev();
+    a.ci95_half =
+        t95_quantile(a.n - 1) * a.stddev / std::sqrt(static_cast<double>(a.n));
+  }
+  return a;
+}
+
+namespace {
+
+/// Per-CPU shared assets: the resolved part and its DPM cost model.
+struct CpuAsset {
+  hw::Sa1100 cpu;
+  dpm::DpmCostModel costs;
+};
+
+/// Per-(cpu, workload, replicate) shared assets, built once before
+/// dispatch and read-only afterwards.
+struct WorkloadAsset {
+  std::shared_ptr<const std::vector<PlaybackItem>> items;
+  dpm::IdleDistributionPtr idle;
+};
+
+WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
+                             std::uint64_t trace_seed) {
+  WorkloadAsset asset;
+  switch (w.kind) {
+    case WorkloadKind::Mp3Sequence: {
+      const workload::DecoderModel dec =
+          workload::reference_mp3_decoder(cpu.max_frequency());
+      Rng rng{trace_seed};
+      workload::FrameTrace trace =
+          workload::build_mp3_trace(workload::mp3_sequence(w.mp3_labels), dec,
+                                    rng);
+      const Seconds end = trace.duration();
+      auto items = std::make_shared<std::vector<PlaybackItem>>();
+      items->push_back(PlaybackItem{
+          std::move(trace), dec,
+          default_nominal_arrival(workload::MediaType::Mp3Audio),
+          default_nominal_service(workload::MediaType::Mp3Audio), end});
+      asset.items = std::move(items);
+      asset.idle = default_idle_distribution();
+      break;
+    }
+    case WorkloadKind::MpegClip: {
+      const workload::DecoderModel dec =
+          workload::reference_mpeg_decoder(cpu.max_frequency());
+      workload::MpegClip clip = w.mpeg_clip == "terminator2"
+                                    ? workload::terminator2_clip()
+                                    : workload::football_clip();
+      if (w.mpeg_clip != "football" && w.mpeg_clip != "terminator2") {
+        throw std::invalid_argument("WorkloadSpec: unknown mpeg clip '" +
+                                    w.mpeg_clip + "'");
+      }
+      if (w.mpeg_limit.value() > 0.0) {
+        clip.duration =
+            seconds(std::min(w.mpeg_limit.value(), clip.duration.value()));
+      }
+      Rng rng{trace_seed};
+      workload::FrameTrace trace = workload::build_mpeg_trace(clip, dec, rng);
+      const Seconds end = trace.duration();
+      auto items = std::make_shared<std::vector<PlaybackItem>>();
+      items->push_back(PlaybackItem{
+          std::move(trace), dec,
+          default_nominal_arrival(workload::MediaType::MpegVideo),
+          default_nominal_service(workload::MediaType::MpegVideo), end});
+      asset.items = std::move(items);
+      asset.idle = default_idle_distribution();
+      break;
+    }
+    case WorkloadKind::Session: {
+      SessionConfig cfg = w.session;
+      cfg.seed = trace_seed;
+      Session session = build_session(cfg, cpu);
+      asset.items = std::make_shared<const std::vector<PlaybackItem>>(
+          std::move(session.items));
+      asset.idle = session.idle_model;
+      break;
+    }
+  }
+  return asset;
+}
+
+}  // namespace
+
+const CellResult* SweepResult::find_cell(
+    const std::function<bool(const CellResult&)>& pred) const {
+  for (const CellResult& c : cells) {
+    if (pred(c)) return &c;
+  }
+  return nullptr;
+}
+
+SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
+  SweepResult out;
+  out.scenario = spec.name;
+  out.jobs = resolve_jobs(opts_.jobs);
+
+  std::vector<RunPoint> points = spec.expand();
+
+  // ---- shared immutable assets, built once ------------------------------
+  DetectorFactoryConfig detector_cfg = spec.detector_cfg;
+  for (DetectorKind d : spec.detectors) {
+    if (d == DetectorKind::ChangePoint) {
+      detector_cfg.prepare();
+      break;
+    }
+  }
+
+  std::vector<CpuAsset> cpu_assets;
+  cpu_assets.reserve(spec.cpus.size());
+  for (const std::string& name : spec.cpus) {
+    CpuAsset a{cpu_by_name(name), {}};
+    const hw::SmartBadge badge{a.cpu};
+    a.costs = dpm::smartbadge_cost_model(badge);
+    cpu_assets.push_back(std::move(a));
+  }
+
+  const auto asset_key = [&](const RunPoint& p) {
+    return (p.cpu_idx * spec.workloads.size() + p.workload_idx) *
+               static_cast<std::size_t>(spec.replicates) +
+           static_cast<std::size_t>(p.replicate);
+  };
+  std::unordered_map<std::size_t, WorkloadAsset> workload_assets;
+  for (const RunPoint& p : points) {
+    const std::size_t key = asset_key(p);
+    if (workload_assets.find(key) == workload_assets.end()) {
+      workload_assets.emplace(
+          key, build_workload(p.workload, cpu_assets[p.cpu_idx].cpu,
+                              p.trace_seed));
+    }
+  }
+
+  // ---- execute ----------------------------------------------------------
+  std::vector<Metrics> metrics(points.size());
+  std::mutex progress_m;
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for(points.size(), out.jobs, [&](std::size_t i) {
+    const RunPoint& p = points[i];
+    const CpuAsset& cpu = cpu_assets[p.cpu_idx];
+    const WorkloadAsset& asset = workload_assets.at(asset_key(p));
+
+    RunOptions opts;
+    opts.detector = p.detector;
+    opts.target_delay = p.delay_target;
+    opts.service_cv2 = p.service_cv2;
+    opts.detector_cfg = &detector_cfg;
+    opts.dpm_policy = make_dpm_policy(p.dpm, cpu.costs, asset.idle);
+    opts.seed = p.engine_seed;
+    opts.cpu = &cpu.cpu;
+    metrics[i] = run_items(*asset.items, opts);
+
+    if (opts_.on_point) {
+      std::lock_guard<std::mutex> lk(progress_m);
+      opts_.on_point(PointResult{p, metrics[i]});
+    }
+  });
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // ---- collect in expansion order, aggregate per cell -------------------
+  out.points.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.points.push_back(PointResult{std::move(points[i]), std::move(metrics[i])});
+  }
+
+  std::size_t i = 0;
+  while (i < out.points.size()) {
+    const std::size_t cell = out.points[i].point.cell;
+    CellResult c;
+    c.point = out.points[i].point;
+    RunningStats energy, cpu_mem, delay, max_delay, freq, switches, sleeps,
+        wakeup, power;
+    for (; i < out.points.size() && out.points[i].point.cell == cell; ++i) {
+      const Metrics& m = out.points[i].metrics;
+      energy.add(m.energy_kj());
+      cpu_mem.add(m.cpu_memory_energy().value() / 1e3);
+      delay.add(m.mean_frame_delay.value());
+      max_delay.add(m.max_frame_delay.value());
+      freq.add(m.mean_cpu_frequency.value());
+      switches.add(m.cpu_switches);
+      sleeps.add(m.dpm_sleeps);
+      wakeup.add(m.dpm_total_wakeup_delay.value());
+      power.add(m.average_power.value());
+    }
+    c.energy_kj = aggregate(energy);
+    c.cpu_mem_kj = aggregate(cpu_mem);
+    c.delay_s = aggregate(delay);
+    c.max_delay_s = aggregate(max_delay);
+    c.freq_mhz = aggregate(freq);
+    c.switches = aggregate(switches);
+    c.sleeps = aggregate(sleeps);
+    c.wakeup_delay_s = aggregate(wakeup);
+    c.power_mw = aggregate(power);
+    out.cells.push_back(std::move(c));
+  }
+
+  // ---- summary observability -------------------------------------------
+  if (opts_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *opts_.metrics;
+    reg.counter("sweep.points") += out.points.size();
+    reg.counter("sweep.cells") += out.cells.size();
+    reg.gauge("sweep.jobs") = out.jobs;
+    reg.gauge("sweep.wall_seconds") = out.wall_seconds;
+    auto& energy_hist = reg.histogram("sweep.point_energy_kj", 0.0, 50.0, 100);
+    auto& delay_hist = reg.histogram("sweep.point_delay_s", 0.0, 2.0, 100);
+    for (const PointResult& p : out.points) {
+      energy_hist.add(p.metrics.energy_kj());
+      delay_hist.add(p.metrics.mean_frame_delay.value());
+    }
+  }
+  return out;
+}
+
+// ---- consolidated CSV ----------------------------------------------------------
+
+void SweepResult::write_points_csv(CsvWriter& csv) const {
+  csv.write_header({"scenario", "point", "cell", "replicate", "workload",
+                    "detector", "dpm", "cpu", "delay_target_s", "service_cv2",
+                    "trace_seed", "engine_seed", "energy_kj", "cpu_mem_kj",
+                    "delay_s", "max_delay_s", "freq_mhz", "switches", "sleeps",
+                    "wakeup_delay_s", "power_mw", "frames", "duration_s"});
+  for (const PointResult& p : points) {
+    const Metrics& m = p.metrics;
+    csv.row(scenario, p.point.index, p.point.cell, p.point.replicate,
+            p.point.workload.name(), to_string(p.point.detector),
+            p.point.dpm.name(), p.point.cpu, p.point.delay_target.value(),
+            p.point.service_cv2, p.point.trace_seed, p.point.engine_seed,
+            m.energy_kj(), m.cpu_memory_energy().value() / 1e3,
+            m.mean_frame_delay.value(), m.max_frame_delay.value(),
+            m.mean_cpu_frequency.value(), m.cpu_switches, m.dpm_sleeps,
+            m.dpm_total_wakeup_delay.value(), m.average_power.value(),
+            m.frames_decoded, m.duration.value());
+  }
+}
+
+void SweepResult::write_cells_csv(CsvWriter& csv) const {
+  csv.write_header(
+      {"scenario", "cell", "workload", "detector", "dpm", "cpu",
+       "delay_target_s", "service_cv2", "replicates", "energy_kj_mean",
+       "energy_kj_sd", "energy_kj_ci95", "cpu_mem_kj_mean", "cpu_mem_kj_sd",
+       "cpu_mem_kj_ci95", "delay_s_mean", "delay_s_sd", "delay_s_ci95",
+       "freq_mhz_mean", "freq_mhz_sd", "freq_mhz_ci95", "switches_mean",
+       "sleeps_mean", "wakeup_delay_s_mean", "power_mw_mean"});
+  for (const CellResult& c : cells) {
+    csv.row(scenario, c.point.cell, c.point.workload.name(),
+            to_string(c.point.detector), c.point.dpm.name(), c.point.cpu,
+            c.point.delay_target.value(), c.point.service_cv2, c.energy_kj.n,
+            c.energy_kj.mean, c.energy_kj.stddev, c.energy_kj.ci95_half,
+            c.cpu_mem_kj.mean, c.cpu_mem_kj.stddev, c.cpu_mem_kj.ci95_half,
+            c.delay_s.mean, c.delay_s.stddev, c.delay_s.ci95_half,
+            c.freq_mhz.mean, c.freq_mhz.stddev, c.freq_mhz.ci95_half,
+            c.switches.mean, c.sleeps.mean, c.wakeup_delay_s.mean,
+            c.power_mw.mean);
+  }
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,106 @@
+// SweepRunner: executes a ScenarioSpec's RunPoints on a work-stealing
+// thread pool with results that are bit-identical to serial execution.
+//
+// Determinism contract: every point is an independent simulation — its own
+// Engine, its own RNG substreams (RunPoint::trace_seed / engine_seed), a
+// fresh DPM policy instance — writing only to its own result slot, so the
+// execution schedule cannot influence any number.  Shared state is built
+// once before dispatch and is immutable during the run: the prepared
+// change-point threshold table (DetectorFactoryConfig::prepare) and the
+// per-(cpu, workload, replicate) frame traces / sessions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace dvs::core {
+
+/// Resolves a --jobs value: 0 means hardware concurrency, floor 1.
+int resolve_jobs(int jobs);
+
+/// Runs fn(i) for every i in [0, n) on `jobs` threads.  Work is split into
+/// per-worker ranges; idle workers steal from the back of the busiest
+/// victim's remainder.  jobs <= 1 (after resolution) runs inline.  The
+/// first exception thrown by fn is rethrown after all workers stop.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Replicate aggregate for one metric column: mean, sample stddev, and the
+/// half-width of the Student-t 95% confidence interval (0 when n < 2).
+struct Aggregate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half = 0.0;
+};
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom (normal
+/// approximation past df = 30) — the CI multiplier used by aggregate().
+double t95_quantile(std::size_t df);
+
+Aggregate aggregate(const RunningStats& s);
+
+/// One executed point, in expansion order.
+struct PointResult {
+  RunPoint point;
+  Metrics metrics;
+};
+
+/// One grid cell with its replicates reduced.
+struct CellResult {
+  RunPoint point;  ///< replicate-0 point: the cell's coordinates
+  Aggregate energy_kj;
+  Aggregate cpu_mem_kj;
+  Aggregate delay_s;
+  Aggregate max_delay_s;
+  Aggregate freq_mhz;
+  Aggregate switches;
+  Aggregate sleeps;
+  Aggregate wakeup_delay_s;
+  Aggregate power_mw;
+};
+
+struct SweepResult {
+  std::string scenario;
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  std::vector<PointResult> points;  ///< expansion order
+  std::vector<CellResult> cells;    ///< cell order
+
+  /// First cell matching the predicate; nullptr when none does.
+  [[nodiscard]] const CellResult* find_cell(
+      const std::function<bool(const CellResult&)>& pred) const;
+
+  /// Consolidated CSV emission — the one writer all sweeps share.
+  void write_points_csv(CsvWriter& csv) const;
+  void write_cells_csv(CsvWriter& csv) const;
+};
+
+struct SweepOptions {
+  int jobs = 1;  ///< 0 = hardware concurrency
+  /// Summary sink, fed serially after the run (the registry itself is not
+  /// thread-safe, so per-run engine hooks stay off during a sweep).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Progress callback, serialized, in completion (not expansion) order.
+  std::function<void(const PointResult&)> on_point;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Expands, prepares shared assets, executes every point, aggregates.
+  SweepResult run(const ScenarioSpec& spec) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace dvs::core

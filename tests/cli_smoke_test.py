@@ -87,6 +87,52 @@ def main():
         if not any(n.startswith("rate_") for n in names):
             fail("chrome trace has no detector rate activity")
 
+    # Scenario registry: --list-scenarios enumerates the built-in sweeps.
+    proc = subprocess.run([binary, "--list-scenarios"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"--list-scenarios exit code {proc.returncode}\n{proc.stderr}")
+    for name in ("table3", "table5", "quick"):
+        if name not in proc.stdout:
+            fail(f"--list-scenarios output missing {name!r}:\n{proc.stdout}")
+
+    # A small sweep through the scenario runner, parallel, with CSV export
+    # and metrics emission.
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_base = os.path.join(tmp, "quick")
+        cmd = [
+            binary,
+            "--scenario", "quick",
+            "--jobs", "2",
+            "--metrics-json", "-",
+            "--sweep-csv", csv_base,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"--scenario quick exit code {proc.returncode}\n{proc.stderr}")
+        try:
+            sweep_metrics = json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            fail(f"sweep metrics JSON invalid: {e}\n{proc.stdout[:2000]}")
+        if sweep_metrics["counters"].get("sweep.points", 0) <= 0:
+            fail(f"sweep.points counter missing: {sweep_metrics['counters']}")
+        if "Change Point" not in proc.stderr:
+            fail(f"sweep cell table did not list the detector:\n{proc.stderr}")
+        for suffix in ("_cells.csv", "_points.csv"):
+            path = csv_base + suffix
+            if not os.path.exists(path):
+                fail(f"--sweep-csv did not write {path}")
+            with open(path) as f:
+                lines = [l for l in f.read().splitlines() if l]
+            if len(lines) < 2:
+                fail(f"{path} has no data rows")
+
+    # Unknown scenario names must fail loudly, not run something else.
+    proc = subprocess.run([binary, "--scenario", "no-such"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("--scenario no-such unexpectedly succeeded")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -69,6 +70,53 @@ TEST(Csv, WritesEscapedCells) {
 
 TEST(Csv, ThrowsOnUnwritablePath) {
   EXPECT_THROW((void)(CsvWriter{"/nonexistent-dir/x.csv"}), std::runtime_error);
+}
+
+TEST(Csv, VariadicRowMatchesNumericFormatting) {
+  const std::string path = testing::TempDir() + "/dvs_csv_row_test.csv";
+  {
+    CsvWriter w{path};
+    // Mixed row: strings pass through, numbers format exactly like
+    // write_row(vector<double>) — stream defaults, 6 significant digits.
+    w.row("x", 1.5, 42, 0.123456789);
+    w.write_row(std::vector<double>{1.5, 0.123456789});
+  }
+  std::ifstream in{path};
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,1.5,42,0.123457");
+  EXPECT_EQ(line2, "1.5,0.123457");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PathHonorsEnvironmentDirectory) {
+  unsetenv("DVS_CSV_DIR");
+  EXPECT_EQ(csv_path("foo"), "foo.csv");
+  setenv("DVS_CSV_DIR", "/tmp/artifacts", 1);
+  EXPECT_EQ(csv_path("foo"), "/tmp/artifacts/foo.csv");
+  unsetenv("DVS_CSV_DIR");
+}
+
+// Golden check for the Figure 3 artifact: downstream plotting scripts key
+// on these exact column names, so the header is part of the repo's
+// interface and must not drift when benches move between CSV helpers.
+TEST(Csv, Fig3HeaderIsStable) {
+  const std::string path = testing::TempDir() + "/dvs_fig3_golden.csv";
+  {
+    CsvWriter w{path};
+    w.write_header({"freq_mhz", "volt", "power_mw", "energy_per_cycle_ratio"});
+    w.write_row(std::vector<double>{221.25, 1.65, 400.0, 1.0});
+  }
+  std::ifstream in{path};
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "freq_mhz,volt,power_mw,energy_per_cycle_ratio");
+  EXPECT_EQ(row, "221.25,1.65,400,1");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ DetectorFactoryConfig& shared_detectors() {
   static DetectorFactoryConfig cfg = [] {
     DetectorFactoryConfig c;
     c.change_point.mc_windows = 1500;
+    c.prepare();
     return c;
   }();
   return cfg;

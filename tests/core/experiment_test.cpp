@@ -22,13 +22,18 @@ TEST(Detectors, FactoryBuildsEachKind) {
   EXPECT_EQ(make_detector(DetectorKind::Max, cfg, nullptr), nullptr);
   // Ideal requires a truth source.
   EXPECT_THROW((void)(make_detector(DetectorKind::Ideal, cfg, nullptr)), std::logic_error);
-  // Change-point builds and caches the threshold table.
+  // Change-point never mutates the shared config: an unprepared one gets a
+  // private table, a prepared one is reused across every call.
   EXPECT_EQ(cfg.thresholds, nullptr);
   EXPECT_NE(make_detector(DetectorKind::ChangePoint, cfg, nullptr), nullptr);
-  EXPECT_NE(cfg.thresholds, nullptr);
+  EXPECT_EQ(cfg.thresholds, nullptr);  // caller's config untouched
+  cfg.prepare();
+  ASSERT_TRUE(cfg.prepared());
   const auto* cached = cfg.thresholds.get();
-  make_detector(DetectorKind::ChangePoint, cfg, nullptr);
+  EXPECT_NE(make_detector(DetectorKind::ChangePoint, cfg, nullptr), nullptr);
   EXPECT_EQ(cfg.thresholds.get(), cached);  // reused, not rebuilt
+  cfg.prepare();
+  EXPECT_EQ(cfg.thresholds.get(), cached);  // idempotent
 }
 
 TEST(Detectors, NominalDefaultsPerMedia) {

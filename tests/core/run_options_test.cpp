@@ -1,0 +1,111 @@
+// RunOptions <-> EngineConfig round-trip: every field a caller can set must
+// reach the engine (this is the drift that once silently dropped
+// buffer_capacity and wlan_rx_time), plus behavioral checks that the two
+// previously-dropped fields actually change simulation results.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "hw/cpu_catalog.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_recorder.hpp"
+#include "workload/clips.hpp"
+
+namespace dvs::core {
+namespace {
+
+TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
+  RunOptions opts;
+  opts.detector = DetectorKind::ExpAverage;
+  opts.target_delay = seconds(0.123);
+  opts.service_cv2 = 0.7;
+  opts.dpm_policy = nullptr;
+  opts.seed = 987;
+  DetectorFactoryConfig cfg;
+  cfg.ema_gain = 0.5;
+  cfg.sliding_window = 77;
+  opts.detector_cfg = &cfg;
+  opts.dpm_arm_delay = seconds(0.9);
+  opts.session_gap_threshold = seconds(3.3);
+  opts.wlan_rx_time = seconds(0.005);
+  opts.buffer_capacity = 17;
+  opts.power_sample_period = seconds(2.5);
+  const hw::Sa1100 crusoe = hw::crusoe_like();
+  opts.cpu = &crusoe;
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  opts.trace = &trace;
+  opts.metrics = &metrics;
+
+  const EngineConfig ec = to_engine_config(opts);
+  EXPECT_EQ(ec.detector, DetectorKind::ExpAverage);
+  EXPECT_DOUBLE_EQ(ec.target_delay.value(), 0.123);
+  EXPECT_DOUBLE_EQ(ec.service_cv2, 0.7);
+  EXPECT_EQ(ec.dpm_policy, nullptr);
+  EXPECT_EQ(ec.seed, 987u);
+  EXPECT_DOUBLE_EQ(ec.detectors.ema_gain, 0.5);
+  EXPECT_EQ(ec.detectors.sliding_window, 77u);
+  EXPECT_DOUBLE_EQ(ec.dpm_arm_delay.value(), 0.9);
+  EXPECT_DOUBLE_EQ(ec.session_gap_threshold.value(), 3.3);
+  EXPECT_DOUBLE_EQ(ec.wlan_rx_time.value(), 0.005);
+  EXPECT_EQ(ec.buffer_capacity, 17u);
+  EXPECT_DOUBLE_EQ(ec.power_sample_period.value(), 2.5);
+  EXPECT_DOUBLE_EQ(ec.cpu.max_frequency().value(),
+                   crusoe.max_frequency().value());
+  EXPECT_EQ(ec.trace, &trace);
+  EXPECT_EQ(ec.metrics, &metrics);
+}
+
+TEST(RunOptionsRoundTrip, DefaultsMatchEngineDefaults) {
+  const EngineConfig ec = to_engine_config(RunOptions{});
+  const EngineConfig def;
+  EXPECT_EQ(ec.detector, def.detector);
+  EXPECT_DOUBLE_EQ(ec.target_delay.value(), def.target_delay.value());
+  EXPECT_DOUBLE_EQ(ec.service_cv2, def.service_cv2);
+  EXPECT_DOUBLE_EQ(ec.wlan_rx_time.value(), def.wlan_rx_time.value());
+  EXPECT_DOUBLE_EQ(ec.session_gap_threshold.value(),
+                   def.session_gap_threshold.value());
+  EXPECT_DOUBLE_EQ(ec.dpm_arm_delay.value(), def.dpm_arm_delay.value());
+  EXPECT_EQ(ec.buffer_capacity, def.buffer_capacity);
+  EXPECT_DOUBLE_EQ(ec.cpu.max_frequency().value(),
+                   def.cpu.max_frequency().value());
+}
+
+// A short MP3 run under the Max detector (no detection noise) so the two
+// behavioral checks are cheap and deterministic.
+Metrics short_run(const RunOptions& opts) {
+  const hw::Sa1100 cpu;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(cpu.max_frequency());
+  Rng rng{2026};
+  const workload::FrameTrace trace =
+      workload::build_mp3_trace(workload::mp3_sequence("A"), dec, rng);
+  return run_single_trace(trace, dec, opts);
+}
+
+TEST(RunOptionsBehavior, BoundedBufferDropsFramesUnboundedDoesNot) {
+  RunOptions opts;
+  opts.detector = DetectorKind::Max;
+  const Metrics unbounded = short_run(opts);
+  EXPECT_EQ(unbounded.frames_dropped, 0u);
+
+  opts.buffer_capacity = 1;  // pathologically tight: arrivals must drop
+  const Metrics bounded = short_run(opts);
+  EXPECT_GT(bounded.frames_dropped, 0u);
+  EXPECT_LT(bounded.frames_decoded, unbounded.frames_decoded);
+}
+
+TEST(RunOptionsBehavior, WlanRxTimeChangesRadioEnergy) {
+  RunOptions opts;
+  opts.detector = DetectorKind::Max;
+  opts.wlan_rx_time = seconds(0.001);
+  const Metrics small = short_run(opts);
+
+  opts.wlan_rx_time = seconds(0.02);
+  const Metrics large = short_run(opts);
+
+  // A 20x longer active burst per received frame must cost more energy.
+  EXPECT_GT(large.total_energy.value(), small.total_energy.value());
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -21,6 +21,7 @@ DetectorFactoryConfig& shared_detectors() {
   static DetectorFactoryConfig cfg = [] {
     DetectorFactoryConfig c;
     c.change_point.mc_windows = 1000;
+    c.prepare();
     return c;
   }();
   return cfg;

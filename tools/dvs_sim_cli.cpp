@@ -5,6 +5,16 @@
 //   dvs_sim --session --cycles 4 --detector change-point --dpm tismdp
 //   dvs_sim --media mp3 --save-trace out.trace
 //   dvs_sim --load-trace out.trace --detector ema
+//   dvs_sim --list-scenarios
+//   dvs_sim --scenario table5 --jobs 8 --replicates 10
+//
+// Scenario sweeps (core/scenario.hpp registry; results are bit-identical
+// at any --jobs level):
+//   --list-scenarios          list the built-in scenario grids and exit
+//   --scenario <name>         run a whole scenario grid instead of one run
+//   --jobs <n>                sweep worker threads (0 = all cores, default 1)
+//   --replicates <r>          override the scenario's replicate count
+//   --sweep-csv <base>        write <base>_cells.csv and <base>_points.csv
 //
 // Options:
 //   --media mp3|mpeg          workload type (default mp3)
@@ -41,9 +51,10 @@
 #include <string>
 
 #include "common/csv.hpp"
+#include "common/table.hpp"
 #include "core/experiment.hpp"
-#include "dpm/adaptive.hpp"
-#include "dpm/tismdp_solver.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace_recorder.hpp"
@@ -69,6 +80,12 @@ struct CliOptions {
   std::string dpm = "none";
   double dpm_delay = 0.5;
   std::uint64_t seed = 1;
+  bool seed_set = false;
+  std::string scenario;
+  bool list_scenarios = false;
+  int jobs = 1;
+  int replicates = 0;  // 0 = scenario default
+  std::string sweep_csv;
   std::string save_trace;
   std::string load_trace;
   std::string power_csv;
@@ -104,7 +121,12 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--cv2") { o.cv2 = std::stod(need(i)); ++i; }
     else if (a == "--dpm") { o.dpm = need(i); ++i; }
     else if (a == "--dpm-delay") { o.dpm_delay = std::stod(need(i)); ++i; }
-    else if (a == "--seed") { o.seed = std::stoull(need(i)); ++i; }
+    else if (a == "--seed") { o.seed = std::stoull(need(i)); o.seed_set = true; ++i; }
+    else if (a == "--scenario") { o.scenario = need(i); ++i; }
+    else if (a == "--list-scenarios") { o.list_scenarios = true; }
+    else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
+    else if (a == "--replicates") { o.replicates = std::stoi(need(i)); ++i; }
+    else if (a == "--sweep-csv") { o.sweep_csv = need(i); ++i; }
     else if (a == "--save-trace") { o.save_trace = need(i); ++i; }
     else if (a == "--load-trace") { o.load_trace = need(i); ++i; }
     else if (a == "--power-csv") { o.power_csv = need(i); ++i; }
@@ -129,25 +151,74 @@ core::DetectorKind detector_kind(const std::string& name) {
 
 dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
                            const dpm::IdleDistributionPtr& idle) {
-  if (o.dpm == "none") return nullptr;
-  if (o.dpm == "timeout") {
-    return std::make_shared<dpm::FixedTimeoutPolicy>(seconds(2.0), seconds(30.0));
+  const std::optional<core::DpmKind> kind = core::dpm_kind_from_string(o.dpm);
+  if (!kind) usage(("unknown dpm policy " + o.dpm).c_str());
+  core::DpmSpec spec;
+  spec.kind = *kind;
+  spec.max_delay = seconds(o.dpm_delay);
+  return core::make_dpm_policy(spec, costs, idle);
+}
+
+int list_scenarios() {
+  TextTable t;
+  t.set_header({"Scenario", "Cells", "Points", "Title"});
+  for (const core::ScenarioSpec& s : core::builtin_scenarios()) {
+    t.add_row({s.name, std::to_string(s.num_cells()),
+               std::to_string(s.num_points()), s.title});
   }
-  if (o.dpm == "renewal") return std::make_shared<dpm::RenewalPolicy>(costs, idle);
-  if (o.dpm == "tismdp") {
-    return std::make_shared<dpm::TismdpPolicy>(costs, idle, seconds(o.dpm_delay));
+  t.print();
+  std::printf("\nrun one with: dvs_sim --scenario <name> [--jobs N]"
+              " [--replicates R] [--sweep-csv base]\n");
+  return 0;
+}
+
+int run_scenario(const CliOptions& o, std::FILE* hout,
+                 obs::MetricsRegistry* registry) {
+  const core::ScenarioSpec* found = core::find_scenario(o.scenario);
+  if (found == nullptr) {
+    std::fprintf(stderr, "dvs_sim: unknown scenario '%s' (try --list-scenarios)\n",
+                 o.scenario.c_str());
+    return 2;
   }
-  if (o.dpm == "tismdp-dp") {
-    return std::make_shared<dpm::SolverTismdpPolicy>(costs, idle,
-                                                     seconds(o.dpm_delay));
+  core::ScenarioSpec spec = *found;
+  if (o.replicates > 0) spec.replicates = o.replicates;
+  if (o.seed_set) spec.base_seed = o.seed;
+
+  core::SweepOptions sopts;
+  sopts.jobs = o.jobs;
+  sopts.metrics = registry;
+  const core::SweepResult res = core::SweepRunner{sopts}.run(spec);
+
+  std::fprintf(hout, "%s\nreproduces: %s\n", spec.title.c_str(),
+               spec.paper_ref.c_str());
+  std::fprintf(hout, "%zu points (%zu cells x %d replicates), jobs=%d, %.2f s\n\n",
+               res.points.size(), res.cells.size(), spec.replicates, res.jobs,
+               res.wall_seconds);
+
+  TextTable t;
+  t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",
+                "+-95%", "Delay (s)", "Power (mW)", "Sleeps"});
+  for (const core::CellResult& c : res.cells) {
+    t.add_row({c.point.workload.name(), std::string(to_string(c.point.detector)),
+               c.point.dpm.name(), c.point.cpu,
+               TextTable::num(c.point.delay_target.value(), 2),
+               TextTable::num(c.energy_kj.mean, 3),
+               TextTable::num(c.energy_kj.ci95_half, 3),
+               TextTable::num(c.delay_s.mean, 3),
+               TextTable::num(c.power_mw.mean, 0),
+               TextTable::num(c.sleeps.mean, 0)});
   }
-  if (o.dpm == "adaptive") {
-    dpm::AdaptiveDpmConfig acfg;
-    acfg.max_expected_delay = seconds(o.dpm_delay);
-    return std::make_shared<dpm::AdaptiveDpmPolicy>(costs, acfg);
+  std::fputs(t.str().c_str(), hout);
+
+  if (!o.sweep_csv.empty()) {
+    CsvWriter cells{o.sweep_csv + "_cells.csv"};
+    res.write_cells_csv(cells);
+    CsvWriter points{o.sweep_csv + "_points.csv"};
+    res.write_points_csv(points);
+    std::fprintf(hout, "\nsweep csv -> %s_cells.csv, %s_points.csv\n",
+                 o.sweep_csv.c_str(), o.sweep_csv.c_str());
   }
-  if (o.dpm == "oracle") return std::make_shared<dpm::OraclePolicy>(costs);
-  usage(("unknown dpm policy " + o.dpm).c_str());
+  return 0;
 }
 
 void print_metrics(std::FILE* out, const core::Metrics& m) {
@@ -177,13 +248,39 @@ int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
   const hw::Sa1100 cpu;
 
+  if (o.list_scenarios) return list_scenarios();
+
   // Metrics to stdout move the human-readable report to stderr so the JSON
   // stays machine-parseable.
   const bool json_to_stdout = o.metrics_json == "-";
   std::FILE* hout = json_to_stdout ? stderr : stdout;
 
+  if (!o.scenario.empty()) {
+    obs::MetricsRegistry sweep_registry;
+    const int rc = run_scenario(
+        o, hout, o.metrics_json.empty() ? nullptr : &sweep_registry);
+    if (rc != 0) return rc;
+    if (!o.metrics_json.empty()) {
+      if (json_to_stdout) {
+        sweep_registry.write_json(std::cout);
+      } else {
+        std::ofstream os{o.metrics_json};
+        if (!os) {
+          std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
+          return 1;
+        }
+        sweep_registry.write_json(os);
+        std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
+      }
+    }
+    return 0;
+  }
+
   core::DetectorFactoryConfig detector_cfg;
   detector_cfg.ema_gain = o.ema_gain;
+  if (detector_kind(o.detector) == core::DetectorKind::ChangePoint) {
+    detector_cfg.prepare();
+  }
 
   obs::TraceRecorder recorder;
   try {
