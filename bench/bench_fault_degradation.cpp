@@ -1,0 +1,89 @@
+// Fault injection & graceful degradation: how each fault in the builtin
+// catalogue moves energy, delay, and degradation time, and what the
+// watchdog buys back.  Not a paper table — the paper measures a healthy
+// badge; this bench characterizes the reproduction's behaviour at the
+// edges (overload spikes, flaky hardware, corrupted streams) where the
+// plain policy would otherwise let the frame queue run away.
+//
+// Grid: mp3 sequence A under Change Point and Max, one column block per
+// fault spec, 3 replicates.  The `none` block is the healthy baseline the
+// other blocks are read against.
+#include "bench_common.hpp"
+#include "fault/fault_spec.hpp"
+
+using namespace dvs;
+
+int main() {
+  bench::print_header("Fault injection & graceful degradation",
+                      "harness extension beyond Simunic et al., DAC'01 "
+                      "(healthy-system tables 3-5); watchdog: escalate on "
+                      "sustained delay/queue violations, exponential backoff");
+
+  core::ScenarioSpec spec;
+  spec.name = "fault-degradation";
+  spec.title = "Fault catalogue vs mp3 sequence A";
+  spec.workloads = {core::WorkloadSpec::mp3("A")};
+  spec.detectors = {core::DetectorKind::ChangePoint, core::DetectorKind::Max};
+  const auto catalogue = fault::builtin_faults();
+  spec.faults.assign(catalogue.begin(), catalogue.end());
+  spec.replicates = 3;
+  spec.base_seed = 2001;
+  spec.detector_cfg = bench::detectors();
+
+  const core::SweepResult res = bench::run_scenario(spec);
+
+  // Per-cell means for the counters the cell aggregates do not carry.
+  const auto point_mean = [&res](std::size_t cell,
+                                 auto&& field) -> double {
+    double sum = 0.0;
+    int n = 0;
+    for (const core::PointResult& p : res.points) {
+      if (p.point.cell != cell) continue;
+      sum += field(p.metrics);
+      ++n;
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+
+  TextTable t;
+  t.set_header({"Fault", "Detector", "Energy (kJ)", "Fr. Delay (s)",
+                "Max delay (s)", "Dropped", "HW faults", "Escal.", "Recov.",
+                "Degraded (s)"});
+  for (const core::CellResult& c : res.cells) {
+    t.add_row({c.point.faults.name, core::to_string(c.point.detector),
+               bench::cell(c.energy_kj, 3), bench::cell(c.delay_s, 3),
+               TextTable::num(c.max_delay_s.mean, 2),
+               TextTable::num(point_mean(c.point.cell,
+                                         [](const core::Metrics& m) {
+                                           return static_cast<double>(
+                                               m.frames_dropped);
+                                         }),
+                              0),
+               TextTable::num(c.faults_injected.mean, 1),
+               TextTable::num(point_mean(c.point.cell,
+                                         [](const core::Metrics& m) {
+                                           return static_cast<double>(
+                                               m.watchdog_escalations);
+                                         }),
+                              1),
+               bench::cell(c.recoveries, 1),
+               bench::cell(c.time_degraded_s, 1)});
+  }
+  t.print();
+
+  CsvWriter csv{bench::csv_path("fault_degradation_cells")};
+  res.write_cells_csv(csv);
+
+  std::printf(
+      "\nShape check: the `none` rows match the healthy Table 3 column for"
+      " sequence A.\nOnly spike10x and chaos genuinely overload the badge"
+      " (10x arrivals vs the\ndecoder ceiling): the Change Point watchdog"
+      " escalates, rides out the spike at\nthe top step, and recovers once"
+      " the backlog drains; Max has no watchdog (it\nalready runs flat-out)"
+      " and pays the same delay.  step3x and burst stay within\nthe"
+      " policy's own headroom; heavytail trips short episodes that recover"
+      "\nimmediately.  freq-stuck surfaces as counted HW faults on the"
+      " adaptive\ngovernor's transitions; wakeup-flaky needs a sleeping DPM"
+      " policy to bite (the\nDPM axis here is None).\n");
+  return 0;
+}

@@ -8,6 +8,9 @@ namespace dvs {
 
 CsvWriter::CsvWriter(const std::string& path) : out_(path) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  // Locale-proof the file stream itself (CSV is a machine format; the
+  // global locale must never leak into it).
+  out_.imbue(std::locale::classic());
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -31,6 +34,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 
 void CsvWriter::write_row(const std::vector<double>& values) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) os << ',';
     os << values[i];

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -34,11 +35,15 @@ class CsvWriter {
   }
 
   /// The shared cell formatting (public so tests can pin it down).
+  /// Always formats in the classic "C" locale: a process-global de_DE-style
+  /// locale would otherwise turn 3.14 into "3,14" and silently corrupt
+  /// every CSV cell boundary.
   static std::string to_cell(const std::string& cell) { return cell; }
   static std::string to_cell(const char* cell) { return cell; }
   template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
   static std::string to_cell(T value) {
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     os << value;
     return os.str();
   }

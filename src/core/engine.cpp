@@ -36,11 +36,23 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
   pm_ = std::make_unique<dpm::PowerManager>(sim_, badge_, cfg_.dpm_policy,
                                             cfg_.seed ^ 0xd9a17ULL);
   pm_->set_observability(cfg_.trace, cfg_.metrics);
+  if (cfg_.hw_faults.any()) {
+    // A dedicated substream of the engine seed, disjoint from the DPM's,
+    // so adding hardware faults never perturbs the fault-free draws.
+    injector_ =
+        std::make_unique<fault::HwFaultInjector>(cfg_.hw_faults,
+                                                 cfg_.seed ^ 0xfa017ULL);
+    injector_->set_trace(cfg_.trace);
+    pm_->set_wakeup_fault_hook(
+        [this](Seconds now) { return injector_->wakeup_penalty(now); });
+  }
   if (cfg_.metrics != nullptr) {
     delay_hist_ = &cfg_.metrics->histogram("frames.delay_s", 0.0, 2.0, 200);
     decode_hist_ = &cfg_.metrics->histogram("frames.decode_s", 0.0, 0.2, 200);
     detect_latency_hist_ =
         &cfg_.metrics->histogram("detector.detection_latency_s", 0.0, 60.0, 120);
+    delay_violation_hist_ =
+        &cfg_.metrics->histogram("frames.delay_over_target", 0.0, 10.0, 100);
   }
   if (tracing()) install_component_observers();
 }
@@ -148,6 +160,13 @@ void Engine::ensure_media_context(const PlaybackItem& item) {
     }
     it = governors_.emplace(type, std::move(gov)).first;
     wire_governor_observability(*it->second);
+    it->second->enable_watchdog(cfg_.watchdog, cfg_.target_delay);
+    if (injector_ != nullptr) {
+      it->second->set_step_filter(
+          [this](Seconds at, std::size_t current, std::size_t desired) {
+            return injector_->filter_step(at, current, desired);
+          });
+    }
     note_frequency(now);
     it->second->initialize(item.nominal_arrival, item.nominal_service_at_max, now);
     // The detectors start from nominal rates; the gap to the clip's true
@@ -209,17 +228,23 @@ void Engine::handle_arrival() {
     }
   }
 
-  // Arrival-rate sample, gated against idle gaps.
-  if (prev_arrival_) {
-    const Seconds gap = now - *prev_arrival_;
-    if (gap.value() > 0.0 && gap < cfg_.session_gap_threshold) {
-      gov.on_arrival(now, gap, static_cast<double>(buffer_.size()));
-      if (tracing() && gov.adaptive()) {
-        record_detector_sample(gov, "arrival", now, gap, gov.arrival_estimate());
+  // Arrival-rate sample, gated against idle gaps — and against tail drops:
+  // a dropped frame is never serviced, so it must not feed the λ estimate
+  // the policy provisions for (the served rate is the admitted rate), nor
+  // reset the interarrival clock of the admitted stream.
+  if (accepted) {
+    if (prev_arrival_) {
+      const Seconds gap = now - *prev_arrival_;
+      if (gap.value() > 0.0 && gap < cfg_.session_gap_threshold) {
+        gov.on_arrival(now, gap, static_cast<double>(buffer_.size()));
+        if (tracing() && gov.adaptive()) {
+          record_detector_sample(gov, "arrival", now, gap,
+                                 gov.arrival_estimate());
+        }
       }
     }
+    prev_arrival_ = now;
   }
-  prev_arrival_ = now;
   maybe_start_decode(std::max(now, device_ready_));
 
   // Advance the cursor.
@@ -323,9 +348,12 @@ void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
                                        pure_decode.value(), delay.value(),
                                        buffer_.size()});
   }
+  if (delay_violation_hist_ != nullptr) {
+    delay_violation_hist_->add(delay.value() / cfg_.target_delay.value());
+  }
   policy::DvsGovernor& gov = governor_for(frame.type);
   gov.on_decode_complete(now, pure_decode, freq,
-                         static_cast<double>(buffer_.size()));
+                         static_cast<double>(buffer_.size()), delay);
   if (tracing() && gov.adaptive()) {
     record_detector_sample(gov, "service", now, pure_decode,
                            gov.service_estimate_at_max());
@@ -422,6 +450,7 @@ Metrics Engine::collect(Seconds end) {
     m.average_power = MilliWatts{m.total_energy.value() / end.value() * 1e3};
   }
   m.frames_arrived = frames_arrived_;
+  m.frames_admitted = buffer_.total_pushed();
   m.frames_decoded = buffer_.delay_stats().count();
   m.frames_dropped = buffer_.dropped();
   if (!buffer_.delay_stats().empty()) {
@@ -439,6 +468,14 @@ Metrics Engine::collect(Seconds end) {
   m.dpm_sleeps = pm_->sleeps_commanded();
   m.dpm_wakeups = pm_->wakeups();
   m.dpm_total_wakeup_delay = pm_->total_wakeup_delay();
+  if (injector_ != nullptr) m.faults_injected = injector_->faults_injected();
+  for (const auto& [type, gov] : governors_) {
+    const policy::Watchdog* wd = gov->watchdog();
+    if (wd == nullptr) continue;
+    m.watchdog_escalations += wd->escalations();
+    m.watchdog_recoveries += wd->recoveries();
+    m.time_in_degraded += wd->time_in_degraded(end);
+  }
   m.power_trace = std::move(power_trace_);
   if (cfg_.metrics != nullptr) fill_registry(m);
   return m;
@@ -447,6 +484,7 @@ Metrics Engine::collect(Seconds end) {
 void Engine::fill_registry(const Metrics& m) {
   obs::MetricsRegistry& reg = *cfg_.metrics;
   reg.counter("frames_arrived") += m.frames_arrived;
+  reg.counter("frames_admitted") += m.frames_admitted;
   reg.counter("frames_decoded") += m.frames_decoded;
   reg.counter("frames_dropped") += m.frames_dropped;
   reg.counter("cpu_switches") += static_cast<std::uint64_t>(m.cpu_switches);
@@ -460,6 +498,15 @@ void Engine::fill_registry(const Metrics& m) {
   reg.gauge("mean_frame_delay_s") = m.mean_frame_delay.value();
   reg.gauge("mean_cpu_mhz") = m.mean_cpu_frequency.value();
   reg.gauge("dpm.total_wakeup_delay_s") = m.dpm_total_wakeup_delay.value();
+  if (m.faults_injected > 0 || m.watchdog_escalations > 0 ||
+      m.watchdog_recoveries > 0) {
+    reg.counter("faults_injected") += m.faults_injected;
+    reg.counter("watchdog.escalations") +=
+        static_cast<std::uint64_t>(m.watchdog_escalations);
+    reg.counter("recoveries") +=
+        static_cast<std::uint64_t>(m.watchdog_recoveries);
+    reg.gauge("watchdog.time_in_degraded_s") = m.time_in_degraded.value();
+  }
 
   // Kernel self-profile: how hard the simulator itself worked.
   const sim::SimulatorStats& s = sim_.stats();

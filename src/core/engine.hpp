@@ -35,10 +35,12 @@
 #include "core/metrics.hpp"
 #include "dpm/policy.hpp"
 #include "dpm/power_manager.hpp"
+#include "fault/hw_faults.hpp"
 #include "hw/smartbadge.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_recorder.hpp"
 #include "policy/governor.hpp"
+#include "policy/watchdog.hpp"
 #include "queue/frame_buffer.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
@@ -77,6 +79,13 @@ struct EngineConfig {
   /// Metrics::power_trace (for power-profile plots).
   Seconds power_sample_period{0.0};
   std::uint64_t seed = 1;
+  /// Graceful-degradation watchdog, armed in every adaptive governor when
+  /// enabled (see policy/watchdog.hpp).  Off by default.
+  policy::WatchdogConfig watchdog{};
+  /// Hardware fault injection (wakeup faults, failed frequency
+  /// transitions, stuck rail); the injector draws from a substream of
+  /// `seed`.  Empty plan (default) = fault-free hardware.
+  fault::HwFaultPlan hw_faults{};
   /// Optional observability: structured trace events fan out to the
   /// recorder's sinks, and run statistics land in the registry.  Both may
   /// be null (the default); an untraced run pays only a pointer test per
@@ -97,6 +106,15 @@ class Engine {
   [[nodiscard]] const hw::SmartBadge& badge() const { return badge_; }
   [[nodiscard]] const queue::FrameBuffer& buffer() const { return buffer_; }
   [[nodiscard]] const dpm::PowerManager& power_manager() const { return *pm_; }
+  /// The governor serving `type`, or null before its first frame arrived.
+  [[nodiscard]] const policy::DvsGovernor* governor(workload::MediaType type) const {
+    const auto it = governors_.find(type);
+    return it == governors_.end() ? nullptr : it->second.get();
+  }
+  /// The hardware fault injector, or null when the plan is empty.
+  [[nodiscard]] const fault::HwFaultInjector* fault_injector() const {
+    return injector_.get();
+  }
 
  private:
   policy::DvsGovernor& governor_for(workload::MediaType type);
@@ -139,6 +157,7 @@ class Engine {
   sim::Simulator sim_;
   queue::FrameBuffer buffer_;
   std::unique_ptr<dpm::PowerManager> pm_;
+  std::unique_ptr<fault::HwFaultInjector> injector_;
   std::map<workload::MediaType, std::unique_ptr<policy::DvsGovernor>> governors_;
 
   // Arrival cursor.
@@ -173,6 +192,9 @@ class Engine {
   obs::HistogramMetric* delay_hist_ = nullptr;
   obs::HistogramMetric* decode_hist_ = nullptr;
   obs::HistogramMetric* detect_latency_hist_ = nullptr;
+  /// Frame delay as a multiple of the target — the degradation fingerprint
+  /// (mass above 1.0 = delay-target violations).
+  obs::HistogramMetric* delay_violation_hist_ = nullptr;
   /// Time of the last workload rate change (item start / item switch) not
   /// yet acknowledged by a detector — feeds the detection-latency histogram.
   std::optional<Seconds> rate_change_at_;

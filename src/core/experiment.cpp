@@ -30,6 +30,8 @@ EngineConfig to_engine_config(const RunOptions& opts) {
   cfg.wlan_rx_time = opts.wlan_rx_time;
   cfg.buffer_capacity = opts.buffer_capacity;
   cfg.power_sample_period = opts.power_sample_period;
+  cfg.watchdog = opts.watchdog;
+  cfg.hw_faults = opts.hw_faults;
   if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
   cfg.trace = opts.trace;
   cfg.metrics = opts.metrics;

@@ -41,6 +41,10 @@ struct RunOptions {
   std::size_t buffer_capacity = 0;
   /// > 0: fill Metrics::power_trace with whole-badge power samples.
   Seconds power_sample_period{0.0};
+  /// Graceful-degradation watchdog (off unless watchdog.enabled).
+  policy::WatchdogConfig watchdog{};
+  /// Hardware fault injection plan (empty = fault-free hardware).
+  fault::HwFaultPlan hw_faults{};
   /// Non-null: build the badge around this processor model instead of the
   /// stock SA-1100 (hw/cpu_catalog.hpp).  Decoders in the items must use
   /// its max frequency.

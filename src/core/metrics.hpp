@@ -20,6 +20,7 @@ struct Metrics {
   MilliWatts average_power{0.0};
 
   std::uint64_t frames_arrived = 0;
+  std::uint64_t frames_admitted = 0;  ///< arrived minus tail-dropped
   std::uint64_t frames_decoded = 0;
   std::uint64_t frames_dropped = 0;
 
@@ -35,12 +36,27 @@ struct Metrics {
   int dpm_wakeups = 0;
   Seconds dpm_total_wakeup_delay{0.0};
 
+  // Fault-injection / graceful degradation (zero on fault-free runs).
+  std::uint64_t faults_injected = 0;     ///< hardware faults that fired
+  int watchdog_escalations = 0;
+  int watchdog_recoveries = 0;
+  Seconds time_in_degraded{0.0};
+
   /// (time s, whole-badge power mW) samples; filled only when
   /// EngineConfig::power_sample_period > 0.
   std::vector<std::pair<double, double>> power_trace;
 
   /// Energy in kilojoules, as the paper's tables print it.
   [[nodiscard]] double energy_kj() const { return total_energy.value() / 1e3; }
+
+  /// Joules per frame actually serviced — an overload run must not look
+  /// cheaper per frame just because frames were tail-dropped, so the
+  /// denominator is decoded (serviced) frames, never offered ones.
+  [[nodiscard]] double energy_per_decoded_frame() const {
+    return frames_decoded == 0
+               ? 0.0
+               : total_energy.value() / static_cast<double>(frames_decoded);
+  }
 
   /// Energy of the processing subsystem (SA-1100 + FLASH + SRAM + DRAM) —
   /// the part DVS acts on directly; radio and display are reported in the

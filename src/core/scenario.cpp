@@ -144,13 +144,15 @@ dpm::DpmPolicyPtr make_dpm_policy(const DpmSpec& spec,
 // ---- the grid -------------------------------------------------------------------
 
 std::string RunPoint::label() const {
-  return workload.name() + "/" + core::to_string(detector) + "/" + dpm.name() +
-         "/r" + std::to_string(replicate);
+  std::string l = workload.name() + "/" + core::to_string(detector) + "/" +
+                  dpm.name() + "/r" + std::to_string(replicate);
+  if (!faults.none()) l += "/f:" + faults.name;
+  return l;
 }
 
 std::size_t ScenarioSpec::num_cells() const {
   return workloads.size() * cpus.size() * service_cv2s.size() *
-         delay_targets.size() * dpm.size() * detectors.size();
+         delay_targets.size() * faults.size() * dpm.size() * detectors.size();
 }
 
 std::size_t ScenarioSpec::num_points() const {
@@ -164,6 +166,7 @@ std::vector<RunPoint> ScenarioSpec::expand() const {
   DVS_CHECK_MSG(!cpus.empty(), "ScenarioSpec: no cpus");
   DVS_CHECK_MSG(!delay_targets.empty(), "ScenarioSpec: no delay targets");
   DVS_CHECK_MSG(!service_cv2s.empty(), "ScenarioSpec: no cv2 axis");
+  DVS_CHECK_MSG(!faults.empty(), "ScenarioSpec: no fault axis");
   DVS_CHECK_MSG(replicates > 0, "ScenarioSpec: replicates must be >= 1");
 
   std::vector<RunPoint> points;
@@ -173,33 +176,41 @@ std::vector<RunPoint> ScenarioSpec::expand() const {
     for (std::size_t c = 0; c < cpus.size(); ++c) {
       for (double cv2 : service_cv2s) {
         for (Seconds delay : delay_targets) {
-          for (const DpmSpec& d : dpm) {
-            for (DetectorKind det : detectors) {
-              for (int r = 0; r < replicates; ++r) {
-                RunPoint p;
-                p.index = points.size();
-                p.cell = cell;
-                p.replicate = r;
-                p.workload_idx = w;
-                p.cpu_idx = c;
-                p.workload = workloads[w];
-                p.detector = det;
-                p.dpm = d;
-                p.cpu = cpus[c];
-                p.delay_target = delay.value() > 0.0
-                                     ? delay
-                                     : workloads[w].default_delay_target();
-                p.service_cv2 = cv2;
-                // Trace seed: shared by every algorithm of the same
-                // (cpu, workload, replicate) row; disjoint from the engine
-                // substreams via the low bit.
-                const std::uint64_t row =
-                    ((c * 4096 + w) << 20) | static_cast<std::uint64_t>(r);
-                p.trace_seed = mix_seed(base_seed, row << 1);
-                p.engine_seed = mix_seed(base_seed, (p.index << 1) | 1);
-                points.push_back(std::move(p));
+          for (std::size_t f = 0; f < faults.size(); ++f) {
+            for (const DpmSpec& d : dpm) {
+              for (DetectorKind det : detectors) {
+                for (int r = 0; r < replicates; ++r) {
+                  RunPoint p;
+                  p.index = points.size();
+                  p.cell = cell;
+                  p.replicate = r;
+                  p.workload_idx = w;
+                  p.cpu_idx = c;
+                  p.fault_idx = f;
+                  p.workload = workloads[w];
+                  p.detector = det;
+                  p.dpm = d;
+                  p.faults = faults[f];
+                  p.cpu = cpus[c];
+                  p.delay_target = delay.value() > 0.0
+                                       ? delay
+                                       : workloads[w].default_delay_target();
+                  p.service_cv2 = cv2;
+                  // Trace seed: shared by every algorithm of the same
+                  // (cpu, workload, replicate) row; disjoint from the engine
+                  // substreams via the low bit.
+                  const std::uint64_t row =
+                      ((c * 4096 + w) << 20) | static_cast<std::uint64_t>(r);
+                  p.trace_seed = mix_seed(base_seed, row << 1);
+                  p.engine_seed = mix_seed(base_seed, (p.index << 1) | 1);
+                  // Fault substream: a function of the trace seed and the
+                  // fault index only, so detectors still compete on the same
+                  // perturbed trace within a row.
+                  p.fault_seed = mix_seed(p.trace_seed, f + 1);
+                  points.push_back(std::move(p));
+                }
+                ++cell;
               }
-              ++cell;
             }
           }
         }

@@ -28,6 +28,7 @@
 #include "dpm/cost_model.hpp"
 #include "dpm/idle_model.hpp"
 #include "dpm/policy.hpp"
+#include "fault/fault_spec.hpp"
 
 namespace dvs::core {
 
@@ -97,9 +98,11 @@ struct RunPoint {
 
   std::size_t workload_idx = 0;  ///< index into ScenarioSpec::workloads
   std::size_t cpu_idx = 0;       ///< index into ScenarioSpec::cpus
+  std::size_t fault_idx = 0;     ///< index into ScenarioSpec::faults
   WorkloadSpec workload;
   DetectorKind detector = DetectorKind::ChangePoint;
   DpmSpec dpm;
+  fault::FaultSpec faults;
   std::string cpu;
   Seconds delay_target{0.1};
   double service_cv2 = 1.0;
@@ -111,6 +114,10 @@ struct RunPoint {
   /// Engine seed: mix(base_seed, point index) — an independent substream
   /// per point for randomized policies and wakeup-time draws.
   std::uint64_t engine_seed = 0;
+  /// Fault-transform seed: mix(trace_seed, fault index) — shared by every
+  /// detector of the same row and fault (algorithms still compete on
+  /// identical perturbed traces), distinct per fault spec.
+  std::uint64_t fault_seed = 0;
 
   /// Human label, e.g. "mp3:ACEFBD/Change Point/tismdp(0.5s)/r0".
   [[nodiscard]] std::string label() const;
@@ -126,6 +133,9 @@ struct ScenarioSpec {
   std::vector<WorkloadSpec> workloads;
   std::vector<DetectorKind> detectors{DetectorKind::ChangePoint};
   std::vector<DpmSpec> dpm{DpmSpec{}};
+  /// Fault axis; the default single "none" spec leaves the grid exactly as
+  /// it was before faults existed (same cells, seeds and results).
+  std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
   std::vector<std::string> cpus{"sa1100"};  ///< hw/cpu_catalog names
   /// Delay targets; a 0 entry means the workload's per-media default.
   std::vector<Seconds> delay_targets{Seconds{0.0}};
@@ -141,7 +151,7 @@ struct ScenarioSpec {
   [[nodiscard]] std::size_t num_points() const;
 
   /// Expands the grid in deterministic order: workload (outer) -> cpu ->
-  /// cv2 -> delay -> dpm -> detector -> replicate (inner).
+  /// cv2 -> delay -> fault -> dpm -> detector -> replicate (inner).
   [[nodiscard]] std::vector<RunPoint> expand() const;
 };
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/trace_transforms.hpp"
 #include "hw/smartbadge.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
@@ -146,16 +147,28 @@ struct WorkloadAsset {
 };
 
 WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
-                             std::uint64_t trace_seed) {
+                             std::uint64_t trace_seed,
+                             const fault::FaultSpec& faults,
+                             std::uint64_t fault_seed) {
   WorkloadAsset asset;
+  // Workload fault transforms run here, once per shared asset: every
+  // detector/DPM combination of the same row and fault spec sees the exact
+  // same perturbed trace (the Tables-3/4 "same inputs" contract survives
+  // fault injection).  One Rng walks the items in order — deterministic
+  // because the item list itself is deterministic in trace_seed.
+  Rng fault_rng{fault_seed};
+  const auto perturb = [&](workload::FrameTrace trace) {
+    if (faults.trace_faults.empty()) return trace;
+    return fault::apply_faults(trace, faults.trace_faults, fault_rng);
+  };
   switch (w.kind) {
     case WorkloadKind::Mp3Sequence: {
       const workload::DecoderModel dec =
           workload::reference_mp3_decoder(cpu.max_frequency());
       Rng rng{trace_seed};
-      workload::FrameTrace trace =
+      workload::FrameTrace trace = perturb(
           workload::build_mp3_trace(workload::mp3_sequence(w.mp3_labels), dec,
-                                    rng);
+                                    rng));
       const Seconds end = trace.duration();
       auto items = std::make_shared<std::vector<PlaybackItem>>();
       items->push_back(PlaybackItem{
@@ -181,7 +194,8 @@ WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
             seconds(std::min(w.mpeg_limit.value(), clip.duration.value()));
       }
       Rng rng{trace_seed};
-      workload::FrameTrace trace = workload::build_mpeg_trace(clip, dec, rng);
+      workload::FrameTrace trace =
+          perturb(workload::build_mpeg_trace(clip, dec, rng));
       const Seconds end = trace.duration();
       auto items = std::make_shared<std::vector<PlaybackItem>>();
       items->push_back(PlaybackItem{
@@ -196,6 +210,13 @@ WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
       SessionConfig cfg = w.session;
       cfg.seed = trace_seed;
       Session session = build_session(cfg, cpu);
+      if (!faults.trace_faults.empty()) {
+        for (PlaybackItem& item : session.items) {
+          // Per-item perturbation; the item's scheduled end is preserved so
+          // the session timeline (idle gaps included) stays intact.
+          item.trace = perturb(std::move(item.trace));
+        }
+      }
       asset.items = std::make_shared<const std::vector<PlaybackItem>>(
           std::move(session.items));
       asset.idle = session.idle_model;
@@ -241,9 +262,11 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   }
 
   const auto asset_key = [&](const RunPoint& p) {
-    return (p.cpu_idx * spec.workloads.size() + p.workload_idx) *
-               static_cast<std::size_t>(spec.replicates) +
-           static_cast<std::size_t>(p.replicate);
+    return ((p.cpu_idx * spec.workloads.size() + p.workload_idx) *
+                static_cast<std::size_t>(spec.replicates) +
+            static_cast<std::size_t>(p.replicate)) *
+               spec.faults.size() +
+           p.fault_idx;
   };
   std::unordered_map<std::size_t, WorkloadAsset> workload_assets;
   for (const RunPoint& p : points) {
@@ -251,7 +274,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     if (workload_assets.find(key) == workload_assets.end()) {
       workload_assets.emplace(
           key, build_workload(p.workload, cpu_assets[p.cpu_idx].cpu,
-                              p.trace_seed));
+                              p.trace_seed, p.faults, p.fault_seed));
     }
   }
 
@@ -272,6 +295,8 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     opts.dpm_policy = make_dpm_policy(p.dpm, cpu.costs, asset.idle);
     opts.seed = p.engine_seed;
     opts.cpu = &cpu.cpu;
+    opts.watchdog = p.faults.watchdog;
+    opts.hw_faults = p.faults.hw;
     metrics[i] = run_items(*asset.items, opts);
 
     if (opts_.on_point) {
@@ -295,7 +320,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     CellResult c;
     c.point = out.points[i].point;
     RunningStats energy, cpu_mem, delay, max_delay, freq, switches, sleeps,
-        wakeup, power;
+        wakeup, power, faults, recoveries, degraded;
     for (; i < out.points.size() && out.points[i].point.cell == cell; ++i) {
       const Metrics& m = out.points[i].metrics;
       energy.add(m.energy_kj());
@@ -307,6 +332,9 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       sleeps.add(m.dpm_sleeps);
       wakeup.add(m.dpm_total_wakeup_delay.value());
       power.add(m.average_power.value());
+      faults.add(static_cast<double>(m.faults_injected));
+      recoveries.add(m.watchdog_recoveries);
+      degraded.add(m.time_in_degraded.value());
     }
     c.energy_kj = aggregate(energy);
     c.cpu_mem_kj = aggregate(cpu_mem);
@@ -317,6 +345,9 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     c.sleeps = aggregate(sleeps);
     c.wakeup_delay_s = aggregate(wakeup);
     c.power_mw = aggregate(power);
+    c.faults_injected = aggregate(faults);
+    c.recoveries = aggregate(recoveries);
+    c.time_degraded_s = aggregate(degraded);
     out.cells.push_back(std::move(c));
   }
 
@@ -329,9 +360,21 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     reg.gauge("sweep.wall_seconds") = out.wall_seconds;
     auto& energy_hist = reg.histogram("sweep.point_energy_kj", 0.0, 50.0, 100);
     auto& delay_hist = reg.histogram("sweep.point_delay_s", 0.0, 2.0, 100);
+    std::uint64_t total_faults = 0;
+    std::uint64_t total_recoveries = 0;
+    double total_degraded = 0.0;
     for (const PointResult& p : out.points) {
       energy_hist.add(p.metrics.energy_kj());
       delay_hist.add(p.metrics.mean_frame_delay.value());
+      total_faults += p.metrics.faults_injected;
+      total_recoveries +=
+          static_cast<std::uint64_t>(p.metrics.watchdog_recoveries);
+      total_degraded += p.metrics.time_in_degraded.value();
+    }
+    if (total_faults != 0 || total_recoveries != 0 || total_degraded > 0.0) {
+      reg.counter("sweep.faults_injected") += total_faults;
+      reg.counter("sweep.recoveries") += total_recoveries;
+      reg.gauge("sweep.time_in_degraded_s") = total_degraded;
     }
   }
   return out;
@@ -341,42 +384,51 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
 void SweepResult::write_points_csv(CsvWriter& csv) const {
   csv.write_header({"scenario", "point", "cell", "replicate", "workload",
-                    "detector", "dpm", "cpu", "delay_target_s", "service_cv2",
-                    "trace_seed", "engine_seed", "energy_kj", "cpu_mem_kj",
-                    "delay_s", "max_delay_s", "freq_mhz", "switches", "sleeps",
-                    "wakeup_delay_s", "power_mw", "frames", "duration_s"});
+                    "detector", "dpm", "faults", "cpu", "delay_target_s",
+                    "service_cv2", "trace_seed", "engine_seed", "energy_kj",
+                    "cpu_mem_kj", "delay_s", "max_delay_s", "freq_mhz",
+                    "switches", "sleeps", "wakeup_delay_s", "power_mw",
+                    "frames", "frames_admitted", "frames_dropped",
+                    "duration_s", "faults_injected", "escalations",
+                    "recoveries", "time_degraded_s"});
   for (const PointResult& p : points) {
     const Metrics& m = p.metrics;
     csv.row(scenario, p.point.index, p.point.cell, p.point.replicate,
             p.point.workload.name(), to_string(p.point.detector),
-            p.point.dpm.name(), p.point.cpu, p.point.delay_target.value(),
-            p.point.service_cv2, p.point.trace_seed, p.point.engine_seed,
-            m.energy_kj(), m.cpu_memory_energy().value() / 1e3,
-            m.mean_frame_delay.value(), m.max_frame_delay.value(),
-            m.mean_cpu_frequency.value(), m.cpu_switches, m.dpm_sleeps,
-            m.dpm_total_wakeup_delay.value(), m.average_power.value(),
-            m.frames_decoded, m.duration.value());
+            p.point.dpm.name(), p.point.faults.name, p.point.cpu,
+            p.point.delay_target.value(), p.point.service_cv2,
+            p.point.trace_seed, p.point.engine_seed, m.energy_kj(),
+            m.cpu_memory_energy().value() / 1e3, m.mean_frame_delay.value(),
+            m.max_frame_delay.value(), m.mean_cpu_frequency.value(),
+            m.cpu_switches, m.dpm_sleeps, m.dpm_total_wakeup_delay.value(),
+            m.average_power.value(), m.frames_decoded, m.frames_admitted,
+            m.frames_dropped, m.duration.value(), m.faults_injected,
+            m.watchdog_escalations, m.watchdog_recoveries,
+            m.time_in_degraded.value());
   }
 }
 
 void SweepResult::write_cells_csv(CsvWriter& csv) const {
   csv.write_header(
-      {"scenario", "cell", "workload", "detector", "dpm", "cpu",
+      {"scenario", "cell", "workload", "detector", "dpm", "faults", "cpu",
        "delay_target_s", "service_cv2", "replicates", "energy_kj_mean",
        "energy_kj_sd", "energy_kj_ci95", "cpu_mem_kj_mean", "cpu_mem_kj_sd",
        "cpu_mem_kj_ci95", "delay_s_mean", "delay_s_sd", "delay_s_ci95",
        "freq_mhz_mean", "freq_mhz_sd", "freq_mhz_ci95", "switches_mean",
-       "sleeps_mean", "wakeup_delay_s_mean", "power_mw_mean"});
+       "sleeps_mean", "wakeup_delay_s_mean", "power_mw_mean",
+       "faults_injected_mean", "recoveries_mean", "time_degraded_s_mean"});
   for (const CellResult& c : cells) {
     csv.row(scenario, c.point.cell, c.point.workload.name(),
-            to_string(c.point.detector), c.point.dpm.name(), c.point.cpu,
-            c.point.delay_target.value(), c.point.service_cv2, c.energy_kj.n,
-            c.energy_kj.mean, c.energy_kj.stddev, c.energy_kj.ci95_half,
-            c.cpu_mem_kj.mean, c.cpu_mem_kj.stddev, c.cpu_mem_kj.ci95_half,
-            c.delay_s.mean, c.delay_s.stddev, c.delay_s.ci95_half,
-            c.freq_mhz.mean, c.freq_mhz.stddev, c.freq_mhz.ci95_half,
-            c.switches.mean, c.sleeps.mean, c.wakeup_delay_s.mean,
-            c.power_mw.mean);
+            to_string(c.point.detector), c.point.dpm.name(),
+            c.point.faults.name, c.point.cpu, c.point.delay_target.value(),
+            c.point.service_cv2, c.energy_kj.n, c.energy_kj.mean,
+            c.energy_kj.stddev, c.energy_kj.ci95_half, c.cpu_mem_kj.mean,
+            c.cpu_mem_kj.stddev, c.cpu_mem_kj.ci95_half, c.delay_s.mean,
+            c.delay_s.stddev, c.delay_s.ci95_half, c.freq_mhz.mean,
+            c.freq_mhz.stddev, c.freq_mhz.ci95_half, c.switches.mean,
+            c.sleeps.mean, c.wakeup_delay_s.mean, c.power_mw.mean,
+            c.faults_injected.mean, c.recoveries.mean,
+            c.time_degraded_s.mean);
   }
 }
 

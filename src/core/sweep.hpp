@@ -7,7 +7,8 @@
 // execution schedule cannot influence any number.  Shared state is built
 // once before dispatch and is immutable during the run: the prepared
 // change-point threshold table (DetectorFactoryConfig::prepare) and the
-// per-(cpu, workload, replicate) frame traces / sessions.
+// per-(cpu, workload, replicate, fault) frame traces / sessions (workload
+// fault transforms run once at asset-build time from RunPoint::fault_seed).
 #pragma once
 
 #include <cstddef>
@@ -65,6 +66,10 @@ struct CellResult {
   Aggregate sleeps;
   Aggregate wakeup_delay_s;
   Aggregate power_mw;
+  // Fault-injection / degradation aggregates (all-zero on fault-free cells).
+  Aggregate faults_injected;
+  Aggregate recoveries;
+  Aggregate time_degraded_s;
 };
 
 struct SweepResult {

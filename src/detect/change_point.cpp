@@ -95,8 +95,13 @@ Hertz ChangePointDetector::on_sample(Seconds now, Seconds interval) {
   }
 
   ++samples_since_check_;
+  // The ML-ratio test is calibrated (ThresholdTable) on full windows of m
+  // samples; evaluating it on a part-filled window — at stream start or
+  // while refilling after a declared change/reset — compares an
+  // unlike-sized statistic against that threshold and misfires on short
+  // traces.  Hold the decision rule until the window holds m samples.
   if (samples_since_check_ >= cfg.check_interval &&
-      window_.size() >= 2 * cfg.min_tail) {
+      window_.size() >= cfg.window) {
     samples_since_check_ = 0;
     detect(now);
   }

@@ -16,7 +16,11 @@ Hertz SlidingWindowDetector::on_sample(Seconds /*now*/, Seconds interval) {
     sum_ -= samples_.front();
     samples_.pop_front();
   }
-  if (sum_ > 0.0) {
+  // With a seeded prior, a part-filled window is worse information than the
+  // seed (a couple of samples can swing the mean wildly at stream start or
+  // right after a reset); keep the prior until a full window accumulated.
+  // Unseeded, the running mean is all there is — use it from sample one.
+  if (sum_ > 0.0 && (!seeded_ || samples_.size() >= window_)) {
     estimate_ = Hertz{static_cast<double>(samples_.size()) / sum_};
   }
   return estimate_;
@@ -26,6 +30,7 @@ void SlidingWindowDetector::reset(Hertz initial) {
   samples_.clear();
   sum_ = 0.0;
   estimate_ = initial;
+  seeded_ = initial.value() > 0.0;
 }
 
 std::string SlidingWindowDetector::name() const {

@@ -24,6 +24,7 @@ class SlidingWindowDetector final : public RateDetector {
   std::deque<double> samples_;
   double sum_ = 0.0;
   Hertz estimate_{0.0};
+  bool seeded_ = false;  ///< reset() gave a prior; hold it until the window fills
 };
 
 }  // namespace dvs::detect

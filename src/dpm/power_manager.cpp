@@ -68,7 +68,8 @@ Seconds PowerManager::on_request(Seconds now) {
   // it needs.  The badge reports the slowest wakeup.
   const hw::PowerState was = depth_;
   badge_->set_all(hw::PowerState::Idle, now);
-  const Seconds ready = badge_->latest_wakeup_completion(now);
+  Seconds ready = badge_->latest_wakeup_completion(now);
+  if (wakeup_fault_hook_) ready += wakeup_fault_hook_(now);
   const Seconds delay = ready - now;
   total_wakeup_delay_ += delay;
   ++wakeups_;

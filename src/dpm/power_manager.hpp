@@ -7,6 +7,7 @@
 // is exactly the performance penalty the TISMDP constraint bounds.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -49,6 +50,15 @@ class PowerManager {
   /// may be null.
   void set_observability(obs::TraceRecorder* trace, obs::MetricsRegistry* metrics);
 
+  /// Fault-injection hook: called once per wakeup with the current time,
+  /// returns extra wakeup latency (a delayed or failed-and-retried standby
+  /// exit).  The extra delay counts toward total_wakeup_delay() like any
+  /// real wakeup cost.  Null (default) = fault-free hardware.
+  using WakeupFaultHook = std::function<Seconds(Seconds)>;
+  void set_wakeup_fault_hook(WakeupFaultHook hook) {
+    wakeup_fault_hook_ = std::move(hook);
+  }
+
  private:
   void cancel_pending();
   [[nodiscard]] bool tracing() const {
@@ -60,6 +70,7 @@ class PowerManager {
   DpmPolicyPtr policy_;
   Rng rng_;
   obs::TraceRecorder* trace_ = nullptr;
+  WakeupFaultHook wakeup_fault_hook_;
   obs::HistogramMetric* idle_hist_ = nullptr;
   hw::PowerState depth_ = hw::PowerState::Idle;  ///< deepest commanded state
   std::optional<Seconds> idle_started_at_;       ///< open idle period, if any

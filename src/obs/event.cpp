@@ -20,6 +20,13 @@ struct TypeNameVisitor {
   std::string_view operator()(const ComponentState&) const {
     return "component_state";
   }
+  std::string_view operator()(const FaultInjected&) const { return "fault_injected"; }
+  std::string_view operator()(const WatchdogEscalate&) const {
+    return "watchdog_escalate";
+  }
+  std::string_view operator()(const WatchdogRecover&) const {
+    return "watchdog_recover";
+  }
 };
 
 }  // namespace

@@ -94,10 +94,29 @@ struct ComponentState {
   double power_mw = 0.0;  ///< power drawn in (or while transitioning to) `to`
 };
 
+/// A hardware fault fired (fault-injection runs only).
+struct FaultInjected {
+  std::string_view kind;   ///< "wakeup_fail", "wakeup_delay", "freq_fail", "rail_stuck"
+  double magnitude = 0.0;  ///< fault-specific size (extra delay s, blocked step, ...)
+};
+
+/// The governor's watchdog declared sustained overload and escalated.
+struct WatchdogEscalate {
+  double delay_s = 0.0;     ///< frame delay that tripped the threshold
+  double queue_len = 0.0;   ///< buffered frames at escalation time
+  double backoff_s = 0.0;   ///< backoff until the next allowed escalation
+};
+
+/// The watchdog observed a sustained return to target and left degraded mode.
+struct WatchdogRecover {
+  double time_degraded_s = 0.0;  ///< length of the degraded episode that ended
+};
+
 using Payload = std::variant<FrameArrival, FrameDrop, DecodeStart, DecodeDone,
                              DetectorSample, DetectorDecision, FreqCommit,
                              DpmIdleEnter, DpmSleepCommand, DpmWakeup,
-                             ComponentState>;
+                             ComponentState, FaultInjected, WatchdogEscalate,
+                             WatchdogRecover>;
 
 struct Event {
   double ts = 0.0;  ///< simulation time, seconds

@@ -126,6 +126,17 @@ struct JsonlVisitor {
         .str("to", p.to)
         .num("power_mw", p.power_mw);
   }
+  void operator()(const FaultInjected& p) const {
+    f.str("kind", p.kind).num("magnitude", p.magnitude);
+  }
+  void operator()(const WatchdogEscalate& p) const {
+    f.num("delay_s", p.delay_s)
+        .num("queue", p.queue_len)
+        .num("backoff_s", p.backoff_s);
+  }
+  void operator()(const WatchdogRecover& p) const {
+    f.num("degraded_s", p.time_degraded_s);
+  }
 };
 
 /// Generic (label, id, a, b, c) projection for the CSV timeline.
@@ -172,6 +183,15 @@ struct CsvVisitor {
   CsvRow operator()(const ComponentState& p) const {
     return {std::string(p.component) + ":" + std::string(p.to), 0, p.power_mw,
             0.0, 0.0};
+  }
+  CsvRow operator()(const FaultInjected& p) const {
+    return {std::string(p.kind), 0, p.magnitude, 0.0, 0.0};
+  }
+  CsvRow operator()(const WatchdogEscalate& p) const {
+    return {"watchdog", 0, p.delay_s, p.queue_len, p.backoff_s};
+  }
+  CsvRow operator()(const WatchdogRecover& p) const {
+    return {"watchdog", 0, p.time_degraded_s, 0.0, 0.0};
   }
 };
 
@@ -319,6 +339,19 @@ void ChromeTraceSink::on_event(const Event& event) {
       sink.open_span_[comp] = std::string(p.to);
       sink.emit(us, 'B', lane, std::string(p.to),
                 "{\"power_mw\":" + fmt_num(p.power_mw) + "}");
+    }
+    void operator()(const FaultInjected& p) {
+      sink.emit(us, 'i', kGovernorLane, "fault:" + std::string(p.kind),
+                "{\"magnitude\":" + fmt_num(p.magnitude) + "}");
+    }
+    void operator()(const WatchdogEscalate& p) {
+      sink.emit(us, 'i', kGovernorLane, "watchdog_escalate",
+                "{\"delay_s\":" + fmt_num(p.delay_s) +
+                    ",\"queue\":" + fmt_num(p.queue_len) + "}");
+    }
+    void operator()(const WatchdogRecover& p) {
+      sink.emit(us, 'i', kGovernorLane, "watchdog_recover",
+                "{\"degraded_s\":" + fmt_num(p.time_degraded_s) + "}");
     }
   };
   std::visit(Visitor{*this, us}, event.payload);

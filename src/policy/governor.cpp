@@ -61,25 +61,66 @@ void DvsGovernor::on_arrival(Seconds now, Seconds interarrival,
 }
 
 void DvsGovernor::on_decode_complete(Seconds now, Seconds decode_time,
-                                     MegaHertz during, double buffered_frames) {
+                                     MegaHertz during, double buffered_frames,
+                                     Seconds frame_delay) {
   if (!adaptive()) return;
   last_queue_len_ = buffered_frames;
   const Seconds normalized = decoder_->normalize_to_max(decode_time, during);
-  if (normalized.value() <= 0.0) return;
-  service_detector_->on_sample(now, normalized);
+  if (normalized.value() > 0.0) {
+    service_detector_->on_sample(now, normalized);
+  }
+  if (watchdog_ && frame_delay.value() >= 0.0) {
+    switch (watchdog_->on_frame(now, frame_delay, buffered_frames)) {
+      case WatchdogAction::kEscalate:
+        // The pre-fault history in the detector windows is what made the
+        // estimates stale; flush it and re-seed from the current estimates
+        // so post-fault samples dominate quickly.
+        arrival_detector_->reset(arrival_detector_->current_rate());
+        service_detector_->reset(service_detector_->current_rate());
+        degraded_ = true;
+        if (trace_ != nullptr && trace_->active()) {
+          trace_->record(now.value(),
+                         obs::WatchdogEscalate{
+                             frame_delay.value(), buffered_frames,
+                             watchdog_->current_backoff().value()});
+        }
+        break;
+      case WatchdogAction::kRecover:
+        degraded_ = false;
+        if (trace_ != nullptr && trace_->active()) {
+          trace_->record(now.value(),
+                         obs::WatchdogRecover{
+                             watchdog_->last_episode_length().value()});
+        }
+        break;
+      case WatchdogAction::kNone:
+        break;
+    }
+  }
   recompute();
+}
+
+void DvsGovernor::enable_watchdog(const WatchdogConfig& cfg,
+                                  Seconds target_delay) {
+  if (!adaptive() || !cfg.enabled) return;
+  watchdog_ = std::make_unique<Watchdog>(cfg, target_delay);
 }
 
 void DvsGovernor::recompute() {
   desired_step_ = policy_.select_step(arrival_detector_->current_rate(),
                                       service_detector_->current_rate(),
                                       last_queue_len_);
+  if (degraded_) desired_step_ = badge_->cpu().num_steps() - 1;
 }
 
 Seconds DvsGovernor::apply(Seconds now) {
-  if (desired_step_ == badge_->cpu_step()) return Seconds{0.0};
+  std::size_t target = desired_step_;
+  if (step_filter_ && target != badge_->cpu_step()) {
+    target = step_filter_(now, badge_->cpu_step(), target);
+  }
+  if (target == badge_->cpu_step()) return Seconds{0.0};
   ++retunes_;
-  const Seconds latency = badge_->set_cpu_step(desired_step_, now);
+  const Seconds latency = badge_->set_cpu_step(target, now);
   if (trace_ != nullptr && trace_->active()) {
     trace_->record(now.value(),
                    obs::FreqCommit{badge_->cpu_step(),

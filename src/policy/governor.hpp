@@ -13,6 +13,7 @@
 // latency through apply().
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -20,6 +21,7 @@
 #include "hw/smartbadge.hpp"
 #include "obs/trace_recorder.hpp"
 #include "policy/frequency_policy.hpp"
+#include "policy/watchdog.hpp"
 #include "workload/decoder_model.hpp"
 
 namespace dvs::policy {
@@ -48,9 +50,12 @@ class DvsGovernor {
 
   /// A frame finished decoding at `now`; `decode_time` is the pure decode
   /// duration, `during` the frequency it ran at, and `buffered_frames` the
-  /// queue length after the departure.
+  /// queue length after the departure.  `frame_delay` is the frame's total
+  /// (queue + decode) delay and feeds the watchdog; pass a negative value
+  /// when unknown (the watchdog then skips the frame).
   void on_decode_complete(Seconds now, Seconds decode_time, MegaHertz during,
-                          double buffered_frames = 0.0);
+                          double buffered_frames = 0.0,
+                          Seconds frame_delay = Seconds{-1.0});
 
   /// Step the policy currently wants.
   [[nodiscard]] std::size_t desired_step() const { return desired_step_; }
@@ -72,6 +77,26 @@ class DvsGovernor {
   /// Attaches a trace recorder; apply() then emits a FreqCommit event for
   /// every committed switch.  May be null (tracing off).
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Arms the graceful-degradation watchdog (adaptive governors only; a
+  /// no-op for Max, which already runs at the top step).  While degraded
+  /// the governor clamps the desired step to maximum and has reset its
+  /// detectors; recovery hands control back to the frequency policy.
+  void enable_watchdog(const WatchdogConfig& cfg, Seconds target_delay);
+
+  /// Watchdog state, or null when not armed.
+  [[nodiscard]] const Watchdog* watchdog() const { return watchdog_.get(); }
+
+  /// True while the watchdog holds the governor at the top step.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Installs a hardware-fault filter consulted by apply(): it receives
+  /// (now, current step, desired step) and returns the step the hardware
+  /// will actually take (e.g. the current one when a frequency transition
+  /// fails).  Null clears the filter.
+  using StepFilter =
+      std::function<std::size_t(Seconds, std::size_t, std::size_t)>;
+  void set_step_filter(StepFilter filter) { step_filter_ = std::move(filter); }
 
   /// Detector access for observability wiring (null for the Max governor).
   [[nodiscard]] detect::RateDetector* arrival_detector() {
@@ -97,6 +122,9 @@ class DvsGovernor {
   double last_queue_len_ = 0.0;
   int retunes_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
+  std::unique_ptr<Watchdog> watchdog_;
+  bool degraded_ = false;
+  StepFilter step_filter_;
 };
 
 }  // namespace dvs::policy

@@ -1,0 +1,77 @@
+#include "policy/watchdog.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dvs::policy {
+
+Watchdog::Watchdog(const WatchdogConfig& cfg, Seconds target_delay)
+    : cfg_(cfg), target_delay_(target_delay), backoff_(cfg.initial_backoff) {
+  DVS_CHECK_MSG(target_delay_.value() > 0.0, "Watchdog: target delay must be > 0");
+  DVS_CHECK_MSG(cfg_.delay_violation_factor >= 1.0,
+                "Watchdog: violation factor must be >= 1");
+  DVS_CHECK_MSG(cfg_.violation_threshold > 0 && cfg_.recovery_hold > 0,
+                "Watchdog: thresholds must be positive");
+  DVS_CHECK_MSG(cfg_.backoff_multiplier >= 1.0 &&
+                    cfg_.initial_backoff.value() > 0.0 &&
+                    cfg_.max_backoff >= cfg_.initial_backoff,
+                "Watchdog: malformed backoff schedule");
+}
+
+void Watchdog::escalate(Seconds now) {
+  ++escalations_;
+  next_allowed_ = now + backoff_;
+  backoff_ = std::min(Seconds{backoff_.value() * cfg_.backoff_multiplier},
+                      cfg_.max_backoff);
+  consecutive_violations_ = 0;
+  consecutive_healthy_ = 0;
+}
+
+WatchdogAction Watchdog::on_frame(Seconds now, Seconds delay, double queue_len) {
+  const bool violation = delay.value() > cfg_.delay_violation_factor *
+                                             target_delay_.value() ||
+                         queue_len >= cfg_.queue_threshold;
+  if (!degraded_) {
+    consecutive_violations_ = violation ? consecutive_violations_ + 1 : 0;
+    if (consecutive_violations_ >= cfg_.violation_threshold &&
+        now >= next_allowed_) {
+      degraded_ = true;
+      degraded_since_ = now;
+      escalate(now);
+      return WatchdogAction::kEscalate;
+    }
+    return WatchdogAction::kNone;
+  }
+
+  // Degraded: count a frame as healthy only when it is fully back at target,
+  // not merely under the (laxer) violation line.
+  const bool healthy =
+      delay <= target_delay_ && queue_len < cfg_.queue_threshold;
+  consecutive_healthy_ = healthy ? consecutive_healthy_ + 1 : 0;
+  if (consecutive_healthy_ >= cfg_.recovery_hold) {
+    degraded_ = false;
+    last_episode_ = now - degraded_since_;
+    accumulated_degraded_ = accumulated_degraded_ + last_episode_;
+    backoff_ = cfg_.initial_backoff;  // clean recovery: forgive the history
+    consecutive_healthy_ = 0;
+    consecutive_violations_ = 0;
+    ++recoveries_;
+    return WatchdogAction::kRecover;
+  }
+  // Still diverging after the backoff window even at max frequency: the
+  // detectors may have re-learned a stale rate — reset them again.
+  if (violation && now >= next_allowed_) {
+    escalate(now);
+    return WatchdogAction::kEscalate;
+  }
+  return WatchdogAction::kNone;
+}
+
+Seconds Watchdog::time_in_degraded(Seconds now) const {
+  Seconds total = accumulated_degraded_;
+  if (degraded_ && now > degraded_since_) total = total + (now - degraded_since_);
+  return total;
+}
+
+}  // namespace dvs::policy

@@ -1,0 +1,87 @@
+// Graceful-degradation watchdog for the DVS governor.
+//
+// The change-point governor tracks the workload it *admits*; under a fault
+// (10x rate spike, heavy-tailed decode times, a stuck rail) its estimates
+// can lag far enough behind reality that the queue grows without bound and
+// every frame blows through the delay target.  The watchdog is the safety
+// net: it watches per-frame delay and queue occupancy, and after a sustained
+// run of violations declares the system *degraded* — the governor then
+// resets its detectors (flushing stale pre-fault state) and escalates to the
+// top frequency step until the watchdog observes a sustained return to
+// target.  Repeated escalations inside one overload episode are spaced by an
+// exponential backoff so a workload the hardware genuinely cannot serve does
+// not thrash the detectors.
+//
+// The watchdog is deliberately deterministic and RNG-free: identical
+// (now, delay, queue) call sequences produce identical escalation times,
+// which is what lets fault sweeps keep the bit-identical-across-jobs
+// guarantee.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dvs::policy {
+
+struct WatchdogConfig {
+  bool enabled = false;
+  /// A frame violates when its delay exceeds `delay_violation_factor *
+  /// target_delay`, or when the queue holds at least `queue_threshold`
+  /// frames (sustained buffer growth without waiting for the delays to
+  /// materialize).
+  double delay_violation_factor = 2.0;
+  double queue_threshold = 64.0;
+  /// Consecutive violating frames before the watchdog escalates.
+  int violation_threshold = 8;
+  /// Consecutive healthy frames (delay at/below target, queue below the
+  /// threshold) before a degraded episode is declared recovered.
+  int recovery_hold = 32;
+  /// Exponential backoff between escalations: first at `initial_backoff`,
+  /// doubling (x `backoff_multiplier`) up to `max_backoff`.  A clean
+  /// recovery resets the backoff to its initial value.
+  Seconds initial_backoff{2.0};
+  double backoff_multiplier = 2.0;
+  Seconds max_backoff{60.0};
+};
+
+enum class WatchdogAction {
+  kNone,
+  kEscalate,  ///< reset detectors + clamp to max frequency
+  kRecover,   ///< leave degraded mode, resume policy control
+};
+
+class Watchdog {
+ public:
+  Watchdog(const WatchdogConfig& cfg, Seconds target_delay);
+
+  /// Feed one completed frame.  `delay` is the frame's total (queue +
+  /// decode) delay, `queue_len` the buffer occupancy after its departure.
+  WatchdogAction on_frame(Seconds now, Seconds delay, double queue_len);
+
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] int escalations() const { return escalations_; }
+  [[nodiscard]] int recoveries() const { return recoveries_; }
+  /// Backoff that will gate the *next* escalation.
+  [[nodiscard]] Seconds current_backoff() const { return backoff_; }
+  /// Total time spent degraded, including the still-open episode at `now`.
+  [[nodiscard]] Seconds time_in_degraded(Seconds now) const;
+  /// Length of the episode that just closed (valid right after kRecover).
+  [[nodiscard]] Seconds last_episode_length() const { return last_episode_; }
+
+ private:
+  void escalate(Seconds now);
+
+  WatchdogConfig cfg_;
+  Seconds target_delay_;
+  bool degraded_ = false;
+  int consecutive_violations_ = 0;
+  int consecutive_healthy_ = 0;
+  int escalations_ = 0;
+  int recoveries_ = 0;
+  Seconds backoff_;
+  Seconds next_allowed_{0.0};  ///< earliest time the next escalation may fire
+  Seconds degraded_since_{0.0};
+  Seconds accumulated_degraded_{0.0};
+  Seconds last_episode_{0.0};
+};
+
+}  // namespace dvs::policy

@@ -133,6 +133,61 @@ def main():
     if proc.returncode == 0:
         fail("--scenario no-such unexpectedly succeeded")
 
+    # Fault registry: --list-faults enumerates the built-in fault specs.
+    proc = subprocess.run([binary, "--list-faults"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"--list-faults exit code {proc.returncode}\n{proc.stderr}")
+    for name in ("none", "spike10x", "wakeup-flaky", "chaos"):
+        if name not in proc.stdout:
+            fail(f"--list-faults output missing {name!r}:\n{proc.stdout}")
+
+    # Faulted sweep: the fault axis replaces the scenario's, the cell table
+    # grows a Faults column, and the points CSV carries degradation columns.
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_base = os.path.join(tmp, "faulted")
+        cmd = [
+            binary,
+            "--scenario", "quick",
+            "--faults", "spike10x",
+            "--jobs", "2",
+            "--metrics-json", "-",
+            "--sweep-csv", csv_base,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"faulted sweep exit code {proc.returncode}\n{proc.stderr}")
+        fault_metrics = json.loads(proc.stdout)
+        if fault_metrics["counters"].get("sweep.recoveries", 0) <= 0:
+            fail(f"spike10x sweep reported no watchdog recoveries: "
+                 f"{fault_metrics['counters']}")
+        if "spike10x" not in proc.stderr:
+            fail(f"sweep cell table did not show the fault column:\n"
+                 f"{proc.stderr}")
+        with open(csv_base + "_points.csv") as f:
+            header = f.readline().strip().split(",")
+        for col in ("faults", "faults_injected", "escalations", "recoveries",
+                    "time_degraded_s"):
+            if col not in header:
+                fail(f"points CSV missing column {col!r}: {header}")
+
+    # Single-run fault injection: perturbations + watchdog on one trace.
+    proc = subprocess.run(
+        [binary, "--media", "mp3", "--sequence", "A",
+         "--detector", "change-point", "--faults", "spike10x"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"single-run --faults exit code {proc.returncode}\n{proc.stderr}")
+    if "watchdog" not in proc.stdout:
+        fail(f"single-run fault report missing watchdog line:\n{proc.stdout}")
+
+    # Unknown fault names must fail loudly.
+    proc = subprocess.run([binary, "--scenario", "quick",
+                           "--faults", "no-such-fault"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("--faults no-such-fault unexpectedly succeeded")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

@@ -1,0 +1,70 @@
+// Regression test: CSV output must be locale-proof.  A process-global
+// locale with ',' as the decimal separator used to turn 3.14 into "3,14"
+// and silently shift every downstream column.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+
+namespace dvs {
+namespace {
+
+/// A numpunct facet that formats like de_DE: ',' decimal point, '.' for
+/// thousands.  Installing a named locale would depend on what the image
+/// ships; a custom facet does not.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class CsvLocaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimal));
+  }
+  void TearDown() override { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_{std::locale::classic()};
+};
+
+TEST_F(CsvLocaleTest, HostileGlobalLocaleReallyIsHostile) {
+  // Sanity: without the fix, default-constructed streams now misformat.
+  std::ostringstream os;
+  os << 1234.5;
+  EXPECT_EQ(os.str(), "1.234,5");
+}
+
+TEST_F(CsvLocaleTest, ToCellUsesClassicLocaleRegardlessOfGlobal) {
+  EXPECT_EQ(CsvWriter::to_cell(3.14), "3.14");
+  EXPECT_EQ(CsvWriter::to_cell(1234567), "1234567");
+  EXPECT_EQ(CsvWriter::to_cell(-0.5), "-0.5");
+}
+
+TEST_F(CsvLocaleTest, WrittenFileHasDotDecimalsAndNoGrouping) {
+  const std::string path = ::testing::TempDir() + "csv_locale_test.csv";
+  {
+    CsvWriter csv{path};
+    csv.write_header({"name", "value"});
+    csv.row("pi", 3.14159);
+    csv.write_row(std::vector<double>{1234.5, 0.25});
+  }
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_EQ(text, "name,value\npi,3.14159\n1234.5,0.25\n");
+  // In particular: no comma-as-decimal-point cell splits.
+  EXPECT_EQ(text.find("3,14"), std::string::npos);
+  EXPECT_EQ(text.find("1.234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs

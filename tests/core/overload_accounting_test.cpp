@@ -1,0 +1,112 @@
+// Regression tests for overload accounting: frames the bounded buffer
+// drops at the tail must not leak into the governor's arrival-rate
+// estimate or into per-frame metric denominators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::core {
+namespace {
+
+const hw::Sa1100& cpu() {
+  static const hw::Sa1100 c;
+  return c;
+}
+
+/// 300 fr/s offered against ~77 fr/s decode at max: deep overload.
+workload::FrameTrace saturating_trace() {
+  std::vector<workload::TraceFrame> frames;
+  for (int i = 0; i < 3000; ++i) {
+    frames.push_back({static_cast<std::uint64_t>(i), seconds(i / 300.0), 1.3});
+  }
+  std::vector<workload::RateTruth> truth{
+      {seconds(0.0), hertz(300.0), hertz(77.0)}};
+  return workload::FrameTrace{workload::MediaType::Mp3Audio, std::move(frames),
+                              std::move(truth), seconds(10.0)};
+}
+
+Metrics run_saturated(Engine& engine) { return engine.run(); }
+
+TEST(OverloadAccounting, ArrivalEstimateTracksAdmittedNotOfferedRate) {
+  const auto dec = workload::reference_mp3_decoder(cpu().max_frequency());
+  const workload::FrameTrace trace = saturating_trace();
+  std::vector<PlaybackItem> items;
+  items.push_back({trace, dec, hertz(300.0), hertz(77.0), seconds(10.0)});
+
+  EngineConfig cfg;
+  cfg.detector = DetectorKind::ChangePoint;
+  cfg.detectors.change_point.mc_windows = 300;
+  cfg.detectors.prepare();
+  cfg.buffer_capacity = 32;
+  Engine engine{cfg, std::move(items)};
+  const Metrics m = run_saturated(engine);
+
+  ASSERT_GT(m.frames_dropped, 0u);
+  EXPECT_EQ(m.frames_admitted, m.frames_arrived - m.frames_dropped);
+
+  // The governor only ever saw admitted frames, and a full buffer admits at
+  // the drain rate (~77 fr/s).  Before the fix the estimator converged on
+  // the 300 fr/s offered rate instead.
+  const policy::DvsGovernor* gov =
+      engine.governor(workload::MediaType::Mp3Audio);
+  ASSERT_NE(gov, nullptr);
+  const double lambda_hat = gov->arrival_estimate().value();
+  EXPECT_GT(lambda_hat, 0.0);
+  EXPECT_LT(lambda_hat, 150.0);  // far from the offered 300 fr/s
+
+  const double admitted_rate =
+      static_cast<double>(m.frames_admitted) / m.duration.value();
+  EXPECT_NEAR(lambda_hat, admitted_rate, 0.5 * admitted_rate);
+}
+
+TEST(OverloadAccounting, PerFrameMetricsAverageOverDecodedFramesOnly) {
+  const auto dec = workload::reference_mp3_decoder(cpu().max_frequency());
+  const workload::FrameTrace trace = saturating_trace();
+  std::vector<PlaybackItem> items;
+  items.push_back({trace, dec, hertz(300.0), hertz(77.0), seconds(10.0)});
+
+  EngineConfig cfg;
+  cfg.detector = DetectorKind::Max;
+  cfg.buffer_capacity = 32;
+  Engine engine{cfg, std::move(items)};
+  const Metrics m = run_saturated(engine);
+
+  ASSERT_GT(m.frames_dropped, 0u);
+  ASSERT_GT(m.frames_decoded, 0u);
+  // Energy per decoded frame is finite and consistent with its own
+  // definition: dropped frames are not in the denominator.
+  const double epf = m.energy_per_decoded_frame();
+  EXPECT_TRUE(std::isfinite(epf));
+  EXPECT_GT(epf, 0.0);
+  EXPECT_DOUBLE_EQ(
+      epf, m.total_energy.value() / static_cast<double>(m.frames_decoded));
+  // Mean delay is a real per-decoded-frame average, not diluted or inflated
+  // by frames that never entered the buffer.
+  EXPECT_GT(m.mean_frame_delay.value(), 0.0);
+  EXPECT_LE(m.mean_frame_delay.value(), m.max_frame_delay.value());
+  // A 32-slot buffer drained at >= ~77 fr/s bounds sojourn under a second;
+  // counting dropped frames as zero-delay decodes would crater this mean.
+  EXPECT_LT(m.max_frame_delay.value(), 2.0);
+}
+
+TEST(OverloadAccounting, UnboundedBufferStillCountsEveryArrival) {
+  const auto dec = workload::reference_mp3_decoder(cpu().max_frequency());
+  const workload::FrameTrace trace = saturating_trace();
+  std::vector<PlaybackItem> items;
+  items.push_back({trace, dec, hertz(300.0), hertz(77.0), seconds(10.0)});
+
+  EngineConfig cfg;
+  cfg.detector = DetectorKind::Max;
+  cfg.buffer_capacity = 0;  // unbounded
+  Engine engine{cfg, std::move(items)};
+  const Metrics m = run_saturated(engine);
+  EXPECT_EQ(m.frames_dropped, 0u);
+  EXPECT_EQ(m.frames_admitted, m.frames_arrived);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -29,6 +29,12 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   opts.wlan_rx_time = seconds(0.005);
   opts.buffer_capacity = 17;
   opts.power_sample_period = seconds(2.5);
+  opts.watchdog.enabled = true;
+  opts.watchdog.violation_threshold = 5;
+  opts.watchdog.initial_backoff = seconds(3.5);
+  opts.hw_faults.freq_fail_prob = 0.25;
+  opts.hw_faults.wakeup_fail_prob = 0.1;
+  opts.hw_faults.rail_stuck_at = seconds(12.0);
   const hw::Sa1100 crusoe = hw::crusoe_like();
   opts.cpu = &crusoe;
   obs::TraceRecorder trace;
@@ -49,6 +55,12 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   EXPECT_DOUBLE_EQ(ec.wlan_rx_time.value(), 0.005);
   EXPECT_EQ(ec.buffer_capacity, 17u);
   EXPECT_DOUBLE_EQ(ec.power_sample_period.value(), 2.5);
+  EXPECT_TRUE(ec.watchdog.enabled);
+  EXPECT_EQ(ec.watchdog.violation_threshold, 5);
+  EXPECT_DOUBLE_EQ(ec.watchdog.initial_backoff.value(), 3.5);
+  EXPECT_DOUBLE_EQ(ec.hw_faults.freq_fail_prob, 0.25);
+  EXPECT_DOUBLE_EQ(ec.hw_faults.wakeup_fail_prob, 0.1);
+  EXPECT_DOUBLE_EQ(ec.hw_faults.rail_stuck_at.value(), 12.0);
   EXPECT_DOUBLE_EQ(ec.cpu.max_frequency().value(),
                    crusoe.max_frequency().value());
   EXPECT_EQ(ec.trace, &trace);

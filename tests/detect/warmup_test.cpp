@@ -1,0 +1,115 @@
+// Regression tests for detector warm-up: the change-point decision rule
+// must not run on a part-filled window (its threshold is calibrated on
+// full windows of m samples), and the seeded sliding-window baseline must
+// hold its prior until the window fills.
+#include <gtest/gtest.h>
+
+#include "detect/change_point.hpp"
+#include "detect/sliding_window.hpp"
+
+namespace dvs::detect {
+namespace {
+
+ChangePointConfig small_config() {
+  ChangePointConfig cfg;
+  cfg.window = 20;
+  cfg.check_interval = 5;
+  cfg.min_tail = 3;
+  cfg.mc_windows = 300;
+  return cfg;
+}
+
+TEST(DetectorWarmup, ChangePointNeverDeclaresOnAPartFilledWindow) {
+  ChangePointDetector det{small_config()};
+  det.reset(hertz(10.0));
+  // A 10x rate jump straight out of reset.  The estimate is allowed to
+  // settle toward the data, but the ML-ratio test must stay quiet until
+  // the window holds all m samples — its threshold means nothing on 19.
+  for (int i = 0; i < 19; ++i) {
+    det.on_sample(seconds(0.01 * (i + 1)), seconds(0.01));
+    EXPECT_EQ(det.changes_detected(), 0u) << "sample " << i;
+  }
+  EXPECT_TRUE(det.change_times().empty());
+}
+
+TEST(DetectorWarmup, ChangePointShortTraceDeclaresNothing) {
+  // The short-trace shape from the bug report: a clip shorter than one
+  // detection window used to mis-declare a change from its first few
+  // intervals, whatever they looked like.
+  ChangePointDetector det{small_config()};
+  det.reset(hertz(30.0));
+  for (int i = 0; i < 10; ++i) {
+    // Wildly non-stationary "evidence": alternating 5 Hz / 50 Hz intervals.
+    det.on_sample(seconds(0.2 * (i + 1)), seconds(i % 2 == 0 ? 0.2 : 0.02));
+  }
+  EXPECT_EQ(det.changes_detected(), 0u);
+}
+
+TEST(DetectorWarmup, ChangePointStillFiresOnceTheWindowIsFull) {
+  // The gate must not castrate the detector: after a full window at the
+  // old rate, a genuine 10x jump is declared.
+  ChangePointDetector det{small_config()};
+  det.reset(hertz(10.0));
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {  // settle + fill at 10 Hz
+    t += 0.1;
+    det.on_sample(seconds(t), seconds(0.1));
+  }
+  ASSERT_EQ(det.changes_detected(), 0u);
+  for (int i = 0; i < 40 && det.changes_detected() == 0; ++i) {  // jump
+    t += 0.01;
+    det.on_sample(seconds(t), seconds(0.01));
+  }
+  EXPECT_GE(det.changes_detected(), 1u);
+  EXPECT_NEAR(det.current_rate().value(), 100.0, 25.0);
+}
+
+TEST(DetectorWarmup, ChangePointUnseededBootstrapsFromMinTail) {
+  ChangePointDetector det{small_config()};
+  det.reset(hertz(0.0));  // no prior at all
+  // With nothing to hold on to, the detector must produce some estimate as
+  // soon as min_tail samples exist — but not before.
+  det.on_sample(seconds(0.1), seconds(0.1));
+  det.on_sample(seconds(0.2), seconds(0.1));
+  EXPECT_DOUBLE_EQ(det.current_rate().value(), 0.0);
+  det.on_sample(seconds(0.3), seconds(0.1));
+  EXPECT_NEAR(det.current_rate().value(), 10.0, 1e-9);
+}
+
+TEST(DetectorWarmup, SlidingWindowHoldsSeedUntilWindowIsFull) {
+  SlidingWindowDetector det{10};
+  det.reset(hertz(25.0));
+  for (int i = 0; i < 9; ++i) {
+    const Hertz est = det.on_sample(seconds(0.01 * (i + 1)), seconds(0.01));
+    EXPECT_DOUBLE_EQ(est.value(), 25.0) << "sample " << i;
+  }
+  // The tenth sample completes the window and the estimate snaps to data.
+  const Hertz est = det.on_sample(seconds(0.1), seconds(0.01));
+  EXPECT_NEAR(est.value(), 100.0, 1e-9);
+}
+
+TEST(DetectorWarmup, SlidingWindowUnseededEstimatesFromFirstSample) {
+  SlidingWindowDetector det{10};
+  det.reset(hertz(0.0));
+  const Hertz est = det.on_sample(seconds(0.05), seconds(0.05));
+  EXPECT_NEAR(est.value(), 20.0, 1e-9);
+}
+
+TEST(DetectorWarmup, ResetRearmsTheWarmupHold) {
+  // After running past warm-up, reset() must restore the hold: the window
+  // refills from scratch and the new prior rules until it does.
+  SlidingWindowDetector det{5};
+  det.reset(hertz(10.0));
+  for (int i = 0; i < 8; ++i) {
+    det.on_sample(seconds(0.02 * (i + 1)), seconds(0.02));
+  }
+  EXPECT_NEAR(det.current_rate().value(), 50.0, 1e-9);
+  det.reset(hertz(7.0));
+  for (int i = 0; i < 4; ++i) {
+    const Hertz est = det.on_sample(seconds(0.02 * (i + 1)), seconds(0.02));
+    EXPECT_DOUBLE_EQ(est.value(), 7.0) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dvs::detect

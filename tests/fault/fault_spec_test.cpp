@@ -1,0 +1,62 @@
+// FaultSpec registry and CLI-list parsing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault_spec.hpp"
+
+namespace dvs::fault {
+namespace {
+
+TEST(FaultSpec, DefaultIsTheIdentity) {
+  const FaultSpec def;
+  EXPECT_EQ(def.name, "none");
+  EXPECT_TRUE(def.none());
+  EXPECT_FALSE(def.watchdog.enabled);
+  EXPECT_FALSE(def.hw.any());
+}
+
+TEST(FaultSpec, RegistryStartsWithNoneAndHasUniqueNames) {
+  const auto specs = builtin_faults();
+  ASSERT_FALSE(specs.empty());
+  EXPECT_EQ(specs.front().name, "none");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_FALSE(specs[i].description.empty()) << specs[i].name;
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
+    }
+  }
+}
+
+TEST(FaultSpec, EveryNonNoneBuiltinArmsTheWatchdog) {
+  // The catalogue's purpose is exercising graceful degradation: a fault
+  // spec without its guard would test nothing.
+  for (const FaultSpec& f : builtin_faults()) {
+    if (f.name == "none") continue;
+    EXPECT_TRUE(f.watchdog.enabled) << f.name;
+  }
+}
+
+TEST(FaultSpec, FindFaultLooksUpByName) {
+  const FaultSpec* spike = find_fault("spike10x");
+  ASSERT_NE(spike, nullptr);
+  EXPECT_FALSE(spike->trace_faults.empty());
+  EXPECT_FALSE(spike->none());
+  EXPECT_EQ(find_fault("definitely-not-a-fault"), nullptr);
+}
+
+TEST(FaultSpec, ParseFaultListSplitsAndValidates) {
+  const auto specs = parse_fault_list("none,spike10x,wakeup-flaky");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "none");
+  EXPECT_EQ(specs[1].name, "spike10x");
+  EXPECT_EQ(specs[2].name, "wakeup-flaky");
+  EXPECT_GT(specs[2].hw.wakeup_fail_prob, 0.0);
+
+  EXPECT_THROW(parse_fault_list("spike10x,nope"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_fault_list(",,"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dvs::fault

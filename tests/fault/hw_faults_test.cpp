@@ -1,0 +1,91 @@
+// Hardware fault injector: probability-0/1 edges, rail-stuck window,
+// deterministic replay of a (plan, seed) pair.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/hw_faults.hpp"
+
+namespace dvs::fault {
+namespace {
+
+TEST(HwFaultInjector, EmptyPlanNeverFires) {
+  HwFaultInjector inj{HwFaultPlan{}, 1};
+  for (int i = 0; i < 100; ++i) {
+    const Seconds now = seconds(0.1 * i);
+    EXPECT_DOUBLE_EQ(inj.wakeup_penalty(now).value(), 0.0);
+    EXPECT_EQ(inj.filter_step(now, 0, 5), 5u);
+  }
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(HwFaultInjector, CertainWakeupFaultsAlwaysAddTheirDelays) {
+  HwFaultPlan plan;
+  plan.wakeup_fail_prob = 1.0;
+  plan.wakeup_retry_delay = seconds(0.25);
+  plan.wakeup_delay_prob = 1.0;
+  plan.wakeup_extra_delay = seconds(0.05);
+  HwFaultInjector inj{plan, 7};
+  // Both faults fire on every wakeup: retry + slow exit stack.
+  EXPECT_DOUBLE_EQ(inj.wakeup_penalty(seconds(1.0)).value(), 0.30);
+  EXPECT_DOUBLE_EQ(inj.wakeup_penalty(seconds(2.0)).value(), 0.30);
+  EXPECT_EQ(inj.wakeup_faults(), 4u);  // two faults per wakeup, two wakeups
+}
+
+TEST(HwFaultInjector, CertainFreqFailureClampsToCurrentStep) {
+  HwFaultPlan plan;
+  plan.freq_fail_prob = 1.0;
+  HwFaultInjector inj{plan, 7};
+  EXPECT_EQ(inj.filter_step(seconds(1.0), 2, 7), 2u);
+  EXPECT_EQ(inj.freq_faults(), 1u);
+  // A no-op "transition" is not a fault opportunity.
+  EXPECT_EQ(inj.filter_step(seconds(2.0), 3, 3), 3u);
+  EXPECT_EQ(inj.freq_faults(), 1u);
+}
+
+TEST(HwFaultInjector, RailStuckWindowBlocksTransitionsOnlyInside) {
+  HwFaultPlan plan;
+  plan.rail_stuck_at = seconds(10.0);
+  plan.rail_stuck_duration = seconds(5.0);
+  HwFaultInjector inj{plan, 7};
+  EXPECT_EQ(inj.filter_step(seconds(9.9), 1, 4), 4u);   // before
+  EXPECT_EQ(inj.filter_step(seconds(10.0), 1, 4), 1u);  // inside
+  EXPECT_EQ(inj.filter_step(seconds(14.9), 1, 4), 1u);  // inside
+  EXPECT_EQ(inj.filter_step(seconds(15.0), 1, 4), 4u);  // past
+  EXPECT_EQ(inj.rail_faults(), 2u);
+}
+
+TEST(HwFaultInjector, SameSeedReplaysTheSameFaultSequence) {
+  HwFaultPlan plan;
+  plan.wakeup_fail_prob = 0.3;
+  plan.wakeup_delay_prob = 0.4;
+  plan.freq_fail_prob = 0.2;
+  const auto run = [&plan] {
+    HwFaultInjector inj{plan, 0xfeedULL};
+    std::vector<double> out;
+    for (int i = 0; i < 200; ++i) {
+      const Seconds now = seconds(0.05 * i);
+      out.push_back(inj.wakeup_penalty(now).value());
+      out.push_back(static_cast<double>(inj.filter_step(now, 1, 6)));
+    }
+    out.push_back(static_cast<double>(inj.faults_injected()));
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(HwFaultInjector, DifferentSeedsDiverge) {
+  HwFaultPlan plan;
+  plan.freq_fail_prob = 0.5;
+  HwFaultInjector a{plan, 1};
+  HwFaultInjector b{plan, 2};
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Seconds now = seconds(0.1 * i);
+    if (a.filter_step(now, 0, 9) != b.filter_step(now, 0, 9)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace dvs::fault

@@ -1,0 +1,161 @@
+// Watchdog state machine: escalation after sustained violations, recovery
+// after sustained health, deterministic exponential backoff.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policy/watchdog.hpp"
+
+namespace dvs::policy {
+namespace {
+
+WatchdogConfig test_config() {
+  WatchdogConfig cfg;
+  cfg.enabled = true;
+  cfg.delay_violation_factor = 2.0;
+  cfg.queue_threshold = 10.0;
+  cfg.violation_threshold = 4;
+  cfg.recovery_hold = 3;
+  cfg.initial_backoff = seconds(2.0);
+  cfg.backoff_multiplier = 2.0;
+  cfg.max_backoff = seconds(8.0);
+  return cfg;
+}
+
+constexpr double kTarget = 0.1;
+
+TEST(Watchdog, StaysQuietWhileHealthy) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  for (int i = 0; i < 100; ++i) {
+    const Seconds now = seconds(0.1 * i);
+    EXPECT_EQ(wd.on_frame(now, seconds(0.05), 1.0), WatchdogAction::kNone);
+  }
+  EXPECT_FALSE(wd.degraded());
+  EXPECT_EQ(wd.escalations(), 0);
+  EXPECT_DOUBLE_EQ(wd.time_in_degraded(seconds(10.0)).value(), 0.0);
+}
+
+TEST(Watchdog, EscalatesAfterSustainedDelayViolations) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  // Three violations: below the threshold of four, no action.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(wd.on_frame(seconds(0.1 * i), seconds(0.5), 1.0),
+              WatchdogAction::kNone);
+  }
+  // A healthy frame resets the streak.
+  EXPECT_EQ(wd.on_frame(seconds(0.3), seconds(0.05), 1.0),
+            WatchdogAction::kNone);
+  // Four in a row fires.
+  WatchdogAction last = WatchdogAction::kNone;
+  for (int i = 0; i < 4; ++i) {
+    last = wd.on_frame(seconds(0.4 + 0.1 * i), seconds(0.5), 1.0);
+  }
+  EXPECT_EQ(last, WatchdogAction::kEscalate);
+  EXPECT_TRUE(wd.degraded());
+  EXPECT_EQ(wd.escalations(), 1);
+}
+
+TEST(Watchdog, QueueGrowthAloneTriggersEscalation) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  WatchdogAction last = WatchdogAction::kNone;
+  for (int i = 0; i < 4; ++i) {
+    // Delay is fine; the queue is not.
+    last = wd.on_frame(seconds(0.1 * i), seconds(0.05), 50.0);
+  }
+  EXPECT_EQ(last, WatchdogAction::kEscalate);
+}
+
+TEST(Watchdog, RecoversAfterSustainedHealthAndResetsBackoff) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  for (int i = 0; i < 4; ++i) {
+    wd.on_frame(seconds(0.1 * i), seconds(0.5), 1.0);
+  }
+  ASSERT_TRUE(wd.degraded());
+  EXPECT_GT(wd.current_backoff().value(), test_config().initial_backoff.value());
+
+  // recovery_hold - 1 healthy frames: still degraded.
+  EXPECT_EQ(wd.on_frame(seconds(1.0), seconds(0.05), 1.0),
+            WatchdogAction::kNone);
+  EXPECT_EQ(wd.on_frame(seconds(1.1), seconds(0.05), 1.0),
+            WatchdogAction::kNone);
+  EXPECT_TRUE(wd.degraded());
+  // The third closes the episode.
+  EXPECT_EQ(wd.on_frame(seconds(1.2), seconds(0.05), 1.0),
+            WatchdogAction::kRecover);
+  EXPECT_FALSE(wd.degraded());
+  EXPECT_EQ(wd.recoveries(), 1);
+  EXPECT_DOUBLE_EQ(wd.current_backoff().value(),
+                   test_config().initial_backoff.value());
+  EXPECT_GT(wd.last_episode_length().value(), 0.0);
+}
+
+TEST(Watchdog, BackoffGatesReescalationAndClampsAtMax) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  // First escalation at t ~ 0.3; backoff becomes 2 s -> next allowed >= 2.3.
+  for (int i = 0; i < 4; ++i) {
+    wd.on_frame(seconds(0.1 * i), seconds(0.5), 1.0);
+  }
+  EXPECT_EQ(wd.escalations(), 1);
+  EXPECT_DOUBLE_EQ(wd.current_backoff().value(), 4.0);
+
+  // Still-degraded violations inside the backoff window do not re-escalate.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(wd.on_frame(seconds(0.4 + 0.1 * i), seconds(0.5), 1.0),
+              WatchdogAction::kNone);
+  }
+  EXPECT_EQ(wd.escalations(), 1);
+
+  // Past the backoff the next violation re-escalates, doubling the backoff.
+  EXPECT_EQ(wd.on_frame(seconds(5.0), seconds(0.5), 1.0),
+            WatchdogAction::kEscalate);
+  EXPECT_EQ(wd.escalations(), 2);
+  EXPECT_DOUBLE_EQ(wd.current_backoff().value(), 8.0);
+
+  // And the backoff clamps at max_backoff (8 s), never 16.
+  wd.on_frame(seconds(20.0), seconds(0.5), 1.0);
+  EXPECT_EQ(wd.escalations(), 3);
+  EXPECT_DOUBLE_EQ(wd.current_backoff().value(), 8.0);
+}
+
+TEST(Watchdog, TimeInDegradedAccumulatesAcrossEpisodes) {
+  Watchdog wd{test_config(), seconds(kTarget)};
+  // Episode one: degraded at 0.3, recovered at 1.2 (0.9 s).
+  for (int i = 0; i < 4; ++i) wd.on_frame(seconds(0.1 * i), seconds(0.5), 1.0);
+  for (int i = 0; i < 3; ++i) {
+    wd.on_frame(seconds(1.0 + 0.1 * i), seconds(0.05), 1.0);
+  }
+  ASSERT_FALSE(wd.degraded());
+  const double episode1 = wd.last_episode_length().value();
+  EXPECT_NEAR(episode1, 0.9, 1e-9);
+  EXPECT_NEAR(wd.time_in_degraded(seconds(2.0)).value(), episode1, 1e-9);
+
+  // Episode two stays open: time_in_degraded includes it.
+  for (int i = 0; i < 4; ++i) {
+    wd.on_frame(seconds(10.0 + 0.1 * i), seconds(0.5), 1.0);
+  }
+  ASSERT_TRUE(wd.degraded());
+  EXPECT_NEAR(wd.time_in_degraded(seconds(12.3)).value(), episode1 + 2.0,
+              1e-9);
+}
+
+TEST(Watchdog, IdenticalInputSequencesProduceIdenticalSchedules) {
+  // The determinism that backs the sweep's bit-identical guarantee: replay
+  // the same (now, delay, queue) sequence and compare every action.
+  const auto run = [] {
+    Watchdog wd{test_config(), seconds(kTarget)};
+    std::vector<int> actions;
+    for (int i = 0; i < 400; ++i) {
+      const Seconds now = seconds(0.05 * i);
+      const bool bad = (i / 37) % 2 == 1;  // alternating overload phases
+      actions.push_back(static_cast<int>(
+          wd.on_frame(now, seconds(bad ? 0.5 : 0.05), bad ? 20.0 : 1.0)));
+    }
+    actions.push_back(wd.escalations());
+    actions.push_back(wd.recoveries());
+    return actions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dvs::policy

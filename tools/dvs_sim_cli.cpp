@@ -16,6 +16,14 @@
 //   --replicates <r>          override the scenario's replicate count
 //   --sweep-csv <base>        write <base>_cells.csv and <base>_points.csv
 //
+// Fault injection (src/fault/, docs/FAULTS.md):
+//   --list-faults             list the built-in fault specs and exit
+//   --faults a[,b,...]        inject the named fault specs.  In scenario
+//                             mode this replaces the spec's fault axis; in
+//                             single-run mode the workload perturbations of
+//                             every named spec apply in order and the first
+//                             spec's watchdog / hardware plan is armed.
+//
 // Options:
 //   --media mp3|mpeg          workload type (default mp3)
 //   --sequence <labels>       MP3 clip labels, e.g. ACEFBD (default ACEFBD)
@@ -55,6 +63,8 @@
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/trace_transforms.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace_recorder.hpp"
@@ -83,6 +93,8 @@ struct CliOptions {
   bool seed_set = false;
   std::string scenario;
   bool list_scenarios = false;
+  std::string faults;
+  bool list_faults = false;
   int jobs = 1;
   int replicates = 0;  // 0 = scenario default
   std::string sweep_csv;
@@ -124,6 +136,8 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--seed") { o.seed = std::stoull(need(i)); o.seed_set = true; ++i; }
     else if (a == "--scenario") { o.scenario = need(i); ++i; }
     else if (a == "--list-scenarios") { o.list_scenarios = true; }
+    else if (a == "--faults") { o.faults = need(i); ++i; }
+    else if (a == "--list-faults") { o.list_faults = true; }
     else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
     else if (a == "--replicates") { o.replicates = std::stoi(need(i)); ++i; }
     else if (a == "--sweep-csv") { o.sweep_csv = need(i); ++i; }
@@ -168,8 +182,29 @@ int list_scenarios() {
   }
   t.print();
   std::printf("\nrun one with: dvs_sim --scenario <name> [--jobs N]"
-              " [--replicates R] [--sweep-csv base]\n");
+              " [--replicates R] [--faults spec[,spec]] [--sweep-csv base]\n");
   return 0;
+}
+
+int list_faults() {
+  TextTable t;
+  t.set_header({"Fault", "Description"});
+  for (const fault::FaultSpec& f : fault::builtin_faults()) {
+    t.add_row({f.name, f.description});
+  }
+  t.print();
+  std::printf("\ninject with: dvs_sim [--scenario <name>] --faults"
+              " spec[,spec,...]\n");
+  return 0;
+}
+
+/// Resolves --faults into specs; exits with usage() on unknown names.
+std::vector<fault::FaultSpec> resolve_faults(const std::string& csv) {
+  try {
+    return fault::parse_fault_list(csv);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 int run_scenario(const CliOptions& o, std::FILE* hout,
@@ -183,6 +218,7 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
   core::ScenarioSpec spec = *found;
   if (o.replicates > 0) spec.replicates = o.replicates;
   if (o.seed_set) spec.base_seed = o.seed;
+  if (!o.faults.empty()) spec.faults = resolve_faults(o.faults);
 
   core::SweepOptions sopts;
   sopts.jobs = o.jobs;
@@ -195,18 +231,38 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
                res.points.size(), res.cells.size(), spec.replicates, res.jobs,
                res.wall_seconds);
 
+  const bool any_faults = spec.faults.size() > 1 ||
+                          (spec.faults.size() == 1 && !spec.faults[0].none());
   TextTable t;
-  t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",
-                "+-95%", "Delay (s)", "Power (mW)", "Sleeps"});
-  for (const core::CellResult& c : res.cells) {
-    t.add_row({c.point.workload.name(), std::string(to_string(c.point.detector)),
-               c.point.dpm.name(), c.point.cpu,
-               TextTable::num(c.point.delay_target.value(), 2),
-               TextTable::num(c.energy_kj.mean, 3),
-               TextTable::num(c.energy_kj.ci95_half, 3),
-               TextTable::num(c.delay_s.mean, 3),
-               TextTable::num(c.power_mw.mean, 0),
-               TextTable::num(c.sleeps.mean, 0)});
+  if (any_faults) {
+    t.set_header({"Workload", "Detector", "DPM", "Faults", "d (s)",
+                  "Energy (kJ)", "+-95%", "Delay (s)", "Power (mW)",
+                  "Recov", "Degr (s)"});
+    for (const core::CellResult& c : res.cells) {
+      t.add_row({c.point.workload.name(),
+                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
+                 c.point.faults.name,
+                 TextTable::num(c.point.delay_target.value(), 2),
+                 TextTable::num(c.energy_kj.mean, 3),
+                 TextTable::num(c.energy_kj.ci95_half, 3),
+                 TextTable::num(c.delay_s.mean, 3),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(c.recoveries.mean, 1),
+                 TextTable::num(c.time_degraded_s.mean, 1)});
+    }
+  } else {
+    t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",
+                  "+-95%", "Delay (s)", "Power (mW)", "Sleeps"});
+    for (const core::CellResult& c : res.cells) {
+      t.add_row({c.point.workload.name(),
+                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
+                 c.point.cpu, TextTable::num(c.point.delay_target.value(), 2),
+                 TextTable::num(c.energy_kj.mean, 3),
+                 TextTable::num(c.energy_kj.ci95_half, 3),
+                 TextTable::num(c.delay_s.mean, 3),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(c.sleeps.mean, 0)});
+    }
   }
   std::fputs(t.str().c_str(), hout);
 
@@ -240,6 +296,14 @@ void print_metrics(std::FILE* out, const core::Metrics& m) {
                " %.2f s wakeup delay\n",
                m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
                m.dpm_total_wakeup_delay.value());
+  if (m.faults_injected != 0 || m.watchdog_escalations != 0 ||
+      m.watchdog_recoveries != 0) {
+    std::fprintf(out, "faults              %10llu injected; watchdog:"
+                 " %d escalations, %d recoveries, %.1f s degraded\n",
+                 static_cast<unsigned long long>(m.faults_injected),
+                 m.watchdog_escalations, m.watchdog_recoveries,
+                 m.time_in_degraded.value());
+  }
 }
 
 }  // namespace
@@ -249,6 +313,7 @@ int main(int argc, char** argv) {
   const hw::Sa1100 cpu;
 
   if (o.list_scenarios) return list_scenarios();
+  if (o.list_faults) return list_faults();
 
   // Metrics to stdout move the human-readable report to stderr so the JSON
   // stays machine-parseable.
@@ -308,6 +373,20 @@ int main(int argc, char** argv) {
   if (!o.metrics_json.empty()) opts.metrics = &registry;
   if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
 
+  // Single-run fault injection: all named specs' workload perturbations
+  // apply in order; the first spec supplies the watchdog and hardware plan.
+  std::vector<fault::TraceFault> trace_faults;
+  if (!o.faults.empty()) {
+    const std::vector<fault::FaultSpec> fault_specs = resolve_faults(o.faults);
+    for (const fault::FaultSpec& f : fault_specs) {
+      trace_faults.insert(trace_faults.end(), f.trace_faults.begin(),
+                          f.trace_faults.end());
+    }
+    opts.watchdog = fault_specs.front().watchdog;
+    opts.hw_faults = fault_specs.front().hw;
+  }
+  Rng fault_rng{core::mix_seed(o.seed, 0xfa)};
+
   hw::SmartBadge badge;
   const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
 
@@ -317,7 +396,12 @@ int main(int argc, char** argv) {
     scfg.cycles = o.cycles;
     scfg.seed = o.seed;
     if (o.seconds_limit > 0.0) scfg.mpeg_segment = seconds(o.seconds_limit);
-    const core::Session session = core::build_session(scfg, cpu);
+    core::Session session = core::build_session(scfg, cpu);
+    if (!trace_faults.empty()) {
+      for (core::PlaybackItem& item : session.items) {
+        item.trace = fault::apply_faults(item.trace, trace_faults, fault_rng);
+      }
+    }
     opts.dpm_policy = make_dpm(o, costs, session.idle_model);
     opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
     std::fprintf(hout, "session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
@@ -350,6 +434,10 @@ int main(int argc, char** argv) {
       trace = workload::build_mpeg_trace(clip, *decoder, rng);
     } else {
       usage(("unknown media " + o.media).c_str());
+    }
+
+    if (!trace_faults.empty()) {
+      trace = fault::apply_faults(*trace, trace_faults, fault_rng);
     }
 
     if (!o.save_trace.empty()) {
