@@ -3,7 +3,6 @@
 // manager exposes: looser targets buffer more frames and allow lower
 // frequencies.  The delay axis is the "ablation-delay-target" scenario.
 #include "bench_common.hpp"
-#include "queue/mm1.hpp"
 
 using namespace dvs;
 

@@ -3,10 +3,6 @@
 // clairvoyant oracle, both analytically (expected energy per idle period)
 // and on a simulated session.
 #include "bench_common.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "dpm/adaptive.hpp"
-#include "dpm/policy.hpp"
 
 using namespace dvs;
 

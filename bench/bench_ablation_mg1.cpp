@@ -7,8 +7,6 @@
 // inversion prices the true variability and buys extra energy at the same
 // measured delay.  The cv2 axis is the "ablation-mg1" scenario.
 #include "bench_common.hpp"
-#include "queue/mg1.hpp"
-#include "workload/work_model.hpp"
 
 using namespace dvs;
 

@@ -5,10 +5,6 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "detect/change_point.hpp"
 
 using namespace dvs;
 

@@ -11,12 +11,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "common/csv.hpp"
-#include "common/table.hpp"
-#include "core/experiment.hpp"
-#include "core/scenario.hpp"
-#include "core/sweep.hpp"
-#include "workload/trace.hpp"
+#include "dvs.hpp"
 
 namespace dvs::bench {
 

@@ -9,7 +9,6 @@
 // fault spec, 3 replicates.  The `none` block is the healthy baseline the
 // other blocks are read against.
 #include "bench_common.hpp"
-#include "fault/fault_spec.hpp"
 
 using namespace dvs;
 

@@ -8,12 +8,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "detect/change_point.hpp"
-#include "detect/ema.hpp"
-#include "detect/ideal.hpp"
 
 using namespace dvs;
 

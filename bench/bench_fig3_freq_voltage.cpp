@@ -1,8 +1,6 @@
 // Figure 3: frequency vs minimum operating voltage for the SA-1100, plus
 // the resulting active power and energy-per-cycle ratio at each step.
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
 
 using namespace dvs;
 

@@ -8,9 +8,6 @@
 //   E(s) = t(f_s) * P_cpu(f_s) + T_mem * P_mem.
 // MP3 decodes from the slow SRAM, MPEG from the fast SDRAM/DRAM.
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
-#include "hw/smartbadge_data.hpp"
 
 using namespace dvs;
 

@@ -5,10 +5,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/fit.hpp"
-#include "common/table.hpp"
-#include "workload/arrival.hpp"
 
 using namespace dvs;
 

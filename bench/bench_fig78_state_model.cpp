@@ -9,8 +9,6 @@
 // TISMDP solver computes over the idle bins — i.e. the content the figures
 // sketch.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "dpm/tismdp_solver.hpp"
 
 using namespace dvs;
 

@@ -3,11 +3,6 @@
 // while holding the 0.1 s average buffered-frame delay (about 2 extra
 // buffered frames of video).
 #include "bench_common.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
-#include "policy/frequency_policy.hpp"
-#include "queue/mm1.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 

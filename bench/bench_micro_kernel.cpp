@@ -7,14 +7,7 @@
 #include <memory>
 #include <sstream>
 
-#include "common/rng.hpp"
-#include "detect/change_point.hpp"
-#include "detect/ema.hpp"
-#include "obs/sinks.hpp"
-#include "obs/trace_recorder.hpp"
-#include "policy/frequency_policy.hpp"
-#include "sim/simulator.hpp"
-#include "workload/trace.hpp"
+#include "dvs.hpp"
 
 namespace {
 

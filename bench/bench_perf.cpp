@@ -1,0 +1,230 @@
+// bench_perf: the engine's headline performance numbers.
+//
+// Emits BENCH_perf.json (path in argv[1], default ./BENCH_perf.json) with
+// the metrics the perf-regression harness tracks:
+//
+//   * scenario.<name>.frames_per_sec       decoded frames per wall second
+//   * scenario.<name>.sim_sec_per_wall_sec simulated seconds per wall second
+//   * micro.detector_step_ns               one change-point detector sample
+//   * micro.governor_step_ns               one governor arrival+complete+apply
+//   * micro.sim_event_ns                   one kernel schedule+execute
+//   * micro.sim_cancel_ns                  one kernel schedule+cancel
+//   * char.threshold_table_s               one cold Monte-Carlo characterization
+//
+// Scenario sweeps run at jobs=1 so the number is per-core engine throughput,
+// comparable across machines with different core counts.  Scenario timing
+// excludes shared-asset preparation (trace generation, threshold
+// characterization) — it is the steady-state event-loop rate.
+//
+// Compare two runs with scripts/compare_bench.py; the committed baseline
+// lives in bench/baselines/BENCH_perf_baseline.json (see docs/PERF.md).
+#include "dvs.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace dvs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PerfResult {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  bool higher_is_better = true;
+};
+
+void write_json(const std::string& path, const std::vector<PerfResult>& results) {
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "bench_perf: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  os << "{\n  \"schema\": \"dvs-bench-perf-v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PerfResult& r = results[i];
+    char value[64];
+    std::snprintf(value, sizeof value, "%.6g", r.value);
+    os << "    {\"name\": \"" << r.name << "\", \"unit\": \"" << r.unit
+       << "\", \"value\": " << value << ", \"higher_is_better\": "
+       << (r.higher_is_better ? "true" : "false") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+/// Steady-state sweep throughput for one builtin scenario at jobs=1.
+void measure_scenario(const std::string& name, std::vector<PerfResult>& out) {
+  const core::ScenarioSpec* spec = core::find_scenario(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "bench_perf: no builtin scenario '%s'\n", name.c_str());
+    std::exit(1);
+  }
+  core::SweepOptions opts;
+  opts.jobs = 1;
+
+  // Best-of-N: short sweeps are jitter-prone; the fastest run is the
+  // engine's capability, the slower ones are scheduler noise.
+  double best_fps = 0.0;
+  double best_spw = 0.0;
+  std::size_t points = 0;
+  double last_wall = 0.0;
+  const int reps = spec->num_points() < 16 ? 5 : 2;
+  for (int rep = 0; rep < reps; ++rep) {
+    const core::SweepResult res = core::SweepRunner{opts}.run(*spec);
+    double frames = 0.0;
+    double sim_sec = 0.0;
+    for (const core::PointResult& p : res.points) {
+      frames += static_cast<double>(p.metrics.frames_decoded);
+      sim_sec += p.metrics.duration.value();
+    }
+    points = res.points.size();
+    last_wall = res.wall_seconds;
+    if (res.wall_seconds > 0.0 && frames / res.wall_seconds > best_fps) {
+      best_fps = frames / res.wall_seconds;
+      best_spw = sim_sec / res.wall_seconds;
+    }
+  }
+  out.push_back({"scenario." + name + ".frames_per_sec", "frames/s", best_fps,
+                 true});
+  out.push_back({"scenario." + name + ".sim_sec_per_wall_sec", "sim-s/wall-s",
+                 best_spw, true});
+  std::printf("%-34s %10.0f frames/s  %8.1f sim-s/wall-s  (%zu points, %.2f s)\n",
+              ("scenario." + name).c_str(), best_fps, best_spw, points,
+              last_wall);
+}
+
+/// One change-point detector sample (including the periodic full detect()).
+void measure_detector_step(std::vector<PerfResult>& out) {
+  const core::DetectorFactoryConfig& cfg = bench::detectors();
+  detect::ChangePointDetector det{cfg.thresholds};
+  det.reset(hertz(38.0));
+  Rng rng{12345};
+  constexpr int kSamples = 400000;
+  // Alternate between two rates so detect() exercises the change path too.
+  const auto t0 = Clock::now();
+  Seconds now{0.0};
+  for (int i = 0; i < kSamples; ++i) {
+    const double rate = (i / 50000) % 2 == 0 ? 38.0 : 76.0;
+    const Seconds gap{rng.exponential(rate)};
+    now = now + gap;
+    det.on_sample(now, gap);
+  }
+  const double wall = seconds_since(t0);
+  out.push_back({"micro.detector_step_ns", "ns/step", wall / kSamples * 1e9,
+                 false});
+  std::printf("%-34s %10.1f ns/step\n", "micro.detector_step", wall / kSamples * 1e9);
+}
+
+/// One governor step: arrival sample + decode-complete sample + apply.
+/// EMA detectors keep the detector cost negligible, so this isolates the
+/// policy/governor overhead the engine pays per frame.
+void measure_governor_step(std::vector<PerfResult>& out) {
+  hw::SmartBadge badge;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(badge.cpu().max_frequency());
+  policy::FrequencyPolicy fp{badge.cpu(), dec.performance_curve(badge.cpu()),
+                             seconds(0.15), 1.0};
+  policy::DvsGovernor gov{badge, dec, std::move(fp),
+                          std::make_unique<detect::EmaDetector>(0.03),
+                          std::make_unique<detect::EmaDetector>(0.03)};
+  gov.initialize(core::default_nominal_arrival(workload::MediaType::Mp3Audio),
+                 core::default_nominal_service(workload::MediaType::Mp3Audio),
+                 Seconds{0.0});
+  Rng rng{999};
+  constexpr int kFrames = 400000;
+  const auto t0 = Clock::now();
+  Seconds now{0.0};
+  for (int i = 0; i < kFrames; ++i) {
+    const Seconds gap{rng.exponential(38.0)};
+    now = now + gap;
+    gov.on_arrival(now, gap, 1.0);
+    gov.on_decode_complete(now, Seconds{0.02}, badge.cpu_frequency(), 0.0,
+                           Seconds{0.05});
+    gov.apply(now);
+  }
+  const double wall = seconds_since(t0);
+  out.push_back({"micro.governor_step_ns", "ns/frame", wall / kFrames * 1e9,
+                 false});
+  std::printf("%-34s %10.1f ns/frame\n", "micro.governor_step", wall / kFrames * 1e9);
+}
+
+/// Kernel schedule+execute throughput with the engine's typical event mix.
+void measure_sim_kernel(std::vector<PerfResult>& out) {
+  {
+    sim::Simulator sim;
+    constexpr int kEvents = 2000000;
+    int fired = 0;
+    const auto t0 = Clock::now();
+    // Schedule in windows so the heap stays engine-sized (tens of events).
+    for (int batch = 0; batch < kEvents / 20; ++batch) {
+      const double base = batch * 1e-3;
+      for (int i = 0; i < 20; ++i) {
+        sim.schedule_at(Seconds{base + i * 1e-5}, [&fired] { ++fired; });
+      }
+      sim.run();
+    }
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.sim_event_ns", "ns/event", wall / fired * 1e9, false});
+    std::printf("%-34s %10.1f ns/event\n", "micro.sim_event", wall / fired * 1e9);
+  }
+  {
+    // Cancel-heavy: the DPM pattern (schedule a sleep, cancel it on the next
+    // arrival).
+    sim::Simulator sim;
+    constexpr int kEvents = 2000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      const sim::EventId id = sim.schedule_at(Seconds{i + 1e9}, [] {});
+      sim.cancel(id);
+    }
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.sim_cancel_ns", "ns/cancel", wall / kEvents * 1e9,
+                   false});
+    std::printf("%-34s %10.1f ns/cancel\n", "micro.sim_cancel",
+                wall / kEvents * 1e9);
+  }
+}
+
+/// One cold Monte-Carlo threshold characterization (Section 3.1) — the cost
+/// the shared-asset cache saves on every warm use.
+void measure_characterization(std::vector<PerfResult>& out) {
+  const auto t0 = Clock::now();
+  const detect::ThresholdTable table{detect::ChangePointConfig{}};
+  const double wall = seconds_since(t0);
+  out.push_back({"char.threshold_table_s", "s", wall, false});
+  std::printf("%-34s %10.3f s  (%zu ratios)\n", "char.threshold_table", wall,
+              table.entries().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  bench::print_header("Engine performance (BENCH_perf)",
+                      "perf-regression harness, docs/PERF.md");
+
+  std::vector<PerfResult> results;
+  measure_characterization(results);
+  measure_detector_step(results);
+  measure_governor_step(results);
+  measure_sim_kernel(results);
+  for (const char* s : {"quick", "table3", "table5"}) {
+    measure_scenario(s, results);
+  }
+
+  write_json(out_path, results);
+  std::printf("\nperf json -> %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,8 +1,6 @@
 // Table 1: SmartBadge components — per-state power and wakeup transition
 // times, with the Total row.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "hw/smartbadge_data.hpp"
 
 using namespace dvs;
 

@@ -2,8 +2,6 @@
 // plus the derived arrival rates and durations used by the Table 3
 // sequences.
 #include "bench_common.hpp"
-#include "common/table.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 

@@ -6,7 +6,6 @@
 // deviation in parentheses.  The grid lives in the scenario registry
 // ("table4"); this bench formats the sweep result into the paper's layout.
 #include "bench_common.hpp"
-#include "workload/clips.hpp"
 
 using namespace dvs;
 

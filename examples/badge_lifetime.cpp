@@ -7,10 +7,7 @@
 //   ./build/examples/badge_lifetime
 #include <cstdio>
 
-#include "core/scenario.hpp"
-#include "core/sweep.hpp"
-#include "hw/battery.hpp"
-#include "hw/dcdc.hpp"
+#include "dvs.hpp"
 
 using namespace dvs;
 

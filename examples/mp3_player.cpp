@@ -6,9 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/scenario.hpp"
-#include "core/sweep.hpp"
-#include "workload/clips.hpp"
+#include "dvs.hpp"
 
 using namespace dvs;
 

@@ -8,10 +8,7 @@
 #include <cstring>
 #include <string>
 
-#include "core/engine.hpp"
-#include "core/experiment.hpp"
-#include "workload/clips.hpp"
-#include "workload/trace.hpp"
+#include "dvs.hpp"
 
 using namespace dvs;
 

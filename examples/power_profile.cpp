@@ -8,8 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.hpp"
-#include "dpm/policy.hpp"
+#include "dvs.hpp"
 
 using namespace dvs;
 

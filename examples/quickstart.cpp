@@ -10,9 +10,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/scenario.hpp"
-#include "core/sweep.hpp"
-#include "workload/clips.hpp"
+#include "dvs.hpp"
 
 using namespace dvs;
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json files (see bench/bench_perf.cpp, docs/PERF.md).
+
+    python3 scripts/compare_bench.py BASELINE.json CURRENT.json \
+        [--tolerance 0.25] [--strict]
+
+Prints a per-metric table with the relative change and flags regressions
+beyond the tolerance (default 25%, generous because CI runners jitter).
+Exit code is 0 unless --strict is given, in which case any flagged
+regression exits 1.  Metrics present in only one file are reported but
+never flagged.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dvs-bench-perf-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {r["name"]: r for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative regression allowed before flagging "
+                         "(default 0.25 = 25%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any regression exceeds the tolerance")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    print(f"{'metric':<42} {'baseline':>12} {'current':>12} {'change':>9}")
+    print("-" * 79)
+    for name in sorted(set(base) | set(cur)):
+        b = base.get(name)
+        c = cur.get(name)
+        if b is None or c is None:
+            side = "baseline" if c is None else "current"
+            val = (b or c)["value"]
+            print(f"{name:<42} {'(only in ' + side + ')':>26} {val:>12.4g}")
+            continue
+        bv, cv = b["value"], c["value"]
+        if bv == 0:
+            print(f"{name:<42} {bv:>12.4g} {cv:>12.4g} {'n/a':>9}")
+            continue
+        # Normalize so positive = improvement.
+        rel = (cv - bv) / bv if c.get("higher_is_better", True) else (bv - cv) / bv
+        flag = ""
+        if rel < -args.tolerance:
+            flag = "  << REGRESSION"
+            regressions.append((name, rel))
+        print(f"{name:<42} {bv:>12.4g} {cv:>12.4g} {rel:>+8.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.tolerance:.0%}:")
+        for name, rel in regressions:
+            print(f"  {name}: {rel:+.1%}")
+        if args.strict:
+            sys.exit(1)
+        print("(warn-only: exiting 0; use --strict to fail)")
+    else:
+        print("\nno regressions beyond tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 #include "detect/ema.hpp"
 #include "detect/ideal.hpp"
 #include "detect/sliding_window.hpp"
+#include "detect/table_cache.hpp"
 
 namespace dvs::core {
 
@@ -20,7 +21,7 @@ std::string to_string(DetectorKind kind) {
 
 void DetectorFactoryConfig::prepare() {
   if (!thresholds) {
-    thresholds = std::make_shared<const detect::ThresholdTable>(change_point);
+    thresholds = detect::shared_threshold_table(change_point);
   }
 }
 
@@ -34,8 +35,7 @@ detect::RateDetectorPtr make_detector(DetectorKind kind,
     case DetectorKind::ChangePoint: {
       auto table = cfg.thresholds
                        ? cfg.thresholds
-                       : std::make_shared<const detect::ThresholdTable>(
-                             cfg.change_point);
+                       : detect::shared_threshold_table(cfg.change_point);
       return std::make_unique<detect::ChangePointDetector>(std::move(table));
     }
     case DetectorKind::ExpAverage:

@@ -109,9 +109,9 @@ void Engine::record_detector_sample(const policy::DvsGovernor& gov,
 }
 
 policy::DvsGovernor& Engine::governor_for(workload::MediaType type) {
-  auto it = governors_.find(type);
-  DVS_CHECK_MSG(it != governors_.end(), "Engine: no governor for media type");
-  return *it->second;
+  policy::DvsGovernor* gov = governors_[media_index(type)].get();
+  DVS_CHECK_MSG(gov != nullptr, "Engine: no governor for media type");
+  return *gov;
 }
 
 const workload::DecoderModel& Engine::decoder_for(workload::MediaType type) const {
@@ -132,8 +132,8 @@ void Engine::note_frequency(Seconds now) {
 void Engine::ensure_media_context(const PlaybackItem& item) {
   const workload::MediaType type = item.trace.type();
   const Seconds now = sim_.now();
-  auto it = governors_.find(type);
-  if (it == governors_.end()) {
+  std::unique_ptr<policy::DvsGovernor>& slot = governors_[media_index(type)];
+  if (slot == nullptr) {
     // Build the governor for this media type.
     policy::FrequencyPolicy policy{badge_.cpu(),
                                    item.decoder.performance_curve(badge_.cpu()),
@@ -158,17 +158,17 @@ void Engine::ensure_media_context(const PlaybackItem& item) {
           make_detector(cfg_.detector, cfg_.detectors, arrival_truth),
           make_detector(cfg_.detector, cfg_.detectors, service_truth));
     }
-    it = governors_.emplace(type, std::move(gov)).first;
-    wire_governor_observability(*it->second);
-    it->second->enable_watchdog(cfg_.watchdog, cfg_.target_delay);
+    slot = std::move(gov);
+    wire_governor_observability(*slot);
+    slot->enable_watchdog(cfg_.watchdog, cfg_.target_delay);
     if (injector_ != nullptr) {
-      it->second->set_step_filter(
+      slot->set_step_filter(
           [this](Seconds at, std::size_t current, std::size_t desired) {
             return injector_->filter_step(at, current, desired);
           });
     }
     note_frequency(now);
-    it->second->initialize(item.nominal_arrival, item.nominal_service_at_max, now);
+    slot->initialize(item.nominal_arrival, item.nominal_service_at_max, now);
     // The detectors start from nominal rates; the gap to the clip's true
     // rates is the change the detector has to find.
     rate_change_at_ = now;
@@ -427,6 +427,12 @@ Metrics Engine::run() {
   ran_ = true;
   schedule_arrival_cursor();
   if (cfg_.power_sample_period.value() > 0.0) {
+    // The sample chain runs to the session end on a fixed period, so the
+    // trace size is known up front; reserving it avoids log(n) regrowth
+    // copies on long (Table 5) sessions.
+    const double expected =
+        items_.back().end.value() / cfg_.power_sample_period.value();
+    power_trace_.reserve(static_cast<std::size_t>(expected) + 2);
     schedule_power_sample(cfg_.power_sample_period);
   }
   {
@@ -469,7 +475,8 @@ Metrics Engine::collect(Seconds end) {
   m.dpm_wakeups = pm_->wakeups();
   m.dpm_total_wakeup_delay = pm_->total_wakeup_delay();
   if (injector_ != nullptr) m.faults_injected = injector_->faults_injected();
-  for (const auto& [type, gov] : governors_) {
+  for (const auto& gov : governors_) {
+    if (gov == nullptr) continue;
     const policy::Watchdog* wd = gov->watchdog();
     if (wd == nullptr) continue;
     m.watchdog_escalations += wd->escalations();

@@ -25,7 +25,7 @@
 //    paper models idle-state arrivals separately from the active state).
 #pragma once
 
-#include <map>
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -108,8 +108,7 @@ class Engine {
   [[nodiscard]] const dpm::PowerManager& power_manager() const { return *pm_; }
   /// The governor serving `type`, or null before its first frame arrived.
   [[nodiscard]] const policy::DvsGovernor* governor(workload::MediaType type) const {
-    const auto it = governors_.find(type);
-    return it == governors_.end() ? nullptr : it->second.get();
+    return governors_[media_index(type)].get();
   }
   /// The hardware fault injector, or null when the plan is empty.
   [[nodiscard]] const fault::HwFaultInjector* fault_injector() const {
@@ -117,6 +116,11 @@ class Engine {
   }
 
  private:
+  static constexpr std::size_t kMediaTypes = 2;  ///< Mp3Audio, MpegVideo
+  static constexpr std::size_t media_index(workload::MediaType type) {
+    return static_cast<std::size_t>(type);
+  }
+
   policy::DvsGovernor& governor_for(workload::MediaType type);
   const workload::DecoderModel& decoder_for(workload::MediaType type) const;
 
@@ -158,7 +162,9 @@ class Engine {
   queue::FrameBuffer buffer_;
   std::unique_ptr<dpm::PowerManager> pm_;
   std::unique_ptr<fault::HwFaultInjector> injector_;
-  std::map<workload::MediaType, std::unique_ptr<policy::DvsGovernor>> governors_;
+  // Indexed by media_index(): governor_for() on the per-frame path is an
+  // array load, not a tree walk.  Null until that media type's first frame.
+  std::array<std::unique_ptr<policy::DvsGovernor>, kMediaTypes> governors_;
 
   // Arrival cursor.
   std::size_t item_ = 0;

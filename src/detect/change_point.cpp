@@ -7,37 +7,11 @@
 #include "common/check.hpp"
 
 namespace dvs::detect {
-namespace {
-
-/// Like max_log_likelihood_ratio but also reports the best change position
-/// (index of the first post-change sample).
-double max_llr_with_argmax(const std::vector<double>& z, double ratio,
-                           const ChangePointConfig& cfg, std::size_t& best_k) {
-  const std::size_t m = z.size();
-  const double log_r = std::log(ratio);
-  double best = -std::numeric_limits<double>::infinity();
-  best_k = 0;
-  double tail_sum = 0.0;
-  for (std::size_t j = m; j-- > 0;) {
-    tail_sum += z[j];
-    const std::size_t tail_len = m - j;
-    if (tail_len < cfg.min_tail) continue;
-    if (j % std::max<std::size_t>(cfg.check_interval, 1) != 0) continue;
-    const double lnp =
-        static_cast<double>(tail_len) * log_r - (ratio - 1.0) * tail_sum;
-    if (lnp > best) {
-      best = lnp;
-      best_k = j;
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 ChangePointDetector::ChangePointDetector(
     std::shared_ptr<const ThresholdTable> thresholds)
-    : thresholds_(std::move(thresholds)) {
+    : thresholds_(std::move(thresholds)),
+      window_(thresholds_ != nullptr ? thresholds_->config().window : 1) {
   DVS_CHECK_MSG(thresholds_ != nullptr, "ChangePointDetector: null threshold table");
 }
 
@@ -58,15 +32,14 @@ Hertz ChangePointDetector::on_sample(Seconds now, Seconds interval) {
   DVS_CHECK_MSG(interval.value() > 0.0, "ChangePointDetector: non-positive interval");
   const ChangePointConfig& cfg = thresholds_->config();
 
-  window_.push_back(interval.value());
-  if (window_.size() > cfg.window) window_.pop_front();
+  window_.push(interval.value());
   if (settling_ < cfg.window) ++settling_;
 
   if (!warmed_up_) {
     // No prior estimate: bootstrap the rate from the first min_tail samples.
     if (window_.size() >= cfg.min_tail) {
       double sum = 0.0;
-      for (double x : window_) sum += x;
+      for (std::size_t j = 0; j < window_.size(); ++j) sum += window_.at(j);
       rate_ = Hertz{static_cast<double>(window_.size()) / sum};
       warmed_up_ = true;
     }
@@ -84,7 +57,7 @@ Hertz ChangePointDetector::on_sample(Seconds now, Seconds interval) {
     const std::size_t n = std::min(settling_, window_.size());
     double sum = 0.0;
     for (std::size_t j = window_.size() - n; j < window_.size(); ++j) {
-      sum += window_[j];
+      sum += window_.at(j);
     }
     if (n >= cfg.min_tail && sum > 0.0) {
       const double refined = static_cast<double>(n) / sum;
@@ -113,10 +86,28 @@ bool ChangePointDetector::detect(Seconds now) {
   const double lambda_o = rate_.value();
   DVS_CHECK_MSG(lambda_o > 0.0, "ChangePointDetector: no current rate");
 
-  // Normalize so the window is Exp(1) under the null hypothesis; the
-  // statistic then depends only on the candidate ratio.
-  std::vector<double> z(window_.begin(), window_.end());
-  for (double& x : z) x *= lambda_o;
+  // One backward pass accumulates the normalized suffix sum (lambda_o * x_j
+  // is Exp(1) under the null) and records it at every candidate change
+  // position.  Each ratio then needs only the candidates — ~m/check_interval
+  // evaluations instead of rescanning all m samples per ratio.  The
+  // accumulation multiplies and adds in the same order as the reference
+  // max_log_likelihood_ratio, so the statistics are bit-identical to
+  // evaluating it on the normalized window.
+  const std::size_t m = window_.size();
+  const std::size_t step = std::max<std::size_t>(cfg.check_interval, 1);
+  cand_sum_.clear();
+  cand_len_.clear();
+  cand_pos_.clear();
+  double tail_sum = 0.0;
+  for (std::size_t j = m; j-- > 0;) {
+    tail_sum += window_.at(j) * lambda_o;
+    const std::size_t tail_len = m - j;
+    if (tail_len < cfg.min_tail) continue;
+    if (j % step != 0) continue;
+    cand_sum_.push_back(tail_sum);
+    cand_len_.push_back(tail_len);
+    cand_pos_.push_back(j);
+  }
 
   // Scan every candidate ratio; require the best margin to clear the
   // scan-level calibration (see ThresholdTable::scan_margin).
@@ -126,8 +117,20 @@ bool ChangePointDetector::detect(Seconds now) {
   double best_ratio = 1.0;
   std::size_t best_k = 0;
   for (double r : thresholds_->ratios()) {
+    const double log_r = std::log(r);
+    double stat = -std::numeric_limits<double>::infinity();
     std::size_t k = 0;
-    const double stat = max_llr_with_argmax(z, r, cfg, k);
+    // Candidates are stored in scan (descending-position) order with a
+    // strict improvement test, matching the reference scan's tie-break:
+    // among equal statistics the latest change position wins.
+    for (std::size_t c = 0; c < cand_sum_.size(); ++c) {
+      const double lnp = static_cast<double>(cand_len_[c]) * log_r -
+                         (r - 1.0) * cand_sum_[c];
+      if (lnp > stat) {
+        stat = lnp;
+        k = cand_pos_[c];
+      }
+    }
     const double threshold = thresholds_->threshold_for_ratio(r);
     const double margin = stat - threshold;
     if (margin > best_margin) {
@@ -151,16 +154,15 @@ bool ChangePointDetector::detect(Seconds now) {
 
   // Change declared: re-estimate the rate from the post-change tail by
   // maximum likelihood and drop the pre-change samples.
-  double tail_sum = 0.0;
+  double raw_tail = 0.0;
   std::size_t tail_len = 0;
-  for (std::size_t j = best_k; j < window_.size(); ++j) {
-    tail_sum += window_[j];
+  for (std::size_t j = best_k; j < m; ++j) {
+    raw_tail += window_.at(j);
     ++tail_len;
   }
-  DVS_CHECK(tail_len >= cfg.min_tail && tail_sum > 0.0);
-  rate_ = Hertz{static_cast<double>(tail_len) / tail_sum};
-  window_.erase(window_.begin(),
-                window_.begin() + static_cast<std::ptrdiff_t>(best_k));
+  DVS_CHECK(tail_len >= cfg.min_tail && raw_tail > 0.0);
+  rate_ = Hertz{static_cast<double>(tail_len) / raw_tail};
+  window_.drop_front(best_k);
   settling_ = window_.size();
   ++changes_;
   change_times_.push_back(now);

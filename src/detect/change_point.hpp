@@ -17,7 +17,7 @@
 // max_log_likelihood_ratio is exactly that computation.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -52,13 +52,62 @@ class ChangePointDetector final : public RateDetector {
   }
 
  private:
+  /// Fixed-capacity ring over the last m raw interval samples: push is
+  /// allocation-free, dropping the pre-change prefix is O(1), and the
+  /// element type stays contiguous enough for the scan below.
+  class Window {
+   public:
+    explicit Window(std::size_t capacity)
+        : buf_(capacity > 0 ? capacity : 1) {}
+
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+    [[nodiscard]] double at(std::size_t i) const { return buf_[wrap(head_ + i)]; }
+
+    /// Appends, evicting the oldest sample when full.
+    void push(double x) {
+      if (count_ < buf_.size()) {
+        buf_[wrap(head_ + count_)] = x;
+        ++count_;
+      } else {
+        buf_[head_] = x;
+        head_ = wrap(head_ + 1);
+      }
+    }
+
+    /// Drops the first `k` samples (k <= size()).
+    void drop_front(std::size_t k) {
+      head_ = wrap(head_ + k);
+      count_ -= k;
+    }
+
+    void clear() {
+      head_ = 0;
+      count_ = 0;
+    }
+
+   private:
+    [[nodiscard]] std::size_t wrap(std::size_t i) const {
+      return i >= buf_.size() ? i - buf_.size() : i;
+    }
+    std::vector<double> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   /// Runs the likelihood test over the current window; returns true and
   /// updates rate_ when a change is declared.
   bool detect(Seconds now);
 
   std::shared_ptr<const ThresholdTable> thresholds_;
-  std::deque<double> window_;         ///< last m raw interval samples
+  Window window_;                     ///< last m raw interval samples
   std::size_t samples_since_check_ = 0;
+  // Scratch reused across detect() calls (no steady-state allocation):
+  // normalized suffix sums, tail lengths, and window positions of the
+  // candidate change points, in scan (descending-position) order.
+  std::vector<double> cand_sum_;
+  std::vector<std::size_t> cand_len_;
+  std::vector<std::size_t> cand_pos_;
   /// Post-change samples seen so far; the estimate refines while this is
   /// below the window size and freezes afterwards (piecewise-constant
   /// output between change points).

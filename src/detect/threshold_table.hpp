@@ -39,6 +39,12 @@ struct ChangePointConfig {
   std::size_t grid_points = 10;    ///< covers ratios up to ~9.3x each way
   std::size_t mc_windows = 3000;   ///< Monte-Carlo windows per ratio
   std::uint64_t mc_seed = 0x5eedu;
+
+  /// Value equality: configs that compare equal produce bit-identical
+  /// tables, which is what the process-wide cache (detect/table_cache.hpp)
+  /// keys on.
+  friend bool operator==(const ChangePointConfig&,
+                         const ChangePointConfig&) = default;
 };
 
 /// The maximum of ln P over candidate change positions for one window of

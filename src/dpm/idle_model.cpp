@@ -1,10 +1,27 @@
 #include "dpm/idle_model.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 
 #include "common/check.hpp"
 
 namespace dvs::dpm {
+
+namespace {
+
+// Cache keys embed parameter bit patterns, not decimal renderings, so two
+// distributions share solves only when they are numerically identical.
+std::string param_bits(const char* tag, double a, double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s(%016llx,%016llx)", tag,
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(a)),
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(b)));
+  return buf;
+}
+
+}  // namespace
 
 // ---- ExponentialIdle --------------------------------------------------------
 
@@ -29,6 +46,10 @@ Seconds ExponentialIdle::mean_truncated(Seconds t) const {
 
 Seconds ExponentialIdle::sample(Rng& rng) const {
   return Seconds{rng.exponential(rate_)};
+}
+
+std::string ExponentialIdle::cache_key() const {
+  return param_bits("exp", rate_, 0.0);
 }
 
 // ---- ParetoIdle -------------------------------------------------------------
@@ -67,6 +88,10 @@ Seconds ParetoIdle::mean_truncated(Seconds t) const {
 
 Seconds ParetoIdle::sample(Rng& rng) const {
   return Seconds{rng.pareto(shape_, scale_.value())};
+}
+
+std::string ParetoIdle::cache_key() const {
+  return param_bits("pareto", shape_, scale_.value());
 }
 
 }  // namespace dvs::dpm

@@ -34,6 +34,13 @@ class IdleDistribution {
   [[nodiscard]] virtual Seconds sample(Rng& rng) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Value identity for the process-wide solve cache (dpm/solve_cache.hpp):
+  /// two distributions with the same non-empty key must be analytically
+  /// interchangeable (identical survival/mean/mean_excess/mean_truncated).
+  /// The default opts out — an empty key means solves against this
+  /// distribution are never cached, which is always correct.
+  [[nodiscard]] virtual std::string cache_key() const { return {}; }
+
   /// Conditional mean residual life E[T - t | T > t] = mean_excess(t)/S(t).
   /// For heavy tails this *grows* with t — the longer the system has been
   /// idle, the longer it should expect to stay idle, which is exactly the
@@ -59,6 +66,7 @@ class ExponentialIdle final : public IdleDistribution {
   [[nodiscard]] Seconds mean_truncated(Seconds t) const override;
   [[nodiscard]] Seconds sample(Rng& rng) const override;
   [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] std::string cache_key() const override;
 
  private:
   double rate_;
@@ -76,6 +84,7 @@ class ParetoIdle final : public IdleDistribution {
   [[nodiscard]] Seconds mean_truncated(Seconds t) const override;
   [[nodiscard]] Seconds sample(Rng& rng) const override;
   [[nodiscard]] std::string name() const override { return "pareto"; }
+  [[nodiscard]] std::string cache_key() const override;
 
   [[nodiscard]] double shape() const { return shape_; }
   [[nodiscard]] Seconds scale() const { return scale_; }

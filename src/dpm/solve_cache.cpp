@@ -1,0 +1,256 @@
+#include "dpm/solve_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::dpm {
+
+// ---- the direct plan search (moved from TismdpPolicy's constructor) -----------
+
+TismdpMixSolution solve_tismdp_mix(const DpmCostModel& costs,
+                                   const IdleDistribution& idle,
+                                   Seconds max_expected_delay) {
+  const Seconds horizon = std::max(Seconds{60.0}, idle.mean() * 10.0);
+
+  // Optimize expected energy subject to E[delay] <= constraint over the
+  // time-indexed plan class.  Track the best feasible plan and the best
+  // unconstrained plan; when the unconstrained optimum is infeasible the
+  // TISMDP optimum randomizes between the two so the constraint binds with
+  // equality (the standard structure of constrained-MDP optima).
+  double best_feasible = std::numeric_limits<double>::infinity();
+  double best_any = std::numeric_limits<double>::infinity();
+  SleepPlan feasible;
+  SleepPlan any;
+  PlanEvaluation feasible_ev;
+  PlanEvaluation any_ev;
+  for (const SleepPlan& p : candidate_plans(costs, horizon)) {
+    const PlanEvaluation ev = evaluate_plan(p, costs, idle);
+    if (ev.expected_energy.value() < best_any) {
+      best_any = ev.expected_energy.value();
+      any = p;
+      any_ev = ev;
+    }
+    if (ev.expected_delay <= max_expected_delay &&
+        ev.expected_energy.value() < best_feasible) {
+      best_feasible = ev.expected_energy.value();
+      feasible = p;
+      feasible_ev = ev;
+    }
+  }
+
+  TismdpMixSolution out;
+  if (any_ev.expected_delay <= max_expected_delay) {
+    // Unconstrained optimum already feasible: deterministic policy.
+    out.primary = any;
+    out.secondary = std::move(any);
+    out.mix_p = 1.0;
+    return out;
+  }
+  DVS_CHECK_MSG(std::isfinite(best_feasible),
+                "TismdpPolicy: no feasible plan (constraint too tight)");
+  out.primary = std::move(feasible);  // meets the constraint
+  out.secondary = std::move(any);     // cheaper but too slow
+  // Mix p * feasible + (1-p) * any so the expected delay equals the bound.
+  const double d_f = feasible_ev.expected_delay.value();
+  const double d_a = any_ev.expected_delay.value();
+  if (d_a > d_f) {
+    out.mix_p = std::clamp(
+        (d_a - max_expected_delay.value()) / (d_a - d_f), 0.0, 1.0);
+  } else {
+    out.mix_p = 1.0;
+  }
+  return out;
+}
+
+// ---- key construction ---------------------------------------------------------
+
+namespace {
+
+// Keys use the exact bit pattern of every double: two solves share a
+// result only when their inputs are bit-for-bit identical.
+void append_u64(std::string& key, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx.",
+                static_cast<unsigned long long>(v));
+  key += buf;
+}
+
+void append_double(std::string& key, double v) {
+  append_u64(key, std::bit_cast<std::uint64_t>(v));
+}
+
+void append_costs(std::string& key, const DpmCostModel& costs) {
+  append_double(key, costs.idle_power.value());
+  append_double(key, costs.active_power.value());
+  append_u64(key, costs.options.size());
+  for (const SleepOption& opt : costs.options) {
+    append_u64(key, static_cast<std::uint64_t>(opt.state));
+    append_double(key, opt.power.value());
+    append_double(key, opt.wakeup_latency.value());
+    append_double(key, opt.wakeup_energy.value());
+  }
+}
+
+// `kind` separates the mix-search and DP-solver namespaces so their keys
+// can never collide.
+std::string solve_key(char kind, const DpmCostModel& costs,
+                      const std::string& idle_key, Seconds max_delay) {
+  std::string key;
+  key.reserve(32 + 4 * 17 * (2 + costs.options.size()) + idle_key.size());
+  key += kind;
+  key += '.';
+  append_costs(key, costs);
+  append_double(key, max_delay.value());
+  key += idle_key;
+  return key;
+}
+
+template <typename T>
+struct Entry {
+  std::once_flag once;
+  std::shared_ptr<const T> value;
+};
+
+// One registry per cached value type; both report into the same stats so
+// the tests (and users) see a single solve-cache picture.
+struct Stats {
+  std::mutex mu;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+Stats& stats() {
+  static Stats s;
+  return s;
+}
+
+template <typename T>
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<Entry<T>>> entries;
+};
+
+template <typename T>
+Registry<T>& registry() {
+  static Registry<T> r;  // leaked-on-exit by design
+  return r;
+}
+
+void count(bool hit) {
+  Stats& s = stats();
+  std::lock_guard<std::mutex> lock{s.mu};
+  ++(hit ? s.hits : s.misses);
+}
+
+template <typename T, typename Solve>
+std::shared_ptr<const T> memoized(const std::string& key, Solve&& solve) {
+  Registry<T>& reg = registry<T>();
+  std::shared_ptr<Entry<T>> entry;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock{reg.mu};
+    std::shared_ptr<Entry<T>>& slot = reg.entries[key];
+    if (!slot) {
+      slot = std::make_shared<Entry<T>>();
+    } else {
+      hit = true;
+    }
+    entry = slot;
+  }
+  count(hit);
+  std::call_once(entry->once, [&] {
+    entry->value = std::make_shared<const T>(solve());
+  });
+  return entry->value;
+}
+
+}  // namespace
+
+// ---- public cached entry points -----------------------------------------------
+
+std::shared_ptr<const TismdpMixSolution> cached_tismdp_mix(
+    const DpmCostModel& costs, const IdleDistributionPtr& idle,
+    Seconds max_expected_delay) {
+  DVS_CHECK_MSG(idle != nullptr, "cached_tismdp_mix: null idle distribution");
+  const std::string idle_key = idle->cache_key();
+  if (idle_key.empty()) {
+    count(false);
+    return std::make_shared<const TismdpMixSolution>(
+        solve_tismdp_mix(costs, *idle, max_expected_delay));
+  }
+  return memoized<TismdpMixSolution>(
+      solve_key('m', costs, idle_key, max_expected_delay),
+      [&] { return solve_tismdp_mix(costs, *idle, max_expected_delay); });
+}
+
+std::shared_ptr<const TismdpSolver::ConstrainedSolution>
+cached_tismdp_solution(const DpmCostModel& costs,
+                       const IdleDistributionPtr& idle,
+                       Seconds max_expected_delay,
+                       const TismdpSolverConfig& cfg) {
+  DVS_CHECK_MSG(idle != nullptr,
+                "cached_tismdp_solution: null idle distribution");
+  const std::string idle_key = idle->cache_key();
+  const auto solve = [&] {
+    return TismdpSolver{costs, idle, cfg}.solve(max_expected_delay);
+  };
+  if (idle_key.empty()) {
+    count(false);
+    return std::make_shared<const TismdpSolver::ConstrainedSolution>(solve());
+  }
+  std::string key = solve_key('d', costs, idle_key, max_expected_delay);
+  append_u64(key, cfg.bins);
+  append_double(key, cfg.bin_min.value());
+  append_double(key, cfg.horizon.value());
+  append_u64(key, cfg.bisect_iters);
+  return memoized<TismdpSolver::ConstrainedSolution>(key, solve);
+}
+
+SolveCacheStats tismdp_solve_cache_stats() {
+  SolveCacheStats out;
+  {
+    Stats& s = stats();
+    std::lock_guard<std::mutex> lock{s.mu};
+    out.hits = s.hits;
+    out.misses = s.misses;
+  }
+  {
+    auto& r = registry<TismdpMixSolution>();
+    std::lock_guard<std::mutex> lock{r.mu};
+    out.entries += r.entries.size();
+  }
+  {
+    auto& r = registry<TismdpSolver::ConstrainedSolution>();
+    std::lock_guard<std::mutex> lock{r.mu};
+    out.entries += r.entries.size();
+  }
+  return out;
+}
+
+void clear_tismdp_solve_cache() {
+  {
+    auto& r = registry<TismdpMixSolution>();
+    std::lock_guard<std::mutex> lock{r.mu};
+    r.entries.clear();
+  }
+  {
+    auto& r = registry<TismdpSolver::ConstrainedSolution>();
+    std::lock_guard<std::mutex> lock{r.mu};
+    r.entries.clear();
+  }
+  Stats& s = stats();
+  std::lock_guard<std::mutex> lock{s.mu};
+  s.hits = 0;
+  s.misses = 0;
+}
+
+}  // namespace dvs::dpm

@@ -4,8 +4,10 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/check.hpp"
+#include "dpm/solve_cache.hpp"
 
 namespace dvs::dpm {
 namespace {
@@ -229,8 +231,7 @@ SolverTismdpPolicy::SolverTismdpPolicy(DpmCostModel costs,
                                        IdleDistributionPtr idle,
                                        Seconds max_expected_delay,
                                        TismdpSolverConfig cfg)
-    : solution_(TismdpSolver{std::move(costs), std::move(idle), cfg}.solve(
-          max_expected_delay)),
+    : solution_(*cached_tismdp_solution(costs, idle, max_expected_delay, cfg)),
       plan_meets_(solution_.meets_bound.to_plan()),
       plan_cheaper_(solution_.cheaper.to_plan()) {}
 

@@ -8,18 +8,47 @@ namespace dvs::sim {
 namespace {
 // Below this many tombstones compaction is not worth the heap rebuild.
 constexpr std::size_t kCompactionFloor = 64;
+// Typical engine sessions keep tens of events in flight; pre-sizing to the
+// compaction floor makes the steady state reallocation-free.
+constexpr std::size_t kInitialCapacity = kCompactionFloor;
 }  // namespace
+
+Simulator::Simulator() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+}
+
+std::uint32_t Simulator::claim_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  DVS_CHECK_MSG(slots_.size() < kNoSlot, "event slot pool exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;  // invalidates every outstanding handle/heap entry for the slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
 
 EventId Simulator::schedule_impl(double at, Callback fn) {
   DVS_CHECK_MSG(at >= now_.value(), "cannot schedule into the past");
   DVS_CHECK_MSG(static_cast<bool>(fn), "null event callback");
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Scheduled{at, next_seq_++, id});
+  const std::uint32_t slot = claim_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  ++live_;
+  heap_.push_back(Scheduled{at, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  callbacks_.emplace(id, std::move(fn));
   ++stats_.scheduled;
   stats_.max_heap_size = std::max(stats_.max_heap_size, heap_.size());
-  return EventId{id};
+  return pack(slot, s.gen);
 }
 
 EventId Simulator::schedule_at(Seconds at, Callback fn) {
@@ -32,7 +61,10 @@ EventId Simulator::schedule_in(Seconds delay, Callback fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (callbacks_.erase(id.value) == 0) return false;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size() || slots_[slot].gen != gen_of(id)) return false;
+  slots_[slot].fn = Callback{};  // drop captures eagerly
+  release_slot(slot);
   ++tombstones_;
   ++stats_.cancelled;
   maybe_compact();
@@ -43,10 +75,8 @@ void Simulator::maybe_compact() {
   // Lazy compaction: rebuild only when tombstones dominate, so the
   // amortized cost per cancel stays O(log n) while the heap stays within a
   // constant factor of the live event count.
-  if (tombstones_ < kCompactionFloor || tombstones_ <= callbacks_.size()) return;
-  std::erase_if(heap_, [this](const Scheduled& s) {
-    return !callbacks_.contains(s.id);
-  });
+  if (tombstones_ < kCompactionFloor || tombstones_ <= live_) return;
+  std::erase_if(heap_, [this](const Scheduled& s) { return !live_entry(s); });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
   stats_.tombstones_purged += tombstones_;
   tombstones_ = 0;
@@ -54,10 +84,9 @@ void Simulator::maybe_compact() {
 }
 
 bool Simulator::pending(EventId id) const {
-  return callbacks_.contains(id.value);
+  const std::uint32_t slot = slot_of(id);
+  return slot < slots_.size() && slots_[slot].gen == gen_of(id);
 }
-
-std::size_t Simulator::pending_count() const { return callbacks_.size(); }
 
 void Simulator::pop_heap_top() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -65,7 +94,7 @@ void Simulator::pop_heap_top() {
 }
 
 void Simulator::skip_tombstones() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+  while (!heap_.empty() && !live_entry(heap_.front())) {
     pop_heap_top();
     DVS_CHECK(tombstones_ > 0);
     --tombstones_;
@@ -77,10 +106,10 @@ void Simulator::execute_next() {
   // Precondition: heap has a live head.
   const Scheduled top = heap_.front();
   pop_heap_top();
-  auto it = callbacks_.find(top.id);
-  DVS_CHECK(it != callbacks_.end());
-  Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  Slot& s = slots_[top.slot];
+  DVS_CHECK(s.gen == top.gen);
+  Callback fn = std::move(s.fn);
+  release_slot(top.slot);  // before fn() so the callback can re-schedule
   now_ = Seconds{top.at};
   ++stats_.executed;
   fn();

@@ -6,25 +6,29 @@
 // deterministic.  Events are cancellable (a DPM policy cancels its pending
 // sleep transition when a request arrives).
 //
-// Cancelled events stay in the heap as tombstones until popped — but the
-// heap compacts lazily whenever tombstones outnumber live callbacks, so a
-// cancel-heavy workload (a DPM policy cancelling a pending sleep on every
-// arrival) keeps the heap within a constant factor of the live event count
-// instead of growing without bound.
+// Storage is allocation-lean: callbacks live in a generation-checked slot
+// pool (recycled LIFO, so steady state touches the same few cache lines),
+// an EventId packs (slot, generation) so stale handles are rejected in
+// O(1), and the callback type keeps typical captures inline (see
+// event_fn.hpp).  Cancelled events stay in the heap as tombstones until
+// popped — but the heap compacts lazily whenever tombstones outnumber live
+// events, so a cancel-heavy workload (a DPM policy cancelling a pending
+// sleep on every arrival) keeps the heap within a constant factor of the
+// live event count instead of growing without bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
 
 namespace dvs::sim {
 
 /// Opaque handle to a scheduled event; valid until the event fires or is
-/// cancelled.
+/// cancelled.  Packs (slot, generation) so reuse of storage never aliases
+/// a stale handle.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -45,9 +49,9 @@ struct SimulatorStats {
 /// Event-driven simulator with a monotonically advancing clock.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -69,7 +73,7 @@ class Simulator {
   [[nodiscard]] bool pending(EventId id) const;
 
   /// Number of events waiting to fire.
-  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
 
   /// Runs a single event.  Returns false if the queue is empty.
   bool step();
@@ -100,7 +104,8 @@ class Simulator {
   struct Scheduled {
     double at;
     std::uint64_t seq;   // FIFO among equal timestamps
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Ordering for a min-heap via std::greater.
     friend bool operator>(const Scheduled& a, const Scheduled& b) {
       if (a.at != b.at) return a.at > b.at;
@@ -108,23 +113,52 @@ class Simulator {
     }
   };
 
+  /// Pool slot: the callback of the occupying event plus the generation
+  /// that validates EventIds and heap entries against slot reuse.  The
+  /// generation bumps on every release (fire or cancel), so a heap entry
+  /// or handle whose generation mismatches is dead.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) |
+                   (static_cast<std::uint64_t>(slot) + 1)};
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value & 0xffffffffu) - 1;
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value >> 32);
+  }
+
+  /// True when the heap entry still refers to the live occupant of its slot.
+  [[nodiscard]] bool live_entry(const Scheduled& s) const {
+    return slots_[s.slot].gen == s.gen;
+  }
+
   EventId schedule_impl(double at, Callback fn);
+  std::uint32_t claim_slot();
+  void release_slot(std::uint32_t slot);
   void execute_next();
   void pop_heap_top();
   void skip_tombstones();
   void maybe_compact();
 
   Seconds now_{0.0};
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   bool stop_requested_ = false;
   // Min-heap over (at, seq) maintained with std::push_heap/pop_heap so the
   // storage is reachable for compaction.
   std::vector<Scheduled> heap_;
-  std::size_t tombstones_ = 0;  ///< heap entries whose callback was cancelled
-  // Callbacks for live events; cancelled events stay in the heap as
-  // tombstones (absent from this map) and are skipped when popped.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t tombstones_ = 0;  ///< heap entries whose event was cancelled
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;  ///< slots currently holding a pending event
   SimulatorStats stats_;
 };
 

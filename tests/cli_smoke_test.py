@@ -188,6 +188,92 @@ def main():
     if proc.returncode == 0:
         fail("--faults no-such-fault unexpectedly succeeded")
 
+    # ---- subcommand spellings (`dvs_sim run|sweep|list`) -------------------
+
+    # `list scenarios` / `list faults` match the legacy listing flags.
+    proc = subprocess.run([binary, "list", "scenarios"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"`list scenarios` exit code {proc.returncode}\n{proc.stderr}")
+    for name in ("table3", "table5", "quick"):
+        if name not in proc.stdout:
+            fail(f"`list scenarios` output missing {name!r}:\n{proc.stdout}")
+    proc = subprocess.run([binary, "list", "faults"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"`list faults` exit code {proc.returncode}\n{proc.stderr}")
+    for name in ("none", "spike10x", "wakeup-flaky", "chaos"):
+        if name not in proc.stdout:
+            fail(f"`list faults` output missing {name!r}:\n{proc.stdout}")
+    # Bare `list` prints both tables.
+    proc = subprocess.run([binary, "list"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0 or "table3" not in proc.stdout \
+            or "spike10x" not in proc.stdout:
+        fail(f"bare `list` did not print both tables:\n{proc.stdout}")
+
+    # `run` matches the legacy flag-only single run bit for bit on stdout.
+    run_cmd = ["--media", "mp3", "--sequence", "A", "--seconds", "30",
+               "--detector", "change-point", "--dpm", "tismdp",
+               "--metrics-json", "-"]
+    new = subprocess.run([binary, "run"] + run_cmd,
+                         capture_output=True, text=True, timeout=600)
+    old = subprocess.run([binary] + run_cmd,
+                         capture_output=True, text=True, timeout=600)
+    if new.returncode != 0:
+        fail(f"`run` exit code {new.returncode}\n{new.stderr}")
+    if old.returncode != 0:
+        fail(f"legacy flag-only run exit code {old.returncode}\n{old.stderr}")
+    def drop_wall(text):
+        doc = json.loads(text)
+        doc["gauges"] = {k: v for k, v in doc["gauges"].items()
+                         if not k.startswith("wall.")}
+        return doc
+    if drop_wall(new.stdout) != drop_wall(old.stdout):
+        fail("`dvs_sim run` and legacy flag spelling disagree on metrics JSON")
+    if "deprecated" not in old.stderr:
+        fail("legacy flag-only invocation did not print a deprecation note")
+    if "deprecated" in new.stderr:
+        fail("`dvs_sim run` wrongly printed the deprecation note")
+
+    # `sweep <name>` takes the scenario as a positional operand and produces
+    # the same CSVs as the legacy --scenario spelling.
+    with tempfile.TemporaryDirectory() as tmp:
+        new_base = os.path.join(tmp, "new")
+        old_base = os.path.join(tmp, "old")
+        proc = subprocess.run(
+            [binary, "sweep", "quick", "--jobs", "2", "--sweep-csv", new_base],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"`sweep quick` exit code {proc.returncode}\n{proc.stderr}")
+        proc = subprocess.run(
+            [binary, "--scenario", "quick", "--jobs", "2",
+             "--sweep-csv", old_base],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"legacy --scenario exit code {proc.returncode}\n{proc.stderr}")
+        for suffix in ("_cells.csv", "_points.csv"):
+            with open(new_base + suffix) as f:
+                new_csv = f.read()
+            with open(old_base + suffix) as f:
+                old_csv = f.read()
+            if new_csv != old_csv:
+                fail(f"`sweep quick` and --scenario quick disagree on {suffix}")
+
+    # Bad subcommand surface: unknown commands and a missing scenario fail.
+    proc = subprocess.run([binary, "frobnicate"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("unknown subcommand unexpectedly succeeded")
+    proc = subprocess.run([binary, "sweep"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("`sweep` with no scenario unexpectedly succeeded")
+    proc = subprocess.run([binary, "sweep", "no-such"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("`sweep no-such` unexpectedly succeeded")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

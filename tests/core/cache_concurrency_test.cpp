@@ -1,0 +1,93 @@
+// Concurrent first use of the process-wide asset caches (threshold tables,
+// TISMDP solves): every thread gets the same shared instance and the
+// expensive computation runs exactly once.  Runs under TSan in CI with the
+// rest of the SweepThreadSafety suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "detect/table_cache.hpp"
+#include "dpm/cost_model.hpp"
+#include "dpm/solve_cache.hpp"
+#include "hw/smartbadge.hpp"
+
+namespace dvs::core {
+namespace {
+
+TEST(SweepThreadSafety, ConcurrentTableFirstUseCharacterizesOnce) {
+  detect::clear_threshold_table_cache();
+  detect::ChangePointConfig cfg;
+  cfg.mc_windows = 400;
+
+  std::vector<std::shared_ptr<const detect::ThresholdTable>> results(8);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = detect::shared_threshold_table(cfg); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results.front().get());
+  }
+  const detect::TableCacheStats stats = detect::threshold_table_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, results.size() - 1);
+}
+
+TEST(SweepThreadSafety, ConcurrentSolveFirstUseSolvesOnce) {
+  dpm::clear_tismdp_solve_cache();
+  const hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+  const dpm::IdleDistributionPtr idle =
+      std::make_shared<dpm::ParetoIdle>(2.2, Seconds{0.5});
+
+  std::vector<std::shared_ptr<const dpm::TismdpMixSolution>> results(8);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = dpm::cached_tismdp_mix(costs, idle, Seconds{0.5});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results.front().get());
+  }
+  const dpm::SolveCacheStats stats = dpm::tismdp_solve_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, results.size() - 1);
+}
+
+TEST(SweepThreadSafety, DistinctConfigsCharacterizeInParallelWithoutRaces) {
+  detect::clear_threshold_table_cache();
+  std::vector<std::shared_ptr<const detect::ThresholdTable>> results(4);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      detect::ChangePointConfig cfg;
+      cfg.mc_windows = 300 + 50 * i;  // four distinct cache keys
+      results[i] = detect::shared_threshold_table(cfg);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      EXPECT_NE(results[i].get(), results[j].get());
+    }
+  }
+  EXPECT_EQ(detect::threshold_table_cache_stats().entries, results.size());
+}
+
+}  // namespace
+}  // namespace dvs::core

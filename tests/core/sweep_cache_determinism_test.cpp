@@ -1,0 +1,81 @@
+// Determinism of the sweep substrate against the process-wide asset caches:
+// a cold-cache run, a warm-cache run, and a parallel warm run must produce
+// byte-identical CSV artifacts.  Results may never depend on whether a
+// threshold table or TISMDP solve came from the cache.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+#include "detect/table_cache.hpp"
+#include "dpm/solve_cache.hpp"
+
+namespace dvs::core {
+namespace {
+
+ScenarioSpec cached_spec() {
+  ScenarioSpec s;
+  s.name = "cache-determinism";
+  s.workloads = {WorkloadSpec::mp3("A")};
+  s.detectors = {DetectorKind::ChangePoint};
+  DpmSpec tismdp;
+  tismdp.kind = DpmKind::Tismdp;
+  tismdp.max_delay = Seconds{0.5};
+  s.dpm = {DpmSpec{}, tismdp};  // exercises the solve cache too
+  s.replicates = 2;
+  s.base_seed = 23;
+  s.detector_cfg.change_point.mc_windows = 400;
+  return s;
+}
+
+std::string run_and_dump_csvs(const ScenarioSpec& spec, int jobs,
+                              const std::string& tag) {
+  SweepOptions opts;
+  opts.jobs = jobs;
+  const SweepResult res = SweepRunner{opts}.run(spec);
+
+  const std::string base = testing::TempDir() + "sweep_cache_" + tag;
+  {
+    CsvWriter cells{base + "_cells.csv"};
+    res.write_cells_csv(cells);
+    CsvWriter points{base + "_points.csv"};
+    res.write_points_csv(points);
+  }
+  std::ostringstream bytes;
+  for (const char* suffix : {"_cells.csv", "_points.csv"}) {
+    std::ifstream in{base + suffix, std::ios::binary};
+    bytes << in.rdbuf() << '\0';
+  }
+  return bytes.str();
+}
+
+TEST(SweepRunner, CachedAndUncachedRunsProduceIdenticalCsvBytes) {
+  const ScenarioSpec spec = cached_spec();
+
+  detect::clear_threshold_table_cache();
+  dpm::clear_tismdp_solve_cache();
+  const std::string cold = run_and_dump_csvs(spec, 1, "cold");
+
+  // Second run hits the populated caches for every table and solve.
+  EXPECT_GT(detect::threshold_table_cache_stats().entries, 0u);
+  const std::string warm = run_and_dump_csvs(spec, 1, "warm");
+  EXPECT_GT(detect::threshold_table_cache_stats().hits, 0u);
+  EXPECT_EQ(cold, warm);
+}
+
+TEST(SweepRunner, ParallelJobsProduceIdenticalCsvBytesWithCacheEnabled) {
+  const ScenarioSpec spec = cached_spec();
+
+  detect::clear_threshold_table_cache();
+  dpm::clear_tismdp_solve_cache();
+  const std::string serial = run_and_dump_csvs(spec, 1, "serial");
+  const std::string parallel = run_and_dump_csvs(spec, 4, "parallel");
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,114 @@
+#include "cli_common.hpp"
+
+#include <cstdlib>
+#include <optional>
+
+namespace dvs::cli {
+
+void usage(const char* msg) {
+  std::fprintf(stderr,
+               "dvs_sim: %s\n"
+               "usage: dvs_sim run|sweep|list [options] "
+               "(see the header of tools/dvs_sim_cli.cpp)\n",
+               msg);
+  std::exit(2);
+}
+
+CliOptions parse_flags(int argc, char** argv, int first) {
+  CliOptions o;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--media") { o.media = need(i); ++i; }
+    else if (a == "--sequence") { o.sequence = need(i); ++i; }
+    else if (a == "--clip") { o.clip = need(i); ++i; }
+    else if (a == "--seconds") { o.seconds_limit = std::stod(need(i)); ++i; }
+    else if (a == "--session") { o.session = true; }
+    else if (a == "--cycles") { o.cycles = std::stoi(need(i)); ++i; }
+    else if (a == "--detector") { o.detector = need(i); ++i; }
+    else if (a == "--ema-gain") { o.ema_gain = std::stod(need(i)); ++i; }
+    else if (a == "--delay") { o.delay = std::stod(need(i)); ++i; }
+    else if (a == "--cv2") { o.cv2 = std::stod(need(i)); ++i; }
+    else if (a == "--dpm") { o.dpm = need(i); ++i; }
+    else if (a == "--dpm-delay") { o.dpm_delay = std::stod(need(i)); ++i; }
+    else if (a == "--seed") { o.seed = std::stoull(need(i)); o.seed_set = true; ++i; }
+    else if (a == "--scenario") { o.scenario = need(i); ++i; }
+    else if (a == "--list-scenarios") { o.list_scenarios = true; }
+    else if (a == "--faults") { o.faults = need(i); ++i; }
+    else if (a == "--list-faults") { o.list_faults = true; }
+    else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
+    else if (a == "--replicates") { o.replicates = std::stoi(need(i)); ++i; }
+    else if (a == "--sweep-csv") { o.sweep_csv = need(i); ++i; }
+    else if (a == "--save-trace") { o.save_trace = need(i); ++i; }
+    else if (a == "--load-trace") { o.load_trace = need(i); ++i; }
+    else if (a == "--power-csv") { o.power_csv = need(i); ++i; }
+    else if (a == "--trace-jsonl") { o.trace_jsonl = need(i); ++i; }
+    else if (a == "--trace-csv") { o.trace_csv = need(i); ++i; }
+    else if (a == "--chrome-trace") { o.chrome_trace = need(i); ++i; }
+    else if (a == "--metrics-json") { o.metrics_json = need(i); ++i; }
+    else if (a == "--help" || a == "-h") { usage("help requested"); }
+    else { usage(("unknown option " + a).c_str()); }
+  }
+  return o;
+}
+
+core::DetectorKind detector_kind(const std::string& name) {
+  if (name == "ideal") return core::DetectorKind::Ideal;
+  if (name == "change-point" || name == "cp") return core::DetectorKind::ChangePoint;
+  if (name == "ema" || name == "exp-average") return core::DetectorKind::ExpAverage;
+  if (name == "max") return core::DetectorKind::Max;
+  if (name == "sliding-window") return core::DetectorKind::SlidingWindow;
+  usage(("unknown detector " + name).c_str());
+}
+
+dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
+                           const dpm::IdleDistributionPtr& idle) {
+  const std::optional<core::DpmKind> kind = core::dpm_kind_from_string(o.dpm);
+  if (!kind) usage(("unknown dpm policy " + o.dpm).c_str());
+  core::DpmSpec spec;
+  spec.kind = *kind;
+  spec.max_delay = seconds(o.dpm_delay);
+  return core::make_dpm_policy(spec, costs, idle);
+}
+
+std::vector<fault::FaultSpec> resolve_faults(const std::string& csv) {
+  try {
+    return fault::parse_fault_list(csv);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+}
+
+void print_metrics(std::FILE* out, const core::Metrics& m) {
+  std::fprintf(out, "duration            %10.1f s\n", m.duration.value());
+  std::fprintf(out, "energy              %10.1f J  (%.3f kJ)\n",
+               m.total_energy.value(), m.energy_kj());
+  std::fprintf(out, "  cpu+memory        %10.1f J\n", m.cpu_memory_energy().value());
+  std::fprintf(out, "average power       %10.1f mW\n", m.average_power.value());
+  std::fprintf(out, "frames              %10llu arrived, %llu decoded, %llu dropped\n",
+               static_cast<unsigned long long>(m.frames_arrived),
+               static_cast<unsigned long long>(m.frames_decoded),
+               static_cast<unsigned long long>(m.frames_dropped));
+  std::fprintf(out, "mean frame delay    %10.3f s  (max %.3f)\n",
+               m.mean_frame_delay.value(), m.max_frame_delay.value());
+  std::fprintf(out, "mean buffered       %10.2f frames\n", m.mean_buffered_frames);
+  std::fprintf(out, "mean cpu frequency  %10.1f MHz  (%d switches)\n",
+               m.mean_cpu_frequency.value(), m.cpu_switches);
+  std::fprintf(out, "dpm                 %10d idle periods, %d sleeps, %d wakeups,"
+               " %.2f s wakeup delay\n",
+               m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
+               m.dpm_total_wakeup_delay.value());
+  if (m.faults_injected != 0 || m.watchdog_escalations != 0 ||
+      m.watchdog_recoveries != 0) {
+    std::fprintf(out, "faults              %10llu injected; watchdog:"
+                 " %d escalations, %d recoveries, %.1f s degraded\n",
+                 static_cast<unsigned long long>(m.faults_injected),
+                 m.watchdog_escalations, m.watchdog_recoveries,
+                 m.time_in_degraded.value());
+  }
+}
+
+}  // namespace dvs::cli

@@ -1,0 +1,80 @@
+// Shared option surface of the dvs_sim subcommands.
+//
+// One flag vocabulary serves every subcommand (run, sweep, list) plus the
+// legacy no-subcommand spelling, so `dvs_sim run --media mp3` and the
+// deprecated `dvs_sim --media mp3` parse identically.  Subcommand
+// entry points live in cmd_run.cpp / cmd_sweep.cpp / cmd_list.cpp; the
+// dispatcher is tools/dvs_sim_cli.cpp.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace dvs::cli {
+
+struct CliOptions {
+  std::string media = "mp3";
+  std::string sequence = "ACEFBD";
+  std::string clip = "football";
+  double seconds_limit = 0.0;
+  bool session = false;
+  int cycles = 4;
+  std::string detector = "change-point";
+  double ema_gain = 0.03;
+  double delay = 0.0;  // 0 = per-media default
+  double cv2 = 1.0;
+  std::string dpm = "none";
+  double dpm_delay = 0.5;
+  std::uint64_t seed = 1;
+  bool seed_set = false;
+  std::string scenario;
+  bool list_scenarios = false;
+  std::string faults;
+  bool list_faults = false;
+  int jobs = 1;
+  int replicates = 0;  // 0 = scenario default
+  std::string sweep_csv;
+  std::string save_trace;
+  std::string load_trace;
+  std::string power_csv;
+  std::string trace_jsonl;
+  std::string trace_csv;
+  std::string chrome_trace;
+  std::string metrics_json;
+};
+
+/// Prints `msg` and exits 2 (the CLI's usage-error code).
+[[noreturn]] void usage(const char* msg);
+
+/// Parses the shared flag vocabulary starting at argv[first]; exits via
+/// usage() on unknown flags or missing values.
+CliOptions parse_flags(int argc, char** argv, int first);
+
+core::DetectorKind detector_kind(const std::string& name);
+
+dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
+                           const dpm::IdleDistributionPtr& idle);
+
+/// Resolves --faults into specs; exits with usage() on unknown names.
+std::vector<fault::FaultSpec> resolve_faults(const std::string& csv);
+
+void print_metrics(std::FILE* out, const core::Metrics& m);
+
+// ---- subcommand entry points --------------------------------------------------
+
+/// `dvs_sim run`: one engine session (single trace or mixed session).
+int cmd_run(const CliOptions& o);
+
+/// `dvs_sim sweep`: a scenario grid through the SweepRunner.
+int cmd_sweep(const CliOptions& o);
+
+int cmd_list_scenarios();
+int cmd_list_faults();
+
+}  // namespace dvs::cli

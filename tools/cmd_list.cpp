@@ -1,0 +1,36 @@
+// `dvs_sim list`: enumerate the built-in scenario grids and fault specs.
+#include <cstdio>
+
+#include "cli_common.hpp"
+#include "common/table.hpp"
+#include "core/scenario.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace dvs::cli {
+
+int cmd_list_scenarios() {
+  TextTable t;
+  t.set_header({"Scenario", "Cells", "Points", "Title"});
+  for (const core::ScenarioSpec& s : core::builtin_scenarios()) {
+    t.add_row({s.name, std::to_string(s.num_cells()),
+               std::to_string(s.num_points()), s.title});
+  }
+  t.print();
+  std::printf("\nrun one with: dvs_sim sweep <name> [--jobs N]"
+              " [--replicates R] [--faults spec[,spec]] [--sweep-csv base]\n");
+  return 0;
+}
+
+int cmd_list_faults() {
+  TextTable t;
+  t.set_header({"Fault", "Description"});
+  for (const fault::FaultSpec& f : fault::builtin_faults()) {
+    t.add_row({f.name, f.description});
+  }
+  t.print();
+  std::printf("\ninject with: dvs_sim run|sweep ... --faults"
+              " spec[,spec,...]\n");
+  return 0;
+}
+
+}  // namespace dvs::cli

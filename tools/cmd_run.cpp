@@ -1,0 +1,185 @@
+// `dvs_sim run`: one engine session over a single trace or a mixed
+// audio/video/idle session, with optional fault injection and trace sinks.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "common/csv.hpp"
+#include "core/sweep.hpp"
+#include "fault/trace_transforms.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace_recorder.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+namespace dvs::cli {
+
+int cmd_run(const CliOptions& o) {
+  const hw::Sa1100 cpu;
+
+  // Metrics to stdout move the human-readable report to stderr so the JSON
+  // stays machine-parseable.
+  const bool json_to_stdout = o.metrics_json == "-";
+  std::FILE* hout = json_to_stdout ? stderr : stdout;
+
+  core::DetectorFactoryConfig detector_cfg;
+  detector_cfg.ema_gain = o.ema_gain;
+  if (detector_kind(o.detector) == core::DetectorKind::ChangePoint) {
+    detector_cfg.prepare();
+  }
+
+  obs::TraceRecorder recorder;
+  try {
+    if (!o.trace_jsonl.empty()) {
+      recorder.add_sink(std::make_unique<obs::JsonlSink>(o.trace_jsonl));
+    }
+    if (!o.trace_csv.empty()) {
+      recorder.add_sink(std::make_unique<obs::CsvTimelineSink>(o.trace_csv));
+    }
+    if (!o.chrome_trace.empty()) {
+      recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(o.chrome_trace));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvs_sim: %s\n", e.what());
+    return 2;
+  }
+  obs::MetricsRegistry registry;
+
+  core::RunOptions opts;
+  opts.detector = detector_kind(o.detector);
+  opts.detector_cfg = &detector_cfg;
+  opts.service_cv2 = o.cv2;
+  opts.seed = o.seed;
+  if (recorder.active()) opts.trace = &recorder;
+  if (!o.metrics_json.empty()) opts.metrics = &registry;
+  if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
+
+  // Single-run fault injection: all named specs' workload perturbations
+  // apply in order; the first spec supplies the watchdog and hardware plan.
+  std::vector<fault::TraceFault> trace_faults;
+  if (!o.faults.empty()) {
+    const std::vector<fault::FaultSpec> fault_specs = resolve_faults(o.faults);
+    for (const fault::FaultSpec& f : fault_specs) {
+      trace_faults.insert(trace_faults.end(), f.trace_faults.begin(),
+                          f.trace_faults.end());
+    }
+    opts.watchdog = fault_specs.front().watchdog;
+    opts.hw_faults = fault_specs.front().hw;
+  }
+  Rng fault_rng{core::mix_seed(o.seed, 0xfa)};
+
+  hw::SmartBadge badge;
+  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+
+  core::Metrics m;
+  if (o.session) {
+    core::SessionConfig scfg;
+    scfg.cycles = o.cycles;
+    scfg.seed = o.seed;
+    if (o.seconds_limit > 0.0) scfg.mpeg_segment = seconds(o.seconds_limit);
+    core::Session session = core::build_session(scfg, cpu);
+    if (!trace_faults.empty()) {
+      for (core::PlaybackItem& item : session.items) {
+        item.trace = fault::apply_faults(item.trace, trace_faults, fault_rng);
+      }
+    }
+    opts.dpm_policy = make_dpm(o, costs, session.idle_model);
+    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
+    std::fprintf(hout, "session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
+                 session.duration.value(), session.media_time.value(),
+                 session.idle_time.value(), session.items.size());
+    m = core::run_items(session.items, opts);
+  } else {
+    std::optional<workload::FrameTrace> trace;
+    std::optional<workload::DecoderModel> decoder;
+    if (!o.load_trace.empty()) {
+      trace = workload::load_trace(o.load_trace);
+      decoder = trace->type() == workload::MediaType::Mp3Audio
+                    ? workload::reference_mp3_decoder(cpu.max_frequency())
+                    : workload::reference_mpeg_decoder(cpu.max_frequency());
+    } else if (o.media == "mp3") {
+      decoder = workload::reference_mp3_decoder(cpu.max_frequency());
+      Rng rng{o.seed};
+      trace = workload::build_mp3_trace(workload::mp3_sequence(o.sequence),
+                                        *decoder, rng);
+    } else if (o.media == "mpeg") {
+      decoder = workload::reference_mpeg_decoder(cpu.max_frequency());
+      workload::MpegClip clip = o.clip == "terminator2"
+                                    ? workload::terminator2_clip()
+                                    : workload::football_clip();
+      if (o.seconds_limit > 0.0) {
+        clip.duration = seconds(
+            std::min(o.seconds_limit, clip.duration.value()));
+      }
+      Rng rng{o.seed};
+      trace = workload::build_mpeg_trace(clip, *decoder, rng);
+    } else {
+      usage(("unknown media " + o.media).c_str());
+    }
+
+    if (!trace_faults.empty()) {
+      trace = fault::apply_faults(*trace, trace_faults, fault_rng);
+    }
+
+    if (!o.save_trace.empty()) {
+      workload::save_trace(*trace, o.save_trace);
+      std::printf("wrote %zu frames to %s\n", trace->size(), o.save_trace.c_str());
+      return 0;
+    }
+
+    const auto idle = core::default_idle_distribution();
+    opts.dpm_policy = make_dpm(o, costs, idle);
+    const bool audio = trace->type() == workload::MediaType::Mp3Audio;
+    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
+    std::fprintf(hout, "trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
+                 trace->duration().value(),
+                 std::string(workload::to_string(trace->type())).c_str());
+    m = core::run_single_trace(*trace, *decoder, opts);
+  }
+
+  print_metrics(hout, m);
+
+  recorder.flush();
+  if (recorder.active()) {
+    std::fprintf(hout, "\ntrace: %llu events",
+                 static_cast<unsigned long long>(recorder.events_recorded()));
+    if (!o.trace_jsonl.empty()) std::fprintf(hout, "  jsonl -> %s", o.trace_jsonl.c_str());
+    if (!o.trace_csv.empty()) std::fprintf(hout, "  csv -> %s", o.trace_csv.c_str());
+    if (!o.chrome_trace.empty()) {
+      std::fprintf(hout, "  chrome-trace -> %s (open in Perfetto)", o.chrome_trace.c_str());
+    }
+    std::fprintf(hout, "\n");
+  }
+  if (!o.metrics_json.empty()) {
+    if (json_to_stdout) {
+      registry.write_json(std::cout);
+    } else {
+      std::ofstream os{o.metrics_json};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
+        return 1;
+      }
+      registry.write_json(os);
+      std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
+    }
+  }
+
+  if (!o.power_csv.empty()) {
+    CsvWriter csv{o.power_csv};
+    csv.write_row(std::vector<std::string>{"time_s", "power_mw"});
+    for (const auto& [t, p] : m.power_trace) {
+      csv.write_row(std::vector<double>{t, p});
+    }
+    std::fprintf(hout, "\npower trace (%zu samples) -> %s\n", m.power_trace.size(),
+                 o.power_csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace dvs::cli

@@ -1,0 +1,117 @@
+// `dvs_sim sweep`: run a scenario grid (core/scenario.hpp registry) through
+// the parallel SweepRunner.  Results are bit-identical at any --jobs level.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli_common.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/sweep.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace dvs::cli {
+
+namespace {
+
+int run_scenario(const CliOptions& o, std::FILE* hout,
+                 obs::MetricsRegistry* registry) {
+  const core::ScenarioSpec* found = core::find_scenario(o.scenario);
+  if (found == nullptr) {
+    std::fprintf(stderr, "dvs_sim: unknown scenario '%s' (try `dvs_sim list`)\n",
+                 o.scenario.c_str());
+    return 2;
+  }
+  core::ScenarioSpec spec = *found;
+  if (o.replicates > 0) spec.replicates = o.replicates;
+  if (o.seed_set) spec.base_seed = o.seed;
+  if (!o.faults.empty()) spec.faults = resolve_faults(o.faults);
+
+  core::SweepOptions sopts;
+  sopts.jobs = o.jobs;
+  sopts.metrics = registry;
+  const core::SweepResult res = core::SweepRunner{sopts}.run(spec);
+
+  std::fprintf(hout, "%s\nreproduces: %s\n", spec.title.c_str(),
+               spec.paper_ref.c_str());
+  std::fprintf(hout, "%zu points (%zu cells x %d replicates), jobs=%d, %.2f s\n\n",
+               res.points.size(), res.cells.size(), spec.replicates, res.jobs,
+               res.wall_seconds);
+
+  const bool any_faults = spec.faults.size() > 1 ||
+                          (spec.faults.size() == 1 && !spec.faults[0].none());
+  TextTable t;
+  if (any_faults) {
+    t.set_header({"Workload", "Detector", "DPM", "Faults", "d (s)",
+                  "Energy (kJ)", "+-95%", "Delay (s)", "Power (mW)",
+                  "Recov", "Degr (s)"});
+    for (const core::CellResult& c : res.cells) {
+      t.add_row({c.point.workload.name(),
+                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
+                 c.point.faults.name,
+                 TextTable::num(c.point.delay_target.value(), 2),
+                 TextTable::num(c.energy_kj.mean, 3),
+                 TextTable::num(c.energy_kj.ci95_half, 3),
+                 TextTable::num(c.delay_s.mean, 3),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(c.recoveries.mean, 1),
+                 TextTable::num(c.time_degraded_s.mean, 1)});
+    }
+  } else {
+    t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",
+                  "+-95%", "Delay (s)", "Power (mW)", "Sleeps"});
+    for (const core::CellResult& c : res.cells) {
+      t.add_row({c.point.workload.name(),
+                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
+                 c.point.cpu, TextTable::num(c.point.delay_target.value(), 2),
+                 TextTable::num(c.energy_kj.mean, 3),
+                 TextTable::num(c.energy_kj.ci95_half, 3),
+                 TextTable::num(c.delay_s.mean, 3),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(c.sleeps.mean, 0)});
+    }
+  }
+  std::fputs(t.str().c_str(), hout);
+
+  if (!o.sweep_csv.empty()) {
+    CsvWriter cells{o.sweep_csv + "_cells.csv"};
+    res.write_cells_csv(cells);
+    CsvWriter points{o.sweep_csv + "_points.csv"};
+    res.write_points_csv(points);
+    std::fprintf(hout, "\nsweep csv -> %s_cells.csv, %s_points.csv\n",
+                 o.sweep_csv.c_str(), o.sweep_csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_sweep(const CliOptions& o) {
+  if (o.scenario.empty()) usage("sweep needs a scenario name");
+
+  // Metrics to stdout move the human-readable report to stderr so the JSON
+  // stays machine-parseable.
+  const bool json_to_stdout = o.metrics_json == "-";
+  std::FILE* hout = json_to_stdout ? stderr : stdout;
+
+  obs::MetricsRegistry registry;
+  const int rc =
+      run_scenario(o, hout, o.metrics_json.empty() ? nullptr : &registry);
+  if (rc != 0) return rc;
+  if (!o.metrics_json.empty()) {
+    if (json_to_stdout) {
+      registry.write_json(std::cout);
+    } else {
+      std::ofstream os{o.metrics_json};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
+        return 1;
+      }
+      registry.write_json(os);
+      std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace dvs::cli

@@ -1,30 +1,38 @@
 // dvs_sim: command-line driver for the DVS+DPM simulation.
 //
-//   dvs_sim --media mp3 --sequence ACEFBD --detector change-point
-//   dvs_sim --media mpeg --clip football --seconds 300 --detector ideal
-//   dvs_sim --session --cycles 4 --detector change-point --dpm tismdp
-//   dvs_sim --media mp3 --save-trace out.trace
-//   dvs_sim --load-trace out.trace --detector ema
-//   dvs_sim --list-scenarios
-//   dvs_sim --scenario table5 --jobs 8 --replicates 10
+// Subcommands:
+//   dvs_sim run   [options]              one engine session (trace or --session)
+//   dvs_sim sweep <scenario> [options]   run a scenario grid through the sweep
+//                                        runner (bit-identical at any --jobs)
+//   dvs_sim list  [scenarios|faults]     enumerate scenarios and/or fault specs
 //
-// Scenario sweeps (core/scenario.hpp registry; results are bit-identical
-// at any --jobs level):
-//   --list-scenarios          list the built-in scenario grids and exit
-//   --scenario <name>         run a whole scenario grid instead of one run
+//   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
+//   dvs_sim run --media mpeg --clip football --seconds 300 --detector ideal
+//   dvs_sim run --session --cycles 4 --detector change-point --dpm tismdp
+//   dvs_sim run --media mp3 --save-trace out.trace
+//   dvs_sim run --load-trace out.trace --detector ema
+//   dvs_sim list scenarios
+//   dvs_sim sweep table5 --jobs 8 --replicates 10
+//
+// The pre-subcommand spellings still work but are deprecated:
+//   --scenario <name>  ->  dvs_sim sweep <name>
+//   --list-scenarios   ->  dvs_sim list scenarios
+//   --list-faults      ->  dvs_sim list faults
+//   (anything else)    ->  dvs_sim run ...
+//
+// Sweep options:
 //   --jobs <n>                sweep worker threads (0 = all cores, default 1)
 //   --replicates <r>          override the scenario's replicate count
 //   --sweep-csv <base>        write <base>_cells.csv and <base>_points.csv
 //
 // Fault injection (src/fault/, docs/FAULTS.md):
-//   --list-faults             list the built-in fault specs and exit
-//   --faults a[,b,...]        inject the named fault specs.  In scenario
-//                             mode this replaces the spec's fault axis; in
-//                             single-run mode the workload perturbations of
-//                             every named spec apply in order and the first
-//                             spec's watchdog / hardware plan is armed.
+//   --faults a[,b,...]        inject the named fault specs.  In sweep mode
+//                             this replaces the spec's fault axis; in run
+//                             mode the workload perturbations of every named
+//                             spec apply in order and the first spec's
+//                             watchdog / hardware plan is armed.
 //
-// Options:
+// Run options:
 //   --media mp3|mpeg          workload type (default mp3)
 //   --sequence <labels>       MP3 clip labels, e.g. ACEFBD (default ACEFBD)
 //   --clip football|terminator2   MPEG source clip (default football)
@@ -52,445 +60,75 @@
 //                             report to stderr
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
 
-#include "common/csv.hpp"
-#include "common/table.hpp"
-#include "core/experiment.hpp"
-#include "core/scenario.hpp"
-#include "core/sweep.hpp"
-#include "fault/fault_spec.hpp"
-#include "fault/trace_transforms.hpp"
-#include "obs/metrics_registry.hpp"
-#include "obs/sinks.hpp"
-#include "obs/trace_recorder.hpp"
-#include "workload/clips.hpp"
-#include "workload/trace.hpp"
-#include "workload/trace_io.hpp"
+#include "cli_common.hpp"
 
 using namespace dvs;
 
 namespace {
 
-struct CliOptions {
-  std::string media = "mp3";
-  std::string sequence = "ACEFBD";
-  std::string clip = "football";
-  double seconds_limit = 0.0;
-  bool session = false;
-  int cycles = 4;
-  std::string detector = "change-point";
-  double ema_gain = 0.03;
-  double delay = 0.0;  // 0 = per-media default
-  double cv2 = 1.0;
-  std::string dpm = "none";
-  double dpm_delay = 0.5;
-  std::uint64_t seed = 1;
-  bool seed_set = false;
-  std::string scenario;
-  bool list_scenarios = false;
-  std::string faults;
-  bool list_faults = false;
-  int jobs = 1;
-  int replicates = 0;  // 0 = scenario default
-  std::string sweep_csv;
-  std::string save_trace;
-  std::string load_trace;
-  std::string power_csv;
-  std::string trace_jsonl;
-  std::string trace_csv;
-  std::string chrome_trace;
-  std::string metrics_json;
-};
-
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "dvs_sim: %s\nsee the header of tools/dvs_sim_cli.cpp for usage\n",
-               msg);
-  std::exit(2);
+int dispatch_run(int argc, char** argv, int first) {
+  const cli::CliOptions o = cli::parse_flags(argc, argv, first);
+  return cli::cmd_run(o);
 }
 
-CliOptions parse(int argc, char** argv) {
-  CliOptions o;
-  auto need = [&](int i) -> const char* {
-    if (i + 1 >= argc) usage("missing argument value");
-    return argv[i + 1];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--media") { o.media = need(i); ++i; }
-    else if (a == "--sequence") { o.sequence = need(i); ++i; }
-    else if (a == "--clip") { o.clip = need(i); ++i; }
-    else if (a == "--seconds") { o.seconds_limit = std::stod(need(i)); ++i; }
-    else if (a == "--session") { o.session = true; }
-    else if (a == "--cycles") { o.cycles = std::stoi(need(i)); ++i; }
-    else if (a == "--detector") { o.detector = need(i); ++i; }
-    else if (a == "--ema-gain") { o.ema_gain = std::stod(need(i)); ++i; }
-    else if (a == "--delay") { o.delay = std::stod(need(i)); ++i; }
-    else if (a == "--cv2") { o.cv2 = std::stod(need(i)); ++i; }
-    else if (a == "--dpm") { o.dpm = need(i); ++i; }
-    else if (a == "--dpm-delay") { o.dpm_delay = std::stod(need(i)); ++i; }
-    else if (a == "--seed") { o.seed = std::stoull(need(i)); o.seed_set = true; ++i; }
-    else if (a == "--scenario") { o.scenario = need(i); ++i; }
-    else if (a == "--list-scenarios") { o.list_scenarios = true; }
-    else if (a == "--faults") { o.faults = need(i); ++i; }
-    else if (a == "--list-faults") { o.list_faults = true; }
-    else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
-    else if (a == "--replicates") { o.replicates = std::stoi(need(i)); ++i; }
-    else if (a == "--sweep-csv") { o.sweep_csv = need(i); ++i; }
-    else if (a == "--save-trace") { o.save_trace = need(i); ++i; }
-    else if (a == "--load-trace") { o.load_trace = need(i); ++i; }
-    else if (a == "--power-csv") { o.power_csv = need(i); ++i; }
-    else if (a == "--trace-jsonl") { o.trace_jsonl = need(i); ++i; }
-    else if (a == "--trace-csv") { o.trace_csv = need(i); ++i; }
-    else if (a == "--chrome-trace") { o.chrome_trace = need(i); ++i; }
-    else if (a == "--metrics-json") { o.metrics_json = need(i); ++i; }
-    else if (a == "--help" || a == "-h") { usage("help requested"); }
-    else { usage(("unknown option " + a).c_str()); }
+int dispatch_sweep(int argc, char** argv, int first) {
+  // Accept the scenario as a positional operand (`dvs_sim sweep table5`)
+  // or via the legacy --scenario flag.
+  std::string positional;
+  if (first < argc && argv[first][0] != '-') {
+    positional = argv[first];
+    ++first;
   }
-  return o;
-}
-
-core::DetectorKind detector_kind(const std::string& name) {
-  if (name == "ideal") return core::DetectorKind::Ideal;
-  if (name == "change-point" || name == "cp") return core::DetectorKind::ChangePoint;
-  if (name == "ema" || name == "exp-average") return core::DetectorKind::ExpAverage;
-  if (name == "max") return core::DetectorKind::Max;
-  if (name == "sliding-window") return core::DetectorKind::SlidingWindow;
-  usage(("unknown detector " + name).c_str());
-}
-
-dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
-                           const dpm::IdleDistributionPtr& idle) {
-  const std::optional<core::DpmKind> kind = core::dpm_kind_from_string(o.dpm);
-  if (!kind) usage(("unknown dpm policy " + o.dpm).c_str());
-  core::DpmSpec spec;
-  spec.kind = *kind;
-  spec.max_delay = seconds(o.dpm_delay);
-  return core::make_dpm_policy(spec, costs, idle);
-}
-
-int list_scenarios() {
-  TextTable t;
-  t.set_header({"Scenario", "Cells", "Points", "Title"});
-  for (const core::ScenarioSpec& s : core::builtin_scenarios()) {
-    t.add_row({s.name, std::to_string(s.num_cells()),
-               std::to_string(s.num_points()), s.title});
-  }
-  t.print();
-  std::printf("\nrun one with: dvs_sim --scenario <name> [--jobs N]"
-              " [--replicates R] [--faults spec[,spec]] [--sweep-csv base]\n");
-  return 0;
-}
-
-int list_faults() {
-  TextTable t;
-  t.set_header({"Fault", "Description"});
-  for (const fault::FaultSpec& f : fault::builtin_faults()) {
-    t.add_row({f.name, f.description});
-  }
-  t.print();
-  std::printf("\ninject with: dvs_sim [--scenario <name>] --faults"
-              " spec[,spec,...]\n");
-  return 0;
-}
-
-/// Resolves --faults into specs; exits with usage() on unknown names.
-std::vector<fault::FaultSpec> resolve_faults(const std::string& csv) {
-  try {
-    return fault::parse_fault_list(csv);
-  } catch (const std::invalid_argument& e) {
-    usage(e.what());
-  }
-}
-
-int run_scenario(const CliOptions& o, std::FILE* hout,
-                 obs::MetricsRegistry* registry) {
-  const core::ScenarioSpec* found = core::find_scenario(o.scenario);
-  if (found == nullptr) {
-    std::fprintf(stderr, "dvs_sim: unknown scenario '%s' (try --list-scenarios)\n",
-                 o.scenario.c_str());
-    return 2;
-  }
-  core::ScenarioSpec spec = *found;
-  if (o.replicates > 0) spec.replicates = o.replicates;
-  if (o.seed_set) spec.base_seed = o.seed;
-  if (!o.faults.empty()) spec.faults = resolve_faults(o.faults);
-
-  core::SweepOptions sopts;
-  sopts.jobs = o.jobs;
-  sopts.metrics = registry;
-  const core::SweepResult res = core::SweepRunner{sopts}.run(spec);
-
-  std::fprintf(hout, "%s\nreproduces: %s\n", spec.title.c_str(),
-               spec.paper_ref.c_str());
-  std::fprintf(hout, "%zu points (%zu cells x %d replicates), jobs=%d, %.2f s\n\n",
-               res.points.size(), res.cells.size(), spec.replicates, res.jobs,
-               res.wall_seconds);
-
-  const bool any_faults = spec.faults.size() > 1 ||
-                          (spec.faults.size() == 1 && !spec.faults[0].none());
-  TextTable t;
-  if (any_faults) {
-    t.set_header({"Workload", "Detector", "DPM", "Faults", "d (s)",
-                  "Energy (kJ)", "+-95%", "Delay (s)", "Power (mW)",
-                  "Recov", "Degr (s)"});
-    for (const core::CellResult& c : res.cells) {
-      t.add_row({c.point.workload.name(),
-                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
-                 c.point.faults.name,
-                 TextTable::num(c.point.delay_target.value(), 2),
-                 TextTable::num(c.energy_kj.mean, 3),
-                 TextTable::num(c.energy_kj.ci95_half, 3),
-                 TextTable::num(c.delay_s.mean, 3),
-                 TextTable::num(c.power_mw.mean, 0),
-                 TextTable::num(c.recoveries.mean, 1),
-                 TextTable::num(c.time_degraded_s.mean, 1)});
+  cli::CliOptions o = cli::parse_flags(argc, argv, first);
+  if (!positional.empty()) {
+    if (!o.scenario.empty() && o.scenario != positional) {
+      cli::usage("both a positional scenario and --scenario were given");
     }
-  } else {
-    t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",
-                  "+-95%", "Delay (s)", "Power (mW)", "Sleeps"});
-    for (const core::CellResult& c : res.cells) {
-      t.add_row({c.point.workload.name(),
-                 std::string(to_string(c.point.detector)), c.point.dpm.name(),
-                 c.point.cpu, TextTable::num(c.point.delay_target.value(), 2),
-                 TextTable::num(c.energy_kj.mean, 3),
-                 TextTable::num(c.energy_kj.ci95_half, 3),
-                 TextTable::num(c.delay_s.mean, 3),
-                 TextTable::num(c.power_mw.mean, 0),
-                 TextTable::num(c.sleeps.mean, 0)});
-    }
+    o.scenario = positional;
   }
-  std::fputs(t.str().c_str(), hout);
-
-  if (!o.sweep_csv.empty()) {
-    CsvWriter cells{o.sweep_csv + "_cells.csv"};
-    res.write_cells_csv(cells);
-    CsvWriter points{o.sweep_csv + "_points.csv"};
-    res.write_points_csv(points);
-    std::fprintf(hout, "\nsweep csv -> %s_cells.csv, %s_points.csv\n",
-                 o.sweep_csv.c_str(), o.sweep_csv.c_str());
-  }
-  return 0;
+  return cli::cmd_sweep(o);
 }
 
-void print_metrics(std::FILE* out, const core::Metrics& m) {
-  std::fprintf(out, "duration            %10.1f s\n", m.duration.value());
-  std::fprintf(out, "energy              %10.1f J  (%.3f kJ)\n",
-               m.total_energy.value(), m.energy_kj());
-  std::fprintf(out, "  cpu+memory        %10.1f J\n", m.cpu_memory_energy().value());
-  std::fprintf(out, "average power       %10.1f mW\n", m.average_power.value());
-  std::fprintf(out, "frames              %10llu arrived, %llu decoded, %llu dropped\n",
-               static_cast<unsigned long long>(m.frames_arrived),
-               static_cast<unsigned long long>(m.frames_decoded),
-               static_cast<unsigned long long>(m.frames_dropped));
-  std::fprintf(out, "mean frame delay    %10.3f s  (max %.3f)\n",
-               m.mean_frame_delay.value(), m.max_frame_delay.value());
-  std::fprintf(out, "mean buffered       %10.2f frames\n", m.mean_buffered_frames);
-  std::fprintf(out, "mean cpu frequency  %10.1f MHz  (%d switches)\n",
-               m.mean_cpu_frequency.value(), m.cpu_switches);
-  std::fprintf(out, "dpm                 %10d idle periods, %d sleeps, %d wakeups,"
-               " %.2f s wakeup delay\n",
-               m.dpm_idle_periods, m.dpm_sleeps, m.dpm_wakeups,
-               m.dpm_total_wakeup_delay.value());
-  if (m.faults_injected != 0 || m.watchdog_escalations != 0 ||
-      m.watchdog_recoveries != 0) {
-    std::fprintf(out, "faults              %10llu injected; watchdog:"
-                 " %d escalations, %d recoveries, %.1f s degraded\n",
-                 static_cast<unsigned long long>(m.faults_injected),
-                 m.watchdog_escalations, m.watchdog_recoveries,
-                 m.time_in_degraded.value());
+int dispatch_list(int argc, char** argv, int first) {
+  std::string what = "both";
+  if (first < argc) {
+    what = argv[first];
+    if (first + 1 < argc) cli::usage("list takes at most one operand");
   }
+  if (what == "scenarios") return cli::cmd_list_scenarios();
+  if (what == "faults") return cli::cmd_list_faults();
+  if (what == "both") {
+    const int rc = cli::cmd_list_scenarios();
+    std::printf("\n");
+    return rc != 0 ? rc : cli::cmd_list_faults();
+  }
+  cli::usage(("unknown list operand " + what).c_str());
+}
+
+/// Pre-subcommand spelling: every argument is a flag.  Route on the flags
+/// that used to select a mode and keep the old behavior byte-for-byte.
+int dispatch_legacy(int argc, char** argv) {
+  const cli::CliOptions o = cli::parse_flags(argc, argv, 1);
+  std::fprintf(stderr,
+               "dvs_sim: note: flag-only invocation is deprecated; use"
+               " `dvs_sim run|sweep|list` (see --help)\n");
+  if (o.list_scenarios) return cli::cmd_list_scenarios();
+  if (o.list_faults) return cli::cmd_list_faults();
+  if (!o.scenario.empty()) return cli::cmd_sweep(o);
+  return cli::cmd_run(o);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions o = parse(argc, argv);
-  const hw::Sa1100 cpu;
-
-  if (o.list_scenarios) return list_scenarios();
-  if (o.list_faults) return list_faults();
-
-  // Metrics to stdout move the human-readable report to stderr so the JSON
-  // stays machine-parseable.
-  const bool json_to_stdout = o.metrics_json == "-";
-  std::FILE* hout = json_to_stdout ? stderr : stdout;
-
-  if (!o.scenario.empty()) {
-    obs::MetricsRegistry sweep_registry;
-    const int rc = run_scenario(
-        o, hout, o.metrics_json.empty() ? nullptr : &sweep_registry);
-    if (rc != 0) return rc;
-    if (!o.metrics_json.empty()) {
-      if (json_to_stdout) {
-        sweep_registry.write_json(std::cout);
-      } else {
-        std::ofstream os{o.metrics_json};
-        if (!os) {
-          std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
-          return 1;
-        }
-        sweep_registry.write_json(os);
-        std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
-      }
-    }
-    return 0;
-  }
-
-  core::DetectorFactoryConfig detector_cfg;
-  detector_cfg.ema_gain = o.ema_gain;
-  if (detector_kind(o.detector) == core::DetectorKind::ChangePoint) {
-    detector_cfg.prepare();
-  }
-
-  obs::TraceRecorder recorder;
-  try {
-    if (!o.trace_jsonl.empty()) {
-      recorder.add_sink(std::make_unique<obs::JsonlSink>(o.trace_jsonl));
-    }
-    if (!o.trace_csv.empty()) {
-      recorder.add_sink(std::make_unique<obs::CsvTimelineSink>(o.trace_csv));
-    }
-    if (!o.chrome_trace.empty()) {
-      recorder.add_sink(std::make_unique<obs::ChromeTraceSink>(o.chrome_trace));
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "dvs_sim: %s\n", e.what());
-    return 2;
-  }
-  obs::MetricsRegistry registry;
-
-  core::RunOptions opts;
-  opts.detector = detector_kind(o.detector);
-  opts.detector_cfg = &detector_cfg;
-  opts.service_cv2 = o.cv2;
-  opts.seed = o.seed;
-  if (recorder.active()) opts.trace = &recorder;
-  if (!o.metrics_json.empty()) opts.metrics = &registry;
-  if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
-
-  // Single-run fault injection: all named specs' workload perturbations
-  // apply in order; the first spec supplies the watchdog and hardware plan.
-  std::vector<fault::TraceFault> trace_faults;
-  if (!o.faults.empty()) {
-    const std::vector<fault::FaultSpec> fault_specs = resolve_faults(o.faults);
-    for (const fault::FaultSpec& f : fault_specs) {
-      trace_faults.insert(trace_faults.end(), f.trace_faults.begin(),
-                          f.trace_faults.end());
-    }
-    opts.watchdog = fault_specs.front().watchdog;
-    opts.hw_faults = fault_specs.front().hw;
-  }
-  Rng fault_rng{core::mix_seed(o.seed, 0xfa)};
-
-  hw::SmartBadge badge;
-  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
-
-  core::Metrics m;
-  if (o.session) {
-    core::SessionConfig scfg;
-    scfg.cycles = o.cycles;
-    scfg.seed = o.seed;
-    if (o.seconds_limit > 0.0) scfg.mpeg_segment = seconds(o.seconds_limit);
-    core::Session session = core::build_session(scfg, cpu);
-    if (!trace_faults.empty()) {
-      for (core::PlaybackItem& item : session.items) {
-        item.trace = fault::apply_faults(item.trace, trace_faults, fault_rng);
-      }
-    }
-    opts.dpm_policy = make_dpm(o, costs, session.idle_model);
-    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
-    std::fprintf(hout, "session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
-                 session.duration.value(), session.media_time.value(),
-                 session.idle_time.value(), session.items.size());
-    m = core::run_items(session.items, opts);
-  } else {
-    std::optional<workload::FrameTrace> trace;
-    std::optional<workload::DecoderModel> decoder;
-    if (!o.load_trace.empty()) {
-      trace = workload::load_trace(o.load_trace);
-      decoder = trace->type() == workload::MediaType::Mp3Audio
-                    ? workload::reference_mp3_decoder(cpu.max_frequency())
-                    : workload::reference_mpeg_decoder(cpu.max_frequency());
-    } else if (o.media == "mp3") {
-      decoder = workload::reference_mp3_decoder(cpu.max_frequency());
-      Rng rng{o.seed};
-      trace = workload::build_mp3_trace(workload::mp3_sequence(o.sequence),
-                                        *decoder, rng);
-    } else if (o.media == "mpeg") {
-      decoder = workload::reference_mpeg_decoder(cpu.max_frequency());
-      workload::MpegClip clip = o.clip == "terminator2"
-                                    ? workload::terminator2_clip()
-                                    : workload::football_clip();
-      if (o.seconds_limit > 0.0) {
-        clip.duration = seconds(
-            std::min(o.seconds_limit, clip.duration.value()));
-      }
-      Rng rng{o.seed};
-      trace = workload::build_mpeg_trace(clip, *decoder, rng);
-    } else {
-      usage(("unknown media " + o.media).c_str());
-    }
-
-    if (!trace_faults.empty()) {
-      trace = fault::apply_faults(*trace, trace_faults, fault_rng);
-    }
-
-    if (!o.save_trace.empty()) {
-      workload::save_trace(*trace, o.save_trace);
-      std::printf("wrote %zu frames to %s\n", trace->size(), o.save_trace.c_str());
-      return 0;
-    }
-
-    const auto idle = core::default_idle_distribution();
-    opts.dpm_policy = make_dpm(o, costs, idle);
-    const bool audio = trace->type() == workload::MediaType::Mp3Audio;
-    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
-    std::fprintf(hout, "trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
-                 trace->duration().value(),
-                 std::string(workload::to_string(trace->type())).c_str());
-    m = core::run_single_trace(*trace, *decoder, opts);
-  }
-
-  print_metrics(hout, m);
-
-  recorder.flush();
-  if (recorder.active()) {
-    std::fprintf(hout, "\ntrace: %llu events",
-                 static_cast<unsigned long long>(recorder.events_recorded()));
-    if (!o.trace_jsonl.empty()) std::fprintf(hout, "  jsonl -> %s", o.trace_jsonl.c_str());
-    if (!o.trace_csv.empty()) std::fprintf(hout, "  csv -> %s", o.trace_csv.c_str());
-    if (!o.chrome_trace.empty()) {
-      std::fprintf(hout, "  chrome-trace -> %s (open in Perfetto)", o.chrome_trace.c_str());
-    }
-    std::fprintf(hout, "\n");
-  }
-  if (!o.metrics_json.empty()) {
-    if (json_to_stdout) {
-      registry.write_json(std::cout);
-    } else {
-      std::ofstream os{o.metrics_json};
-      if (!os) {
-        std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.metrics_json.c_str());
-        return 1;
-      }
-      registry.write_json(os);
-      std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
-    }
-  }
-
-  if (!o.power_csv.empty()) {
-    CsvWriter csv{o.power_csv};
-    csv.write_row(std::vector<std::string>{"time_s", "power_mw"});
-    for (const auto& [t, p] : m.power_trace) {
-      csv.write_row(std::vector<double>{t, p});
-    }
-    std::fprintf(hout, "\npower trace (%zu samples) -> %s\n", m.power_trace.size(),
-                 o.power_csv.c_str());
-  }
-  return 0;
+  if (argc < 2) cli::usage("no subcommand given");
+  const std::string cmd = argv[1];
+  if (cmd == "run") return dispatch_run(argc, argv, 2);
+  if (cmd == "sweep") return dispatch_sweep(argc, argv, 2);
+  if (cmd == "list") return dispatch_list(argc, argv, 2);
+  if (cmd == "--help" || cmd == "-h") cli::usage("help requested");
+  if (cmd.size() >= 2 && cmd[0] == '-') return dispatch_legacy(argc, argv);
+  cli::usage(("unknown subcommand " + cmd).c_str());
 }
