@@ -125,6 +125,19 @@ void BM_TraceRecorderJsonlSink(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceRecorderJsonlSink);
 
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  // The always-on path: one masked ring-slot store per instrumented event.
+  obs::FlightRecorder fr(4096);
+  double ts = 0.0;
+  for (auto _ : state) {
+    ts += 1e-3;
+    fr.record(ts, obs::FlightEventType::DecodeDone, 0,
+              static_cast<float>(ts), 0.0F);
+  }
+  benchmark::DoNotOptimize(fr.records_stored());
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
 void BM_FrequencyPolicySelect(benchmark::State& state) {
   const hw::Sa1100 cpu;
   const auto dec = workload::reference_mp3_decoder(cpu.max_frequency());

@@ -9,6 +9,8 @@
 //   * micro.governor_step_ns               one governor arrival+complete+apply
 //   * micro.sim_event_ns                   one kernel schedule+execute
 //   * micro.sim_cancel_ns                  one kernel schedule+cancel
+//   * micro.flight_record_ns               one flight-recorder ring store
+//   * engine.flight_overhead_pct           engine run, flight on vs off
 //   * char.threshold_table_s               one cold Monte-Carlo characterization
 //
 // Scenario sweeps run at jobs=1 so the number is per-core engine throughput,
@@ -197,6 +199,57 @@ void measure_sim_kernel(std::vector<PerfResult>& out) {
   }
 }
 
+/// The flight recorder's always-on cost: raw ns per ring store, plus the
+/// end-to-end overhead it adds to a real engine run (flight on vs off on
+/// the same trace, best-of-N each; the ISSUE budget is <= 5%).
+void measure_flight_recorder(std::vector<PerfResult>& out) {
+  {
+    obs::FlightRecorder fr(4096);
+    constexpr int kRecords = 4000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kRecords; ++i) {
+      fr.record(i * 1e-3, obs::FlightEventType::DecodeDone, 0,
+                static_cast<float>(i), 0.0F);
+    }
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.flight_record_ns", "ns/record",
+                   wall / kRecords * 1e9, false});
+    std::printf("%-34s %10.2f ns/record\n", "micro.flight_record",
+                wall / kRecords * 1e9);
+  }
+  {
+    const hw::Sa1100 cpu;
+    const auto dec = workload::reference_mp3_decoder(cpu.max_frequency());
+    Rng rng{77};
+    std::string labels;
+    for (int i = 0; i < 8; ++i) labels += "ACE";
+    const auto trace =
+        workload::build_mp3_trace(workload::mp3_sequence(labels), dec, rng);
+    const auto one_run = [&](bool flight) {
+      core::RunOptions opts;
+      opts.detector = core::DetectorKind::ExpAverage;
+      opts.flight_recorder = flight;
+      const auto t0 = Clock::now();
+      core::run_single_trace(trace, dec, opts);
+      return seconds_since(t0);
+    };
+    // Warm caches and clocks, then interleave on/off reps so drift hits
+    // both arms equally; best-of each arm is the engine's capability.
+    one_run(false);
+    one_run(true);
+    double off = 1e300;
+    double on = 1e300;
+    for (int rep = 0; rep < 7; ++rep) {
+      off = std::min(off, one_run(false));
+      on = std::min(on, one_run(true));
+    }
+    const double pct = off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+    out.push_back({"engine.flight_overhead_pct", "%", pct, false});
+    std::printf("%-34s %10.2f %%  (on %.4f s, off %.4f s)\n",
+                "engine.flight_overhead", pct, on, off);
+  }
+}
+
 /// One cold Monte-Carlo threshold characterization (Section 3.1) — the cost
 /// the shared-asset cache saves on every warm use.
 void measure_characterization(std::vector<PerfResult>& out) {
@@ -220,6 +273,7 @@ int main(int argc, char** argv) {
   measure_detector_step(results);
   measure_governor_step(results);
   measure_sim_kernel(results);
+  measure_flight_recorder(results);
   for (const char* s : {"quick", "table3", "table5"}) {
     measure_scenario(s, results);
   }

@@ -1,0 +1,78 @@
+// Minimal recursive-descent JSON reader for the analyzer tooling (the
+// `dvs-sim report` subcommand ingests metrics/ledger JSON written by this
+// repo).  Deliberately small: objects, arrays, strings (with the common
+// escapes), doubles, bools, null.  No external dependencies — the container
+// image is frozen.
+//
+// This is a *reader*; all JSON writing in the repo stays hand-rolled at the
+// emission sites (metrics_registry, attribution, bench_perf) where the
+// format lives next to the data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dvs::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+/// Thrown on malformed input, with a byte offset in the message.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+
+  /// Typed accessors; throw ParseError when the type does not match (the
+  /// analyzer treats a shape mismatch the same as a syntax error).
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<ValuePtr>& as_array() const;
+  [[nodiscard]] const std::map<std::string, ValuePtr>& as_object() const;
+
+  /// Object member lookup; null pointer when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Object member that must exist, else ParseError naming the key.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Convenience: member `key` as a number/string, or `fallback` when the
+  /// member is absent.  Wrong-typed members still throw.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+ private:
+  friend class Parser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<ValuePtr> array_;
+  std::map<std::string, ValuePtr> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+ValuePtr parse(const std::string& text);
+
+/// Reads and parses a whole file; ParseError mentions the path.
+ValuePtr parse_file(const std::string& path);
+
+}  // namespace dvs::json

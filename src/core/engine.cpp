@@ -33,9 +33,17 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
   // unprepared config.  Callers sharing one config across runs (or threads)
   // prepare() it themselves and this is a no-op.
   if (cfg_.detector == DetectorKind::ChangePoint) cfg_.detectors.prepare();
+  if (cfg_.flight_recorder) {
+    flight_ = std::make_unique<obs::FlightRecorder>(cfg_.flight_capacity);
+    if (!cfg_.flight_dump_path.empty()) {
+      flight_->set_auto_dump(cfg_.flight_dump_path);
+    }
+  }
   pm_ = std::make_unique<dpm::PowerManager>(sim_, badge_, cfg_.dpm_policy,
                                             cfg_.seed ^ 0xd9a17ULL);
   pm_->set_observability(cfg_.trace, cfg_.metrics);
+  pm_->set_ledger(cfg_.ledger);
+  pm_->set_flight(flight_.get());
   if (cfg_.hw_faults.any()) {
     // A dedicated substream of the engine seed, disjoint from the DPM's,
     // so adding hardware faults never perturbs the fault-free draws.
@@ -43,8 +51,20 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
         std::make_unique<fault::HwFaultInjector>(cfg_.hw_faults,
                                                  cfg_.seed ^ 0xfa017ULL);
     injector_->set_trace(cfg_.trace);
+    injector_->set_ledger(cfg_.ledger);
+    injector_->set_flight(flight_.get());
     pm_->set_wakeup_fault_hook(
         [this](Seconds now) { return injector_->wakeup_penalty(now); });
+  }
+  if (cfg_.ledger != nullptr) {
+    cfg_.ledger->set_freq_step(badge_.cpu_step());
+    std::vector<double> mhz;
+    mhz.reserve(badge_.cpu().num_steps());
+    for (std::size_t s = 0; s < badge_.cpu().num_steps(); ++s) {
+      mhz.push_back(badge_.cpu().frequency_at(s).value());
+    }
+    cfg_.ledger->set_freq_table(std::move(mhz));
+    install_accrual_observers();
   }
   if (cfg_.metrics != nullptr) {
     delay_hist_ = &cfg_.metrics->histogram("frames.delay_s", 0.0, 2.0, 200);
@@ -55,13 +75,23 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
         &cfg_.metrics->histogram("frames.delay_over_target", 0.0, 10.0, 100);
   }
   if (tracing()) install_component_observers();
+  if (flight_ != nullptr) {
+    // Raw-pointer hook, not the std::function observer: the flight recorder
+    // is on by default, and the dispatch cost of a std::function per state
+    // change is what pushed the always-on overhead past its budget.
+    for (std::size_t i = 0; i < badge_.num_components(); ++i) {
+      badge_.component(static_cast<hw::BadgeComponentId>(i))
+          .set_flight_recorder(flight_.get(), static_cast<std::uint16_t>(i));
+    }
+  }
 }
 
 void Engine::install_component_observers() {
   for (std::size_t i = 0; i < badge_.num_components(); ++i) {
     badge_.component(static_cast<hw::BadgeComponentId>(i))
-        .set_state_observer([this](const hw::Component& c, hw::PowerState from,
-                                   hw::PowerState to, Seconds at) {
+        .set_state_observer([this](const hw::Component& c,
+                                   hw::PowerState from, hw::PowerState to,
+                                   Seconds at) {
           cfg_.trace->record(
               at.value(), obs::ComponentState{c.name(), hw::to_string(from),
                                               hw::to_string(to),
@@ -70,9 +100,29 @@ void Engine::install_component_observers() {
   }
 }
 
+void Engine::install_accrual_observers() {
+  // The ledger receives the exact energy deltas the Metrics totals are
+  // built from; at observer time the component still describes the interval
+  // that elapsed (mutators accrue before changing state), so the charge key
+  // is simply its current state — "wake" while a wakeup transition runs.
+  for (std::size_t i = 0; i < badge_.num_components(); ++i) {
+    badge_.component(static_cast<hw::BadgeComponentId>(i))
+        .set_accrual_observer(
+            [this](const hw::Component& c, Joules delta, Seconds dt) {
+              cfg_.ledger->charge_energy(
+                  c.name(),
+                  c.transitioning() ? "wake"
+                                    : std::string(hw::to_string(c.state())),
+                  delta.value(), dt.value());
+            });
+  }
+}
+
 void Engine::wire_governor_observability(policy::DvsGovernor& gov) {
   gov.set_trace(cfg_.trace);
-  if (!observing()) return;
+  gov.set_ledger(cfg_.ledger);
+  gov.set_flight(flight_.get());
+  if (!observing() && cfg_.ledger == nullptr) return;
   const auto wire = [this](detect::RateDetector* det, const char* stream) {
     if (det == nullptr) return;
     det->set_decision_observer(
@@ -83,6 +133,9 @@ void Engine::wire_governor_observability(policy::DvsGovernor& gov) {
                                                      info.threshold,
                                                      info.detected,
                                                      info.rate.value()});
+          }
+          if (info.detected && cfg_.ledger != nullptr) {
+            cfg_.ledger->set_cause(obs::Cause::DetectorChange);
           }
           if (cfg_.metrics == nullptr) return;
           ++cfg_.metrics->counter("detector.decisions");
@@ -227,6 +280,11 @@ void Engine::handle_arrival() {
                          obs::FrameDrop{tf.id, workload::to_string(media)});
     }
   }
+  if (!accepted && flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::FrameDrop,
+                    static_cast<std::uint16_t>(media_index(media)),
+                    static_cast<float>(tf.id), 0.0F);
+  }
 
   // Arrival-rate sample, gated against idle gaps — and against tail drops:
   // a dropped frame is never serviced, so it must not feed the λ estimate
@@ -351,6 +409,16 @@ void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
   if (delay_violation_hist_ != nullptr) {
     delay_violation_hist_->add(delay.value() / cfg_.target_delay.value());
   }
+  if (cfg_.ledger != nullptr) {
+    cfg_.ledger->charge_delay(std::string(workload::to_string(frame.type)),
+                              delay.value());
+  }
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::DecodeDone,
+                    static_cast<std::uint16_t>(media_index(frame.type)),
+                    static_cast<float>(delay.value()),
+                    static_cast<float>(buffer_.size()));
+  }
   policy::DvsGovernor& gov = governor_for(frame.type);
   gov.on_decode_complete(now, pure_decode, freq,
                          static_cast<double>(buffer_.size()), delay);
@@ -435,9 +503,21 @@ Metrics Engine::run() {
     power_trace_.reserve(static_cast<std::size_t>(expected) + 2);
     schedule_power_sample(cfg_.power_sample_period);
   }
-  {
+  try {
     obs::ScopedTimer timer{cfg_.metrics, "wall.engine_run_s"};
     sim_.run();
+  } catch (...) {
+    // Abnormal exit: finalize trace sinks so JSONL/Chrome output stays
+    // well-formed, and capture the flight-recorder window.  Post-mortem
+    // plumbing must never mask the original error.
+    try {
+      if (cfg_.trace != nullptr) cfg_.trace->flush();
+      if (flight_ != nullptr) {
+        flight_->trigger(sim_.now().value(), "exception");
+      }
+    } catch (...) {
+    }
+    throw;
   }
   const Seconds end = std::max(sim_.now(), items_.back().end);
   return collect(end);
@@ -530,6 +610,12 @@ void Engine::fill_registry(const Metrics& m) {
   }
   if (cfg_.trace != nullptr) {
     reg.counter("trace.events_recorded") += cfg_.trace->events_recorded();
+  }
+  if (flight_ != nullptr) {
+    reg.counter("flight.records") += flight_->records_stored();
+    if (flight_->triggers() > 0) {
+      reg.counter("flight.triggers") += flight_->triggers();
+    }
   }
 }
 

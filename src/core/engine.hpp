@@ -37,6 +37,8 @@
 #include "dpm/power_manager.hpp"
 #include "fault/hw_faults.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_recorder.hpp"
 #include "policy/governor.hpp"
@@ -92,6 +94,18 @@ struct EngineConfig {
   /// instrumentation site.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional attribution: charges every Joule and every second of frame
+  /// delay to a (component, state, frequency step, cause) key; per-key sums
+  /// reconcile with the Metrics totals (see obs/attribution.hpp).  One
+  /// ledger per run — it is plain single-run state.
+  obs::AttributionLedger* ledger = nullptr;
+  /// Always-on flight recorder: a fixed ring of compact records costing ~a
+  /// store per event, auto-dumped on watchdog escalation, fault injection,
+  /// or an exception escaping the run (see obs/flight_recorder.hpp).
+  bool flight_recorder = true;
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Non-empty: arms the auto-dump at this path.
+  std::string flight_dump_path;
 };
 
 class Engine {
@@ -113,6 +127,10 @@ class Engine {
   /// The hardware fault injector, or null when the plan is empty.
   [[nodiscard]] const fault::HwFaultInjector* fault_injector() const {
     return injector_.get();
+  }
+  /// The flight recorder, or null when EngineConfig::flight_recorder is off.
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
+    return flight_.get();
   }
 
  private:
@@ -148,6 +166,7 @@ class Engine {
     return tracing() || cfg_.metrics != nullptr;
   }
   void install_component_observers();
+  void install_accrual_observers();
   void wire_governor_observability(policy::DvsGovernor& gov);
   void record_detector_sample(const policy::DvsGovernor& gov,
                               std::string_view stream, Seconds now,
@@ -160,6 +179,7 @@ class Engine {
   hw::SmartBadge badge_;
   sim::Simulator sim_;
   queue::FrameBuffer buffer_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<dpm::PowerManager> pm_;
   std::unique_ptr<fault::HwFaultInjector> injector_;
   // Indexed by media_index(): governor_for() on the per-frame path is an

@@ -35,6 +35,10 @@ EngineConfig to_engine_config(const RunOptions& opts) {
   if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
   cfg.trace = opts.trace;
   cfg.metrics = opts.metrics;
+  cfg.ledger = opts.ledger;
+  cfg.flight_recorder = opts.flight_recorder;
+  cfg.flight_capacity = opts.flight_capacity;
+  cfg.flight_dump_path = opts.flight_dump_path;
   return cfg;
 }
 

@@ -52,6 +52,12 @@ struct RunOptions {
   /// Optional observability (see EngineConfig::trace / metrics).
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional energy/delay attribution (see EngineConfig::ledger).
+  obs::AttributionLedger* ledger = nullptr;
+  /// Always-on flight recorder (see EngineConfig::flight_recorder).
+  bool flight_recorder = true;
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  std::string flight_dump_path;
 };
 
 /// The exact EngineConfig a RunOptions resolves to — the single translation

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -282,6 +285,47 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   std::vector<Metrics> metrics(points.size());
   std::mutex progress_m;
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Live telemetry: one JSONL object per finished point, shared lock with
+  // on_point.  Pure side-channel — nothing here feeds back into results.
+  std::ofstream heartbeat_file;
+  std::ostream* heartbeat = nullptr;
+  if (!opts_.heartbeat_path.empty()) {
+    if (opts_.heartbeat_path == "-") {
+      heartbeat = &std::cerr;
+    } else {
+      heartbeat_file.open(opts_.heartbeat_path);
+      DVS_CHECK_MSG(static_cast<bool>(heartbeat_file),
+                    "SweepRunner: cannot open heartbeat path " +
+                        opts_.heartbeat_path);
+      heartbeat = &heartbeat_file;
+    }
+  }
+  std::size_t hb_done = 0;
+  RunningStats hb_energy_kj, hb_delay_s;
+  const auto write_heartbeat = [&](const RunPoint& p, const Metrics& m) {
+    ++hb_done;
+    hb_energy_kj.add(m.energy_kj());
+    hb_delay_s.add(m.mean_frame_delay.value());
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double eta =
+        elapsed / static_cast<double>(hb_done) *
+        static_cast<double>(points.size() - hb_done);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"scenario\":\"%s\",\"done\":%zu,\"total\":%zu,"
+        "\"elapsed_s\":%.3f,\"eta_s\":%.3f,\"point\":%zu,\"cell\":%zu,"
+        "\"replicate\":%d,\"energy_kj\":%.9g,\"mean_delay_s\":%.9g,"
+        "\"running_mean_energy_kj\":%.9g,\"running_mean_delay_s\":%.9g}",
+        spec.name.c_str(), hb_done, points.size(), elapsed, eta, p.index,
+        p.cell, p.replicate, m.energy_kj(), m.mean_frame_delay.value(),
+        hb_energy_kj.mean(), hb_delay_s.mean());
+    *heartbeat << buf << '\n' << std::flush;
+  };
+
   parallel_for(points.size(), out.jobs, [&](std::size_t i) {
     const RunPoint& p = points[i];
     const CpuAsset& cpu = cpu_assets[p.cpu_idx];
@@ -297,11 +341,13 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     opts.cpu = &cpu.cpu;
     opts.watchdog = p.faults.watchdog;
     opts.hw_faults = p.faults.hw;
+    if (opts_.configure_run) opts_.configure_run(p, opts);
     metrics[i] = run_items(*asset.items, opts);
 
-    if (opts_.on_point) {
+    if (opts_.on_point || heartbeat != nullptr) {
       std::lock_guard<std::mutex> lk(progress_m);
-      opts_.on_point(PointResult{p, metrics[i]});
+      if (opts_.on_point) opts_.on_point(PointResult{p, metrics[i]});
+      if (heartbeat != nullptr) write_heartbeat(p, metrics[i]);
     }
   });
   out.wall_seconds =

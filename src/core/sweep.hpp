@@ -95,6 +95,17 @@ struct SweepOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Progress callback, serialized, in completion (not expansion) order.
   std::function<void(const PointResult&)> on_point;
+  /// Per-point RunOptions hook, called on the worker thread after the
+  /// standard fields are filled and before the engine runs.  Must be
+  /// thread-safe (points run concurrently); must not change fields that
+  /// feed the simulation result if bit-identity across --jobs matters —
+  /// it exists for observability attachments (ledgers, flight-dump paths).
+  std::function<void(const RunPoint&, RunOptions&)> configure_run;
+  /// Non-empty: live progress heartbeat as JSONL, one object per finished
+  /// point (done/total, elapsed, ETA, running aggregates).  "-" = stderr.
+  /// Written under the same lock as on_point; telemetry only — it never
+  /// influences results.
+  std::string heartbeat_path;
 };
 
 class SweepRunner {

@@ -35,18 +35,32 @@ void PowerManager::on_idle_enter(Seconds now,
                                     idle_length_hint ? idle_length_hint->value()
                                                      : -1.0});
   }
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::DpmIdleEnter, 0,
+                    static_cast<float>(idle_length_hint
+                                           ? idle_length_hint->value()
+                                           : -1.0),
+                    0.0F);
+  }
   SleepPlan plan = policy_->plan(idle_length_hint, rng_);
   plan.validate();
   for (const SleepStep& step : plan.steps) {
     const hw::PowerState target = step.state;
     pending_.push_back(sim_->schedule_at(now + step.after, [this, target] {
       // Deepening while idle is instantaneous in the component model.
+      // set_all accrues the pre-sleep interval first, so switching the
+      // ledger cause afterwards charges only the slept time to the DPM.
       badge_->set_all(target, sim_->now());
       depth_ = target;
       ++sleeps_;
       if (tracing()) {
         trace_->record(sim_->now().value(),
                        obs::DpmSleepCommand{hw::to_string(target)});
+      }
+      if (ledger_ != nullptr) ledger_->set_cause(obs::Cause::DpmSleep);
+      if (flight_ != nullptr) {
+        flight_->record(sim_->now().value(), obs::FlightEventType::DpmSleep,
+                        static_cast<std::uint16_t>(target), 0.0F, 0.0F);
       }
     }));
   }
@@ -65,9 +79,12 @@ Seconds PowerManager::on_request(Seconds now) {
   if (!asleep()) return now;
 
   // Wake every component back to idle; the decode path will activate what
-  // it needs.  The badge reports the slowest wakeup.
+  // it needs.  The badge reports the slowest wakeup.  The set_all accrual
+  // closes the slept interval under the DpmSleep cause; the wakeup
+  // transition that follows is charged to DpmWakeup.
   const hw::PowerState was = depth_;
   badge_->set_all(hw::PowerState::Idle, now);
+  if (ledger_ != nullptr) ledger_->set_cause(obs::Cause::DpmWakeup);
   Seconds ready = badge_->latest_wakeup_completion(now);
   if (wakeup_fault_hook_) ready += wakeup_fault_hook_(now);
   const Seconds delay = ready - now;
@@ -77,6 +94,12 @@ Seconds PowerManager::on_request(Seconds now) {
   if (tracing()) {
     trace_->record(now.value(), obs::DpmWakeup{hw::to_string(was), delay.value(),
                                                idle_length.value()});
+  }
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::DpmWakeup,
+                    static_cast<std::uint16_t>(was),
+                    static_cast<float>(delay.value()),
+                    static_cast<float>(idle_length.value()));
   }
   if (ready > now) {
     sim_->schedule_at(ready, [this] { badge_->finish_wakeups(sim_->now()); });

@@ -14,6 +14,8 @@
 #include "common/rng.hpp"
 #include "dpm/policy.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
@@ -50,6 +52,15 @@ class PowerManager {
   /// may be null.
   void set_observability(obs::TraceRecorder* trace, obs::MetricsRegistry* metrics);
 
+  /// Attaches the attribution ledger: sleep commands and wakeups switch its
+  /// cause, so the energy of a slept interval (and of the wakeup
+  /// transition that ends it) is charged to the DPM decision.  May be null.
+  void set_ledger(obs::AttributionLedger* ledger) { ledger_ = ledger; }
+
+  /// Attaches the flight recorder (idle-enter / sleep / wakeup records).
+  /// May be null.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
   /// Fault-injection hook: called once per wakeup with the current time,
   /// returns extra wakeup latency (a delayed or failed-and-retried standby
   /// exit).  The extra delay counts toward total_wakeup_delay() like any
@@ -70,6 +81,8 @@ class PowerManager {
   DpmPolicyPtr policy_;
   Rng rng_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::AttributionLedger* ledger_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   WakeupFaultHook wakeup_fault_hook_;
   obs::HistogramMetric* idle_hist_ = nullptr;
   hw::PowerState depth_ = hw::PowerState::Idle;  ///< deepest commanded state

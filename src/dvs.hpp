@@ -33,6 +33,8 @@
 #include "sim/simulator.hpp"
 
 // Observability.
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace_recorder.hpp"

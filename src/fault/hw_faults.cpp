@@ -22,6 +22,17 @@ void HwFaultInjector::record(Seconds now, std::string_view kind,
   if (trace_ != nullptr && trace_->active()) {
     trace_->record(now.value(), obs::FaultInjected{kind, magnitude});
   }
+  if (ledger_ != nullptr) ledger_->set_cause(obs::Cause::Fault);
+  if (flight_ != nullptr) {
+    // Stable fault-kind codes for the compact record (docs/OBSERVABILITY.md).
+    std::uint16_t code = 0;
+    if (kind == "wakeup_fail") code = 1;
+    else if (kind == "freq_fail") code = 2;
+    else if (kind == "rail_stuck") code = 3;
+    flight_->record(now.value(), obs::FlightEventType::FaultInjected, code,
+                    static_cast<float>(magnitude), 0.0F);
+    flight_->trigger(now.value(), "fault-injected");
+  }
 }
 
 Seconds HwFaultInjector::wakeup_penalty(Seconds now) {

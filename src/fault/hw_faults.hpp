@@ -21,6 +21,8 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace dvs::fault {
@@ -52,6 +54,14 @@ class HwFaultInjector {
   /// Optional tracing: each fired fault records a FaultInjected event.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Optional attribution: each fired fault switches the ledger cause to
+  /// Fault (the time that follows is the fault's bill).  May be null.
+  void set_ledger(obs::AttributionLedger* ledger) { ledger_ = ledger; }
+
+  /// Optional flight recorder: fired faults land in the ring and trigger a
+  /// post-mortem dump.  May be null.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
   /// Extra wakeup latency for the standby exit happening at `now`
   /// (zero when no fault fires).  Called once per wakeup.
   Seconds wakeup_penalty(Seconds now);
@@ -75,6 +85,8 @@ class HwFaultInjector {
   HwFaultPlan plan_;
   Rng rng_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::AttributionLedger* ledger_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::uint64_t wakeup_faults_ = 0;
   std::uint64_t freq_faults_ = 0;
   std::uint64_t rail_faults_ = 0;

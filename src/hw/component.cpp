@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+
 namespace dvs::hw {
 
 Component::Component(ComponentSpec spec) : spec_(std::move(spec)) {
@@ -39,8 +41,13 @@ MilliWatts Component::current_power() const {
 void Component::accrue(Seconds now) {
   DVS_CHECK_MSG(now >= last_accrual_, spec_.name + ": time moved backwards");
   const Seconds dt = now - last_accrual_;
-  energy_ += energy(current_power(), dt);
+  // Skipping the empty interval is bit-identical (x + 0.0 == x) and keeps
+  // the observer quiet on the frequent same-timestamp accruals.
+  if (dt.value() <= 0.0) return;
+  const Joules delta = energy(current_power(), dt);
+  energy_ += delta;
   last_accrual_ = now;
+  if (accrual_observer_) accrual_observer_(*this, delta, dt);
 }
 
 Seconds Component::set_state(PowerState s, Seconds now) {
@@ -53,7 +60,7 @@ Seconds Component::set_state(PowerState s, Seconds now) {
   state_ = s;
   if (is_sleep_state(s)) ++sleep_transitions_;
   if (!waking) {
-    if (observer_) observer_(*this, from, s, now);
+    notify_state_change(from, s, now);
     return Seconds{0.0};
   }
 
@@ -63,8 +70,20 @@ Seconds Component::set_state(PowerState s, Seconds now) {
     wakeup_done_ = now + latency;
     ++wakeups_;
   }
-  if (observer_) observer_(*this, from, s, now);
+  notify_state_change(from, s, now);
   return latency;
+}
+
+void Component::notify_state_change(PowerState from, PowerState to,
+                                    Seconds now) {
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::ComponentState,
+                    static_cast<std::uint16_t>(
+                        (static_cast<unsigned>(flight_index_) << 8) |
+                        static_cast<unsigned>(to)),
+                    static_cast<float>(current_power().value()), 0.0F);
+  }
+  if (observer_) observer_(*this, from, to, now);
 }
 
 void Component::finish_wakeup(Seconds now) {

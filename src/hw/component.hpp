@@ -10,12 +10,17 @@
 // decision non-trivial).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "hw/power_state.hpp"
+
+namespace dvs::obs {
+class FlightRecorder;
+}  // namespace dvs::obs
 
 namespace dvs::hw {
 
@@ -104,7 +109,30 @@ class Component {
     observer_ = std::move(observer);
   }
 
+  /// Observer called from accrue() with the exact energy delta just added
+  /// to the integral, whenever a non-empty interval elapses.  At call time
+  /// state()/transitioning() still describe the interval that elapsed (all
+  /// mutators accrue *before* changing state), so attribution layers can
+  /// read them directly.  Null by default; an unobserved component pays one
+  /// pointer test per accrual.
+  using AccrualObserver =
+      std::function<void(const Component&, Joules delta, Seconds dt)>;
+  void set_accrual_observer(AccrualObserver observer) {
+    accrual_observer_ = std::move(observer);
+  }
+
+  /// Always-on flight-recorder hook: a raw pointer, not a std::function —
+  /// the ring store must stay a few ns so the recorder can run on every
+  /// state change of every run.  `index` tags records as
+  /// code=(index<<8)|state.  Null disables (the default).
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::uint16_t index) {
+    flight_ = recorder;
+    flight_index_ = index;
+  }
+
  private:
+  void notify_state_change(PowerState from, PowerState to, Seconds now);
+
   ComponentSpec spec_;
   PowerState state_ = PowerState::Idle;
   bool transitioning_ = false;
@@ -114,6 +142,9 @@ class Component {
   int sleep_transitions_ = 0;
   int wakeups_ = 0;
   StateObserver observer_;
+  AccrualObserver accrual_observer_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_index_ = 0;
 };
 
 }  // namespace dvs::hw

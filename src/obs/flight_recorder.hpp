@@ -1,0 +1,128 @@
+// FlightRecorder: an always-on ring buffer of compact trace records.
+//
+// Full JSONL tracing costs string formatting per event and is opt-in; the
+// flight recorder is the opposite trade — it is cheap enough to leave on in
+// every run (~a 24-byte store plus an index increment per event, no
+// allocation, no formatting) and only pays serialization when something
+// goes wrong.  The engine triggers a dump on watchdog escalation, fault
+// injection, or an exception escaping the simulation loop, so the last
+// `capacity` decisions before the anomaly are always available post-mortem
+// ("dvs_sim report --flight-dump <file>" renders them as a timeline).
+//
+// Records are fixed-size PODs; the (type, code, a, b) payload encoding per
+// event type is documented in docs/OBSERVABILITY.md and decoded by
+// parse_flight_dump / the report subcommand.  Dumps are a small text format
+// (one record per line) rather than raw memory so they survive toolchain
+// and endianness changes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvs::obs {
+
+/// Compact event vocabulary of the flight recorder — the subset of the
+/// structured trace (obs/event.hpp) that matters for post-mortems.
+enum class FlightEventType : std::uint16_t {
+  DecodeDone = 0,     ///< code=media, a=delay_s, b=queue_len
+  FrameDrop,          ///< code=media, a=frame_id
+  FreqCommit,         ///< code=step, a=freq_mhz, b=switch_latency_s
+  DpmIdleEnter,       ///< a=idle_hint_s (<0 = none)
+  DpmSleep,           ///< code=power state entered
+  DpmWakeup,          ///< code=state left, a=latency_s, b=idle_length_s
+  ComponentState,     ///< code=(component_idx<<8)|state, a=power_mw
+  WatchdogEscalate,   ///< a=delay_s, b=queue_len
+  WatchdogRecover,    ///< a=time_degraded_s
+  FaultInjected,      ///< code=fault kind, a=magnitude
+  Trigger,            ///< code=trigger reason ordinal (dump marker)
+};
+
+/// Stable snake_case name ("decode_done", ...); "?" for unknown values.
+std::string_view to_string(FlightEventType type);
+/// Inverse of to_string; returns false when `name` is not a known type.
+bool flight_type_from_string(std::string_view name, FlightEventType& out);
+
+/// One ring slot.  16 bytes of payload + the timestamp.
+struct FlightRecord {
+  double ts = 0.0;
+  std::uint16_t type = 0;
+  std::uint16_t code = 0;
+  float a = 0.0F;
+  float b = 0.0F;
+};
+
+/// A parsed dump (see parse_flight_dump).
+struct FlightDump {
+  std::string reason;
+  std::uint64_t recorded = 0;  ///< total records stored over the run
+  std::size_t capacity = 0;
+  std::vector<FlightRecord> records;  ///< oldest first
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two (masked indexing keeps
+  /// record() branch-free); the ring is allocated once, here.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// The hot path: one slot store and an increment.
+  void record(double ts, FlightEventType type, std::uint16_t code, float a,
+              float b) {
+    FlightRecord& r = ring_[static_cast<std::size_t>(head_) & mask_];
+    r.ts = ts;
+    r.type = static_cast<std::uint16_t>(type);
+    r.code = code;
+    r.a = a;
+    r.b = b;
+    ++head_;
+  }
+
+  /// Marks an anomaly: records a Trigger event and, when an auto-dump path
+  /// is set, writes the dump on the *first* trigger (so the file captures
+  /// the window leading into the first anomaly, not the last).
+  void trigger(double ts, std::string_view reason);
+
+  /// Dump destination armed by the engine; empty disables auto-dumping.
+  void set_auto_dump(std::string path) { auto_dump_path_ = std::move(path); }
+  [[nodiscard]] const std::string& auto_dump_path() const {
+    return auto_dump_path_;
+  }
+
+  [[nodiscard]] std::uint64_t records_stored() const { return head_; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+  [[nodiscard]] const std::string& first_trigger_reason() const {
+    return first_reason_;
+  }
+  [[nodiscard]] bool dumped() const { return dumped_; }
+
+  /// The ring's live contents, oldest record first.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+  /// Serializes the ring (see docs/OBSERVABILITY.md for the format).
+  void dump(std::ostream& os, std::string_view reason) const;
+
+  /// dump() to `path`; returns false (and stays quiet) when the file cannot
+  /// be opened — a post-mortem helper must not take the run down with it.
+  bool dump_to_file(const std::string& path, std::string_view reason);
+
+ private:
+  std::vector<FlightRecord> ring_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::string first_reason_;
+  std::string auto_dump_path_;
+  bool dumped_ = false;
+};
+
+/// Parses a dump written by FlightRecorder::dump.  Throws std::runtime_error
+/// on a malformed header or record line.
+FlightDump parse_flight_dump(std::istream& is);
+
+}  // namespace dvs::obs

@@ -84,6 +84,15 @@ void DvsGovernor::on_decode_complete(Seconds now, Seconds decode_time,
                              frame_delay.value(), buffered_frames,
                              watchdog_->current_backoff().value()});
         }
+        if (ledger_ != nullptr) {
+          ledger_->set_cause(obs::Cause::WatchdogEscalate);
+        }
+        if (flight_ != nullptr) {
+          flight_->record(now.value(), obs::FlightEventType::WatchdogEscalate,
+                          0, static_cast<float>(frame_delay.value()),
+                          static_cast<float>(buffered_frames));
+          flight_->trigger(now.value(), "watchdog-escalate");
+        }
         break;
       case WatchdogAction::kRecover:
         degraded_ = false;
@@ -91,6 +100,15 @@ void DvsGovernor::on_decode_complete(Seconds now, Seconds decode_time,
           trace_->record(now.value(),
                          obs::WatchdogRecover{
                              watchdog_->last_episode_length().value()});
+        }
+        if (ledger_ != nullptr) {
+          ledger_->set_cause(obs::Cause::WatchdogRecover);
+        }
+        if (flight_ != nullptr) {
+          flight_->record(
+              now.value(), obs::FlightEventType::WatchdogRecover, 0,
+              static_cast<float>(watchdog_->last_episode_length().value()),
+              0.0F);
         }
         break;
       case WatchdogAction::kNone:
@@ -128,6 +146,15 @@ Seconds DvsGovernor::apply(Seconds now) {
                                    badge_->cpu_voltage().value(),
                                    latency.value()});
   }
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::FreqCommit,
+                    static_cast<std::uint16_t>(badge_->cpu_step()),
+                    static_cast<float>(badge_->cpu_frequency().value()),
+                    static_cast<float>(latency.value()));
+  }
+  // After the commit: the accrual inside set_cpu_step closed the interval
+  // at the *old* step; everything from here on runs at the new one.
+  if (ledger_ != nullptr) ledger_->set_freq_step(badge_->cpu_step());
   return latency;
 }
 

@@ -19,6 +19,8 @@
 
 #include "detect/detector.hpp"
 #include "hw/smartbadge.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_recorder.hpp"
 #include "policy/frequency_policy.hpp"
 #include "policy/watchdog.hpp"
@@ -78,6 +80,16 @@ class DvsGovernor {
   /// every committed switch.  May be null (tracing off).
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches the attribution ledger: watchdog escalations/recoveries
+  /// switch its cause, and committed steps update its frequency-step regime
+  /// (after the commit, so the switch interval charges the old step).  May
+  /// be null.
+  void set_ledger(obs::AttributionLedger* ledger) { ledger_ = ledger; }
+
+  /// Attaches the flight recorder: frequency commits and watchdog actions
+  /// land in the ring, and an escalation triggers a dump.  May be null.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
   /// Arms the graceful-degradation watchdog (adaptive governors only; a
   /// no-op for Max, which already runs at the top step).  While degraded
   /// the governor clamps the desired step to maximum and has reset its
@@ -122,6 +134,8 @@ class DvsGovernor {
   double last_queue_len_ = 0.0;
   int retunes_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::AttributionLedger* ledger_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::unique_ptr<Watchdog> watchdog_;
   bool degraded_ = false;
   StepFilter step_filter_;

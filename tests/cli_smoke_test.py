@@ -274,6 +274,163 @@ def main():
     if proc.returncode == 0:
         fail("`sweep no-such` unexpectedly succeeded")
 
+    # ---- observability surface: ledger, flight recorder, report ------------
+
+    # S2: with --metrics-json - every other textual output must stay off
+    # stdout — prose, saved-trace notes, and the ledger all go elsewhere.
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "run.ledger.json")
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "A",
+             "--seconds", "20", "--detector", "change-point",
+             "--metrics-json", "-", "--ledger-json", ledger_path],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"run with stdout metrics exit {proc.returncode}\n"
+                 f"{proc.stderr}")
+        try:
+            json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            fail(f"--ledger-json note polluted stdout JSON: {e}\n"
+                 f"{proc.stdout[:2000]}")
+        if "ledger json ->" not in proc.stderr:
+            fail("ledger-written note missing from stderr")
+
+        # --save-trace short-circuits the run; its note must follow the
+        # metrics stream off stdout too.
+        saved = os.path.join(tmp, "saved.trace")
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "A",
+             "--metrics-json", "-", "--save-trace", saved],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"--save-trace exit {proc.returncode}\n{proc.stderr}")
+        if proc.stdout.strip():
+            fail(f"--save-trace wrote prose onto the JSON stdout stream:\n"
+                 f"{proc.stdout[:500]}")
+        if "wrote" not in proc.stderr:
+            fail("saved-trace note missing from stderr")
+
+    # Two JSON documents cannot share stdout: that is a usage error.
+    proc = subprocess.run(
+        [binary, "run", "--media", "mp3", "--sequence", "A",
+         "--metrics-json", "-", "--ledger-json", "-"],
+        capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"--metrics-json - --ledger-json - should exit 2, "
+             f"got {proc.returncode}")
+
+    # Full artifact run -> `report` renders every section.
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "run.ledger.json")
+        metrics_path = os.path.join(tmp, "run.metrics.json")
+        jsonl_path = os.path.join(tmp, "run.trace.jsonl")
+        flight_path = os.path.join(tmp, "run.flight.txt")
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "AC",
+             "--seconds", "30", "--detector", "change-point",
+             "--dpm", "tismdp", "--ledger-json", ledger_path,
+             "--metrics-json", metrics_path, "--trace-jsonl", jsonl_path,
+             "--flight-dump", flight_path],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"artifact run exit {proc.returncode}\n{proc.stderr}")
+
+        # The ledger reconciles with the metrics totals (the C++ suite pins
+        # 1e-9; this guards the serialized artifacts end to end).
+        with open(ledger_path) as f:
+            ledger = json.load(f)
+        if ledger.get("schema") != "dvs-ledger-v1":
+            fail(f"ledger schema wrong: {ledger.get('schema')!r}")
+        with open(metrics_path) as f:
+            run_metrics = json.load(f)
+        total_e = ledger["totals"]["energy_j"]
+        gauge_e = run_metrics["gauges"]["energy_j"]
+        if abs(total_e - gauge_e) > 1e-6 * max(abs(total_e), abs(gauge_e)):
+            fail(f"ledger energy {total_e} != metrics gauge {gauge_e}")
+        if sum(row["energy_j"] for row in ledger["energy"]) <= 0.0:
+            fail("ledger has no positive energy rows")
+
+        proc = subprocess.run(
+            [binary, "report", "--ledger-json", ledger_path,
+             "--metrics-json", metrics_path, "--trace-jsonl", jsonl_path],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            fail(f"report exit {proc.returncode}\n{proc.stderr}")
+        for section in ("== attribution ledger", "== metrics",
+                        "== decision timeline", "by cause",
+                        "delay percentiles"):
+            if section not in proc.stdout:
+                fail(f"report output missing {section!r}:\n"
+                     f"{proc.stdout[:3000]}")
+
+        # A clean run must not auto-dump the flight recorder.
+        if os.path.exists(flight_path):
+            fail("flight recorder dumped on a healthy run")
+
+    # Fault scenario: the watchdog/fault trigger auto-dumps the flight
+    # recorder, and the dump replays through `report`.
+    with tempfile.TemporaryDirectory() as tmp:
+        flight_path = os.path.join(tmp, "fault.flight.txt")
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "A",
+             "--detector", "change-point", "--faults", "spike10x",
+             "--flight-dump", flight_path],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"faulted run exit {proc.returncode}\n{proc.stderr}")
+        if not os.path.exists(flight_path):
+            fail("fault run did not auto-dump the flight recorder")
+        with open(flight_path) as f:
+            head = f.read(4096)
+        if not head.startswith("# dvs-flight-recorder-v1"):
+            fail(f"flight dump header wrong:\n{head[:200]}")
+        if "watchdog-escalate" not in head and "fault-injected" not in head:
+            fail(f"flight dump reason not an anomaly:\n{head[:200]}")
+
+        proc = subprocess.run(
+            [binary, "report", "--flight-dump", flight_path],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            fail(f"report --flight-dump exit {proc.returncode}\n{proc.stderr}")
+        if "== flight recorder" not in proc.stdout:
+            fail(f"flight report missing section:\n{proc.stdout[:2000]}")
+        if "== decision timeline" not in proc.stdout:
+            fail("flight report produced no timeline")
+
+    # Corrupt inputs fail loudly with exit 1, not a crash or silence.
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{\"schema\": \"dvs-ledger-v1\", \"totals\": ")
+        proc = subprocess.run([binary, "report", "--ledger-json", bad],
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode != 1:
+            fail(f"report on corrupt JSON should exit 1, "
+                 f"got {proc.returncode}")
+    # `report` with no inputs is a usage error.
+    proc = subprocess.run([binary, "report"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"bare `report` should exit 2, got {proc.returncode}")
+
+    # Sweep heartbeat: one JSONL object per point, progress reaches total.
+    with tempfile.TemporaryDirectory() as tmp:
+        hb = os.path.join(tmp, "hb.jsonl")
+        proc = subprocess.run(
+            [binary, "sweep", "quick", "--jobs", "2", "--heartbeat", hb],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"sweep --heartbeat exit {proc.returncode}\n{proc.stderr}")
+        with open(hb) as f:
+            beats = [json.loads(l) for l in f.read().splitlines() if l]
+        if not beats:
+            fail("heartbeat file is empty")
+        if beats[-1]["done"] != beats[-1]["total"]:
+            fail(f"final heartbeat incomplete: {beats[-1]}")
+        if [b["done"] for b in beats] != list(range(1, len(beats) + 1)):
+            fail("heartbeat done counts are not 1..N")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

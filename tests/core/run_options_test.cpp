@@ -39,8 +39,13 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   opts.cpu = &crusoe;
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
+  obs::AttributionLedger ledger;
   opts.trace = &trace;
   opts.metrics = &metrics;
+  opts.ledger = &ledger;
+  opts.flight_recorder = false;
+  opts.flight_capacity = 128;
+  opts.flight_dump_path = "/tmp/fr.txt";
 
   const EngineConfig ec = to_engine_config(opts);
   EXPECT_EQ(ec.detector, DetectorKind::ExpAverage);
@@ -65,6 +70,10 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
                    crusoe.max_frequency().value());
   EXPECT_EQ(ec.trace, &trace);
   EXPECT_EQ(ec.metrics, &metrics);
+  EXPECT_EQ(ec.ledger, &ledger);
+  EXPECT_FALSE(ec.flight_recorder);
+  EXPECT_EQ(ec.flight_capacity, 128u);
+  EXPECT_EQ(ec.flight_dump_path, "/tmp/fr.txt");
 }
 
 TEST(RunOptionsRoundTrip, DefaultsMatchEngineDefaults) {

@@ -8,7 +8,7 @@ namespace dvs::cli {
 void usage(const char* msg) {
   std::fprintf(stderr,
                "dvs_sim: %s\n"
-               "usage: dvs_sim run|sweep|list [options] "
+               "usage: dvs_sim run|sweep|report|list [options] "
                "(see the header of tools/dvs_sim_cli.cpp)\n",
                msg);
   std::exit(2);
@@ -49,6 +49,14 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--trace-csv") { o.trace_csv = need(i); ++i; }
     else if (a == "--chrome-trace") { o.chrome_trace = need(i); ++i; }
     else if (a == "--metrics-json") { o.metrics_json = need(i); ++i; }
+    else if (a == "--ledger-json") { o.ledger_json = need(i); ++i; }
+    else if (a == "--flight-dump") { o.flight_dump = need(i); ++i; }
+    else if (a == "--flight-dump-dir") { o.flight_dump_dir = need(i); ++i; }
+    else if (a == "--flight-capacity") {
+      o.flight_capacity = static_cast<std::size_t>(std::stoull(need(i))); ++i;
+    }
+    else if (a == "--no-flight-recorder") { o.no_flight = true; }
+    else if (a == "--heartbeat") { o.heartbeat = need(i); ++i; }
     else if (a == "--help" || a == "-h") { usage("help requested"); }
     else { usage(("unknown option " + a).c_str()); }
   }

@@ -1,6 +1,6 @@
 // Shared option surface of the dvs_sim subcommands.
 //
-// One flag vocabulary serves every subcommand (run, sweep, list) plus the
+// One flag vocabulary serves every subcommand (run, sweep, report, list) plus the
 // legacy no-subcommand spelling, so `dvs_sim run --media mp3` and the
 // deprecated `dvs_sim --media mp3` parse identically.  Subcommand
 // entry points live in cmd_run.cpp / cmd_sweep.cpp / cmd_list.cpp; the
@@ -47,6 +47,16 @@ struct CliOptions {
   std::string trace_csv;
   std::string chrome_trace;
   std::string metrics_json;
+  std::string ledger_json;
+  /// run: arms the flight-recorder auto-dump at this path.
+  /// report: an existing dump to analyze.
+  std::string flight_dump;
+  /// sweep: directory for per-point auto-dumps (CI failure artifacts).
+  std::string flight_dump_dir;
+  std::size_t flight_capacity = 0;  // 0 = FlightRecorder default
+  bool no_flight = false;
+  /// sweep: live progress heartbeat JSONL path ("-" = stderr).
+  std::string heartbeat;
 };
 
 /// Prints `msg` and exits 2 (the CLI's usage-error code).
@@ -73,6 +83,10 @@ int cmd_run(const CliOptions& o);
 
 /// `dvs_sim sweep`: a scenario grid through the SweepRunner.
 int cmd_sweep(const CliOptions& o);
+
+/// `dvs_sim report`: offline analyzer over run/sweep artifacts
+/// (metrics JSON, ledger JSON, JSONL traces, flight-recorder dumps).
+int cmd_report(const CliOptions& o);
 
 int cmd_list_scenarios();
 int cmd_list_faults();

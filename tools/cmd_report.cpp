@@ -1,0 +1,394 @@
+// `dvs_sim report`: offline analyzer over artifacts the other subcommands
+// wrote — metrics JSON (--metrics-json), attribution-ledger JSON
+// (--ledger-json), structured JSONL traces (--trace-jsonl) and
+// flight-recorder dumps (--flight-dump).  Any subset of inputs may be
+// given; each renders its own section.  Exit codes: 0 = report rendered,
+// 1 = an input failed to parse, 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace dvs::cli {
+
+namespace {
+
+std::string pct(double part, double whole) {
+  if (whole <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * part / whole);
+  return buf;
+}
+
+// ---- ledger section -------------------------------------------------------
+
+/// One parsed ledger cell, shared by the energy and delay tables.
+struct LedgerRow {
+  std::string component;  // or media for delay rows
+  std::string state;      // empty for delay rows
+  int freq_step = -1;
+  std::string cause;
+  double value = 0.0;  // energy_j or delay_s
+  double weight = 0.0; // time_s or frames
+};
+
+std::vector<LedgerRow> parse_rows(const json::Value& arr, bool energy) {
+  std::vector<LedgerRow> rows;
+  for (const json::ValuePtr& e : arr.as_array()) {
+    LedgerRow r;
+    r.component = e->at(energy ? "component" : "media").as_string();
+    if (energy) r.state = e->at("state").as_string();
+    r.freq_step = static_cast<int>(e->at("freq_step").as_number());
+    r.cause = e->at("cause").as_string();
+    r.value = e->at(energy ? "energy_j" : "delay_s").as_number();
+    r.weight = e->at(energy ? "time_s" : "frames").as_number();
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+/// Sums `value` grouped by a caller-chosen key, descending by value.
+std::vector<std::pair<std::string, double>> group_by(
+    const std::vector<LedgerRow>& rows,
+    const std::function<std::string(const LedgerRow&)>& key) {
+  std::map<std::string, double> acc;
+  for (const LedgerRow& r : rows) acc[key(r)] += r.value;
+  std::vector<std::pair<std::string, double>> out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void render_breakdown(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& groups,
+                      double total, const char* value_header) {
+  TextTable t{title};
+  t.set_header({"key", value_header, "share"});
+  for (const auto& [key, value] : groups) {
+    t.add_row({key, TextTable::num(value, 4), pct(value, total)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+int report_ledger(const std::string& path) {
+  const json::ValuePtr doc = json::parse_file(path);
+  const std::string schema = doc->string_or("schema", "?");
+  if (schema != "dvs-ledger-v1") {
+    std::fprintf(stderr, "report: %s: unexpected schema \"%s\"\n", path.c_str(),
+                 schema.c_str());
+    return 1;
+  }
+  const json::Value& totals = doc->at("totals");
+  const double energy = totals.at("energy_j").as_number();
+  const double delay = totals.at("delay_s").as_number();
+  const double frames = totals.at("frames").as_number();
+  std::printf("== attribution ledger (%s) ==\n", path.c_str());
+  std::printf("total energy %.4f J, total frame delay %.4f s over %.0f frames\n\n",
+              energy, delay, frames);
+
+  std::vector<double> freq_mhz;
+  if (const json::Value* freqs = doc->find("freq_mhz")) {
+    for (const json::ValuePtr& f : freqs->as_array()) {
+      freq_mhz.push_back(f->as_number());
+    }
+  }
+  auto step_label = [&freq_mhz](int step) {
+    if (step < 0) return std::string("-");
+    std::string label = "step " + std::to_string(step);
+    if (static_cast<std::size_t>(step) < freq_mhz.size()) {
+      label += " (" + TextTable::num(freq_mhz[static_cast<std::size_t>(step)], 1) +
+               " MHz)";
+    }
+    return label;
+  };
+
+  const std::vector<LedgerRow> erows = parse_rows(doc->at("energy"), true);
+  render_breakdown("energy by component", group_by(erows, [](const LedgerRow& r) {
+                     return r.component;
+                   }),
+                   energy, "energy_j");
+  render_breakdown("energy by cause",
+                   group_by(erows, [](const LedgerRow& r) { return r.cause; }),
+                   energy, "energy_j");
+  render_breakdown("energy by power state", group_by(erows, [](const LedgerRow& r) {
+                     return r.state;
+                   }),
+                   energy, "energy_j");
+  render_breakdown("energy by cpu step", group_by(erows, [&](const LedgerRow& r) {
+                     return step_label(r.freq_step);
+                   }),
+                   energy, "energy_j");
+
+  const std::vector<LedgerRow> drows = parse_rows(doc->at("delay"), false);
+  if (!drows.empty()) {
+    render_breakdown("frame delay by cause",
+                     group_by(drows, [](const LedgerRow& r) { return r.cause; }),
+                     delay, "delay_s");
+    render_breakdown("frame delay by cpu step",
+                     group_by(drows, [&](const LedgerRow& r) {
+                       return step_label(r.freq_step);
+                     }),
+                     delay, "delay_s");
+  }
+  return 0;
+}
+
+// ---- metrics section ------------------------------------------------------
+
+int report_metrics(const std::string& path) {
+  const json::ValuePtr doc = json::parse_file(path);
+  std::printf("== metrics (%s) ==\n", path.c_str());
+
+  const json::Value& gauges = doc->at("gauges");
+  const json::Value& counters = doc->at("counters");
+  std::printf(
+      "energy %.2f J over %.1f s (avg %.1f mW), %.0f frames decoded, "
+      "mean delay %.4f s\n\n",
+      gauges.number_or("energy_j", 0.0), gauges.number_or("duration_s", 0.0),
+      gauges.number_or("avg_power_mw", 0.0),
+      counters.number_or("frames_decoded", 0.0),
+      gauges.number_or("mean_frame_delay_s", 0.0));
+
+  TextTable hist{"delay percentiles"};
+  hist.set_header({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+  for (const auto& [name, h] : doc->at("histograms").as_object()) {
+    const double count = h->number_or("count", 0.0);
+    if (count == 0.0) {
+      hist.add_row({name, "0"});
+      continue;
+    }
+    hist.add_row({name, TextTable::num(count, 0),
+                  TextTable::num(h->number_or("mean", 0.0), 5),
+                  TextTable::num(h->number_or("p50", 0.0), 5),
+                  TextTable::num(h->number_or("p90", 0.0), 5),
+                  TextTable::num(h->number_or("p99", 0.0), 5),
+                  TextTable::num(h->number_or("max", 0.0), 5)});
+  }
+  hist.print();
+  std::printf("\n");
+
+  TextTable cnt{"counters"};
+  cnt.set_header({"counter", "value"});
+  for (const auto& [name, v] : counters.as_object()) {
+    cnt.add_row({name, TextTable::num(v->as_number(), 0)});
+  }
+  cnt.print();
+  std::printf("\n");
+  return 0;
+}
+
+// ---- decision timeline (JSONL trace + flight dump) ------------------------
+
+struct TimelineEntry {
+  double ts = 0.0;
+  std::string source;  // "trace" | "flight"
+  std::string text;
+};
+
+/// Decision-relevant JSONL event types -> one timeline line each.
+bool timeline_line_from_trace(const json::Value& ev, TimelineEntry& out) {
+  const std::string type = ev.string_or("type", "?");
+  char buf[160];
+  if (type == "detector_decision") {
+    if (ev.find("detected") == nullptr || !ev.at("detected").as_bool()) {
+      return false;  // non-detections are detector noise, not decisions
+    }
+    std::snprintf(buf, sizeof buf, "detector change-point on %s -> %.2f Hz",
+                  ev.string_or("stream", "?").c_str(),
+                  ev.number_or("rate_hz", 0.0));
+  } else if (type == "freq_commit") {
+    std::snprintf(buf, sizeof buf, "freq commit step %.0f -> %.1f MHz",
+                  ev.number_or("step", -1.0), ev.number_or("freq_mhz", 0.0));
+  } else if (type == "dpm_sleep") {
+    std::snprintf(buf, sizeof buf, "dpm sleep -> %s",
+                  ev.string_or("state", "?").c_str());
+  } else if (type == "dpm_wakeup") {
+    std::snprintf(buf, sizeof buf, "dpm wakeup from %s (%.3f s latency, %.2f s idle)",
+                  ev.string_or("from", "?").c_str(),
+                  ev.number_or("latency_s", 0.0), ev.number_or("idle_s", 0.0));
+  } else if (type == "fault_injected") {
+    std::snprintf(buf, sizeof buf, "fault %s (magnitude %.3g)",
+                  ev.string_or("kind", "?").c_str(),
+                  ev.number_or("magnitude", 0.0));
+  } else if (type == "watchdog_escalate") {
+    std::snprintf(buf, sizeof buf, "watchdog ESCALATE (delay %.3f s, backoff %.1f s)",
+                  ev.number_or("delay_s", 0.0), ev.number_or("backoff_s", 0.0));
+  } else if (type == "watchdog_recover") {
+    std::snprintf(buf, sizeof buf, "watchdog recover (degraded %.2f s)",
+                  ev.number_or("degraded_s", 0.0));
+  } else {
+    return false;
+  }
+  out.text = buf;
+  out.ts = ev.number_or("ts", 0.0);
+  out.source = "trace";
+  return true;
+}
+
+int load_trace_timeline(const std::string& path,
+                        std::vector<TimelineEntry>& timeline) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::ValuePtr ev;
+    try {
+      ev = json::parse(line);
+    } catch (const json::ParseError& e) {
+      std::fprintf(stderr, "report: %s:%zu: %s\n", path.c_str(), lineno,
+                   e.what());
+      return 1;
+    }
+    TimelineEntry entry;
+    if (timeline_line_from_trace(*ev, entry)) timeline.push_back(std::move(entry));
+  }
+  return 0;
+}
+
+bool timeline_line_from_flight(const obs::FlightRecord& r, TimelineEntry& out) {
+  using obs::FlightEventType;
+  char buf[160];
+  switch (static_cast<FlightEventType>(r.type)) {
+    case FlightEventType::FreqCommit:
+      std::snprintf(buf, sizeof buf, "freq commit step %u -> %.1f MHz", r.code,
+                    static_cast<double>(r.a));
+      break;
+    case FlightEventType::DpmSleep:
+      std::snprintf(buf, sizeof buf, "dpm sleep -> state %u", r.code);
+      break;
+    case FlightEventType::DpmWakeup:
+      std::snprintf(buf, sizeof buf,
+                    "dpm wakeup from state %u (%.3f s latency, %.2f s idle)",
+                    r.code, static_cast<double>(r.a), static_cast<double>(r.b));
+      break;
+    case FlightEventType::WatchdogEscalate:
+      std::snprintf(buf, sizeof buf, "watchdog ESCALATE (delay %.3f s, queue %.0f)",
+                    static_cast<double>(r.a), static_cast<double>(r.b));
+      break;
+    case FlightEventType::WatchdogRecover:
+      std::snprintf(buf, sizeof buf, "watchdog recover (degraded %.2f s)",
+                    static_cast<double>(r.a));
+      break;
+    case FlightEventType::FaultInjected:
+      std::snprintf(buf, sizeof buf, "fault code %u (magnitude %.3g)", r.code,
+                    static_cast<double>(r.a));
+      break;
+    case FlightEventType::Trigger:
+      std::snprintf(buf, sizeof buf, "** dump trigger **");
+      break;
+    default:
+      return false;
+  }
+  out.ts = r.ts;
+  out.source = "flight";
+  out.text = buf;
+  return true;
+}
+
+int report_flight(const std::string& path,
+                  std::vector<TimelineEntry>& timeline) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  obs::FlightDump dump;
+  try {
+    dump = obs::parse_flight_dump(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("== flight recorder (%s) ==\n", path.c_str());
+  std::printf("reason: %s; %llu events recorded, ring capacity %zu, "
+              "%zu in dump window\n",
+              dump.reason.c_str(),
+              static_cast<unsigned long long>(dump.recorded), dump.capacity,
+              dump.records.size());
+  // Event-type census of the window: what the system was doing going in.
+  std::map<std::string, std::size_t> census;
+  for (const obs::FlightRecord& r : dump.records) {
+    census[std::string(obs::to_string(
+        static_cast<obs::FlightEventType>(r.type)))]++;
+  }
+  TextTable t{"dump window census"};
+  t.set_header({"event", "count"});
+  for (const auto& [name, n] : census) {
+    t.add_row({name, std::to_string(n)});
+  }
+  t.print();
+  std::printf("\n");
+
+  for (const obs::FlightRecord& r : dump.records) {
+    TimelineEntry entry;
+    if (timeline_line_from_flight(r, entry)) timeline.push_back(std::move(entry));
+  }
+  return 0;
+}
+
+void render_timeline(std::vector<TimelineEntry>& timeline) {
+  if (timeline.empty()) return;
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     return a.ts < b.ts;
+                   });
+  std::printf("== decision timeline (%zu decisions) ==\n", timeline.size());
+  for (const TimelineEntry& e : timeline) {
+    std::printf("%12.4f s  [%s]  %s\n", e.ts, e.source.c_str(), e.text.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int cmd_report(const CliOptions& o) {
+  if (o.metrics_json.empty() && o.ledger_json.empty() &&
+      o.trace_jsonl.empty() && o.flight_dump.empty()) {
+    usage("report needs at least one of --metrics-json, --ledger-json, "
+          "--trace-jsonl, --flight-dump");
+  }
+  if (o.metrics_json == "-" || o.ledger_json == "-") {
+    usage("report reads files; \"-\" is not a valid input path");
+  }
+  try {
+    if (!o.ledger_json.empty()) {
+      if (const int rc = report_ledger(o.ledger_json); rc != 0) return rc;
+    }
+    if (!o.metrics_json.empty()) {
+      if (const int rc = report_metrics(o.metrics_json); rc != 0) return rc;
+    }
+    std::vector<TimelineEntry> timeline;
+    if (!o.flight_dump.empty()) {
+      if (const int rc = report_flight(o.flight_dump, timeline); rc != 0) {
+        return rc;
+      }
+    }
+    if (!o.trace_jsonl.empty()) {
+      if (const int rc = load_trace_timeline(o.trace_jsonl, timeline); rc != 0) {
+        return rc;
+      }
+    }
+    render_timeline(timeline);
+  } catch (const json::ParseError& e) {
+    std::fprintf(stderr, "report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dvs::cli

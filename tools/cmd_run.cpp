@@ -23,9 +23,13 @@ namespace dvs::cli {
 int cmd_run(const CliOptions& o) {
   const hw::Sa1100 cpu;
 
-  // Metrics to stdout move the human-readable report to stderr so the JSON
-  // stays machine-parseable.
-  const bool json_to_stdout = o.metrics_json == "-";
+  // JSON to stdout moves the human-readable report to stderr so the JSON
+  // stays machine-parseable; two JSON documents cannot share stdout.
+  if (o.metrics_json == "-" && o.ledger_json == "-") {
+    usage("--metrics-json - and --ledger-json - both target stdout;"
+          " write at least one to a file");
+  }
+  const bool json_to_stdout = o.metrics_json == "-" || o.ledger_json == "-";
   std::FILE* hout = json_to_stdout ? stderr : stdout;
 
   core::DetectorFactoryConfig detector_cfg;
@@ -59,6 +63,11 @@ int cmd_run(const CliOptions& o) {
   if (recorder.active()) opts.trace = &recorder;
   if (!o.metrics_json.empty()) opts.metrics = &registry;
   if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
+  obs::AttributionLedger ledger;
+  if (!o.ledger_json.empty()) opts.ledger = &ledger;
+  opts.flight_recorder = !o.no_flight;
+  if (o.flight_capacity != 0) opts.flight_capacity = o.flight_capacity;
+  opts.flight_dump_path = o.flight_dump;
 
   // Single-run fault injection: all named specs' workload perturbations
   // apply in order; the first spec supplies the watchdog and hardware plan.
@@ -129,7 +138,10 @@ int cmd_run(const CliOptions& o) {
 
     if (!o.save_trace.empty()) {
       workload::save_trace(*trace, o.save_trace);
-      std::printf("wrote %zu frames to %s\n", trace->size(), o.save_trace.c_str());
+      // Through hout, not stdout: `--save-trace x --metrics-json -` must not
+      // interleave prose into the JSON stream.
+      std::fprintf(hout, "wrote %zu frames to %s\n", trace->size(),
+                   o.save_trace.c_str());
       return 0;
     }
 
@@ -167,6 +179,19 @@ int cmd_run(const CliOptions& o) {
       }
       registry.write_json(os);
       std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
+    }
+  }
+  if (!o.ledger_json.empty()) {
+    if (o.ledger_json == "-") {
+      ledger.write_json(std::cout);
+    } else {
+      std::ofstream os{o.ledger_json};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.ledger_json.c_str());
+        return 1;
+      }
+      ledger.write_json(os);
+      std::fprintf(hout, "ledger json -> %s\n", o.ledger_json.c_str());
     }
   }
 

@@ -30,6 +30,22 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
   core::SweepOptions sopts;
   sopts.jobs = o.jobs;
   sopts.metrics = registry;
+  sopts.heartbeat_path = o.heartbeat;
+  if (!o.flight_dump_dir.empty()) {
+    // Arm a per-point auto-dump so anomalies anywhere in the grid leave a
+    // post-mortem artifact (CI uploads this directory on failure).  The
+    // scenario name and point index make the file name unique; attaching
+    // observability here keeps the simulation inputs untouched, so results
+    // stay bit-identical across --jobs.
+    const std::string dir = o.flight_dump_dir;
+    const std::string scenario = spec.name;
+    sopts.configure_run = [dir, scenario](const core::RunPoint& p,
+                                          core::RunOptions& ropts) {
+      ropts.flight_dump_path = dir + "/" + scenario + "_point" +
+                               std::to_string(p.index) + "_rep" +
+                               std::to_string(p.replicate) + ".flight.txt";
+    };
+  }
   const core::SweepResult res = core::SweepRunner{sopts}.run(spec);
 
   std::fprintf(hout, "%s\nreproduces: %s\n", spec.title.c_str(),

@@ -4,6 +4,7 @@
 //   dvs_sim run   [options]              one engine session (trace or --session)
 //   dvs_sim sweep <scenario> [options]   run a scenario grid through the sweep
 //                                        runner (bit-identical at any --jobs)
+//   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
 //   dvs_sim list  [scenarios|faults]     enumerate scenarios and/or fault specs
 //
 //   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
@@ -58,6 +59,24 @@
 //   --metrics-json <path>     counters/gauges/histograms as JSON; "-" writes
 //                             the JSON to stdout and the human-readable
 //                             report to stderr
+//   --ledger-json <path>      energy/delay attribution ledger as JSON; "-"
+//                             writes to stdout (mutually exclusive with
+//                             --metrics-json -)
+//   --flight-dump <path>      run: arm the flight-recorder auto-dump here;
+//                             report: analyze an existing dump
+//   --flight-capacity <n>     flight-recorder ring size (rounded up to a
+//                             power of two; default 4096)
+//   --no-flight-recorder      disable the always-on flight recorder
+//
+// Sweep telemetry:
+//   --heartbeat <path>        live progress JSONL, one object per finished
+//                             point ("-" = stderr)
+//   --flight-dump-dir <dir>   per-point flight-recorder auto-dumps (named
+//                             <scenario>_point<i>_rep<r>.flight.txt)
+//
+// Report inputs (any subset; see docs/OBSERVABILITY.md):
+//   dvs_sim report --metrics-json m.json --ledger-json l.json
+//                  --trace-jsonl t.jsonl --flight-dump f.flight.txt
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -89,6 +108,11 @@ int dispatch_sweep(int argc, char** argv, int first) {
     o.scenario = positional;
   }
   return cli::cmd_sweep(o);
+}
+
+int dispatch_report(int argc, char** argv, int first) {
+  const cli::CliOptions o = cli::parse_flags(argc, argv, first);
+  return cli::cmd_report(o);
 }
 
 int dispatch_list(int argc, char** argv, int first) {
@@ -127,6 +151,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "run") return dispatch_run(argc, argv, 2);
   if (cmd == "sweep") return dispatch_sweep(argc, argv, 2);
+  if (cmd == "report") return dispatch_report(argc, argv, 2);
   if (cmd == "list") return dispatch_list(argc, argv, 2);
   if (cmd == "--help" || cmd == "-h") cli::usage("help requested");
   if (cmd.size() >= 2 && cmd[0] == '-') return dispatch_legacy(argc, argv);
