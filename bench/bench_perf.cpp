@@ -11,7 +11,17 @@
 //   * micro.sim_cancel_ns                  one kernel schedule+cancel
 //   * micro.flight_record_ns               one flight-recorder ring store
 //   * engine.flight_overhead_pct           engine run, flight on vs off
+//   * micro.sketch_add_ns                  one quantile-sketch insertion
+//   * micro.span_record_ns                 one span enter/exit, profiler on
+//   * micro.span_null_ns                   one span site, no profiler [budget]
+//   * engine.span_overhead_pct             span profiler attached vs bare
+//   * engine.metrics_overhead_pct          metrics registry + sketches vs bare
+//   * engine.telemetry_overhead_pct        live snapshot feed vs metrics [budget]
 //   * char.threshold_table_s               one cold Monte-Carlo characterization
+//
+// Rows marked [budget] carry a "budget" field: an absolute ceiling in the
+// metric's own unit that compare_bench.py enforces under --strict,
+// independent of the baseline (see measure_telemetry for the rationale).
 //
 // Scenario sweeps run at jobs=1 so the number is per-core engine throughput,
 // comparable across machines with different core counts.  Scenario timing
@@ -25,6 +35,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,6 +56,9 @@ struct PerfResult {
   std::string unit;
   double value = 0.0;
   bool higher_is_better = true;
+  /// Absolute ceiling for this metric (same unit as value); 0 = none.
+  /// compare_bench.py --strict fails when value exceeds it.
+  double budget = 0.0;
 };
 
 void write_json(const std::string& path, const std::vector<PerfResult>& results) {
@@ -60,8 +74,13 @@ void write_json(const std::string& path, const std::vector<PerfResult>& results)
     std::snprintf(value, sizeof value, "%.6g", r.value);
     os << "    {\"name\": \"" << r.name << "\", \"unit\": \"" << r.unit
        << "\", \"value\": " << value << ", \"higher_is_better\": "
-       << (r.higher_is_better ? "true" : "false") << "}"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+       << (r.higher_is_better ? "true" : "false");
+    if (r.budget > 0.0) {
+      char budget[64];
+      std::snprintf(budget, sizeof budget, "%.6g", r.budget);
+      os << ", \"budget\": " << budget;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -250,6 +269,123 @@ void measure_flight_recorder(std::vector<PerfResult>& out) {
   }
 }
 
+/// Streaming-telemetry costs.  Two classes of number, mirroring the flight
+/// recorder's budget philosophy (always-on cost must be ~free; opt-in
+/// analysis cost is tracked but not capped):
+///
+/// Budgeted (compare_bench.py --strict fails on breach):
+///   * micro.span_null_ns — one instrumentation site with NO profiler
+///     attached, the price every engine run pays (budget 2 ns: a pointer
+///     test must stay a pointer test).
+///   * engine.telemetry_overhead_pct — the live snapshot feed in its
+///     production configuration (wall-time scrape throttle) on top of a
+///     metrics-enabled run (budget 5%, same as the flight recorder).
+///
+/// Informational (tracked in the trajectory, no absolute cap): raw sketch
+/// insert and span record micro numbers, and the end-to-end cost of the
+/// opt-in analysis attachments — the metrics registry with its per-frame
+/// sketch feeds, and the span profiler when one is attached.  A sim-time
+/// snapshot cadence likewise scales with the cadence (the engine simulates
+/// thousands of seconds per wall second), so like --trace-jsonl it is an
+/// analysis dump, not a budgeted production path.
+void measure_telemetry(std::vector<PerfResult>& out) {
+  {
+    // Sketch insertion in steady state (past the exact->P2 collapse).
+    obs::QuantileSketch sk;
+    Rng rng{4242};
+    constexpr int kAdds = 4000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kAdds; ++i) sk.add(rng.exponential(10.0));
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.sketch_add_ns", "ns/add", wall / kAdds * 1e9, false});
+    std::printf("%-34s %10.2f ns/add\n", "micro.sketch_add", wall / kAdds * 1e9);
+  }
+  {
+    // One enter/exit pair on a pre-registered node (the per-site cost when
+    // a profiler IS attached).
+    obs::SpanProfiler prof;
+    const int id = prof.node(0, "bench");
+    constexpr int kPairs = 4000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kPairs; ++i) {
+      prof.enter(id);
+      prof.exit();
+    }
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.span_record_ns", "ns/span", wall / kPairs * 1e9,
+                   false});
+    std::printf("%-34s %10.2f ns/span\n", "micro.span_record",
+                wall / kPairs * 1e9);
+  }
+  {
+    // The same site with no profiler: the always-on null path.
+    constexpr int kPairs = 40000000;
+    obs::SpanProfiler* null_prof = nullptr;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kPairs; ++i) {
+      obs::ScopedSpan span{null_prof, 1};
+      asm volatile("" ::: "memory");  // keep the loop from folding away
+    }
+    const double wall = seconds_since(t0);
+    out.push_back({"micro.span_null_ns", "ns/site", wall / kPairs * 1e9,
+                   false, 2.0});
+    std::printf("%-34s %10.2f ns/site  (budget 2 ns)\n", "micro.span_null",
+                wall / kPairs * 1e9);
+  }
+  {
+    const hw::Sa1100 cpu;
+    const auto dec = workload::reference_mp3_decoder(cpu.max_frequency());
+    Rng rng{78};
+    std::string labels;
+    for (int i = 0; i < 8; ++i) labels += "ACE";
+    const auto trace =
+        workload::build_mp3_trace(workload::mp3_sequence(labels), dec, rng);
+    enum Mode { kBare, kSpans, kMetrics, kLiveFeed, kModes };
+    const auto one_run = [&](int mode) {
+      core::RunOptions opts;
+      opts.detector = core::DetectorKind::ExpAverage;
+      obs::SpanProfiler prof;
+      obs::MetricsRegistry reg;
+      std::ostringstream sink;
+      obs::TelemetrySnapshotter tel{&sink};
+      if (mode == kSpans) opts.profiler = &prof;
+      if (mode == kMetrics || mode == kLiveFeed) opts.metrics = &reg;
+      if (mode == kLiveFeed) {
+        // Production live feed: sim-time chain at 1 s, delivery throttled
+        // to a 100 Hz wall scrape rate.
+        tel.set_min_wall_interval(0.01);
+        opts.telemetry = &tel;
+        opts.telemetry_every = seconds(1.0);
+      }
+      const auto t0 = Clock::now();
+      core::run_single_trace(trace, dec, opts);
+      return seconds_since(t0);
+    };
+    double best[kModes];
+    for (int m = 0; m < kModes; ++m) best[m] = one_run(m);  // warm-up rep
+    for (int rep = 0; rep < 7; ++rep) {
+      for (int m = 0; m < kModes; ++m) best[m] = std::min(best[m], one_run(m));
+    }
+    const auto pct = [](double on, double off) {
+      return off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+    };
+    const double span_pct = pct(best[kSpans], best[kBare]);
+    const double metrics_pct = pct(best[kMetrics], best[kBare]);
+    const double feed_pct = pct(best[kLiveFeed], best[kMetrics]);
+    out.push_back({"engine.span_overhead_pct", "%", span_pct, false});
+    out.push_back({"engine.metrics_overhead_pct", "%", metrics_pct, false});
+    out.push_back({"engine.telemetry_overhead_pct", "%", feed_pct, false, 5.0});
+    std::printf("%-34s %10.2f %%  (on %.4f s, off %.4f s)\n",
+                "engine.span_overhead", span_pct, best[kSpans], best[kBare]);
+    std::printf("%-34s %10.2f %%  (on %.4f s, off %.4f s)\n",
+                "engine.metrics_overhead", metrics_pct, best[kMetrics],
+                best[kBare]);
+    std::printf("%-34s %10.2f %%  (on %.4f s, off %.4f s, budget 5%%)\n",
+                "engine.telemetry_overhead", feed_pct, best[kLiveFeed],
+                best[kMetrics]);
+  }
+}
+
 /// One cold Monte-Carlo threshold characterization (Section 3.1) — the cost
 /// the shared-asset cache saves on every warm use.
 void measure_characterization(std::vector<PerfResult>& out) {
@@ -274,6 +410,7 @@ int main(int argc, char** argv) {
   measure_governor_step(results);
   measure_sim_kernel(results);
   measure_flight_recorder(results);
+  measure_telemetry(results);
   for (const char* s : {"quick", "table3", "table5"}) {
     measure_scenario(s, results);
   }

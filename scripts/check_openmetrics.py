@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition (the --metrics-openmetrics output).
+
+Checks the subset of the OpenMetrics 1.0 text format the dvs_sim exporter
+emits, strictly enough that a real scraper would ingest it:
+
+  * the exposition ends with exactly one `# EOF` line, nothing after it;
+  * every metric family is declared with `# TYPE <name> <counter|gauge|
+    summary>` before any of its samples, and declared at most once;
+  * metric names match [a-zA-Z_][a-zA-Z0-9_]*;
+  * counter samples use the `<family>_total` suffix and are non-negative;
+  * summary samples are `<family>{quantile="q"}` with q in [0, 1] plus
+    `_count` / `_sum`, quantile values non-decreasing in q;
+  * every sample value parses as a number, and every sample belongs to a
+    declared family;
+  * with --require-prefix, every family name carries the given prefix.
+
+Usage: check_openmetrics.py [--require-prefix dvs_] FILE|-
+Exit status: 0 clean, 1 with findings on stderr, 2 usage.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<extra>.*))?$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+VALID_TYPES = ("counter", "gauge", "summary")
+
+# Suffixes a sample may add to its family name, per type.
+COUNTER_SUFFIXES = ("_total", "_created")
+SUMMARY_SUFFIXES = ("", "_count", "_sum")
+
+
+def parse_number(token):
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def lint(lines, require_prefix=""):
+    errors = []
+    families = {}  # name -> type
+    saw_samples = set()
+    quantiles = {}  # family -> list of (q, value) in emission order
+    eof_at = None
+
+    def err(lineno, msg):
+        errors.append(f"line {lineno}: {msg}")
+
+    for i, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if eof_at is not None:
+            err(i, f"content after # EOF (which was on line {eof_at})")
+            break
+        if line == "# EOF":
+            eof_at = i
+            continue
+        if not line:
+            err(i, "blank line (OpenMetrics forbids them)")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) >= 2 and parts[1] in ("HELP", "UNIT"):
+                continue  # legal metadata we don't emit; not an error
+            if len(parts) != 4 or parts[1] != "TYPE":
+                err(i, f"unparseable comment line: {line!r}")
+                continue
+            _, _, name, mtype = parts
+            if not NAME_RE.match(name):
+                err(i, f"bad metric family name {name!r}")
+            if mtype not in VALID_TYPES:
+                err(i, f"bad metric type {mtype!r} for {name}")
+            if name in families:
+                err(i, f"duplicate TYPE declaration for {name}")
+            if name in saw_samples:
+                err(i, f"TYPE for {name} appears after its samples")
+            if require_prefix and not name.startswith(require_prefix):
+                err(i, f"family {name} missing required prefix "
+                       f"{require_prefix!r}")
+            families[name] = mtype
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(i, f"unparseable sample line: {line!r}")
+            continue
+        sample = m.group("name")
+        value = parse_number(m.group("value"))
+        if value is None:
+            err(i, f"sample value {m.group('value')!r} is not a number")
+            continue
+        labels = {}
+        if m.group("labels") is not None:
+            for item in filter(None, m.group("labels").split(",")):
+                lm = LABEL_RE.match(item)
+                if not lm:
+                    err(i, f"bad label {item!r}")
+                    continue
+                labels[lm.group("key")] = lm.group("val")
+
+        # Resolve the sample to its declared family.
+        family, mtype = None, None
+        for suffix in ("", "_total", "_created", "_count", "_sum"):
+            if suffix and not sample.endswith(suffix):
+                continue
+            base = sample[: len(sample) - len(suffix)] if suffix else sample
+            if base in families:
+                family, mtype = base, families[base]
+                break
+        if family is None:
+            err(i, f"sample {sample} has no preceding TYPE declaration")
+            continue
+        saw_samples.add(family)
+        suffix = sample[len(family):]
+
+        if mtype == "counter":
+            if suffix not in COUNTER_SUFFIXES:
+                err(i, f"counter {family} sample must use _total, "
+                       f"got {sample}")
+            if value < 0:
+                err(i, f"counter {sample} is negative: {value}")
+        elif mtype == "gauge":
+            if suffix:
+                err(i, f"gauge {family} sample has unexpected suffix "
+                       f"{suffix!r}")
+        elif mtype == "summary":
+            if suffix not in SUMMARY_SUFFIXES:
+                err(i, f"summary {family} sample has unexpected suffix "
+                       f"{suffix!r}")
+            if suffix == "":
+                q = parse_number(labels.get("quantile", ""))
+                if q is None or not 0.0 <= q <= 1.0:
+                    err(i, f"summary {family} quantile label must be a "
+                           f"number in [0, 1]: {labels.get('quantile')!r}")
+                else:
+                    quantiles.setdefault(family, []).append((q, value))
+            elif suffix == "_count" and (value < 0 or value != int(value)):
+                err(i, f"summary {family}_count must be a non-negative "
+                       f"integer: {value}")
+
+    if eof_at is None:
+        errors.append("missing terminating # EOF line")
+    for family, qs in quantiles.items():
+        ordered = sorted(qs)
+        values = [v for _, v in ordered]
+        if values != sorted(values):
+            errors.append(f"summary {family} quantile values are not "
+                          f"monotone in q: {ordered}")
+    return errors
+
+
+def main(argv):
+    args = argv[1:]
+    require_prefix = ""
+    if args and args[0] == "--require-prefix":
+        if len(args) < 2:
+            print("--require-prefix needs a value", file=sys.stderr)
+            return 2
+        require_prefix = args[1]
+        args = args[2:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if args[0] == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args[0]) as f:
+            lines = f.readlines()
+    errors = lint(lines, require_prefix)
+    for e in errors:
+        print(f"check_openmetrics: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_openmetrics: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    n = sum(1 for l in lines if l.strip() and not l.startswith("#"))
+    print(f"check_openmetrics: OK ({n} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

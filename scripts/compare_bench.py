@@ -8,7 +8,11 @@ Prints a per-metric table with the relative change and flags regressions
 beyond the tolerance (default 25%, generous because CI runners jitter).
 Exit code is 0 unless --strict is given, in which case any flagged
 regression exits 1.  Metrics present in only one file are reported but
-never flagged.
+never flagged -- except budget breaches: a result carrying a "budget"
+field (an absolute ceiling in the metric's own unit, e.g. the 5% engine
+overhead budget for the span profiler) is checked against the CURRENT
+value regardless of the baseline, and a breach is flagged even for
+metrics the baseline lacks.
 """
 
 import argparse
@@ -39,11 +43,16 @@ def main():
     cur = load(args.current)
 
     regressions = []
+    breaches = []
     print(f"{'metric':<42} {'baseline':>12} {'current':>12} {'change':>9}")
     print("-" * 79)
     for name in sorted(set(base) | set(cur)):
         b = base.get(name)
         c = cur.get(name)
+        # Budget check: an absolute ceiling on the current value, applied
+        # whether or not the baseline knows the metric.
+        if c is not None and c.get("budget", 0) > 0 and c["value"] > c["budget"]:
+            breaches.append((name, c["value"], c["budget"]))
         if b is None or c is None:
             side = "baseline" if c is None else "current"
             val = (b or c)["value"]
@@ -61,11 +70,19 @@ def main():
             regressions.append((name, rel))
         print(f"{name:<42} {bv:>12.4g} {cv:>12.4g} {rel:>+8.1%}{flag}")
 
+    failed = False
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
               f"{args.tolerance:.0%}:")
         for name, rel in regressions:
             print(f"  {name}: {rel:+.1%}")
+        failed = True
+    if breaches:
+        print(f"\n{len(breaches)} metric(s) over their absolute budget:")
+        for name, val, budget in breaches:
+            print(f"  {name}: {val:.4g} > budget {budget:.4g}")
+        failed = True
+    if failed:
         if args.strict:
             sys.exit(1)
         print("(warn-only: exiting 0; use --strict to fail)")

@@ -74,6 +74,20 @@ Engine::Engine(EngineConfig cfg, std::vector<PlaybackItem> items)
     delay_violation_hist_ =
         &cfg_.metrics->histogram("frames.delay_over_target", 0.0, 10.0, 100);
   }
+  if (cfg_.profiler != nullptr) {
+    // Pre-register the span tree so the hot path is a timestamp plus two
+    // stores per handler — no name lookups while the simulation runs.
+    profiler_ = cfg_.profiler;
+    const int root = profiler_->root();
+    span_arrival_ = profiler_->node(root, "arrival");
+    span_decode_start_ = profiler_->node(root, "decode_start");
+    span_decode_done_ = profiler_->node(root, "decode_done");
+    span_governor_ = profiler_->node(span_decode_done_, "governor");
+    span_dpm_idle_ = profiler_->node(root, "dpm_idle");
+    span_power_sample_ = profiler_->node(root, "power_sample");
+    span_telemetry_ = profiler_->node(root, "telemetry_snapshot");
+    profiler_->enter(root);
+  }
   if (tracing()) install_component_observers();
   if (flight_ != nullptr) {
     // Raw-pointer hook, not the std::function observer: the flight recorder
@@ -241,6 +255,7 @@ void Engine::schedule_arrival_cursor() {
 }
 
 void Engine::handle_arrival() {
+  const obs::ScopedSpan span{profiler_, span_arrival_};
   const Seconds now = sim_.now();
   const PlaybackItem& item = items_[item_];
   const workload::TraceFrame& tf = item.trace.frames()[frame_idx_];
@@ -338,6 +353,7 @@ void Engine::maybe_start_decode(Seconds at) {
 }
 
 void Engine::handle_decode_start() {
+  const obs::ScopedSpan span{profiler_, span_decode_start_};
   decode_start_pending_ = false;
   if (busy_ || buffer_.empty()) return;
   const Seconds now = sim_.now();
@@ -393,6 +409,7 @@ void Engine::handle_decode_start() {
 
 void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
                                     MegaHertz freq) {
+  const obs::ScopedSpan span{profiler_, span_decode_done_};
   const Seconds now = sim_.now();
   buffer_.record_departure(frame.arrival, now);
   deactivate_components(frame.type, now);
@@ -420,8 +437,13 @@ void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
                     static_cast<float>(buffer_.size()));
   }
   policy::DvsGovernor& gov = governor_for(frame.type);
-  gov.on_decode_complete(now, pure_decode, freq,
-                         static_cast<double>(buffer_.size()), delay);
+  {
+    // Nested span: the governor's detector + policy work inside the
+    // decode-completion handler shows up as its own tree node.
+    const obs::ScopedSpan gov_span{profiler_, span_governor_};
+    gov.on_decode_complete(now, pure_decode, freq,
+                           static_cast<double>(buffer_.size()), delay);
+  }
   if (tracing() && gov.adaptive()) {
     record_detector_sample(gov, "service", now, pure_decode,
                            gov.service_estimate_at_max());
@@ -461,6 +483,7 @@ void Engine::deactivate_components(workload::MediaType type, Seconds now) {
 void Engine::arm_dpm(Seconds now) {
   cancel_arm();
   arm_event_ = sim_.schedule_at(now + cfg_.dpm_arm_delay, [this] {
+    const obs::ScopedSpan span{profiler_, span_dpm_idle_};
     const Seconds t = sim_.now();
     // Playback stopped: the display is no longer being accessed.
     auto& display = badge_.component(hw::BadgeComponentId::Display);
@@ -478,9 +501,49 @@ void Engine::schedule_power_sample(Seconds at) {
   // alive forever.
   if (at > items_.back().end) return;
   sim_.schedule_at(at, [this] {
+    const obs::ScopedSpan span{profiler_, span_power_sample_};
     power_trace_.emplace_back(sim_.now().value(), badge_.total_power().value());
     schedule_power_sample(sim_.now() + cfg_.power_sample_period);
   });
+}
+
+void Engine::schedule_telemetry_snapshot(Seconds at) {
+  // Same chain shape as the power sampler: stops at the session end so it
+  // cannot keep the event loop alive.
+  if (at > items_.back().end) return;
+  sim_.schedule_at(at, [this] {
+    const obs::ScopedSpan span{profiler_, span_telemetry_};
+    take_telemetry_snapshot(sim_.now());
+    schedule_telemetry_snapshot(sim_.now() + cfg_.telemetry_every);
+  });
+}
+
+void Engine::take_telemetry_snapshot(Seconds now) {
+  // The registry fills its counters/gauges only at end of run, so the
+  // instantaneous readings a live feed needs ride in the snapshot's
+  // "live" object instead of polluting the end-of-run registry.
+  static const obs::MetricsRegistry kEmpty;
+  const obs::MetricsRegistry& reg =
+      cfg_.metrics != nullptr ? *cfg_.metrics : kEmpty;
+  obs::TelemetrySnapshotter::Live live;
+  live.reserve(8);
+  live.emplace_back("sim_time_s", now.value());
+  double energy = 0.0;
+  for (std::size_t i = 0; i < badge_.num_components(); ++i) {
+    energy += badge_.component(static_cast<hw::BadgeComponentId>(i))
+                  .energy_consumed(now)
+                  .value();
+  }
+  live.emplace_back("energy_j", energy);
+  live.emplace_back("avg_power_mw",
+                    now.value() > 0.0 ? energy / now.value() * 1e3 : 0.0);
+  live.emplace_back("cpu_mhz", badge_.cpu_frequency().value());
+  live.emplace_back("queue_frames", static_cast<double>(buffer_.size()));
+  live.emplace_back("frames_arrived", static_cast<double>(frames_arrived_));
+  live.emplace_back("frames_decoded",
+                    static_cast<double>(buffer_.delay_stats().count()));
+  live.emplace_back("frames_dropped", static_cast<double>(buffer_.dropped()));
+  cfg_.telemetry->snapshot(now.value(), "engine", reg, live);
 }
 
 void Engine::cancel_arm() {
@@ -503,6 +566,10 @@ Metrics Engine::run() {
     power_trace_.reserve(static_cast<std::size_t>(expected) + 2);
     schedule_power_sample(cfg_.power_sample_period);
   }
+  if (cfg_.telemetry != nullptr && cfg_.telemetry->active() &&
+      cfg_.telemetry_every.value() > 0.0) {
+    schedule_telemetry_snapshot(cfg_.telemetry_every);
+  }
   try {
     obs::ScopedTimer timer{cfg_.metrics, "wall.engine_run_s"};
     sim_.run();
@@ -520,7 +587,16 @@ Metrics Engine::run() {
     throw;
   }
   const Seconds end = std::max(sim_.now(), items_.back().end);
-  return collect(end);
+  Metrics m = collect(end);
+  if (cfg_.telemetry != nullptr && cfg_.telemetry->active() &&
+      cfg_.telemetry_every.value() > 0.0) {
+    // Final snapshot after fill_registry: the last JSONL line carries the
+    // complete end-of-run registry, so a feed consumer never needs the
+    // separate metrics JSON to close its series.
+    take_telemetry_snapshot(end);
+  }
+  if (profiler_ != nullptr) profiler_->exit();  // the "engine" root span
+  return m;
 }
 
 Metrics Engine::collect(Seconds end) {
@@ -616,6 +692,9 @@ void Engine::fill_registry(const Metrics& m) {
     if (flight_->triggers() > 0) {
       reg.counter("flight.triggers") += flight_->triggers();
     }
+  }
+  if (cfg_.telemetry != nullptr && cfg_.telemetry->active()) {
+    reg.counter("telemetry.snapshots") += cfg_.telemetry->snapshots_written();
   }
 }
 

@@ -40,6 +40,8 @@
 #include "obs/attribution.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/telemetry/snapshotter.hpp"
+#include "obs/telemetry/span_profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "policy/governor.hpp"
 #include "policy/watchdog.hpp"
@@ -106,6 +108,18 @@ struct EngineConfig {
   std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
   /// Non-empty: arms the auto-dump at this path.
   std::string flight_dump_path;
+  /// Optional live telemetry: when both are set, the engine snapshots the
+  /// metrics registry (plus instantaneous "live" readings) every
+  /// `telemetry_every` sim-seconds into the snapshotter's JSONL sink
+  /// (obs/telemetry/snapshotter.hpp).  Most useful together with
+  /// `metrics`; without it the snapshots carry only the live readings.
+  obs::TelemetrySnapshotter* telemetry = nullptr;
+  Seconds telemetry_every{0.0};
+  /// Optional self-profiling: hierarchical spans around the engine's event
+  /// handlers (obs/telemetry/span_profiler.hpp).  Null (default) costs one
+  /// pointer test per handler; the enabled path is budgeted at <= 5% in
+  /// bench_perf.  The caller finalizes and writes the profile.
+  obs::SpanProfiler* profiler = nullptr;
 };
 
 class Engine {
@@ -155,6 +169,8 @@ class Engine {
   void arm_dpm(Seconds now);
   void cancel_arm();
   void schedule_power_sample(Seconds at);
+  void schedule_telemetry_snapshot(Seconds at);
+  void take_telemetry_snapshot(Seconds now);
   void note_frequency(Seconds now);
   Metrics collect(Seconds end);
 
@@ -224,6 +240,17 @@ class Engine {
   /// Time of the last workload rate change (item start / item switch) not
   /// yet acknowledged by a detector — feeds the detection-latency histogram.
   std::optional<Seconds> rate_change_at_;
+
+  // Self-profiling span tree (ids valid only when profiler_ != nullptr;
+  // every use is guarded by the null test in ScopedSpan).
+  obs::SpanProfiler* profiler_ = nullptr;
+  int span_arrival_ = 0;
+  int span_decode_start_ = 0;
+  int span_decode_done_ = 0;
+  int span_governor_ = 0;
+  int span_dpm_idle_ = 0;
+  int span_power_sample_ = 0;
+  int span_telemetry_ = 0;
 };
 
 }  // namespace dvs::core

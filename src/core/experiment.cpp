@@ -39,6 +39,9 @@ EngineConfig to_engine_config(const RunOptions& opts) {
   cfg.flight_recorder = opts.flight_recorder;
   cfg.flight_capacity = opts.flight_capacity;
   cfg.flight_dump_path = opts.flight_dump_path;
+  cfg.telemetry = opts.telemetry;
+  cfg.telemetry_every = opts.telemetry_every;
+  cfg.profiler = opts.profiler;
   return cfg;
 }
 

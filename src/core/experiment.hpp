@@ -58,6 +58,11 @@ struct RunOptions {
   bool flight_recorder = true;
   std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
   std::string flight_dump_path;
+  /// Live telemetry snapshots (see EngineConfig::telemetry).
+  obs::TelemetrySnapshotter* telemetry = nullptr;
+  Seconds telemetry_every{0.0};
+  /// Hierarchical self-profiling spans (see EngineConfig::profiler).
+  obs::SpanProfiler* profiler = nullptr;
 };
 
 /// The exact EngineConfig a RunOptions resolves to — the single translation

@@ -283,6 +283,15 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
   // ---- execute ----------------------------------------------------------
   std::vector<Metrics> metrics(points.size());
+  // Per-point registries: each worker writes only its own slot, and the
+  // serial fold afterwards walks expansion order, so quantile collection
+  // keeps the bit-identical-at-any---jobs contract.
+  const bool collect = opts_.collect_quantiles || opts_.metrics != nullptr;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> point_regs;
+  if (collect) {
+    point_regs.resize(points.size());
+    for (auto& r : point_regs) r = std::make_unique<obs::MetricsRegistry>();
+  }
   std::mutex progress_m;
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -302,6 +311,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     }
   }
   std::size_t hb_done = 0;
+  std::size_t tel_done = 0;
   RunningStats hb_energy_kj, hb_delay_s;
   const auto write_heartbeat = [&](const RunPoint& p, const Metrics& m) {
     ++hb_done;
@@ -341,13 +351,36 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     opts.cpu = &cpu.cpu;
     opts.watchdog = p.faults.watchdog;
     opts.hw_faults = p.faults.hw;
+    if (collect) opts.metrics = point_regs[i].get();
     if (opts_.configure_run) opts_.configure_run(p, opts);
     metrics[i] = run_items(*asset.items, opts);
 
-    if (opts_.on_point || heartbeat != nullptr) {
+    const bool telemetry_on =
+        opts_.telemetry != nullptr && opts_.telemetry->active();
+    if (opts_.on_point || heartbeat != nullptr || telemetry_on) {
       std::lock_guard<std::mutex> lk(progress_m);
       if (opts_.on_point) opts_.on_point(PointResult{p, metrics[i]});
       if (heartbeat != nullptr) write_heartbeat(p, metrics[i]);
+      if (telemetry_on) {
+        // One snapshot per finished point, wall-clock timestamps,
+        // completion order: the sweep's live feed mirrors the heartbeat
+        // contract (telemetry only, never feeds results).
+        static const obs::MetricsRegistry kEmpty;
+        ++tel_done;
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        opts_.telemetry->snapshot(
+            elapsed, "sweep",
+            collect ? *point_regs[i] : kEmpty,
+            {{"done", static_cast<double>(tel_done)},
+             {"total", static_cast<double>(points.size())},
+             {"point", static_cast<double>(p.index)},
+             {"cell", static_cast<double>(p.cell)},
+             {"replicate", static_cast<double>(p.replicate)},
+             {"energy_kj", metrics[i].energy_kj()},
+             {"mean_delay_s", metrics[i].mean_frame_delay.value()}});
+      }
     }
   });
   out.wall_seconds =
@@ -369,6 +402,15 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
         wakeup, power, faults, recoveries, degraded;
     for (; i < out.points.size() && out.points[i].point.cell == cell; ++i) {
       const Metrics& m = out.points[i].metrics;
+      if (collect) {
+        // Merge the replicate's frame-delay sketch into the cell's
+        // population sketch — the same place the Student-t CI reduction
+        // runs, so the cells CSV reports honest population percentiles
+        // instead of a mean of per-run quantiles.
+        const obs::HistogramMetric* h =
+            point_regs[i]->find_histogram("frames.delay_s");
+        if (h != nullptr) c.delay_sketch.merge(h->sketch());
+      }
       energy.add(m.energy_kj());
       cpu_mem.add(m.cpu_memory_energy().value() / 1e3);
       delay.add(m.mean_frame_delay.value());
@@ -394,12 +436,22 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     c.faults_injected = aggregate(faults);
     c.recoveries = aggregate(recoveries);
     c.time_degraded_s = aggregate(degraded);
+    if (!c.delay_sketch.empty()) {
+      c.delay_p50 = c.delay_sketch.quantile(0.5);
+      c.delay_p90 = c.delay_sketch.quantile(0.9);
+      c.delay_p99 = c.delay_sketch.quantile(0.99);
+    }
     out.cells.push_back(std::move(c));
   }
 
   // ---- summary observability -------------------------------------------
   if (opts_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *opts_.metrics;
+    // Fold every point's registry in, in expansion order: counters add,
+    // histograms and their quantile sketches merge, gauges are skipped
+    // (obs/metrics_registry.hpp) — the summary's frames.delay_s percentiles
+    // describe the whole population across workers and replicates.
+    for (const auto& pr : point_regs) reg.merge_from(*pr);
     reg.counter("sweep.points") += out.points.size();
     reg.counter("sweep.cells") += out.cells.size();
     reg.gauge("sweep.jobs") = out.jobs;
@@ -462,7 +514,8 @@ void SweepResult::write_cells_csv(CsvWriter& csv) const {
        "cpu_mem_kj_ci95", "delay_s_mean", "delay_s_sd", "delay_s_ci95",
        "freq_mhz_mean", "freq_mhz_sd", "freq_mhz_ci95", "switches_mean",
        "sleeps_mean", "wakeup_delay_s_mean", "power_mw_mean",
-       "faults_injected_mean", "recoveries_mean", "time_degraded_s_mean"});
+       "faults_injected_mean", "recoveries_mean", "time_degraded_s_mean",
+       "delay_p50", "delay_p90", "delay_p99"});
   for (const CellResult& c : cells) {
     csv.row(scenario, c.point.cell, c.point.workload.name(),
             to_string(c.point.detector), c.point.dpm.name(),
@@ -474,7 +527,7 @@ void SweepResult::write_cells_csv(CsvWriter& csv) const {
             c.freq_mhz.stddev, c.freq_mhz.ci95_half, c.switches.mean,
             c.sleeps.mean, c.wakeup_delay_s.mean, c.power_mw.mean,
             c.faults_injected.mean, c.recoveries.mean,
-            c.time_degraded_s.mean);
+            c.time_degraded_s.mean, c.delay_p50, c.delay_p90, c.delay_p99);
   }
 }
 

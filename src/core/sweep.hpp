@@ -20,6 +20,7 @@
 #include "core/metrics.hpp"
 #include "core/scenario.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/telemetry/snapshotter.hpp"
 
 namespace dvs::core {
 
@@ -70,6 +71,14 @@ struct CellResult {
   Aggregate faults_injected;
   Aggregate recoveries;
   Aggregate time_degraded_s;
+  /// Population frame-delay distribution: the per-point quantile sketches
+  /// of every replicate merged in expansion order (empty unless quantile
+  /// collection ran — see SweepOptions::collect_quantiles).  The p50/p90/
+  /// p99 fields are the merged sketch's quantiles, 0 when not collected.
+  obs::QuantileSketch delay_sketch;
+  double delay_p50 = 0.0;
+  double delay_p90 = 0.0;
+  double delay_p99 = 0.0;
 };
 
 struct SweepResult {
@@ -91,8 +100,23 @@ struct SweepResult {
 struct SweepOptions {
   int jobs = 1;  ///< 0 = hardware concurrency
   /// Summary sink, fed serially after the run (the registry itself is not
-  /// thread-safe, so per-run engine hooks stay off during a sweep).
+  /// thread-safe, so per-run engine hooks stay off during a sweep).  When
+  /// set, every point gets a private registry on its worker and the
+  /// per-point registries are folded in serially, in expansion order
+  /// (counters add, histograms + sketches merge, gauges skipped) — so the
+  /// summary sees the population frame-delay distribution, not just the
+  /// sweep.* roll-ups, and the result is byte-identical at any --jobs.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Collect per-point quantile sketches (CellResult::delay_sketch and the
+  /// cells-CSV delay percentile columns) even without a summary registry.
+  /// Implied by `metrics`.  Off by default: it attaches a metrics registry
+  /// to every engine run, which costs histogram updates on the hot path.
+  bool collect_quantiles = false;
+  /// Live telemetry: one snapshot per finished point (wall-clock `t`,
+  /// completion order — same contract as the heartbeat: telemetry only,
+  /// never feeds results).  Snapshots carry the finished point's own
+  /// registry when quantile collection is on.
+  obs::TelemetrySnapshotter* telemetry = nullptr;
   /// Progress callback, serialized, in completion (not expansion) order.
   std::function<void(const PointResult&)> on_point;
   /// Per-point RunOptions hook, called on the worker thread after the

@@ -10,7 +10,10 @@
 //   * fault injection:  fault::FaultSpec, fault::builtin_faults
 //   * shared assets:    detect::shared_threshold_table,
 //                       dpm::cached_tismdp_solution (process-wide caches)
-//   * observability:    obs::MetricsRegistry, obs::TraceRecorder, sinks
+//   * observability:    obs::MetricsRegistry, obs::TraceRecorder, sinks,
+//                       telemetry (obs::QuantileSketch,
+//                       obs::TelemetrySnapshotter, obs::SpanProfiler,
+//                       obs::write_openmetrics)
 //   * workloads:        workload clip tables, trace builders, decoders
 //   * hardware models:  hw::SmartBadge, hw::Sa1100, battery / DC-DC
 //   * building blocks:  sim::Simulator, the queue models, detectors, the
@@ -37,6 +40,10 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
+#include "obs/telemetry/openmetrics.hpp"
+#include "obs/telemetry/quantile_sketch.hpp"
+#include "obs/telemetry/snapshotter.hpp"
+#include "obs/telemetry/span_profiler.hpp"
 #include "obs/trace_recorder.hpp"
 
 // Hardware models.

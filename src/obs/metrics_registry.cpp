@@ -1,6 +1,7 @@
 #include "obs/metrics_registry.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace dvs::obs {
 
@@ -13,6 +14,28 @@ std::string fmt_num(double v) {
 }
 
 }  // namespace
+
+void HistogramMetric::merge(const HistogramMetric& other) {
+  if (hist_.lo() != other.hist_.lo() || hist_.hi() != other.hist_.hi() ||
+      hist_.bins() != other.hist_.bins()) {
+    throw std::invalid_argument(
+        "HistogramMetric::merge: incompatible histogram shapes");
+  }
+  for (std::size_t i = 0; i < other.hist_.bins(); ++i) {
+    if (other.hist_.bin_count(i) > 0) {
+      hist_.add(other.hist_.bin_lo(i), other.hist_.bin_count(i));
+    }
+  }
+  // Clamped mass merges as clamped mass (bin_lo of an end bin would lie).
+  if (other.hist_.underflow() > 0) {
+    hist_.add(other.hist_.lo() - 1.0, other.hist_.underflow());
+  }
+  if (other.hist_.overflow() > 0) {
+    hist_.add(other.hist_.hi(), other.hist_.overflow());
+  }
+  stats_.merge(other.stats_);
+  sketch_.merge(other.sketch_);
+}
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
                                             double hi, std::size_t bins) {
@@ -39,6 +62,34 @@ const HistogramMetric* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(name, HistogramMetric{h.histogram().lo(),
+                                              h.histogram().hi(),
+                                              h.histogram().bins()})
+               .first;
+    }
+    it->second.merge(h);
+  }
+  // Gauges deliberately skipped (see header).
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::clamped_histograms(
+    double threshold) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) continue;
+    const double frac =
+        static_cast<double>(h.clamped()) / static_cast<double>(h.count());
+    if (frac > threshold) out.emplace_back(name, frac);
+  }
+  return out;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -61,9 +112,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       os << ", \"mean\": " << fmt_num(h.stats().mean())
          << ", \"min\": " << fmt_num(h.stats().min())
          << ", \"max\": " << fmt_num(h.stats().max())
-         << ", \"p50\": " << fmt_num(h.histogram().quantile(0.5))
-         << ", \"p90\": " << fmt_num(h.histogram().quantile(0.9))
-         << ", \"p99\": " << fmt_num(h.histogram().quantile(0.99));
+         << ", \"p50\": " << fmt_num(h.sketch().quantile(0.5))
+         << ", \"p90\": " << fmt_num(h.sketch().quantile(0.9))
+         << ", \"p99\": " << fmt_num(h.sketch().quantile(0.99))
+         << ", \"underflow\": " << h.histogram().underflow()
+         << ", \"overflow\": " << h.histogram().overflow();
     }
     os << "}";
     first = false;

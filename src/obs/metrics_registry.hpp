@@ -2,21 +2,31 @@
 //
 // Counters are monotone event tallies, gauges hold the latest value of a
 // measurement (or an accumulated wall-clock total), and histograms combine
-// common/stats.hpp::Histogram (binned, for quantiles) with RunningStats
-// (exact mean/min/max).  The registry serializes to a single JSON object —
-// the payload behind `dvs_sim --metrics-json`.
+// common/stats.hpp::Histogram (binned, for shape/report plots) with
+// RunningStats (exact mean/min/max) and a mergeable QuantileSketch
+// (streaming p50/p90/p99 with no range clamping — the percentile source of
+// truth since the telemetry pillar landed).  The registry serializes to a
+// single JSON object — the payload behind `dvs_sim --metrics-json` — and
+// to the OpenMetrics text format (obs/telemetry/openmetrics.hpp).
+//
+// Registries merge (merge_from): counters add, histogram metrics fold
+// their bins, moments, and sketches together; gauges are skipped — a
+// gauge is a point-in-time reading whose sum or last-writer value would
+// both lie, and every derivable aggregate already lives in the histograms.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "obs/telemetry/quantile_sketch.hpp"
 
 namespace dvs::obs {
 
-/// A histogram plus exact moments of the same sample stream.
+/// A histogram, exact moments, and a quantile sketch of one sample stream.
 class HistogramMetric {
  public:
   HistogramMetric(double lo, double hi, std::size_t bins) : hist_(lo, hi, bins) {}
@@ -24,15 +34,26 @@ class HistogramMetric {
   void add(double x) {
     hist_.add(x);
     stats_.add(x);
+    sketch_.add(x);
   }
 
   [[nodiscard]] const Histogram& histogram() const { return hist_; }
   [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] const QuantileSketch& sketch() const { return sketch_; }
   [[nodiscard]] std::size_t count() const { return stats_.count(); }
+  /// Samples the binned histogram clamped into its end bins (the sketch
+  /// and moments always see the true values).
+  [[nodiscard]] std::size_t clamped() const {
+    return hist_.underflow() + hist_.overflow();
+  }
+
+  /// Folds another metric of the same shape (lo/hi/bins) into this one.
+  void merge(const HistogramMetric& other);
 
  private:
   Histogram hist_;
   RunningStats stats_;
+  QuantileSketch sketch_;
 };
 
 class MetricsRegistry {
@@ -50,12 +71,36 @@ class MetricsRegistry {
   [[nodiscard]] const HistogramMetric* find_histogram(
       const std::string& name) const;
 
+  /// Ordered iteration for exporters (telemetry snapshots, OpenMetrics).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramMetric>& histograms()
+      const {
+    return histograms_;
+  }
+
   [[nodiscard]] bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
+  /// Folds another registry in: counters add, histograms merge (created
+  /// here with the other's shape when absent), gauges are skipped (see
+  /// file header).
+  void merge_from(const MetricsRegistry& other);
+
+  /// Histograms whose binned copy clamped more than `threshold` of their
+  /// samples into the end bins, as (name, clamped fraction) pairs — the
+  /// basis of the CLI's "histogram range too narrow" warning.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> clamped_histograms(
+      double threshold) const;
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,min,
-  /// max,p50,p90,p99}}}
+  /// max,p50,p90,p99,underflow,overflow}}} — percentiles come from the
+  /// quantile sketch, not the binned histogram.
   void write_json(std::ostream& os) const;
 
  private:

@@ -1,0 +1,60 @@
+#include "obs/telemetry/openmetrics.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dvs::obs {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "dvs_";
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_openmetrics(const MetricsRegistry& reg, std::ostream& os) {
+  for (const auto& [name, value] : reg.counters()) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << fmt_num(value) << "\n";
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " summary\n";
+    if (h.count() > 0) {
+      os << n << "{quantile=\"0.5\"} " << fmt_num(h.sketch().quantile(0.5))
+         << "\n";
+      os << n << "{quantile=\"0.9\"} " << fmt_num(h.sketch().quantile(0.9))
+         << "\n";
+      os << n << "{quantile=\"0.99\"} " << fmt_num(h.sketch().quantile(0.99))
+         << "\n";
+    }
+    os << n << "_count " << h.count() << "\n";
+    os << n << "_sum " << fmt_num(h.count() > 0 ? h.stats().sum() : 0.0)
+       << "\n";
+    // Binned-histogram clamping, visible to scrapers as its own counter.
+    const std::string cn = n + "_clamped";
+    os << "# TYPE " << cn << " counter\n";
+    os << cn << "_total " << h.clamped() << "\n";
+  }
+  os << "# EOF\n";
+}
+
+}  // namespace dvs::obs

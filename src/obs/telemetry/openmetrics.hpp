@@ -1,0 +1,28 @@
+// OpenMetrics text exporter: renders a MetricsRegistry in the
+// OpenMetrics / Prometheus exposition format so external scrapers and CI
+// linters consume runs unmodified (`dvs_sim ... --metrics-openmetrics`).
+//
+// Naming is stable and mechanical (docs/OBSERVABILITY.md "OpenMetrics
+// naming"): every metric gets the `dvs_` prefix, dots and other
+// non-[a-zA-Z0-9_] characters become underscores.  Counters render as
+// counter families (sample name `<family>_total`), gauges as gauges, and
+// histogram metrics as summaries: `{quantile="0.5|0.9|0.99"}` samples from
+// the quantile sketch plus `_count` / `_sum` from the exact moments, and a
+// companion `<family>_clamped_total` counter exposing binned-histogram
+// underflow + overflow.  Output ends with the mandatory `# EOF` marker and
+// is validated in CI by scripts/check_openmetrics.py.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
+namespace dvs::obs {
+
+/// "frames.delay_s" -> "dvs_frames_delay_s".
+std::string openmetrics_name(const std::string& name);
+
+void write_openmetrics(const MetricsRegistry& reg, std::ostream& os);
+
+}  // namespace dvs::obs

@@ -1,0 +1,81 @@
+#include "obs/telemetry/snapshotter.hpp"
+
+#include <cstdio>
+
+namespace dvs::obs {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool TelemetrySnapshotter::open(const std::string& path) {
+  file_.open(path);
+  if (!file_) return false;
+  os_ = &file_;
+  return true;
+}
+
+void TelemetrySnapshotter::snapshot(double t, const std::string& source,
+                                    const MetricsRegistry& reg,
+                                    const Live& live) {
+  if (os_ == nullptr) return;
+  if (written_ > 0 && min_interval_ > 0.0 && t - last_t_ < min_interval_) {
+    return;
+  }
+  if (min_wall_ > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (written_ > 0 &&
+        std::chrono::duration<double>(now - last_wall_).count() < min_wall_) {
+      return;
+    }
+    last_wall_ = now;
+  }
+  last_t_ = t;
+  ++written_;
+
+  std::ostream& os = *os_;
+  os << "{\"t\": " << fmt_num(t) << ", \"source\": \"" << source << "\"";
+  if (!live.empty()) {
+    os << ", \"live\": {";
+    bool first = true;
+    for (const auto& [name, value] : live) {
+      os << (first ? "" : ", ") << "\"" << name << "\": " << fmt_num(value);
+      first = false;
+    }
+    os << "}";
+  }
+  os << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << value;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : reg.gauges()) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << fmt_num(value);
+    first = false;
+  }
+  os << "}, \"quantiles\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (h.count() == 0) continue;
+    os << (first ? "" : ", ") << "\"" << name
+       << "\": {\"count\": " << h.count()
+       << ", \"mean\": " << fmt_num(h.stats().mean())
+       << ", \"p50\": " << fmt_num(h.sketch().quantile(0.5))
+       << ", \"p90\": " << fmt_num(h.sketch().quantile(0.9))
+       << ", \"p99\": " << fmt_num(h.sketch().quantile(0.99)) << "}";
+    first = false;
+  }
+  os << "}}\n";
+  os.flush();
+}
+
+}  // namespace dvs::obs

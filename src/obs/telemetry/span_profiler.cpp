@@ -1,0 +1,87 @@
+#include "obs/telemetry/span_profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace dvs::obs {
+
+SpanProfiler::SpanProfiler()
+    : calib_ticks_(now_ticks()),
+      calib_wall_(std::chrono::steady_clock::now()) {
+  nodes_.push_back(Node{"engine", -1, 0, 0, 0});
+}
+
+int SpanProfiler::node(int parent, const std::string& name) {
+  if (parent < 0 || static_cast<std::size_t>(parent) >= nodes_.size()) {
+    throw std::out_of_range("SpanProfiler::node: bad parent id");
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == parent && nodes_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  nodes_.push_back(Node{name, parent, 0, 0, 0});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void SpanProfiler::finalize() {
+  while (depth_ > 0) exit();
+  if (finalized_) return;
+  finalized_ = true;
+
+  // Calibrate ticks -> seconds against the wall clock that ran alongside.
+  const std::uint64_t dt_ticks = now_ticks() - calib_ticks_;
+  const double dt_wall = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - calib_wall_)
+                             .count();
+  seconds_per_tick_ =
+      dt_ticks > 0 ? dt_wall / static_cast<double>(dt_ticks) : 0.0;
+
+  for (Node& n : nodes_) n.self_ticks = n.ticks;
+  for (const Node& n : nodes_) {
+    if (n.parent < 0) continue;
+    Node& p = nodes_[static_cast<std::size_t>(n.parent)];
+    p.self_ticks -= std::min(p.self_ticks, n.ticks);
+  }
+}
+
+double SpanProfiler::node_total_s(int id) const {
+  return static_cast<double>(nodes_.at(static_cast<std::size_t>(id)).ticks) *
+         seconds_per_tick_;
+}
+
+double SpanProfiler::node_self_s(int id) const {
+  return static_cast<double>(
+             nodes_.at(static_cast<std::size_t>(id)).self_ticks) *
+         seconds_per_tick_;
+}
+
+std::string SpanProfiler::stack_of(int id) const {
+  const Node& n = nodes_.at(static_cast<std::size_t>(id));
+  if (n.parent < 0) return n.name;
+  return stack_of(n.parent) + ";" + n.name;
+}
+
+void SpanProfiler::write_collapsed(std::ostream& os) const {
+  // One line per node with its *self* time in integer microseconds — the
+  // collapsed-stack convention (each stack's value excludes its children,
+  // which appear on their own lines).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.calls == 0 && n.parent >= 0) continue;  // registered but never hit
+    const double self_us =
+        static_cast<double>(n.self_ticks) * seconds_per_tick_ * 1e6;
+    os << stack_of(static_cast<int>(i)) << " "
+       << static_cast<std::uint64_t>(std::llround(self_us)) << "\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.calls == 0 && n.parent >= 0) continue;
+    os << "# calls " << stack_of(static_cast<int>(i)) << " " << n.calls
+       << "\n";
+  }
+}
+
+}  // namespace dvs::obs

@@ -431,6 +431,140 @@ def main():
         if [b["done"] for b in beats] != list(range(1, len(beats) + 1)):
             fail("heartbeat done counts are not 1..N")
 
+    # ---- streaming telemetry: snapshots, OpenMetrics, self-profile ---------
+
+    lint = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "scripts", "check_openmetrics.py")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tel = os.path.join(tmp, "run.telemetry.jsonl")
+        om = os.path.join(tmp, "run.om.txt")
+        prof = os.path.join(tmp, "run.profile.txt")
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "AC",
+             "--seconds", "30", "--detector", "change-point",
+             "--dpm", "tismdp", "--metrics-json", "-",
+             "--telemetry-jsonl", tel, "--telemetry-every", "0.5",
+             "--metrics-openmetrics", om, "--self-profile", prof],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"telemetry run exit {proc.returncode}\n{proc.stderr}")
+        json.loads(proc.stdout)  # stdout stayed pure JSON
+
+        # Snapshot JSONL: self-contained lines on the sim-time cadence,
+        # monotone t, sketch-backed frame-delay quantiles present.
+        with open(tel) as f:
+            snaps = [json.loads(l) for l in f.read().splitlines() if l]
+        if len(snaps) < 10:
+            fail(f"expected a snapshot every 0.5 sim-s, got {len(snaps)}")
+        ts = [s["t"] for s in snaps]
+        if any(b <= a for a, b in zip(ts, ts[1:])):
+            fail("telemetry snapshot times are not strictly increasing")
+        for s in snaps:
+            if s.get("source") != "engine":
+                fail(f"unexpected snapshot source: {s.get('source')!r}")
+            if "cpu_mhz" not in s.get("live", {}):
+                fail(f"snapshot missing live cpu_mhz: {s}")
+        last = snaps[-1]
+        q = last.get("quantiles", {}).get("frames.delay_s")
+        if not q or not (q["p50"] <= q["p90"] <= q["p99"]):
+            fail(f"final snapshot lacks ordered delay quantiles: {q}")
+
+        # OpenMetrics exposition passes the linter, dvs_ prefix required.
+        proc = subprocess.run(
+            [sys.executable, lint, "--require-prefix", "dvs_", om],
+            capture_output=True, text=True, timeout=60)
+        if proc.returncode != 0:
+            fail(f"check_openmetrics rejected the exporter output:\n"
+                 f"{proc.stderr}")
+
+        # Self-profile: collapsed stacks rooted at the engine span.
+        with open(prof) as f:
+            stacks = [l for l in f.read().splitlines()
+                      if l and not l.startswith("#")]
+        if not stacks:
+            fail("self-profile has no stack lines")
+        for line in stacks:
+            stack, _, value = line.rpartition(" ")
+            if not stack.startswith("engine") or not value.isdigit():
+                fail(f"bad collapsed-stack line: {line!r}")
+
+        # `report` renders both new sections from the artifacts.
+        proc = subprocess.run(
+            [binary, "report", "--telemetry-jsonl", tel,
+             "--self-profile", prof],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            fail(f"telemetry report exit {proc.returncode}\n{proc.stderr}")
+        for section in ("== telemetry snapshots", "== self-profile",
+                        "delay p50"):
+            if section not in proc.stdout:
+                fail(f"report missing {section!r}:\n{proc.stdout[:3000]}")
+
+    # OpenMetrics on stdout: pure exposition, lintable, report on stderr.
+    proc = subprocess.run(
+        [binary, "run", "--media", "mp3", "--sequence", "A",
+         "--seconds", "20", "--detector", "change-point",
+         "--metrics-openmetrics", "-"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"--metrics-openmetrics - exit {proc.returncode}\n{proc.stderr}")
+    lint_proc = subprocess.run(
+        [sys.executable, lint, "--require-prefix", "dvs_", "-"],
+        input=proc.stdout, capture_output=True, text=True, timeout=60)
+    if lint_proc.returncode != 0:
+        fail(f"stdout OpenMetrics failed the linter:\n{lint_proc.stderr}")
+    if "mean frame delay" not in proc.stderr:
+        fail("human report did not move to stderr for OpenMetrics stdout")
+
+    # Two documents cannot share stdout; a JSONL stream cannot go there.
+    proc = subprocess.run(
+        [binary, "run", "--media", "mp3", "--sequence", "A",
+         "--metrics-json", "-", "--metrics-openmetrics", "-"],
+        capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"two stdout documents should exit 2, got {proc.returncode}")
+    proc = subprocess.run(
+        [binary, "run", "--media", "mp3", "--sequence", "A",
+         "--telemetry-jsonl", "-"],
+        capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"--telemetry-jsonl - should exit 2, got {proc.returncode}")
+
+    # Sweep telemetry: one snapshot per finished point, wall-clock t.
+    with tempfile.TemporaryDirectory() as tmp:
+        tel = os.path.join(tmp, "sweep.telemetry.jsonl")
+        csv_base = os.path.join(tmp, "quick")
+        proc = subprocess.run(
+            [binary, "sweep", "quick", "--jobs", "2",
+             "--telemetry-jsonl", tel, "--sweep-csv", csv_base],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"sweep telemetry exit {proc.returncode}\n{proc.stderr}")
+        with open(tel) as f:
+            snaps = [json.loads(l) for l in f.read().splitlines() if l]
+        if not snaps or any(s.get("source") != "sweep" for s in snaps):
+            fail(f"sweep snapshots missing or mis-sourced ({len(snaps)})")
+        if snaps[-1]["live"].get("done") != snaps[-1]["live"].get("total"):
+            fail(f"final sweep snapshot incomplete: {snaps[-1]}")
+        # The cells CSV carries the merged-sketch delay percentiles.
+        with open(csv_base + "_cells.csv") as f:
+            header = f.readline().strip().split(",")
+        for col in ("delay_p50", "delay_p90", "delay_p99"):
+            if col not in header:
+                fail(f"cells CSV missing column {col!r}: {header}")
+
+    # `list metrics` enumerates the registry with OpenMetrics names.
+    proc = subprocess.run([binary, "list", "metrics"],
+                          capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"`list metrics` exit {proc.returncode}\n{proc.stderr}")
+    for needle in ("frames_decoded", "dvs_frames_decoded_total",
+                   "frames.delay_s", "quantile="):
+        if needle not in proc.stdout:
+            fail(f"`list metrics` output missing {needle!r}:\n"
+                 f"{proc.stdout[:2000]}")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

@@ -46,6 +46,11 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   opts.flight_recorder = false;
   opts.flight_capacity = 128;
   opts.flight_dump_path = "/tmp/fr.txt";
+  obs::TelemetrySnapshotter telemetry;
+  obs::SpanProfiler profiler;
+  opts.telemetry = &telemetry;
+  opts.telemetry_every = seconds(0.25);
+  opts.profiler = &profiler;
 
   const EngineConfig ec = to_engine_config(opts);
   EXPECT_EQ(ec.detector, DetectorKind::ExpAverage);
@@ -74,6 +79,9 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   EXPECT_FALSE(ec.flight_recorder);
   EXPECT_EQ(ec.flight_capacity, 128u);
   EXPECT_EQ(ec.flight_dump_path, "/tmp/fr.txt");
+  EXPECT_EQ(ec.telemetry, &telemetry);
+  EXPECT_DOUBLE_EQ(ec.telemetry_every.value(), 0.25);
+  EXPECT_EQ(ec.profiler, &profiler);
 }
 
 TEST(RunOptionsRoundTrip, DefaultsMatchEngineDefaults) {

@@ -189,7 +189,7 @@ TEST(SweepResult, CellsCsvHeaderIsStable) {
             "delay_s_mean,delay_s_sd,delay_s_ci95,freq_mhz_mean,freq_mhz_sd,"
             "freq_mhz_ci95,switches_mean,sleeps_mean,wakeup_delay_s_mean,"
             "power_mw_mean,faults_injected_mean,recoveries_mean,"
-            "time_degraded_s_mean");
+            "time_degraded_s_mean,delay_p50,delay_p90,delay_p99");
   std::string row;
   std::size_t rows = 0;
   while (std::getline(lines, row)) {

@@ -57,6 +57,18 @@ struct CliOptions {
   bool no_flight = false;
   /// sweep: live progress heartbeat JSONL path ("-" = stderr).
   std::string heartbeat;
+  /// run/sweep: append-only telemetry snapshot JSONL (file path).
+  /// report: an existing snapshot series to analyze.
+  std::string telemetry_jsonl;
+  /// run: sim-time snapshot cadence in seconds (default 1.0).
+  /// sweep: minimum wall-time between per-point snapshots (default 0 =
+  /// every finished point).
+  double telemetry_every = 0.0;
+  /// run/sweep: OpenMetrics text exposition ("-" = stdout).
+  std::string metrics_openmetrics;
+  /// run: write the hierarchical span profile (collapsed-stack format).
+  /// report: an existing profile to analyze.
+  std::string self_profile;
 };
 
 /// Prints `msg` and exits 2 (the CLI's usage-error code).
@@ -90,5 +102,8 @@ int cmd_report(const CliOptions& o);
 
 int cmd_list_scenarios();
 int cmd_list_faults();
+/// `dvs_sim list metrics`: stock metric families + OpenMetrics names
+/// (enumerated from a real minimal run, so the list cannot drift).
+int cmd_list_metrics();
 
 }  // namespace dvs::cli

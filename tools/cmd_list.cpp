@@ -1,10 +1,15 @@
-// `dvs_sim list`: enumerate the built-in scenario grids and fault specs.
+// `dvs_sim list`: enumerate the built-in scenario grids, fault specs, and
+// the stock metric families (with their OpenMetrics exposition names).
 #include <cstdio>
 
 #include "cli_common.hpp"
 #include "common/table.hpp"
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "fault/fault_spec.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/telemetry/openmetrics.hpp"
+#include "workload/clips.hpp"
 
 namespace dvs::cli {
 
@@ -30,6 +35,45 @@ int cmd_list_faults() {
   t.print();
   std::printf("\ninject with: dvs_sim run|sweep ... --faults"
               " spec[,spec,...]\n");
+  return 0;
+}
+
+int cmd_list_metrics() {
+  // Enumerate by running the smallest canonical workload with a registry
+  // attached — the honest stock set, immune to doc drift.
+  const hw::Sa1100 cpu;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(cpu.max_frequency());
+  Rng rng{1};
+  const workload::FrameTrace trace =
+      workload::build_mp3_trace(workload::mp3_sequence("A"), dec, rng);
+  obs::MetricsRegistry reg;
+  core::RunOptions opts;
+  opts.detector = core::DetectorKind::ChangePoint;
+  core::DetectorFactoryConfig dcfg;
+  dcfg.prepare();
+  opts.detector_cfg = &dcfg;
+  opts.metrics = &reg;
+  core::run_single_trace(trace, dec, opts);
+
+  TextTable t;
+  t.set_header({"Metric", "Kind", "OpenMetrics name"});
+  for (const auto& [name, v] : reg.counters()) {
+    (void)v;
+    t.add_row({name, "counter", obs::openmetrics_name(name) + "_total"});
+  }
+  for (const auto& [name, v] : reg.gauges()) {
+    (void)v;
+    t.add_row({name, "gauge", obs::openmetrics_name(name)});
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    (void)h;
+    t.add_row({name, "histogram", obs::openmetrics_name(name) +
+                                      "{quantile=...} + _count/_sum"});
+  }
+  t.print();
+  std::printf("\nexport with: dvs_sim run|sweep ... --metrics-openmetrics"
+              " <path|-> (sweeps add sweep.* roll-ups)\n");
   return 0;
 }
 

@@ -1,14 +1,17 @@
 // `dvs_sim report`: offline analyzer over artifacts the other subcommands
 // wrote — metrics JSON (--metrics-json), attribution-ledger JSON
-// (--ledger-json), structured JSONL traces (--trace-jsonl) and
-// flight-recorder dumps (--flight-dump).  Any subset of inputs may be
-// given; each renders its own section.  Exit codes: 0 = report rendered,
-// 1 = an input failed to parse, 2 = usage error.
+// (--ledger-json), structured JSONL traces (--trace-jsonl),
+// flight-recorder dumps (--flight-dump), telemetry snapshot series
+// (--telemetry-jsonl) and collapsed-stack span profiles (--self-profile).
+// Any subset of inputs may be given; each renders its own section.  Exit
+// codes: 0 = report rendered, 1 = an input failed to parse, 2 = usage error.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -159,22 +162,38 @@ int report_metrics(const std::string& path) {
       gauges.number_or("mean_frame_delay_s", 0.0));
 
   TextTable hist{"delay percentiles"};
-  hist.set_header({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+  hist.set_header({"histogram", "count", "mean", "p50", "p90", "p99", "max",
+                   "clamped"});
+  std::vector<std::pair<std::string, double>> clamped_warnings;
   for (const auto& [name, h] : doc->at("histograms").as_object()) {
     const double count = h->number_or("count", 0.0);
     if (count == 0.0) {
       hist.add_row({name, "0"});
       continue;
     }
+    // Mass the fixed-bin view folded into its edge bins.  The sketch-backed
+    // quantile columns are unaffected; the warning is about the bins.
+    const double clamped =
+        h->number_or("underflow", 0.0) + h->number_or("overflow", 0.0);
     hist.add_row({name, TextTable::num(count, 0),
                   TextTable::num(h->number_or("mean", 0.0), 5),
                   TextTable::num(h->number_or("p50", 0.0), 5),
                   TextTable::num(h->number_or("p90", 0.0), 5),
                   TextTable::num(h->number_or("p99", 0.0), 5),
-                  TextTable::num(h->number_or("max", 0.0), 5)});
+                  TextTable::num(h->number_or("max", 0.0), 5),
+                  clamped > 0.0 ? pct(clamped, count) : "-"});
+    if (clamped > 0.01 * count) {
+      clamped_warnings.emplace_back(name, clamped / count);
+    }
   }
   hist.print();
   std::printf("\n");
+  for (const auto& [name, frac] : clamped_warnings) {
+    std::printf("WARNING: histogram %s clamped %.1f%% of its samples outside"
+                " the bin range; binned counts are unreliable at the edges\n",
+                name.c_str(), frac * 100.0);
+  }
+  if (!clamped_warnings.empty()) std::printf("\n");
 
   TextTable cnt{"counters"};
   cnt.set_header({"counter", "value"});
@@ -354,15 +373,185 @@ void render_timeline(std::vector<TimelineEntry>& timeline) {
   std::printf("\n");
 }
 
+// ---- telemetry snapshot series --------------------------------------------
+
+/// Renders the --telemetry-jsonl snapshot series: headline live readings and
+/// the frames.delay_s quantile trajectory, downsampled to at most 16 rows so
+/// long runs stay readable.  Works for both engine (sim-time t) and sweep
+/// (wall-time t) series.
+int report_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<json::ValuePtr> snaps;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      snaps.push_back(json::parse(line));
+    } catch (const json::ParseError& e) {
+      std::fprintf(stderr, "report: %s:%zu: %s\n", path.c_str(), lineno,
+                   e.what());
+      return 1;
+    }
+  }
+  std::printf("== telemetry snapshots (%s) ==\n", path.c_str());
+  if (snaps.empty()) {
+    std::printf("(empty series)\n\n");
+    return 0;
+  }
+  const std::string source = snaps.front()->string_or("source", "?");
+  std::printf("%zu snapshots, source %s, t %.3f .. %.3f s\n\n", snaps.size(),
+              source.c_str(), snaps.front()->number_or("t", 0.0),
+              snaps.back()->number_or("t", 0.0));
+
+  auto live = [](const json::Value& s, const char* key) {
+    const json::Value* l = s.find("live");
+    return l != nullptr ? l->number_or(key, 0.0) : 0.0;
+  };
+  auto quant = [](const json::Value& s, const char* key) {
+    const json::Value* q = s.find("quantiles");
+    if (q == nullptr) return 0.0;
+    const json::Value* h = q->find("frames.delay_s");
+    return h != nullptr ? h->number_or(key, 0.0) : 0.0;
+  };
+  const bool sweep = source == "sweep";
+  TextTable t{"series (downsampled)"};
+  if (sweep) {
+    t.set_header({"wall t (s)", "done", "point", "energy (kJ)", "delay p50",
+                  "delay p90", "delay p99"});
+  } else {
+    t.set_header({"sim t (s)", "frames", "cpu MHz", "power (mW)", "queue",
+                  "delay p50", "delay p90", "delay p99"});
+  }
+  const std::size_t max_rows = 16;
+  const std::size_t step = (snaps.size() + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (i % step != 0 && i + 1 != snaps.size()) continue;  // keep last row
+    const json::Value& s = *snaps[i];
+    if (sweep) {
+      t.add_row({TextTable::num(s.number_or("t", 0.0), 3),
+                 TextTable::num(live(s, "done"), 0),
+                 TextTable::num(live(s, "point"), 0),
+                 TextTable::num(live(s, "energy_kj"), 3),
+                 TextTable::num(quant(s, "p50"), 4),
+                 TextTable::num(quant(s, "p90"), 4),
+                 TextTable::num(quant(s, "p99"), 4)});
+    } else {
+      t.add_row({TextTable::num(s.number_or("t", 0.0), 1),
+                 TextTable::num(live(s, "frames_decoded"), 0),
+                 TextTable::num(live(s, "cpu_mhz"), 0),
+                 TextTable::num(live(s, "avg_power_mw"), 0),
+                 TextTable::num(live(s, "queue_frames"), 0),
+                 TextTable::num(quant(s, "p50"), 4),
+                 TextTable::num(quant(s, "p90"), 4),
+                 TextTable::num(quant(s, "p99"), 4)});
+    }
+  }
+  t.print();
+  std::printf("\n");
+  return 0;
+}
+
+// ---- self-profile (collapsed-stack span tree) ------------------------------
+
+struct ProfileNode {
+  std::string stack;  // full ;-joined path
+  double self_us = 0.0;
+  double total_us = 0.0;  // self + descendants
+  std::uint64_t calls = 0;
+};
+
+/// Parses the --self-profile collapsed-stack file (lines `stack self_us`,
+/// plus `# calls stack n` comments) and renders the span tree with per-node
+/// self/total time and call counts.
+int report_self_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<ProfileNode> nodes;  // file order == pre-order
+  auto find_node = [&nodes](const std::string& stack) -> ProfileNode* {
+    for (ProfileNode& n : nodes) {
+      if (n.stack == stack) return &n;
+    }
+    return nullptr;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    if (line[0] == '#') {
+      std::string hash, word, stack;
+      std::uint64_t n = 0;
+      if (!(ls >> hash >> word >> stack >> n) || word != "calls") continue;
+      if (ProfileNode* node = find_node(stack)) node->calls = n;
+      continue;
+    }
+    ProfileNode node;
+    if (!(ls >> node.stack >> node.self_us)) {
+      std::fprintf(stderr, "report: %s:%zu: not a collapsed-stack line\n",
+                   path.c_str(), lineno);
+      return 1;
+    }
+    nodes.push_back(std::move(node));
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr, "report: %s: no samples\n", path.c_str());
+    return 1;
+  }
+  // total = self + every descendant's self (descendant == stack prefix).
+  for (ProfileNode& n : nodes) {
+    n.total_us = n.self_us;
+    for (const ProfileNode& m : nodes) {
+      if (m.stack.size() > n.stack.size() &&
+          m.stack.compare(0, n.stack.size(), n.stack) == 0 &&
+          m.stack[n.stack.size()] == ';') {
+        n.total_us += m.self_us;
+      }
+    }
+  }
+  const double root_total = nodes.front().total_us;
+  std::printf("== self-profile (%s) ==\n", path.c_str());
+  std::printf("%zu span nodes, %.3f ms total\n\n", nodes.size(),
+              root_total / 1e3);
+  TextTable t{"span tree"};
+  t.set_header({"span", "calls", "total (ms)", "self (ms)", "total share"});
+  for (const ProfileNode& n : nodes) {
+    const std::size_t depth =
+        static_cast<std::size_t>(std::count(n.stack.begin(), n.stack.end(), ';'));
+    const std::size_t leaf = n.stack.rfind(';');
+    const std::string name =
+        leaf == std::string::npos ? n.stack : n.stack.substr(leaf + 1);
+    t.add_row({std::string(2 * depth, ' ') + name,
+               TextTable::num(static_cast<double>(n.calls), 0),
+               TextTable::num(n.total_us / 1e3, 3),
+               TextTable::num(n.self_us / 1e3, 3),
+               pct(n.total_us, root_total)});
+  }
+  t.print();
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int cmd_report(const CliOptions& o) {
   if (o.metrics_json.empty() && o.ledger_json.empty() &&
-      o.trace_jsonl.empty() && o.flight_dump.empty()) {
+      o.trace_jsonl.empty() && o.flight_dump.empty() &&
+      o.telemetry_jsonl.empty() && o.self_profile.empty()) {
     usage("report needs at least one of --metrics-json, --ledger-json, "
-          "--trace-jsonl, --flight-dump");
+          "--trace-jsonl, --flight-dump, --telemetry-jsonl, --self-profile");
   }
-  if (o.metrics_json == "-" || o.ledger_json == "-") {
+  if (o.metrics_json == "-" || o.ledger_json == "-" ||
+      o.telemetry_jsonl == "-" || o.self_profile == "-") {
     usage("report reads files; \"-\" is not a valid input path");
   }
   try {
@@ -371,6 +560,16 @@ int cmd_report(const CliOptions& o) {
     }
     if (!o.metrics_json.empty()) {
       if (const int rc = report_metrics(o.metrics_json); rc != 0) return rc;
+    }
+    if (!o.telemetry_jsonl.empty()) {
+      if (const int rc = report_telemetry(o.telemetry_jsonl); rc != 0) {
+        return rc;
+      }
+    }
+    if (!o.self_profile.empty()) {
+      if (const int rc = report_self_profile(o.self_profile); rc != 0) {
+        return rc;
+      }
     }
     std::vector<TimelineEntry> timeline;
     if (!o.flight_dump.empty()) {

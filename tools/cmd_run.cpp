@@ -13,6 +13,9 @@
 #include "fault/trace_transforms.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/sinks.hpp"
+#include "obs/telemetry/openmetrics.hpp"
+#include "obs/telemetry/snapshotter.hpp"
+#include "obs/telemetry/span_profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
@@ -23,13 +26,20 @@ namespace dvs::cli {
 int cmd_run(const CliOptions& o) {
   const hw::Sa1100 cpu;
 
-  // JSON to stdout moves the human-readable report to stderr so the JSON
-  // stays machine-parseable; two JSON documents cannot share stdout.
-  if (o.metrics_json == "-" && o.ledger_json == "-") {
-    usage("--metrics-json - and --ledger-json - both target stdout;"
-          " write at least one to a file");
+  // A machine document on stdout moves the human-readable report to stderr
+  // so the document stays parseable; two documents cannot share stdout.
+  const int stdout_docs = (o.metrics_json == "-" ? 1 : 0) +
+                          (o.ledger_json == "-" ? 1 : 0) +
+                          (o.metrics_openmetrics == "-" ? 1 : 0);
+  if (stdout_docs > 1) {
+    usage("--metrics-json/--ledger-json/--metrics-openmetrics: at most one"
+          " may target stdout (-); write the others to files");
   }
-  const bool json_to_stdout = o.metrics_json == "-" || o.ledger_json == "-";
+  if (o.telemetry_jsonl == "-") {
+    usage("--telemetry-jsonl needs a file path"
+          " (stdout is reserved for machine documents)");
+  }
+  const bool json_to_stdout = stdout_docs > 0;
   std::FILE* hout = json_to_stdout ? stderr : stdout;
 
   core::DetectorFactoryConfig detector_cfg;
@@ -61,8 +71,25 @@ int cmd_run(const CliOptions& o) {
   opts.service_cv2 = o.cv2;
   opts.seed = o.seed;
   if (recorder.active()) opts.trace = &recorder;
-  if (!o.metrics_json.empty()) opts.metrics = &registry;
+  // The registry backs three sinks: metrics JSON, the OpenMetrics
+  // exposition, and the quantiles inside telemetry snapshots.
+  const bool want_metrics = !o.metrics_json.empty() ||
+                            !o.metrics_openmetrics.empty() ||
+                            !o.telemetry_jsonl.empty();
+  if (want_metrics) opts.metrics = &registry;
   if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
+  obs::TelemetrySnapshotter telemetry;
+  if (!o.telemetry_jsonl.empty()) {
+    if (!telemetry.open(o.telemetry_jsonl)) {
+      std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.telemetry_jsonl.c_str());
+      return 2;
+    }
+    opts.telemetry = &telemetry;
+    opts.telemetry_every =
+        seconds(o.telemetry_every > 0.0 ? o.telemetry_every : 1.0);
+  }
+  obs::SpanProfiler profiler;
+  if (!o.self_profile.empty()) opts.profiler = &profiler;
   obs::AttributionLedger ledger;
   if (!o.ledger_json.empty()) opts.ledger = &ledger;
   opts.flight_recorder = !o.no_flight;
@@ -193,6 +220,46 @@ int cmd_run(const CliOptions& o) {
       ledger.write_json(os);
       std::fprintf(hout, "ledger json -> %s\n", o.ledger_json.c_str());
     }
+  }
+
+  if (!o.metrics_openmetrics.empty()) {
+    if (o.metrics_openmetrics == "-") {
+      obs::write_openmetrics(registry, std::cout);
+    } else {
+      std::ofstream os{o.metrics_openmetrics};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n",
+                     o.metrics_openmetrics.c_str());
+        return 1;
+      }
+      obs::write_openmetrics(registry, os);
+      std::fprintf(hout, "openmetrics -> %s\n", o.metrics_openmetrics.c_str());
+    }
+  }
+  if (telemetry.active()) {
+    std::fprintf(hout, "telemetry jsonl -> %s (%zu snapshots)\n",
+                 o.telemetry_jsonl.c_str(), telemetry.snapshots_written());
+  }
+  if (!o.self_profile.empty()) {
+    profiler.finalize();
+    std::ofstream os{o.self_profile};
+    if (!os) {
+      std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.self_profile.c_str());
+      return 1;
+    }
+    profiler.write_collapsed(os);
+    std::fprintf(hout, "self-profile -> %s (%zu span nodes, %.3f ms total)\n",
+                 o.self_profile.c_str(), profiler.nodes().size(),
+                 profiler.node_total_s(0) * 1e3);
+  }
+  // Clamped-mass warning: a histogram silently folding >1% of its samples
+  // into the underflow/overflow counters means the binned view is lying.
+  for (const auto& [name, frac] : registry.clamped_histograms(0.01)) {
+    std::fprintf(stderr,
+                 "dvs_sim: warning: histogram %s clamped %.1f%% of samples"
+                 " outside its bin range (see underflow/overflow in the"
+                 " metrics JSON; sketch quantiles remain exact-range)\n",
+                 name.c_str(), frac * 100.0);
   }
 
   if (!o.power_csv.empty()) {

@@ -9,13 +9,16 @@
 #include "common/table.hpp"
 #include "core/sweep.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/telemetry/openmetrics.hpp"
+#include "obs/telemetry/snapshotter.hpp"
 
 namespace dvs::cli {
 
 namespace {
 
 int run_scenario(const CliOptions& o, std::FILE* hout,
-                 obs::MetricsRegistry* registry) {
+                 obs::MetricsRegistry* registry,
+                 obs::TelemetrySnapshotter* telemetry) {
   const core::ScenarioSpec* found = core::find_scenario(o.scenario);
   if (found == nullptr) {
     std::fprintf(stderr, "dvs_sim: unknown scenario '%s' (try `dvs_sim list`)\n",
@@ -30,6 +33,10 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
   core::SweepOptions sopts;
   sopts.jobs = o.jobs;
   sopts.metrics = registry;
+  // CSV consumers get the delay percentile columns whenever they ask for a
+  // CSV at all; plain table-only sweeps skip the per-engine registry cost.
+  sopts.collect_quantiles = !o.sweep_csv.empty();
+  sopts.telemetry = telemetry;
   sopts.heartbeat_path = o.heartbeat;
   if (!o.flight_dump_dir.empty()) {
     // Arm a per-point auto-dump so anomalies anywhere in the grid leave a
@@ -105,17 +112,40 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
 int cmd_sweep(const CliOptions& o) {
   if (o.scenario.empty()) usage("sweep needs a scenario name");
 
-  // Metrics to stdout move the human-readable report to stderr so the JSON
-  // stays machine-parseable.
-  const bool json_to_stdout = o.metrics_json == "-";
+  // A machine document on stdout moves the human-readable report to stderr
+  // so the document stays parseable; two documents cannot share stdout.
+  if (o.metrics_json == "-" && o.metrics_openmetrics == "-") {
+    usage("--metrics-json - and --metrics-openmetrics - both target stdout;"
+          " write at least one to a file");
+  }
+  if (o.telemetry_jsonl == "-") {
+    usage("--telemetry-jsonl needs a file path"
+          " (stdout is reserved for machine documents)");
+  }
+  const bool json_to_stdout =
+      o.metrics_json == "-" || o.metrics_openmetrics == "-";
   std::FILE* hout = json_to_stdout ? stderr : stdout;
 
+  // One summary registry feeds both the metrics JSON and the OpenMetrics
+  // exposition; per-point registries are folded into it by the runner.
+  const bool want_metrics =
+      !o.metrics_json.empty() || !o.metrics_openmetrics.empty();
   obs::MetricsRegistry registry;
-  const int rc =
-      run_scenario(o, hout, o.metrics_json.empty() ? nullptr : &registry);
+  obs::TelemetrySnapshotter telemetry;
+  if (!o.telemetry_jsonl.empty()) {
+    if (!telemetry.open(o.telemetry_jsonl)) {
+      std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.telemetry_jsonl.c_str());
+      return 2;
+    }
+    // For a sweep, --telemetry-every throttles on wall time between
+    // finished points (0 = snapshot every point).
+    if (o.telemetry_every > 0.0) telemetry.set_min_interval(o.telemetry_every);
+  }
+  const int rc = run_scenario(o, hout, want_metrics ? &registry : nullptr,
+                              telemetry.active() ? &telemetry : nullptr);
   if (rc != 0) return rc;
   if (!o.metrics_json.empty()) {
-    if (json_to_stdout) {
+    if (o.metrics_json == "-") {
       registry.write_json(std::cout);
     } else {
       std::ofstream os{o.metrics_json};
@@ -126,6 +156,31 @@ int cmd_sweep(const CliOptions& o) {
       registry.write_json(os);
       std::fprintf(hout, "metrics json -> %s\n", o.metrics_json.c_str());
     }
+  }
+  if (!o.metrics_openmetrics.empty()) {
+    if (o.metrics_openmetrics == "-") {
+      obs::write_openmetrics(registry, std::cout);
+    } else {
+      std::ofstream os{o.metrics_openmetrics};
+      if (!os) {
+        std::fprintf(stderr, "dvs_sim: cannot open %s\n",
+                     o.metrics_openmetrics.c_str());
+        return 1;
+      }
+      obs::write_openmetrics(registry, os);
+      std::fprintf(hout, "openmetrics -> %s\n", o.metrics_openmetrics.c_str());
+    }
+  }
+  if (telemetry.active()) {
+    std::fprintf(hout, "telemetry jsonl -> %s (%zu snapshots)\n",
+                 o.telemetry_jsonl.c_str(), telemetry.snapshots_written());
+  }
+  for (const auto& [name, frac] : registry.clamped_histograms(0.01)) {
+    std::fprintf(stderr,
+                 "dvs_sim: warning: histogram %s clamped %.1f%% of samples"
+                 " outside its bin range (see underflow/overflow in the"
+                 " metrics JSON; sketch quantiles remain exact-range)\n",
+                 name.c_str(), frac * 100.0);
   }
   return 0;
 }

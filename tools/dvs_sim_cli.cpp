@@ -5,7 +5,8 @@
 //   dvs_sim sweep <scenario> [options]   run a scenario grid through the sweep
 //                                        runner (bit-identical at any --jobs)
 //   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
-//   dvs_sim list  [scenarios|faults]     enumerate scenarios and/or fault specs
+//   dvs_sim list  [scenarios|faults|metrics]   enumerate scenarios, fault
+//                                        specs, or the stock metric families
 //
 //   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
 //   dvs_sim run --media mpeg --clip football --seconds 300 --detector ideal
@@ -68,6 +69,19 @@
 //                             power of two; default 4096)
 //   --no-flight-recorder      disable the always-on flight recorder
 //
+// Streaming telemetry (run + sweep; see docs/OBSERVABILITY.md):
+//   --telemetry-jsonl <path>  append-only metric snapshots, one JSON object
+//                             per line.  run: sampled on sim time; sweep:
+//                             one snapshot per finished point (wall time)
+//   --telemetry-every <s>     run: sim-time snapshot cadence (default 1.0);
+//                             sweep: minimum wall time between snapshots
+//   --metrics-openmetrics <path|->   OpenMetrics text exposition of the
+//                             final registry (counters, gauges, sketch-
+//                             backed quantile summaries); "-" = stdout
+//   --self-profile <path>     run: hierarchical span profile of the engine
+//                             itself, collapsed-stack format (flamegraph-
+//                             ready); report: analyze an existing profile
+//
 // Sweep telemetry:
 //   --heartbeat <path>        live progress JSONL, one object per finished
 //                             point ("-" = stderr)
@@ -77,6 +91,7 @@
 // Report inputs (any subset; see docs/OBSERVABILITY.md):
 //   dvs_sim report --metrics-json m.json --ledger-json l.json
 //                  --trace-jsonl t.jsonl --flight-dump f.flight.txt
+//                  --telemetry-jsonl tel.jsonl --self-profile prof.txt
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -123,6 +138,7 @@ int dispatch_list(int argc, char** argv, int first) {
   }
   if (what == "scenarios") return cli::cmd_list_scenarios();
   if (what == "faults") return cli::cmd_list_faults();
+  if (what == "metrics") return cli::cmd_list_metrics();
   if (what == "both") {
     const int rc = cli::cmd_list_scenarios();
     std::printf("\n");
