@@ -7,6 +7,8 @@
 //   * scenario.<name>.sim_sec_per_wall_sec simulated seconds per wall second
 //   * micro.detector_step_ns               one change-point detector sample
 //   * micro.governor_step_ns               one governor arrival+complete+apply
+//   * engine.policy_dispatch_ns            the same step through the
+//                                          policy::Governor interface [budget]
 //   * micro.sim_event_ns                   one kernel schedule+execute
 //   * micro.sim_cancel_ns                  one kernel schedule+cancel
 //   * micro.flight_record_ns               one flight-recorder ring store
@@ -179,6 +181,47 @@ void measure_governor_step(std::vector<PerfResult>& out) {
   out.push_back({"micro.governor_step_ns", "ns/frame", wall / kFrames * 1e9,
                  false});
   std::printf("%-34s %10.1f ns/frame\n", "micro.governor_step", wall / kFrames * 1e9);
+}
+
+/// The same per-frame step as measure_governor_step, but built by the
+/// GovernorFactory and driven through a policy::Governor base pointer —
+/// exactly how the engine dispatches since the plugin refactor.  The budget
+/// caps the absolute per-frame cost so virtual dispatch plus the factory's
+/// type erasure can never quietly dominate the hot path.
+void measure_policy_dispatch(std::vector<PerfResult>& out) {
+  hw::SmartBadge badge;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(badge.cpu().max_frequency());
+  policy::GovernorContext ctx{badge, dec, seconds(0.15), 1.0};
+  ctx.make_arrival_detector = [] {
+    return std::make_unique<detect::EmaDetector>(0.03);
+  };
+  ctx.make_service_detector = [] {
+    return std::make_unique<detect::EmaDetector>(0.03);
+  };
+  const policy::GovernorPtr owned =
+      policy::GovernorFactory::instance().create("paper", ctx);
+  policy::Governor* gov = owned.get();
+  gov->initialize(core::default_nominal_arrival(workload::MediaType::Mp3Audio),
+                  core::default_nominal_service(workload::MediaType::Mp3Audio),
+                  Seconds{0.0});
+  Rng rng{999};
+  constexpr int kFrames = 400000;
+  const auto t0 = Clock::now();
+  Seconds now{0.0};
+  for (int i = 0; i < kFrames; ++i) {
+    const Seconds gap{rng.exponential(38.0)};
+    now = now + gap;
+    gov->on_arrival(now, gap, 1.0);
+    gov->on_decode_complete(now, Seconds{0.02}, badge.cpu_frequency(), 0.0,
+                            Seconds{0.05});
+    gov->apply(now);
+  }
+  const double wall = seconds_since(t0);
+  out.push_back({"engine.policy_dispatch_ns", "ns/frame", wall / kFrames * 1e9,
+                 false, 250.0});
+  std::printf("%-34s %10.1f ns/frame  (budget 250 ns)\n",
+              "engine.policy_dispatch", wall / kFrames * 1e9);
 }
 
 /// Kernel schedule+execute throughput with the engine's typical event mix.
@@ -408,6 +451,7 @@ int main(int argc, char** argv) {
   measure_characterization(results);
   measure_detector_step(results);
   measure_governor_step(results);
+  measure_policy_dispatch(results);
   measure_sim_kernel(results);
   measure_flight_recorder(results);
   measure_telemetry(results);

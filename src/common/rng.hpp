@@ -81,6 +81,19 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Deterministic 64-bit seed mixer (SplitMix64 finalizer over a golden-ratio
+/// combination of a and b): the cross-layer substream discipline.  Layers
+/// derive independent streams as mix_seed(parent_seed, stream_id) — the
+/// scenario grid (core/scenario.hpp) and stochastic policies
+/// (policy/qdpm_governor.hpp) both use this exact function, so sweeps stay
+/// bit-identical across platforms and job counts.
+inline std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Fisher-Yates shuffle with the library Rng (deterministic given the seed).
 template <typename T>
 void shuffle(std::vector<T>& v, Rng& rng) {

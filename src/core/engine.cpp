@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "obs/scoped_timer.hpp"
+#include "policy/governor_factory.hpp"
 
 namespace dvs::core {
 
@@ -132,7 +134,7 @@ void Engine::install_accrual_observers() {
   }
 }
 
-void Engine::wire_governor_observability(policy::DvsGovernor& gov) {
+void Engine::wire_governor_observability(policy::Governor& gov) {
   gov.set_trace(cfg_.trace);
   gov.set_ledger(cfg_.ledger);
   gov.set_flight(flight_.get());
@@ -166,7 +168,7 @@ void Engine::wire_governor_observability(policy::DvsGovernor& gov) {
   wire(gov.service_detector(), "service");
 }
 
-void Engine::record_detector_sample(const policy::DvsGovernor& gov,
+void Engine::record_detector_sample(const policy::Governor& gov,
                                     std::string_view stream, Seconds now,
                                     Seconds interval, Hertz estimate) {
   const std::string name = gov.detector_name();
@@ -175,8 +177,8 @@ void Engine::record_detector_sample(const policy::DvsGovernor& gov,
                                                       estimate.value()});
 }
 
-policy::DvsGovernor& Engine::governor_for(workload::MediaType type) {
-  policy::DvsGovernor* gov = governors_[media_index(type)].get();
+policy::Governor& Engine::governor_for(workload::MediaType type) {
+  policy::Governor* gov = governors_[media_index(type)].get();
   DVS_CHECK_MSG(gov != nullptr, "Engine: no governor for media type");
   return *gov;
 }
@@ -199,33 +201,34 @@ void Engine::note_frequency(Seconds now) {
 void Engine::ensure_media_context(const PlaybackItem& item) {
   const workload::MediaType type = item.trace.type();
   const Seconds now = sim_.now();
-  std::unique_ptr<policy::DvsGovernor>& slot = governors_[media_index(type)];
+  policy::GovernorPtr& slot = governors_[media_index(type)];
   if (slot == nullptr) {
-    // Build the governor for this media type.
-    policy::FrequencyPolicy policy{badge_.cpu(),
-                                   item.decoder.performance_curve(badge_.cpu()),
-                                   cfg_.target_delay, cfg_.service_cv2};
-    std::unique_ptr<policy::DvsGovernor> gov;
-    if (cfg_.detector == DetectorKind::Max) {
-      gov = policy::DvsGovernor::max_performance(badge_, item.decoder,
-                                                 std::move(policy));
-    } else {
+    // Build the governor for this media type through the policy factory.
+    policy::GovernorContext ctx{badge_, item.decoder, cfg_.target_delay,
+                                cfg_.service_cv2};
+    // A per-media substream of the engine seed, disjoint from the DPM's
+    // (0xd9a17) and the fault injector's (0xfa017): learning policies draw
+    // exploration randomness here without perturbing either.
+    ctx.seed = dvs::mix_seed(cfg_.seed ^ 0x9d50ULL, media_index(type));
+    if (cfg_.detector != DetectorKind::Max) {
       // The ideal detector reads the ground truth of whichever item is
       // playing at query time.
-      auto arrival_truth = [this](Seconds t) {
-        const PlaybackItem& cur = items_[std::min(active_item_, items_.size() - 1)];
-        return cur.trace.true_arrival_rate(t);
+      ctx.make_arrival_detector = [this] {
+        return make_detector(cfg_.detector, cfg_.detectors, [this](Seconds t) {
+          const PlaybackItem& cur =
+              items_[std::min(active_item_, items_.size() - 1)];
+          return cur.trace.true_arrival_rate(t);
+        });
       };
-      auto service_truth = [this](Seconds t) {
-        const PlaybackItem& cur = items_[std::min(active_item_, items_.size() - 1)];
-        return cur.trace.true_service_rate_at_max(t);
+      ctx.make_service_detector = [this] {
+        return make_detector(cfg_.detector, cfg_.detectors, [this](Seconds t) {
+          const PlaybackItem& cur =
+              items_[std::min(active_item_, items_.size() - 1)];
+          return cur.trace.true_service_rate_at_max(t);
+        });
       };
-      gov = std::make_unique<policy::DvsGovernor>(
-          badge_, item.decoder, std::move(policy),
-          make_detector(cfg_.detector, cfg_.detectors, arrival_truth),
-          make_detector(cfg_.detector, cfg_.detectors, service_truth));
     }
-    slot = std::move(gov);
+    slot = policy::GovernorFactory::instance().create(cfg_.policy, ctx);
     wire_governor_observability(*slot);
     slot->enable_watchdog(cfg_.watchdog, cfg_.target_delay);
     if (injector_ != nullptr) {
@@ -270,7 +273,7 @@ void Engine::handle_arrival() {
   const bool item_switch = active_item_ != item_;
   active_item_ = item_;
   ensure_media_context(item);
-  policy::DvsGovernor& gov = governor_for(item.trace.type());
+  policy::Governor& gov = governor_for(item.trace.type());
   if (item_switch && item_ > 0) {
     // New application launch: reseed the adaptive detectors with the app's
     // nominal rates (never the clip's true rates).
@@ -371,7 +374,7 @@ void Engine::handle_decode_start() {
   workload::Frame frame = *buffer_.pop(now);
   busy_ = true;
 
-  policy::DvsGovernor& gov = governor_for(frame.type);
+  policy::Governor& gov = governor_for(frame.type);
   note_frequency(now);
   const Seconds switch_latency = gov.apply(now);
   activate_components(frame.type, now);
@@ -436,7 +439,7 @@ void Engine::handle_decode_complete(workload::Frame frame, Seconds pure_decode,
                     static_cast<float>(delay.value()),
                     static_cast<float>(buffer_.size()));
   }
-  policy::DvsGovernor& gov = governor_for(frame.type);
+  policy::Governor& gov = governor_for(frame.type);
   {
     // Nested span: the governor's detector + policy work inside the
     // decode-completion handler shows up as its own tree node.

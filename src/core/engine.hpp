@@ -43,7 +43,7 @@
 #include "obs/telemetry/snapshotter.hpp"
 #include "obs/telemetry/span_profiler.hpp"
 #include "obs/trace_recorder.hpp"
-#include "policy/governor.hpp"
+#include "policy/governor_base.hpp"
 #include "policy/watchdog.hpp"
 #include "queue/frame_buffer.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +65,10 @@ struct PlaybackItem {
 
 struct EngineConfig {
   DetectorKind detector = DetectorKind::ChangePoint;
+  /// Governor policy: a policy::GovernorFactory key ("paper", "max",
+  /// "qdpm", ...).  The engine builds one governor per media type through
+  /// the factory; "paper" reproduces the paper's controller exactly.
+  std::string policy = "paper";
   Seconds target_delay{0.1};
   /// The processor model the badge is built around (default: stock
   /// SA-1100; see hw/cpu_catalog.hpp for alternatives).  Item decoders must
@@ -135,7 +139,8 @@ class Engine {
   [[nodiscard]] const queue::FrameBuffer& buffer() const { return buffer_; }
   [[nodiscard]] const dpm::PowerManager& power_manager() const { return *pm_; }
   /// The governor serving `type`, or null before its first frame arrived.
-  [[nodiscard]] const policy::DvsGovernor* governor(workload::MediaType type) const {
+  /// Interface-typed: callers must not assume a concrete policy.
+  [[nodiscard]] const policy::Governor* governor(workload::MediaType type) const {
     return governors_[media_index(type)].get();
   }
   /// The hardware fault injector, or null when the plan is empty.
@@ -153,7 +158,7 @@ class Engine {
     return static_cast<std::size_t>(type);
   }
 
-  policy::DvsGovernor& governor_for(workload::MediaType type);
+  policy::Governor& governor_for(workload::MediaType type);
   const workload::DecoderModel& decoder_for(workload::MediaType type) const;
 
   void schedule_arrival_cursor();
@@ -183,8 +188,8 @@ class Engine {
   }
   void install_component_observers();
   void install_accrual_observers();
-  void wire_governor_observability(policy::DvsGovernor& gov);
-  void record_detector_sample(const policy::DvsGovernor& gov,
+  void wire_governor_observability(policy::Governor& gov);
+  void record_detector_sample(const policy::Governor& gov,
                               std::string_view stream, Seconds now,
                               Seconds interval, Hertz estimate);
   void fill_registry(const Metrics& m);
@@ -200,7 +205,8 @@ class Engine {
   std::unique_ptr<fault::HwFaultInjector> injector_;
   // Indexed by media_index(): governor_for() on the per-frame path is an
   // array load, not a tree walk.  Null until that media type's first frame.
-  std::array<std::unique_ptr<policy::DvsGovernor>, kMediaTypes> governors_;
+  // Interface-typed so any factory-registered policy can serve.
+  std::array<policy::GovernorPtr, kMediaTypes> governors_;
 
   // Arrival cursor.
   std::size_t item_ = 0;

@@ -20,6 +20,7 @@ Hertz default_nominal_service(workload::MediaType type) {
 EngineConfig to_engine_config(const RunOptions& opts) {
   EngineConfig cfg;
   cfg.detector = opts.detector;
+  cfg.policy = opts.policy;
   cfg.target_delay = opts.target_delay;
   cfg.service_cv2 = opts.service_cv2;
   if (opts.detector_cfg != nullptr) cfg.detectors = *opts.detector_cfg;

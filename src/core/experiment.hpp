@@ -24,6 +24,9 @@ namespace dvs::core {
 /// nothing is silently dropped between the two layers.
 struct RunOptions {
   DetectorKind detector = DetectorKind::ChangePoint;
+  /// Governor policy, a policy::GovernorFactory key ("paper", "max",
+  /// "qdpm", ...); see EngineConfig::policy.
+  std::string policy = "paper";
   Seconds target_delay{0.1};
   /// Queueing model the policy inverts: 1.0 = M/M/1 (paper), else M/G/1.
   double service_cv2 = 1.0;

@@ -58,6 +58,13 @@ struct Metrics {
                : total_energy.value() / static_cast<double>(frames_decoded);
   }
 
+  /// Energy of the SA-1100 alone (active + idle + sleep states) — the
+  /// quantity the offline-optimal voltage-schedule oracle lower-bounds, so
+  /// competitive ratios compare like against like.
+  [[nodiscard]] Joules cpu_energy() const {
+    return component_energy[static_cast<std::size_t>(hw::BadgeComponentId::Cpu)];
+  }
+
   /// Energy of the processing subsystem (SA-1100 + FLASH + SRAM + DRAM) —
   /// the part DVS acts on directly; radio and display are reported in the
   /// whole-badge total.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "dpm/adaptive.hpp"
 #include "dpm/tismdp_solver.hpp"
 #include "hw/cpu_catalog.hpp"
@@ -13,11 +14,9 @@
 namespace dvs::core {
 
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
-  // SplitMix64 finalizer over a golden-ratio combination of the inputs.
-  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // The shared SplitMix64-finalizer mixer; kept here as a named symbol so
+  // existing core callers keep linking against core::mix_seed.
+  return ::dvs::mix_seed(a, b);
 }
 
 namespace {
@@ -146,13 +145,15 @@ dpm::DpmPolicyPtr make_dpm_policy(const DpmSpec& spec,
 std::string RunPoint::label() const {
   std::string l = workload.name() + "/" + core::to_string(detector) + "/" +
                   dpm.name() + "/r" + std::to_string(replicate);
+  if (policy != "paper") l += "/p:" + policy;
   if (!faults.none()) l += "/f:" + faults.name;
   return l;
 }
 
 std::size_t ScenarioSpec::num_cells() const {
-  return workloads.size() * cpus.size() * service_cv2s.size() *
-         delay_targets.size() * faults.size() * dpm.size() * detectors.size();
+  return workloads.size() * cpus.size() * policies.size() *
+         service_cv2s.size() * delay_targets.size() * faults.size() *
+         dpm.size() * detectors.size();
 }
 
 std::size_t ScenarioSpec::num_points() const {
@@ -167,6 +168,7 @@ std::vector<RunPoint> ScenarioSpec::expand() const {
   DVS_CHECK_MSG(!delay_targets.empty(), "ScenarioSpec: no delay targets");
   DVS_CHECK_MSG(!service_cv2s.empty(), "ScenarioSpec: no cv2 axis");
   DVS_CHECK_MSG(!faults.empty(), "ScenarioSpec: no fault axis");
+  DVS_CHECK_MSG(!policies.empty(), "ScenarioSpec: no policy axis");
   DVS_CHECK_MSG(replicates > 0, "ScenarioSpec: replicates must be >= 1");
 
   std::vector<RunPoint> points;
@@ -174,42 +176,47 @@ std::vector<RunPoint> ScenarioSpec::expand() const {
   std::size_t cell = 0;
   for (std::size_t w = 0; w < workloads.size(); ++w) {
     for (std::size_t c = 0; c < cpus.size(); ++c) {
-      for (double cv2 : service_cv2s) {
-        for (Seconds delay : delay_targets) {
-          for (std::size_t f = 0; f < faults.size(); ++f) {
-            for (const DpmSpec& d : dpm) {
-              for (DetectorKind det : detectors) {
-                for (int r = 0; r < replicates; ++r) {
-                  RunPoint p;
-                  p.index = points.size();
-                  p.cell = cell;
-                  p.replicate = r;
-                  p.workload_idx = w;
-                  p.cpu_idx = c;
-                  p.fault_idx = f;
-                  p.workload = workloads[w];
-                  p.detector = det;
-                  p.dpm = d;
-                  p.faults = faults[f];
-                  p.cpu = cpus[c];
-                  p.delay_target = delay.value() > 0.0
-                                       ? delay
-                                       : workloads[w].default_delay_target();
-                  p.service_cv2 = cv2;
-                  // Trace seed: shared by every algorithm of the same
-                  // (cpu, workload, replicate) row; disjoint from the engine
-                  // substreams via the low bit.
-                  const std::uint64_t row =
-                      ((c * 4096 + w) << 20) | static_cast<std::uint64_t>(r);
-                  p.trace_seed = mix_seed(base_seed, row << 1);
-                  p.engine_seed = mix_seed(base_seed, (p.index << 1) | 1);
-                  // Fault substream: a function of the trace seed and the
-                  // fault index only, so detectors still compete on the same
-                  // perturbed trace within a row.
-                  p.fault_seed = mix_seed(p.trace_seed, f + 1);
-                  points.push_back(std::move(p));
+      for (std::size_t pol = 0; pol < policies.size(); ++pol) {
+        for (double cv2 : service_cv2s) {
+          for (Seconds delay : delay_targets) {
+            for (std::size_t f = 0; f < faults.size(); ++f) {
+              for (const DpmSpec& d : dpm) {
+                for (DetectorKind det : detectors) {
+                  for (int r = 0; r < replicates; ++r) {
+                    RunPoint p;
+                    p.index = points.size();
+                    p.cell = cell;
+                    p.replicate = r;
+                    p.workload_idx = w;
+                    p.cpu_idx = c;
+                    p.fault_idx = f;
+                    p.policy_idx = pol;
+                    p.workload = workloads[w];
+                    p.detector = det;
+                    p.dpm = d;
+                    p.faults = faults[f];
+                    p.cpu = cpus[c];
+                    p.policy = policies[pol];
+                    p.delay_target = delay.value() > 0.0
+                                         ? delay
+                                         : workloads[w].default_delay_target();
+                    p.service_cv2 = cv2;
+                    // Trace seed: shared by every algorithm of the same
+                    // (cpu, workload, replicate) row — policies included —
+                    // so everything competes on identical traces; disjoint
+                    // from the engine substreams via the low bit.
+                    const std::uint64_t row =
+                        ((c * 4096 + w) << 20) | static_cast<std::uint64_t>(r);
+                    p.trace_seed = mix_seed(base_seed, row << 1);
+                    p.engine_seed = mix_seed(base_seed, (p.index << 1) | 1);
+                    // Fault substream: a function of the trace seed and the
+                    // fault index only, so detectors still compete on the
+                    // same perturbed trace within a row.
+                    p.fault_seed = mix_seed(p.trace_seed, f + 1);
+                    points.push_back(std::move(p));
+                  }
+                  ++cell;
                 }
-                ++cell;
               }
             }
           }
@@ -359,6 +366,26 @@ std::vector<ScenarioSpec> make_builtins() {
     s.dpm = {DpmSpec{}, t1, t2, renewal, tismdp_tight, tismdp, adaptive, oracle};
     s.replicates = 2;
     s.base_seed = 606;
+    specs.push_back(std::move(s));
+  }
+  {
+    // ROADMAP item 2: every registered governor policy on the same trace
+    // grid, with the offline-optimal oracle solved per trace so each cell
+    // carries a competitive-ratio column.  Short clips keep the O(n^2)
+    // oracle solve and the CI smoke cheap.
+    ScenarioSpec s;
+    s.name = "policy_shootout";
+    s.title = "Policy shootout: paper vs Q-DPM vs max, offline-optimal oracle";
+    s.paper_ref = "ROADMAP item 2; Li/Yao/Yuan optimal schedules + Q-DPM"
+                  " (PAPERS.md)";
+    s.workloads = {WorkloadSpec::mp3("A"),
+                   WorkloadSpec::mpeg("football", seconds(45.0))};
+    s.policies = {"paper", "qdpm", "max"};
+    s.detectors = {DetectorKind::ChangePoint};
+    s.replicates = 3;
+    s.base_seed = 9090;
+    s.oracle = true;
+    s.detector_cfg.change_point.mc_windows = 500;
     specs.push_back(std::move(s));
   }
   {

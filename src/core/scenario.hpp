@@ -34,6 +34,8 @@ namespace dvs::core {
 
 /// Deterministic 64-bit seed mixer (SplitMix64 finalizer over a ^ f(b)):
 /// the per-point RNG substream scheme, stable across platforms and runs.
+/// Delegates to dvs::mix_seed (common/rng.hpp), the shared implementation
+/// also used by policies that need substreams below the core layer.
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
 
 // ---- workload axis --------------------------------------------------------------
@@ -99,11 +101,14 @@ struct RunPoint {
   std::size_t workload_idx = 0;  ///< index into ScenarioSpec::workloads
   std::size_t cpu_idx = 0;       ///< index into ScenarioSpec::cpus
   std::size_t fault_idx = 0;     ///< index into ScenarioSpec::faults
+  std::size_t policy_idx = 0;    ///< index into ScenarioSpec::policies
   WorkloadSpec workload;
   DetectorKind detector = DetectorKind::ChangePoint;
   DpmSpec dpm;
   fault::FaultSpec faults;
   std::string cpu;
+  /// Governor policy (policy::GovernorFactory key, e.g. "paper", "qdpm").
+  std::string policy = "paper";
   Seconds delay_target{0.1};
   double service_cv2 = 1.0;
 
@@ -137,11 +142,22 @@ struct ScenarioSpec {
   /// it was before faults existed (same cells, seeds and results).
   std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
   std::vector<std::string> cpus{"sa1100"};  ///< hw/cpu_catalog names
+  /// Governor policy axis (policy::GovernorFactory keys); the default
+  /// single "paper" entry leaves the grid exactly as it was before the axis
+  /// existed (same cells, seeds and results).  Policies of one row share
+  /// the trace seed, so they compete on identical inputs.
+  std::vector<std::string> policies{"paper"};
   /// Delay targets; a 0 entry means the workload's per-media default.
   std::vector<Seconds> delay_targets{Seconds{0.0}};
   std::vector<double> service_cv2s{1.0};
   int replicates = 1;
   std::uint64_t base_seed = 1;
+
+  /// When true the sweep also solves the offline-optimal voltage schedule
+  /// (policy::OptimalOracle, O(n^2) in the trace length) once per workload
+  /// asset and reports each point's competitive ratio: measured CPU energy
+  /// over the oracle's discrete-step lower bound.
+  bool oracle = false;
 
   /// Shared detector configuration (the sweep prepares its own copy once;
   /// the spec itself stays immutable during a run).
@@ -151,7 +167,8 @@ struct ScenarioSpec {
   [[nodiscard]] std::size_t num_points() const;
 
   /// Expands the grid in deterministic order: workload (outer) -> cpu ->
-  /// cv2 -> delay -> fault -> dpm -> detector -> replicate (inner).
+  /// policy -> cv2 -> delay -> fault -> dpm -> detector -> replicate
+  /// (inner).
   [[nodiscard]] std::vector<RunPoint> expand() const;
 };
 

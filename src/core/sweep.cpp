@@ -7,6 +7,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "common/check.hpp"
 #include "fault/trace_transforms.hpp"
 #include "hw/smartbadge.hpp"
+#include "policy/optimal_oracle.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
 
@@ -281,6 +283,28 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     }
   }
 
+  // ---- offline-optimal oracle, solved serially before dispatch ----------
+  // One taut-string solve per (workload asset, delay target): every policy
+  // and detector on the same trace divides by the same lower bound, and
+  // because the solve happens here — never on a worker — the ratios are
+  // byte-identical at any --jobs.
+  std::map<std::pair<std::size_t, double>, double> oracle_energy;
+  if (spec.oracle) {
+    for (const RunPoint& p : points) {
+      const auto key = std::make_pair(asset_key(p), p.delay_target.value());
+      if (oracle_energy.find(key) != oracle_energy.end()) continue;
+      const WorkloadAsset& asset = workload_assets.at(key.first);
+      std::vector<policy::OracleJob> jobs;
+      for (const PlaybackItem& item : *asset.items) {
+        policy::OptimalOracle::append_jobs(item.trace, item.decoder,
+                                           p.delay_target, jobs);
+      }
+      const policy::OptimalOracle oracle{cpu_assets[p.cpu_idx].cpu};
+      oracle_energy.emplace(
+          key, oracle.solve(std::move(jobs)).discrete_energy.value());
+    }
+  }
+
   // ---- execute ----------------------------------------------------------
   std::vector<Metrics> metrics(points.size());
   // Per-point registries: each worker writes only its own slot, and the
@@ -343,6 +367,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
     RunOptions opts;
     opts.detector = p.detector;
+    opts.policy = p.policy;
     opts.target_delay = p.delay_target;
     opts.service_cv2 = p.service_cv2;
     opts.detector_cfg = &detector_cfg;
@@ -390,7 +415,15 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   // ---- collect in expansion order, aggregate per cell -------------------
   out.points.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    out.points.push_back(PointResult{std::move(points[i]), std::move(metrics[i])});
+    PointResult pr{std::move(points[i]), std::move(metrics[i])};
+    if (spec.oracle) {
+      const auto it = oracle_energy.find(
+          std::make_pair(asset_key(pr.point), pr.point.delay_target.value()));
+      if (it != oracle_energy.end() && it->second > 0.0) {
+        pr.competitive_ratio = pr.metrics.cpu_energy().value() / it->second;
+      }
+    }
+    out.points.push_back(std::move(pr));
   }
 
   std::size_t i = 0;
@@ -399,7 +432,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     CellResult c;
     c.point = out.points[i].point;
     RunningStats energy, cpu_mem, delay, max_delay, freq, switches, sleeps,
-        wakeup, power, faults, recoveries, degraded;
+        wakeup, power, faults, recoveries, degraded, cratio;
     for (; i < out.points.size() && out.points[i].point.cell == cell; ++i) {
       const Metrics& m = out.points[i].metrics;
       if (collect) {
@@ -423,6 +456,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       faults.add(static_cast<double>(m.faults_injected));
       recoveries.add(m.watchdog_recoveries);
       degraded.add(m.time_in_degraded.value());
+      cratio.add(out.points[i].competitive_ratio);
     }
     c.energy_kj = aggregate(energy);
     c.cpu_mem_kj = aggregate(cpu_mem);
@@ -436,6 +470,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     c.faults_injected = aggregate(faults);
     c.recoveries = aggregate(recoveries);
     c.time_degraded_s = aggregate(degraded);
+    c.competitive_ratio = aggregate(cratio);
     if (!c.delay_sketch.empty()) {
       c.delay_p50 = c.delay_sketch.quantile(0.5);
       c.delay_p90 = c.delay_sketch.quantile(0.9);
@@ -482,19 +517,20 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
 void SweepResult::write_points_csv(CsvWriter& csv) const {
   csv.write_header({"scenario", "point", "cell", "replicate", "workload",
-                    "detector", "dpm", "faults", "cpu", "delay_target_s",
-                    "service_cv2", "trace_seed", "engine_seed", "energy_kj",
-                    "cpu_mem_kj", "delay_s", "max_delay_s", "freq_mhz",
-                    "switches", "sleeps", "wakeup_delay_s", "power_mw",
-                    "frames", "frames_admitted", "frames_dropped",
-                    "duration_s", "faults_injected", "escalations",
-                    "recoveries", "time_degraded_s"});
+                    "detector", "policy", "dpm", "faults", "cpu",
+                    "delay_target_s", "service_cv2", "trace_seed",
+                    "engine_seed", "energy_kj", "cpu_mem_kj", "delay_s",
+                    "max_delay_s", "freq_mhz", "switches", "sleeps",
+                    "wakeup_delay_s", "power_mw", "frames", "frames_admitted",
+                    "frames_dropped", "duration_s", "faults_injected",
+                    "escalations", "recoveries", "time_degraded_s",
+                    "competitive_ratio"});
   for (const PointResult& p : points) {
     const Metrics& m = p.metrics;
     csv.row(scenario, p.point.index, p.point.cell, p.point.replicate,
             p.point.workload.name(), to_string(p.point.detector),
-            p.point.dpm.name(), p.point.faults.name, p.point.cpu,
-            p.point.delay_target.value(), p.point.service_cv2,
+            p.point.policy, p.point.dpm.name(), p.point.faults.name,
+            p.point.cpu, p.point.delay_target.value(), p.point.service_cv2,
             p.point.trace_seed, p.point.engine_seed, m.energy_kj(),
             m.cpu_memory_energy().value() / 1e3, m.mean_frame_delay.value(),
             m.max_frame_delay.value(), m.mean_cpu_frequency.value(),
@@ -502,23 +538,23 @@ void SweepResult::write_points_csv(CsvWriter& csv) const {
             m.average_power.value(), m.frames_decoded, m.frames_admitted,
             m.frames_dropped, m.duration.value(), m.faults_injected,
             m.watchdog_escalations, m.watchdog_recoveries,
-            m.time_in_degraded.value());
+            m.time_in_degraded.value(), p.competitive_ratio);
   }
 }
 
 void SweepResult::write_cells_csv(CsvWriter& csv) const {
   csv.write_header(
-      {"scenario", "cell", "workload", "detector", "dpm", "faults", "cpu",
-       "delay_target_s", "service_cv2", "replicates", "energy_kj_mean",
+      {"scenario", "cell", "workload", "detector", "policy", "dpm", "faults",
+       "cpu", "delay_target_s", "service_cv2", "replicates", "energy_kj_mean",
        "energy_kj_sd", "energy_kj_ci95", "cpu_mem_kj_mean", "cpu_mem_kj_sd",
        "cpu_mem_kj_ci95", "delay_s_mean", "delay_s_sd", "delay_s_ci95",
        "freq_mhz_mean", "freq_mhz_sd", "freq_mhz_ci95", "switches_mean",
        "sleeps_mean", "wakeup_delay_s_mean", "power_mw_mean",
        "faults_injected_mean", "recoveries_mean", "time_degraded_s_mean",
-       "delay_p50", "delay_p90", "delay_p99"});
+       "delay_p50", "delay_p90", "delay_p99", "competitive_ratio"});
   for (const CellResult& c : cells) {
     csv.row(scenario, c.point.cell, c.point.workload.name(),
-            to_string(c.point.detector), c.point.dpm.name(),
+            to_string(c.point.detector), c.point.policy, c.point.dpm.name(),
             c.point.faults.name, c.point.cpu, c.point.delay_target.value(),
             c.point.service_cv2, c.energy_kj.n, c.energy_kj.mean,
             c.energy_kj.stddev, c.energy_kj.ci95_half, c.cpu_mem_kj.mean,
@@ -527,7 +563,8 @@ void SweepResult::write_cells_csv(CsvWriter& csv) const {
             c.freq_mhz.stddev, c.freq_mhz.ci95_half, c.switches.mean,
             c.sleeps.mean, c.wakeup_delay_s.mean, c.power_mw.mean,
             c.faults_injected.mean, c.recoveries.mean,
-            c.time_degraded_s.mean, c.delay_p50, c.delay_p90, c.delay_p99);
+            c.time_degraded_s.mean, c.delay_p50, c.delay_p90, c.delay_p99,
+            c.competitive_ratio.mean);
   }
 }
 

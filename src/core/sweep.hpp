@@ -53,6 +53,10 @@ Aggregate aggregate(const RunningStats& s);
 struct PointResult {
   RunPoint point;
   Metrics metrics;
+  /// Measured CPU energy over the offline-optimal oracle's discrete-step
+  /// lower bound for this point's trace and delay target (>= 1 for any
+  /// policy that honors the target; 0 when ScenarioSpec::oracle is off).
+  double competitive_ratio = 0.0;
 };
 
 /// One grid cell with its replicates reduced.
@@ -71,6 +75,8 @@ struct CellResult {
   Aggregate faults_injected;
   Aggregate recoveries;
   Aggregate time_degraded_s;
+  /// Competitive-ratio aggregate (all-zero unless ScenarioSpec::oracle).
+  Aggregate competitive_ratio;
   /// Population frame-delay distribution: the per-point quantile sketches
   /// of every replicate merged in expansion order (empty unless quantile
   /// collection ran — see SweepOptions::collect_quantiles).  The p50/p90/

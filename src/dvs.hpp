@@ -79,6 +79,10 @@
 // DVS policy layer.
 #include "policy/frequency_policy.hpp"
 #include "policy/governor.hpp"
+#include "policy/governor_base.hpp"
+#include "policy/governor_factory.hpp"
+#include "policy/optimal_oracle.hpp"
+#include "policy/qdpm_governor.hpp"
 #include "policy/watchdog.hpp"
 
 // DPM policy layer.

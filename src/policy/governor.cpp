@@ -22,12 +22,11 @@ DvsGovernor::DvsGovernor(hw::SmartBadge& badge,
                          FrequencyPolicy policy,
                          detect::RateDetectorPtr arrival_detector,
                          detect::RateDetectorPtr service_detector, bool adaptive)
-    : badge_(&badge),
+    : Governor(badge),
       decoder_(&decoder),
       policy_(std::move(policy)),
       arrival_detector_(std::move(arrival_detector)),
-      service_detector_(std::move(service_detector)),
-      desired_step_(badge.cpu().num_steps() - 1) {
+      service_detector_(std::move(service_detector)) {
   (void)adaptive;
 }
 
@@ -46,7 +45,7 @@ Seconds DvsGovernor::initialize(Hertz arrival_rate, Hertz service_rate_at_max,
     service_detector_->reset(service_rate_at_max);
     recompute();
   } else {
-    desired_step_ = badge_->cpu().num_steps() - 1;
+    set_desired_step(badge().cpu().num_steps() - 1);
   }
   return apply(now);
 }
@@ -78,34 +77,34 @@ void DvsGovernor::on_decode_complete(Seconds now, Seconds decode_time,
         arrival_detector_->reset(arrival_detector_->current_rate());
         service_detector_->reset(service_detector_->current_rate());
         degraded_ = true;
-        if (trace_ != nullptr && trace_->active()) {
-          trace_->record(now.value(),
-                         obs::WatchdogEscalate{
-                             frame_delay.value(), buffered_frames,
-                             watchdog_->current_backoff().value()});
+        if (trace() != nullptr && trace()->active()) {
+          trace()->record(now.value(),
+                          obs::WatchdogEscalate{
+                              frame_delay.value(), buffered_frames,
+                              watchdog_->current_backoff().value()});
         }
-        if (ledger_ != nullptr) {
-          ledger_->set_cause(obs::Cause::WatchdogEscalate);
+        if (ledger() != nullptr) {
+          ledger()->set_cause(obs::Cause::WatchdogEscalate);
         }
-        if (flight_ != nullptr) {
-          flight_->record(now.value(), obs::FlightEventType::WatchdogEscalate,
-                          0, static_cast<float>(frame_delay.value()),
-                          static_cast<float>(buffered_frames));
-          flight_->trigger(now.value(), "watchdog-escalate");
+        if (flight() != nullptr) {
+          flight()->record(now.value(), obs::FlightEventType::WatchdogEscalate,
+                           0, static_cast<float>(frame_delay.value()),
+                           static_cast<float>(buffered_frames));
+          flight()->trigger(now.value(), "watchdog-escalate");
         }
         break;
       case WatchdogAction::kRecover:
         degraded_ = false;
-        if (trace_ != nullptr && trace_->active()) {
-          trace_->record(now.value(),
-                         obs::WatchdogRecover{
-                             watchdog_->last_episode_length().value()});
+        if (trace() != nullptr && trace()->active()) {
+          trace()->record(now.value(),
+                          obs::WatchdogRecover{
+                              watchdog_->last_episode_length().value()});
         }
-        if (ledger_ != nullptr) {
-          ledger_->set_cause(obs::Cause::WatchdogRecover);
+        if (ledger() != nullptr) {
+          ledger()->set_cause(obs::Cause::WatchdogRecover);
         }
-        if (flight_ != nullptr) {
-          flight_->record(
+        if (flight() != nullptr) {
+          flight()->record(
               now.value(), obs::FlightEventType::WatchdogRecover, 0,
               static_cast<float>(watchdog_->last_episode_length().value()),
               0.0F);
@@ -125,37 +124,11 @@ void DvsGovernor::enable_watchdog(const WatchdogConfig& cfg,
 }
 
 void DvsGovernor::recompute() {
-  desired_step_ = policy_.select_step(arrival_detector_->current_rate(),
-                                      service_detector_->current_rate(),
-                                      last_queue_len_);
-  if (degraded_) desired_step_ = badge_->cpu().num_steps() - 1;
-}
-
-Seconds DvsGovernor::apply(Seconds now) {
-  std::size_t target = desired_step_;
-  if (step_filter_ && target != badge_->cpu_step()) {
-    target = step_filter_(now, badge_->cpu_step(), target);
-  }
-  if (target == badge_->cpu_step()) return Seconds{0.0};
-  ++retunes_;
-  const Seconds latency = badge_->set_cpu_step(target, now);
-  if (trace_ != nullptr && trace_->active()) {
-    trace_->record(now.value(),
-                   obs::FreqCommit{badge_->cpu_step(),
-                                   badge_->cpu_frequency().value(),
-                                   badge_->cpu_voltage().value(),
-                                   latency.value()});
-  }
-  if (flight_ != nullptr) {
-    flight_->record(now.value(), obs::FlightEventType::FreqCommit,
-                    static_cast<std::uint16_t>(badge_->cpu_step()),
-                    static_cast<float>(badge_->cpu_frequency().value()),
-                    static_cast<float>(latency.value()));
-  }
-  // After the commit: the accrual inside set_cpu_step closed the interval
-  // at the *old* step; everything from here on runs at the new one.
-  if (ledger_ != nullptr) ledger_->set_freq_step(badge_->cpu_step());
-  return latency;
+  std::size_t step = policy_.select_step(arrival_detector_->current_rate(),
+                                         service_detector_->current_rate(),
+                                         last_queue_len_);
+  if (degraded_) step = badge().cpu().num_steps() - 1;
+  set_desired_step(step);
 }
 
 Hertz DvsGovernor::arrival_estimate() const {

@@ -1,5 +1,5 @@
-// The DVS governor: detectors + frequency policy, producing a desired CPU
-// step.
+// The paper's DVS governor: detectors + frequency policy, producing a
+// desired CPU step through the policy::Governor interface.
 //
 // This is the run-time half of the paper's power manager while the system
 // is active: "the PM checks if the rate of incoming or decoding frames has
@@ -10,25 +10,25 @@
 // desired step whenever either estimate moves.  The system simulation
 // applies the desired step at decode boundaries (a decode in progress
 // finishes at the frequency it started with), paying the hardware's switch
-// latency through apply().
+// latency through the base class's apply().
+//
+// Registered with the GovernorFactory as "paper" (adaptive) and "max" (the
+// pinned top-step baseline built by max_performance()).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "detect/detector.hpp"
 #include "hw/smartbadge.hpp"
-#include "obs/attribution.hpp"
-#include "obs/flight_recorder.hpp"
-#include "obs/trace_recorder.hpp"
 #include "policy/frequency_policy.hpp"
+#include "policy/governor_base.hpp"
 #include "policy/watchdog.hpp"
 #include "workload/decoder_model.hpp"
 
 namespace dvs::policy {
 
-class DvsGovernor {
+class DvsGovernor : public Governor {
  public:
   /// An adaptive governor.  Both detectors must be non-null.
   DvsGovernor(hw::SmartBadge& badge, const workload::DecoderModel& decoder,
@@ -40,81 +40,42 @@ class DvsGovernor {
       hw::SmartBadge& badge, const workload::DecoderModel& decoder,
       FrequencyPolicy policy);
 
-  /// Seeds both detectors (e.g. with the first clip's nominal rates),
-  /// recomputes the desired step, and applies it immediately (callers
-  /// initialize while the device is idle, where an immediate switch is
-  /// safe).  Returns the switch latency paid.
-  Seconds initialize(Hertz arrival_rate, Hertz service_rate_at_max, Seconds now);
-
-  /// Frame arrived at `now`, `interarrival` after the previous one;
-  /// `buffered_frames` is the queue length after the push.
-  void on_arrival(Seconds now, Seconds interarrival, double buffered_frames = 0.0);
-
-  /// A frame finished decoding at `now`; `decode_time` is the pure decode
-  /// duration, `during` the frequency it ran at, and `buffered_frames` the
-  /// queue length after the departure.  `frame_delay` is the frame's total
-  /// (queue + decode) delay and feeds the watchdog; pass a negative value
-  /// when unknown (the watchdog then skips the frame).
+  Seconds initialize(Hertz arrival_rate, Hertz service_rate_at_max,
+                     Seconds now) override;
+  void on_arrival(Seconds now, Seconds interarrival,
+                  double buffered_frames = 0.0) override;
   void on_decode_complete(Seconds now, Seconds decode_time, MegaHertz during,
                           double buffered_frames = 0.0,
-                          Seconds frame_delay = Seconds{-1.0});
+                          Seconds frame_delay = Seconds{-1.0}) override;
 
-  /// Step the policy currently wants.
-  [[nodiscard]] std::size_t desired_step() const { return desired_step_; }
-
-  /// Commits the desired step to the hardware (called at decode
-  /// boundaries).  Returns the switch latency paid (zero if unchanged).
-  Seconds apply(Seconds now);
-
-  [[nodiscard]] bool adaptive() const { return arrival_detector_ != nullptr; }
-  [[nodiscard]] Hertz arrival_estimate() const;
-  [[nodiscard]] Hertz service_estimate_at_max() const;
+  [[nodiscard]] bool adaptive() const override {
+    return arrival_detector_ != nullptr;
+  }
+  [[nodiscard]] Hertz arrival_estimate() const override;
+  [[nodiscard]] Hertz service_estimate_at_max() const override;
   [[nodiscard]] const FrequencyPolicy& policy() const { return policy_; }
   [[nodiscard]] const workload::DecoderModel& decoder() const { return *decoder_; }
-  [[nodiscard]] std::string detector_name() const;
-
-  /// Number of committed frequency switches.
-  [[nodiscard]] int retune_count() const { return retunes_; }
-
-  /// Attaches a trace recorder; apply() then emits a FreqCommit event for
-  /// every committed switch.  May be null (tracing off).
-  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
-
-  /// Attaches the attribution ledger: watchdog escalations/recoveries
-  /// switch its cause, and committed steps update its frequency-step regime
-  /// (after the commit, so the switch interval charges the old step).  May
-  /// be null.
-  void set_ledger(obs::AttributionLedger* ledger) { ledger_ = ledger; }
-
-  /// Attaches the flight recorder: frequency commits and watchdog actions
-  /// land in the ring, and an escalation triggers a dump.  May be null.
-  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+  [[nodiscard]] std::string detector_name() const override;
 
   /// Arms the graceful-degradation watchdog (adaptive governors only; a
   /// no-op for Max, which already runs at the top step).  While degraded
   /// the governor clamps the desired step to maximum and has reset its
   /// detectors; recovery hands control back to the frequency policy.
-  void enable_watchdog(const WatchdogConfig& cfg, Seconds target_delay);
+  void enable_watchdog(const WatchdogConfig& cfg, Seconds target_delay) override;
 
   /// Watchdog state, or null when not armed.
-  [[nodiscard]] const Watchdog* watchdog() const { return watchdog_.get(); }
+  [[nodiscard]] const Watchdog* watchdog() const override {
+    return watchdog_.get();
+  }
 
   /// True while the watchdog holds the governor at the top step.
-  [[nodiscard]] bool degraded() const { return degraded_; }
-
-  /// Installs a hardware-fault filter consulted by apply(): it receives
-  /// (now, current step, desired step) and returns the step the hardware
-  /// will actually take (e.g. the current one when a frequency transition
-  /// fails).  Null clears the filter.
-  using StepFilter =
-      std::function<std::size_t(Seconds, std::size_t, std::size_t)>;
-  void set_step_filter(StepFilter filter) { step_filter_ = std::move(filter); }
+  [[nodiscard]] bool degraded() const override { return degraded_; }
 
   /// Detector access for observability wiring (null for the Max governor).
-  [[nodiscard]] detect::RateDetector* arrival_detector() {
+  [[nodiscard]] detect::RateDetector* arrival_detector() override {
     return arrival_detector_.get();
   }
-  [[nodiscard]] detect::RateDetector* service_detector() {
+  [[nodiscard]] detect::RateDetector* service_detector() override {
     return service_detector_.get();
   }
 
@@ -125,20 +86,13 @@ class DvsGovernor {
 
   void recompute();
 
-  hw::SmartBadge* badge_;
   const workload::DecoderModel* decoder_;
   FrequencyPolicy policy_;
   detect::RateDetectorPtr arrival_detector_;
   detect::RateDetectorPtr service_detector_;
-  std::size_t desired_step_;
   double last_queue_len_ = 0.0;
-  int retunes_ = 0;
-  obs::TraceRecorder* trace_ = nullptr;
-  obs::AttributionLedger* ledger_ = nullptr;
-  obs::FlightRecorder* flight_ = nullptr;
   std::unique_ptr<Watchdog> watchdog_;
   bool degraded_ = false;
-  StepFilter step_filter_;
 };
 
 }  // namespace dvs::policy

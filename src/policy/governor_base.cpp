@@ -1,0 +1,32 @@
+#include "policy/governor_base.hpp"
+
+namespace dvs::policy {
+
+Seconds Governor::apply(Seconds now) {
+  std::size_t target = desired_step_;
+  if (step_filter_ && target != badge_->cpu_step()) {
+    target = step_filter_(now, badge_->cpu_step(), target);
+  }
+  if (target == badge_->cpu_step()) return Seconds{0.0};
+  ++retunes_;
+  const Seconds latency = badge_->set_cpu_step(target, now);
+  if (trace_ != nullptr && trace_->active()) {
+    trace_->record(now.value(),
+                   obs::FreqCommit{badge_->cpu_step(),
+                                   badge_->cpu_frequency().value(),
+                                   badge_->cpu_voltage().value(),
+                                   latency.value()});
+  }
+  if (flight_ != nullptr) {
+    flight_->record(now.value(), obs::FlightEventType::FreqCommit,
+                    static_cast<std::uint16_t>(badge_->cpu_step()),
+                    static_cast<float>(badge_->cpu_frequency().value()),
+                    static_cast<float>(latency.value()));
+  }
+  // After the commit: the accrual inside set_cpu_step closed the interval
+  // at the *old* step; everything from here on runs at the new one.
+  if (ledger_ != nullptr) ledger_->set_freq_step(badge_->cpu_step());
+  return latency;
+}
+
+}  // namespace dvs::policy

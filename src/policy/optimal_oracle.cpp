@@ -1,0 +1,193 @@
+#include "policy/optimal_oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvs::policy {
+
+namespace {
+
+/// A staircase corner in cumulative-work coordinates.
+struct Corner {
+  double t = 0.0;
+  double w = 0.0;
+};
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+void OptimalOracle::append_jobs(const workload::FrameTrace& trace,
+                                const workload::DecoderModel& decoder,
+                                Seconds target_delay,
+                                std::vector<OracleJob>& out) {
+  const double mcycles_per_mean_frame = decoder.cpu_megacycles();
+  for (const workload::TraceFrame& f : trace.frames()) {
+    OracleJob j;
+    j.arrival = f.arrival;
+    j.deadline = f.arrival + target_delay;
+    j.megacycles = f.work * mcycles_per_mean_frame;
+    out.push_back(j);
+  }
+}
+
+OracleSchedule OptimalOracle::solve(std::vector<OracleJob> jobs) const {
+  OracleSchedule out;
+  jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                            [](const OracleJob& j) {
+                              return j.megacycles <= 0.0;
+                            }),
+             jobs.end());
+  if (jobs.empty()) return out;
+  for (const OracleJob& j : jobs) {
+    DVS_CHECK_MSG(j.deadline.value() > j.arrival.value(),
+                  "OptimalOracle: every deadline must follow its arrival");
+  }
+
+  // Demand floor A(t): cumulative work whose deadline has passed.  One
+  // corner per distinct deadline, carrying the cumulative sum through it.
+  std::vector<std::pair<double, double>> by_deadline;
+  by_deadline.reserve(jobs.size());
+  for (const OracleJob& j : jobs) {
+    by_deadline.emplace_back(j.deadline.value(), j.megacycles);
+  }
+  std::sort(by_deadline.begin(), by_deadline.end());
+  std::vector<Corner> floor_c;
+  floor_c.reserve(by_deadline.size());
+  double acc = 0.0;
+  for (const auto& [t, mc] : by_deadline) {
+    acc += mc;
+    if (!floor_c.empty() && floor_c.back().t == t) {
+      floor_c.back().w = acc;
+    } else {
+      floor_c.push_back(Corner{t, acc});
+    }
+  }
+  const double total = acc;
+
+  // Arrival ceiling F(t): cumulative work released so far.  The binding
+  // corner sits just *before* each jump: at arrival time t the path may be
+  // at most the work arrived strictly earlier.
+  std::vector<std::pair<double, double>> by_arrival;
+  by_arrival.reserve(jobs.size());
+  for (const OracleJob& j : jobs) {
+    by_arrival.emplace_back(j.arrival.value(), j.megacycles);
+  }
+  std::sort(by_arrival.begin(), by_arrival.end());
+  std::vector<Corner> ceil_c;
+  ceil_c.reserve(by_arrival.size());
+  acc = 0.0;
+  for (const auto& [t, mc] : by_arrival) {
+    if (!ceil_c.empty() && ceil_c.back().t == t) {
+      // same jump instant: the pre-jump ceiling is unchanged
+    } else {
+      ceil_c.push_back(Corner{t, acc});
+    }
+    acc += mc;
+  }
+
+  // Taut string walk: from each confirmed anchor, scan remaining corners
+  // in time order tracking the steepest floor requirement and the
+  // shallowest ceiling limit.  The first conflict confirms the next path
+  // vertex; no conflict means the steepest floor corner is next.
+  double t0 = by_arrival.front().first;
+  double w0 = 0.0;
+  std::vector<Corner> anchors{{t0, w0}};
+  std::size_t floor_from = 0;
+  std::size_t ceil_from = 0;
+  constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  while (w0 < total - kEps) {
+    while (floor_from < floor_c.size() &&
+           (floor_c[floor_from].t <= t0 || floor_c[floor_from].w <= w0 + kEps)) {
+      ++floor_from;
+    }
+    while (ceil_from < ceil_c.size() && ceil_c[ceil_from].t <= t0) {
+      ++ceil_from;
+    }
+    double best_low = -std::numeric_limits<double>::infinity();
+    std::size_t best_low_i = npos;
+    double best_up = std::numeric_limits<double>::infinity();
+    std::size_t best_up_i = npos;
+    std::size_t next = npos;  // confirmed anchor: index into floor_c/ceil_c
+    bool next_is_floor = true;
+    std::size_t i = floor_from;
+    std::size_t j = ceil_from;
+    while (i < floor_c.size() || j < ceil_c.size()) {
+      const bool take_floor =
+          j >= ceil_c.size() ||
+          (i < floor_c.size() && floor_c[i].t <= ceil_c[j].t);
+      if (take_floor) {
+        if (floor_c[i].w > w0 + kEps) {
+          const double s = (floor_c[i].w - w0) / (floor_c[i].t - t0);
+          if (s > best_up) {
+            next = best_up_i;
+            next_is_floor = false;
+            break;
+          }
+          if (s >= best_low) {  // >= : ties advance to the later corner
+            best_low = s;
+            best_low_i = i;
+          }
+        }
+        ++i;
+      } else {
+        const double s = (ceil_c[j].w - w0) / (ceil_c[j].t - t0);
+        if (s < best_low) {
+          next = best_low_i;
+          next_is_floor = true;
+          break;
+        }
+        if (s <= best_up) {
+          best_up = s;
+          best_up_i = j;
+        }
+        ++j;
+      }
+    }
+    if (next == npos) {
+      // Conflict-free: the string heads for the steepest outstanding
+      // demand corner (classic YDS critical interval).
+      DVS_CHECK_MSG(best_low_i != npos, "OptimalOracle: no demand ahead");
+      next = best_low_i;
+      next_is_floor = true;
+    }
+    const Corner& c = next_is_floor ? floor_c[next] : ceil_c[next];
+    DVS_CHECK_MSG(c.t > t0, "OptimalOracle: non-advancing anchor");
+    t0 = c.t;
+    w0 = c.w;
+    anchors.push_back(c);
+  }
+
+  // Segments, snapping and energy.
+  out.segments.reserve(anchors.size() - 1);
+  for (std::size_t k = 0; k + 1 < anchors.size(); ++k) {
+    const double dt = anchors[k + 1].t - anchors[k].t;
+    const double dw = anchors[k + 1].w - anchors[k].w;
+    if (dt <= kEps) continue;
+    OracleSegment seg;
+    seg.begin = Seconds{anchors[k].t};
+    seg.end = Seconds{anchors[k + 1].t};
+    seg.speed = dw / dt;
+    if (dw > kEps) {
+      const MegaHertz f{seg.speed};
+      out.continuous_energy +=
+          energy(cpu_.active_power(f, cpu_.min_voltage_for(f)), Seconds{dt});
+      seg.step = cpu_.step_at_or_above(f);
+      const double f_step = cpu_.frequency_at(seg.step).value();
+      // At the (>=) discrete speed the same cycles take dw/f_step seconds;
+      // the remainder of the segment is idle and charged to the policy
+      // being scored, not to the bound.
+      out.discrete_energy +=
+          energy(cpu_.active_power_at(seg.step), Seconds{dw / f_step});
+      out.busy_time += Seconds{dt};
+      out.total_megacycles += dw;
+    }
+    out.segments.push_back(seg);
+  }
+  return out;
+}
+
+}  // namespace dvs::policy

@@ -1,0 +1,87 @@
+// Offline-optimal voltage scheduling: the YDS lineage (Yao/Demers/Shenker;
+// Li/Yao/Yuan's O(n^2) continuous-schedule computation, PAPERS.md).
+//
+// Given the full trace post-hoc — every frame's arrival time, cycle demand
+// and deadline (arrival + delay target) — the minimum-energy continuous
+// speed schedule is the *taut string* threaded between two staircases of
+// cumulative work: the demand floor A(t) (work whose deadline has passed)
+// and the arrival ceiling F(t) (work that has arrived).  Convexity of
+// power in speed makes the shortest admissible cumulative-work path the
+// cheapest one; its slope is the optimal speed.  The solver walks the
+// corridor anchor-by-anchor (each anchor scan is linear in the remaining
+// corners: O(n^2) worst case), then snaps each constant-speed segment UP
+// to the processor's discrete frequency/voltage table to produce a
+// realizable per-run lower-bound energy.
+//
+// SweepRunner solves this once per workload asset (serially, before
+// dispatch) and reports each policy's competitive ratio: measured CPU
+// energy over the oracle's discrete-step energy.  An online policy that
+// honors the delay target cannot beat the oracle, so ratios land >= 1; a
+// ratio near 1 means the policy is extracting nearly all the DVS headroom
+// the trace offers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/sa1100.hpp"
+#include "workload/decoder_model.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::policy {
+
+/// One piece of offline work: `megacycles` of CPU demand released at
+/// `arrival` and due by `deadline`.
+struct OracleJob {
+  Seconds arrival{0.0};
+  Seconds deadline{0.0};
+  double megacycles = 0.0;
+};
+
+/// A constant-speed stretch of the optimal schedule.  Speed is in
+/// megacycles/s (numerically MHz); zero-speed segments are idle gaps.
+struct OracleSegment {
+  Seconds begin{0.0};
+  Seconds end{0.0};
+  double speed = 0.0;
+  std::size_t step = 0;  ///< discrete step covering `speed` (0 when idle)
+};
+
+struct OracleSchedule {
+  std::vector<OracleSegment> segments;
+  /// Energy of the continuous schedule at each segment's exact speed and
+  /// minimum feasible voltage — the unconstrained lower bound.
+  Joules continuous_energy{0.0};
+  /// Energy after snapping each segment up to the discrete step table —
+  /// the realizable lower bound the competitive ratio divides by.
+  Joules discrete_energy{0.0};
+  Seconds busy_time{0.0};
+  double total_megacycles = 0.0;
+};
+
+class OptimalOracle {
+ public:
+  explicit OptimalOracle(hw::Sa1100 cpu) : cpu_(std::move(cpu)) {}
+
+  /// Solves the minimum-energy schedule.  Jobs need not be sorted; jobs
+  /// with non-positive cycle demand are dropped.  Every deadline must be
+  /// strictly after its arrival.  An empty job list yields an empty
+  /// schedule with zero energy.
+  [[nodiscard]] OracleSchedule solve(std::vector<OracleJob> jobs) const;
+
+  /// Frames of one trace as oracle jobs: cycle demand is the frame's work
+  /// multiplier times the decoder's per-mean-frame CPU megacycles, the
+  /// deadline is arrival + target_delay.  Appends to `out` so a session's
+  /// items can accumulate into one problem.
+  static void append_jobs(const workload::FrameTrace& trace,
+                          const workload::DecoderModel& decoder,
+                          Seconds target_delay, std::vector<OracleJob>& out);
+
+  [[nodiscard]] const hw::Sa1100& cpu() const { return cpu_; }
+
+ private:
+  hw::Sa1100 cpu_;
+};
+
+}  // namespace dvs::policy

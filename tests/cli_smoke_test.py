@@ -554,6 +554,64 @@ def main():
             if col not in header:
                 fail(f"cells CSV missing column {col!r}: {header}")
 
+    # ---- governor policies: `list policies` and --policy round-trips -------
+
+    # `list policies` enumerates the factory registry.
+    proc = subprocess.run([binary, "list", "policies"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"`list policies` exit {proc.returncode}\n{proc.stderr}")
+    for name in ("paper", "max", "qdpm"):
+        if name not in proc.stdout:
+            fail(f"`list policies` output missing {name!r}:\n{proc.stdout}")
+
+    # run --policy selects the governor: pinned-max must burn more CPU
+    # energy than the paper's adaptive governor on the same light trace.
+    def run_energy(policy):
+        proc = subprocess.run(
+            [binary, "run", "--media", "mp3", "--sequence", "A",
+             "--detector", "change-point", "--policy", policy,
+             "--metrics-json", "-"],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"run --policy {policy} exit {proc.returncode}\n{proc.stderr}")
+        return json.loads(proc.stdout)["gauges"]["energy_j"]
+
+    if run_energy("max") <= run_energy("paper"):
+        fail("run --policy max did not cost more energy than paper")
+
+    # sweep --policy replaces the scenario's policy axis; the cells CSV
+    # carries the policy column and the oracle's competitive_ratio column.
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_base = os.path.join(tmp, "pol")
+        proc = subprocess.run(
+            [binary, "sweep", "quick", "--jobs", "2", "--policy", "qdpm",
+             "--sweep-csv", csv_base],
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"sweep --policy exit {proc.returncode}\n{proc.stderr}")
+        import csv as csv_mod
+        with open(csv_base + "_cells.csv") as f:
+            rows = list(csv_mod.DictReader(f))
+        if not rows:
+            fail("policy sweep produced no cells")
+        if any(r["policy"] != "qdpm" for r in rows):
+            fail(f"--policy qdpm did not replace the policy axis: "
+                 f"{[r['policy'] for r in rows]}")
+        if "competitive_ratio" not in rows[0]:
+            fail(f"cells CSV missing competitive_ratio: {list(rows[0])}")
+
+    # Unknown policies fail loudly on both run and sweep.
+    for args in (["run", "--media", "mp3", "--policy", "no-such"],
+                 ["sweep", "quick", "--policy", "no-such"]):
+        proc = subprocess.run([binary] + args,
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode == 0:
+            fail(f"--policy no-such unexpectedly succeeded for {args[0]}")
+        if "paper" not in proc.stderr:
+            fail(f"unknown-policy error did not list known policies:\n"
+                 f"{proc.stderr}")
+
     # `list metrics` enumerates the registry with OpenMetrics names.
     proc = subprocess.run([binary, "list", "metrics"],
                           capture_output=True, text=True, timeout=600)

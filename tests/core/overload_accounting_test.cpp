@@ -51,7 +51,7 @@ TEST(OverloadAccounting, ArrivalEstimateTracksAdmittedNotOfferedRate) {
   // The governor only ever saw admitted frames, and a full buffer admits at
   // the drain rate (~77 fr/s).  Before the fix the estimator converged on
   // the 300 fr/s offered rate instead.
-  const policy::DvsGovernor* gov =
+  const policy::Governor* gov =
       engine.governor(workload::MediaType::Mp3Audio);
   ASSERT_NE(gov, nullptr);
   const double lambda_hat = gov->arrival_estimate().value();

@@ -1,0 +1,104 @@
+// End-to-end checks on the policy axis + offline-optimal oracle: the
+// competitive ratio is a true lower-bound ratio (>= 1 for target-honoring
+// policies) and, like every other sweep output, byte-identical at any
+// --jobs level including the serial oracle precompute.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/sweep.hpp"
+
+namespace dvs::core {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// A reduced policy_shootout: one short MP3 clip, all three builtin
+// policies, oracle on.  Small Monte-Carlo window count keeps the
+// change-point characterization fast.
+ScenarioSpec shootout_spec() {
+  ScenarioSpec s;
+  s.name = "shootout_mini";
+  s.workloads = {WorkloadSpec::mp3("A")};
+  s.policies = {"paper", "qdpm", "max"};
+  s.detectors = {DetectorKind::ChangePoint};
+  s.replicates = 2;
+  s.base_seed = 9090;
+  s.oracle = true;
+  s.detector_cfg.change_point.mc_windows = 400;
+  return s;
+}
+
+TEST(PolicyShootout, GridHasOneCellPerPolicy) {
+  const ScenarioSpec spec = shootout_spec();
+  EXPECT_EQ(spec.num_cells(), 3U);
+  EXPECT_EQ(spec.num_points(), 6U);
+  const SweepResult res = SweepRunner{}.run(spec);
+  ASSERT_EQ(res.cells.size(), 3U);
+  EXPECT_EQ(res.cells[0].point.policy, "paper");
+  EXPECT_EQ(res.cells[1].point.policy, "qdpm");
+  EXPECT_EQ(res.cells[2].point.policy, "max");
+}
+
+TEST(PolicyShootout, CompetitiveRatioIsALowerBoundRatio) {
+  const SweepResult res = SweepRunner{}.run(shootout_spec());
+  // The oracle's discrete schedule is a realizable lower bound on CPU
+  // energy for any policy that honors the delay target, so every ratio
+  // lands at (numerically: within an epsilon of) 1 or above.
+  for (const PointResult& p : res.points) {
+    EXPECT_GE(p.competitive_ratio, 1.0 - 0.02)
+        << p.point.policy << " rep " << p.point.replicate;
+  }
+  // Pinned-max burns strictly more CPU energy than the adaptive paper
+  // governor on a light audio clip, and both ratios are finite.
+  const double paper = res.cells[0].competitive_ratio.mean;
+  const double max = res.cells[2].competitive_ratio.mean;
+  EXPECT_GT(paper, 0.98);
+  EXPECT_GT(max, paper);
+}
+
+TEST(PolicyShootout, OracleColumnIsZeroWhenDisabled) {
+  ScenarioSpec spec = shootout_spec();
+  spec.oracle = false;
+  spec.policies = {"paper"};
+  spec.replicates = 1;
+  const SweepResult res = SweepRunner{}.run(spec);
+  for (const PointResult& p : res.points) {
+    EXPECT_DOUBLE_EQ(p.competitive_ratio, 0.0);
+  }
+}
+
+TEST(PolicyShootout, CsvBytesAreIdenticalAcrossJobs) {
+  const ScenarioSpec spec = shootout_spec();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  serial.collect_quantiles = true;
+  parallel.collect_quantiles = true;
+  const SweepResult a = SweepRunner{serial}.run(spec);
+  const SweepResult b = SweepRunner{parallel}.run(spec);
+
+  const std::string base = ::testing::TempDir() + "shootout_";
+  const auto dump = [&base](const std::string& tag, const SweepResult& res) {
+    CsvWriter cells(base + tag + "_cells.csv");
+    res.write_cells_csv(cells);
+    CsvWriter points(base + tag + "_points.csv");
+    res.write_points_csv(points);
+  };
+  dump("j1", a);
+  dump("j8", b);
+  EXPECT_EQ(slurp(base + "j1_cells.csv"), slurp(base + "j8_cells.csv"));
+  EXPECT_EQ(slurp(base + "j1_points.csv"), slurp(base + "j8_points.csv"));
+}
+
+}  // namespace
+}  // namespace dvs::core

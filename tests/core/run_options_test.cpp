@@ -16,6 +16,7 @@ namespace {
 TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
   RunOptions opts;
   opts.detector = DetectorKind::ExpAverage;
+  opts.policy = "qdpm";
   opts.target_delay = seconds(0.123);
   opts.service_cv2 = 0.7;
   opts.dpm_policy = nullptr;
@@ -54,6 +55,7 @@ TEST(RunOptionsRoundTrip, EveryFieldReachesTheEngineConfig) {
 
   const EngineConfig ec = to_engine_config(opts);
   EXPECT_EQ(ec.detector, DetectorKind::ExpAverage);
+  EXPECT_EQ(ec.policy, "qdpm");
   EXPECT_DOUBLE_EQ(ec.target_delay.value(), 0.123);
   EXPECT_DOUBLE_EQ(ec.service_cv2, 0.7);
   EXPECT_EQ(ec.dpm_policy, nullptr);
@@ -88,6 +90,7 @@ TEST(RunOptionsRoundTrip, DefaultsMatchEngineDefaults) {
   const EngineConfig ec = to_engine_config(RunOptions{});
   const EngineConfig def;
   EXPECT_EQ(ec.detector, def.detector);
+  EXPECT_EQ(ec.policy, def.policy);
   EXPECT_DOUBLE_EQ(ec.target_delay.value(), def.target_delay.value());
   EXPECT_DOUBLE_EQ(ec.service_cv2, def.service_cv2);
   EXPECT_DOUBLE_EQ(ec.wlan_rx_time.value(), def.wlan_rx_time.value());

@@ -183,13 +183,14 @@ TEST(SweepResult, CellsCsvHeaderIsStable) {
   std::string header;
   ASSERT_TRUE(std::getline(lines, header));
   EXPECT_EQ(header,
-            "scenario,cell,workload,detector,dpm,faults,cpu,delay_target_s,"
-            "service_cv2,replicates,energy_kj_mean,energy_kj_sd,"
-            "energy_kj_ci95,cpu_mem_kj_mean,cpu_mem_kj_sd,cpu_mem_kj_ci95,"
-            "delay_s_mean,delay_s_sd,delay_s_ci95,freq_mhz_mean,freq_mhz_sd,"
-            "freq_mhz_ci95,switches_mean,sleeps_mean,wakeup_delay_s_mean,"
-            "power_mw_mean,faults_injected_mean,recoveries_mean,"
-            "time_degraded_s_mean,delay_p50,delay_p90,delay_p99");
+            "scenario,cell,workload,detector,policy,dpm,faults,cpu,"
+            "delay_target_s,service_cv2,replicates,energy_kj_mean,"
+            "energy_kj_sd,energy_kj_ci95,cpu_mem_kj_mean,cpu_mem_kj_sd,"
+            "cpu_mem_kj_ci95,delay_s_mean,delay_s_sd,delay_s_ci95,"
+            "freq_mhz_mean,freq_mhz_sd,freq_mhz_ci95,switches_mean,"
+            "sleeps_mean,wakeup_delay_s_mean,power_mw_mean,"
+            "faults_injected_mean,recoveries_mean,time_degraded_s_mean,"
+            "delay_p50,delay_p90,delay_p99,competitive_ratio");
   std::string row;
   std::size_t rows = 0;
   while (std::getline(lines, row)) {

@@ -103,7 +103,7 @@ TEST(GracefulDegradation, WatchdogEscalatesAndRecoversAfterRateSpike) {
   EXPECT_LT(m.time_in_degraded.value(), m.duration.value());
 
   // Degradation ended before the run did.
-  const policy::DvsGovernor* gov = engine.governor(MediaType::Mp3Audio);
+  const policy::Governor* gov = engine.governor(MediaType::Mp3Audio);
   ASSERT_NE(gov, nullptr);
   ASSERT_NE(gov->watchdog(), nullptr);
   EXPECT_FALSE(gov->degraded());

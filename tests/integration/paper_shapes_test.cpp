@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "dpm/policy.hpp"
+#include "policy/frequency_policy.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
 

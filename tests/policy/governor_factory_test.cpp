@@ -1,0 +1,116 @@
+#include "policy/governor_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "detect/ema.hpp"
+#include "policy/governor.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::policy {
+namespace {
+
+struct Rig {
+  hw::SmartBadge badge;
+  workload::DecoderModel decoder =
+      workload::reference_mp3_decoder(badge.cpu().max_frequency());
+
+  GovernorContext ctx(bool detectors = true) {
+    GovernorContext c{badge, decoder, seconds(0.1)};
+    if (detectors) {
+      c.make_arrival_detector = [] {
+        return std::make_unique<detect::EmaDetector>(0.1);
+      };
+      c.make_service_detector = [] {
+        return std::make_unique<detect::EmaDetector>(0.1);
+      };
+    }
+    return c;
+  }
+};
+
+TEST(GovernorFactory, BuiltinsAreRegisteredInOrder) {
+  GovernorFactory& f = GovernorFactory::instance();
+  EXPECT_TRUE(f.has("paper"));
+  EXPECT_TRUE(f.has("max"));
+  EXPECT_TRUE(f.has("qdpm"));
+  EXPECT_FALSE(f.has("nope"));
+  const auto entries = f.entries();
+  ASSERT_GE(entries.size(), 3U);
+  EXPECT_EQ(entries[0].name, "paper");
+  EXPECT_EQ(entries[1].name, "max");
+  EXPECT_EQ(entries[2].name, "qdpm");
+  for (const GovernorFactory::Entry& e : entries) {
+    EXPECT_FALSE(e.description.empty()) << e.name;
+  }
+}
+
+TEST(GovernorFactory, UnknownPolicyThrowsListingKnownOnes) {
+  Rig rig;
+  const GovernorContext ctx = rig.ctx();
+  try {
+    (void)GovernorFactory::instance().create("bogus", ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("paper"), std::string::npos);
+  }
+}
+
+TEST(GovernorFactory, PaperPolicyIsAdaptiveWithDetectors) {
+  Rig rig;
+  const GovernorPtr gov =
+      GovernorFactory::instance().create("paper", rig.ctx());
+  ASSERT_NE(gov, nullptr);
+  EXPECT_TRUE(gov->adaptive());
+  EXPECT_NE(dynamic_cast<DvsGovernor*>(gov.get()), nullptr);
+}
+
+TEST(GovernorFactory, PaperPolicyFallsBackToMaxWithoutDetectors) {
+  Rig rig;
+  const GovernorPtr gov = GovernorFactory::instance().create(
+      "paper", rig.ctx(/*detectors=*/false));
+  ASSERT_NE(gov, nullptr);
+  EXPECT_FALSE(gov->adaptive());
+  EXPECT_EQ(gov->detector_name(), "max");
+}
+
+TEST(GovernorFactory, MaxPolicyPinsTopStep) {
+  Rig rig;
+  const GovernorPtr gov = GovernorFactory::instance().create("max", rig.ctx());
+  gov->initialize(hertz(10.0), hertz(100.0), seconds(0.0));
+  EXPECT_EQ(gov->desired_step(), rig.badge.cpu().num_steps() - 1);
+  EXPECT_FALSE(gov->adaptive());
+}
+
+// A trivial builder for the open-registration test: the pinned-max
+// governor under a custom name.
+GovernorPtr build_custom(const GovernorContext& ctx) {
+  return DvsGovernor::max_performance(ctx.badge, ctx.decoder,
+                                      ctx.make_frequency_policy());
+}
+
+TEST(GovernorFactory, OpenRegistrationAddsAndReplaces) {
+  Rig rig;
+  GovernorFactory& f = GovernorFactory::instance();
+  int builds = 0;
+  f.register_policy("test-custom", "unit-test policy",
+                    [&builds](const GovernorContext& ctx) {
+                      ++builds;
+                      return build_custom(ctx);
+                    });
+  EXPECT_TRUE(f.has("test-custom"));
+  const GovernorPtr gov = f.create("test-custom", rig.ctx());
+  ASSERT_NE(gov, nullptr);
+  EXPECT_EQ(builds, 1);
+  // Re-registering the same name replaces the builder, not the listing.
+  const std::size_t before = f.entries().size();
+  f.register_policy("test-custom", "replaced", &build_custom);
+  EXPECT_EQ(f.entries().size(), before);
+}
+
+}  // namespace
+}  // namespace dvs::policy

@@ -1,0 +1,144 @@
+#include "policy/optimal_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/clips.hpp"
+
+namespace dvs::policy {
+namespace {
+
+OracleJob job(double arrival, double megacycles, double deadline) {
+  return OracleJob{Seconds{arrival}, Seconds{deadline}, megacycles};
+}
+
+TEST(OptimalOracle, EmptyJobListYieldsEmptySchedule) {
+  const OptimalOracle oracle{hw::Sa1100{}};
+  const OracleSchedule s = oracle.solve({});
+  EXPECT_TRUE(s.segments.empty());
+  EXPECT_DOUBLE_EQ(s.continuous_energy.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.discrete_energy.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_megacycles, 0.0);
+}
+
+TEST(OptimalOracle, SingleJobRunsAtExactlyItsDensity) {
+  // 100 Mc due in 1 s: the taut string is the straight line of slope 100.
+  const hw::Sa1100 cpu;
+  const OptimalOracle oracle{cpu};
+  const OracleSchedule s = oracle.solve({job(0.0, 100.0, 1.0)});
+  ASSERT_EQ(s.segments.size(), 1U);
+  EXPECT_NEAR(s.segments[0].begin.value(), 0.0, 1e-9);
+  EXPECT_NEAR(s.segments[0].end.value(), 1.0, 1e-9);
+  EXPECT_NEAR(s.segments[0].speed, 100.0, 1e-9);
+  // Discrete snap-up: the lowest table step at or above 100 MHz.
+  const std::size_t step = cpu.step_at_or_above(megahertz(100.0));
+  EXPECT_EQ(s.segments[0].step, step);
+  EXPECT_GT(cpu.frequency_at(step).value(), 100.0 - 1e-9);
+  // Discrete energy = that step's active power for the time the work takes
+  // at the step frequency (finish early, then idle for free).
+  const double expect_j = cpu.active_power_at(step).value() * 1e-3 *
+                          (100.0 / cpu.frequency_at(step).value());
+  EXPECT_NEAR(s.discrete_energy.value(), expect_j, 1e-9);
+  // The continuous schedule at the exact speed can only be cheaper.
+  EXPECT_LE(s.continuous_energy.value(), s.discrete_energy.value() + 1e-12);
+  EXPECT_NEAR(s.total_megacycles, 100.0, 1e-9);
+}
+
+TEST(OptimalOracle, StaggeredJobsAverageIntoOneSegment) {
+  // 50 Mc at t=0 (due 1.0) + 50 Mc at t=0.5 (due 1.5).  The constant
+  // slope 100/1.5 respects both the floor (66.7 >= 50 done by t=1) and the
+  // ceiling (33.3 <= 50 arrived by t=0.5), so the taut string never bends.
+  const OptimalOracle oracle{hw::Sa1100{}};
+  const OracleSchedule s =
+      oracle.solve({job(0.0, 50.0, 1.0), job(0.5, 50.0, 1.5)});
+  ASSERT_EQ(s.segments.size(), 1U);
+  EXPECT_NEAR(s.segments[0].begin.value(), 0.0, 1e-9);
+  EXPECT_NEAR(s.segments[0].end.value(), 1.5, 1e-9);
+  EXPECT_NEAR(s.segments[0].speed, 100.0 / 1.5, 1e-9);
+}
+
+TEST(OptimalOracle, RateDropBendsTheSchedule) {
+  // A dense job then a sparse one: the optimal schedule runs fast exactly
+  // through the first deadline, then relaxes.
+  const OptimalOracle oracle{hw::Sa1100{}};
+  const OracleSchedule s =
+      oracle.solve({job(0.0, 100.0, 1.0), job(1.0, 10.0, 2.0)});
+  ASSERT_EQ(s.segments.size(), 2U);
+  EXPECT_NEAR(s.segments[0].speed, 100.0, 1e-9);
+  EXPECT_NEAR(s.segments[0].end.value(), 1.0, 1e-9);
+  EXPECT_NEAR(s.segments[1].speed, 10.0, 1e-9);
+  EXPECT_NEAR(s.segments[1].end.value(), 2.0, 1e-9);
+}
+
+TEST(OptimalOracle, GapBetweenJobsGoesIdleForFree) {
+  // A tight job finishing at t=0.1, then nothing until t=1: the schedule
+  // must contain a zero-speed segment contributing zero energy.
+  const hw::Sa1100 cpu;
+  const OptimalOracle oracle{cpu};
+  const OracleSchedule s =
+      oracle.solve({job(0.0, 10.0, 0.1), job(1.0, 10.0, 2.0)});
+  ASSERT_EQ(s.segments.size(), 3U);
+  EXPECT_NEAR(s.segments[0].speed, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.segments[1].speed, 0.0);
+  EXPECT_NEAR(s.segments[1].begin.value(), 0.1, 1e-9);
+  EXPECT_NEAR(s.segments[1].end.value(), 1.0, 1e-9);
+  EXPECT_NEAR(s.segments[2].speed, 10.0, 1e-9);
+  // Busy time excludes the idle stretch.
+  EXPECT_NEAR(s.busy_time.value(), 1.1, 1e-9);
+  // Energy equals the sum over the two busy segments only.
+  const OracleSchedule tight = oracle.solve({job(0.0, 10.0, 0.1)});
+  const OracleSchedule slack = oracle.solve({job(1.0, 10.0, 2.0)});
+  EXPECT_NEAR(s.discrete_energy.value(),
+              tight.discrete_energy.value() + slack.discrete_energy.value(),
+              1e-9);
+}
+
+TEST(OptimalOracle, UnsortedJobsSolveIdentically) {
+  const OptimalOracle oracle{hw::Sa1100{}};
+  const OracleSchedule a =
+      oracle.solve({job(0.0, 100.0, 1.0), job(1.0, 10.0, 2.0)});
+  const OracleSchedule b =
+      oracle.solve({job(1.0, 10.0, 2.0), job(0.0, 100.0, 1.0)});
+  EXPECT_DOUBLE_EQ(a.discrete_energy.value(), b.discrete_energy.value());
+  EXPECT_EQ(a.segments.size(), b.segments.size());
+}
+
+TEST(OptimalOracle, AppendJobsMapsFramesToDemandAndDeadline) {
+  const hw::Sa1100 cpu;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(cpu.max_frequency());
+  Rng rng{5};
+  const workload::FrameTrace trace =
+      workload::build_mp3_trace(workload::mp3_sequence("A"), dec, rng);
+  std::vector<OracleJob> jobs;
+  OptimalOracle::append_jobs(trace, dec, seconds(0.15), jobs);
+  ASSERT_EQ(jobs.size(), trace.size());
+  for (const OracleJob& j : jobs) {
+    EXPECT_GT(j.megacycles, 0.0);
+    EXPECT_NEAR(j.deadline.value() - j.arrival.value(), 0.15, 1e-12);
+  }
+}
+
+TEST(OptimalOracle, ContinuousNeverExceedsDiscreteOnRealTrace) {
+  const hw::Sa1100 cpu;
+  const workload::DecoderModel dec =
+      workload::reference_mp3_decoder(cpu.max_frequency());
+  Rng rng{5};
+  const workload::FrameTrace trace =
+      workload::build_mp3_trace(workload::mp3_sequence("A"), dec, rng);
+  std::vector<OracleJob> jobs;
+  OptimalOracle::append_jobs(trace, dec, seconds(0.15), jobs);
+  const OptimalOracle oracle{cpu};
+  const OracleSchedule s = oracle.solve(std::move(jobs));
+  EXPECT_GT(s.discrete_energy.value(), 0.0);
+  EXPECT_LE(s.continuous_energy.value(), s.discrete_energy.value() + 1e-12);
+  // No segment may exceed the CPU's top frequency — the trace is feasible.
+  for (const OracleSegment& seg : s.segments) {
+    EXPECT_LE(seg.speed, cpu.max_frequency().value() + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dvs::policy

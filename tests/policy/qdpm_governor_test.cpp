@@ -1,0 +1,125 @@
+#include "policy/qdpm_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::policy {
+namespace {
+
+struct Rig {
+  hw::SmartBadge badge;
+  workload::DecoderModel decoder =
+      workload::reference_mp3_decoder(badge.cpu().max_frequency());
+
+  QdpmGovernor make(std::uint64_t seed = 42) {
+    return QdpmGovernor{badge, decoder, seconds(0.1), seed};
+  }
+};
+
+/// Drives `frames` decode cycles at a fixed arrival rate and queue depth,
+/// returning the sequence of desired steps the learner chose.
+std::vector<std::size_t> drive(QdpmGovernor& gov, hw::SmartBadge& badge,
+                               int frames, double rate, double queue) {
+  std::vector<std::size_t> steps;
+  Seconds now{0.0};
+  const Seconds gap{1.0 / rate};
+  for (int i = 0; i < frames; ++i) {
+    now = now + gap;
+    gov.on_arrival(now, gap, queue);
+    gov.on_decode_complete(now, Seconds{0.004}, badge.cpu_frequency(), queue,
+                           Seconds{0.02});
+    gov.apply(now);
+    steps.push_back(gov.desired_step());
+  }
+  return steps;
+}
+
+TEST(QdpmGovernor, InitializeStartsAtTopStepUntrained) {
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  // Untrained all-zero table: the greedy tie-break plays it safe at max.
+  EXPECT_EQ(gov.desired_step(), rig.badge.cpu().num_steps() - 1);
+  EXPECT_TRUE(gov.adaptive());
+  EXPECT_EQ(gov.detector_name(), "qdpm");
+}
+
+TEST(QdpmGovernor, SameSeedSameDecisions) {
+  Rig a;
+  Rig b;
+  QdpmGovernor ga = a.make(7);
+  QdpmGovernor gb = b.make(7);
+  ga.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  gb.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  EXPECT_EQ(drive(ga, a.badge, 500, 38.0, 1.0),
+            drive(gb, b.badge, 500, 38.0, 1.0));
+}
+
+TEST(QdpmGovernor, DifferentSeedsExploreDifferently) {
+  Rig a;
+  Rig b;
+  QdpmGovernor ga = a.make(7);
+  QdpmGovernor gb = b.make(8);
+  ga.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  gb.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  EXPECT_NE(drive(ga, a.badge, 500, 38.0, 1.0),
+            drive(gb, b.badge, 500, 38.0, 1.0));
+}
+
+TEST(QdpmGovernor, LearnsToLeaveTopStepUnderLightLoad) {
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  // Light load, delays comfortably inside the target: the energy term
+  // should teach the learner that cheaper steps also collect no penalty.
+  const std::vector<std::size_t> steps =
+      drive(gov, rig.badge, 4000, 38.0, 0.0);
+  const std::size_t top = rig.badge.cpu().num_steps() - 1;
+  std::size_t below_top = 0;
+  for (std::size_t i = steps.size() / 2; i < steps.size(); ++i) {
+    if (steps[i] < top) ++below_top;
+  }
+  EXPECT_GT(below_top, steps.size() / 4);
+  EXPECT_EQ(gov.decisions(), 4000U);
+}
+
+TEST(QdpmGovernor, EpsilonDecaysToFloor) {
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(38.0), hertz(250.0), seconds(0.0));
+  EXPECT_DOUBLE_EQ(gov.epsilon(), QdpmGovernor::Config{}.epsilon0);
+  drive(gov, rig.badge, 4000, 38.0, 1.0);
+  EXPECT_NEAR(gov.epsilon(), QdpmGovernor::Config{}.epsilon_min, 1e-12);
+}
+
+TEST(QdpmGovernor, SaturationBackstopPinsTopStep) {
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(300.0), hertz(250.0), seconds(0.0));
+  // Queue pegged at/above the top bin: every decision must be the top step
+  // regardless of exploration draws.
+  const std::vector<std::size_t> steps =
+      drive(gov, rig.badge, 1000, 300.0, 10.0);
+  const std::size_t top = rig.badge.cpu().num_steps() - 1;
+  for (std::size_t s : steps) EXPECT_EQ(s, top);
+}
+
+TEST(QdpmGovernor, EstimatorsTrackRates) {
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(10.0), hertz(100.0), seconds(0.0));
+  EXPECT_NEAR(gov.arrival_estimate().value(), 10.0, 1e-9);
+  EXPECT_NEAR(gov.service_estimate_at_max().value(), 100.0, 1e-9);
+  drive(gov, rig.badge, 2000, 38.0, 1.0);
+  // EMA converges towards the driven arrival rate; service rate towards
+  // 1 / normalize_to_max(0.004 s at current frequency).
+  EXPECT_NEAR(gov.arrival_estimate().value(), 38.0, 2.0);
+  EXPECT_GT(gov.service_estimate_at_max().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace dvs::policy

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <optional>
 
+#include "policy/governor_factory.hpp"
+
 namespace dvs::cli {
 
 void usage(const char* msg) {
@@ -29,6 +31,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--session") { o.session = true; }
     else if (a == "--cycles") { o.cycles = std::stoi(need(i)); ++i; }
     else if (a == "--detector") { o.detector = need(i); ++i; }
+    else if (a == "--policy") { o.policy = need(i); ++i; }
     else if (a == "--ema-gain") { o.ema_gain = std::stod(need(i)); ++i; }
     else if (a == "--delay") { o.delay = std::stod(need(i)); ++i; }
     else if (a == "--cv2") { o.cv2 = std::stod(need(i)); ++i; }
@@ -63,6 +66,14 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--self-profile") { o.self_profile = need(i); ++i; }
     else if (a == "--help" || a == "-h") { usage("help requested"); }
     else { usage(("unknown option " + a).c_str()); }
+  }
+  if (!o.policy.empty() && !policy::GovernorFactory::instance().has(o.policy)) {
+    std::string known;
+    for (const auto& e : policy::GovernorFactory::instance().entries()) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    usage(("unknown policy " + o.policy + " (known: " + known + ")").c_str());
   }
   return o;
 }

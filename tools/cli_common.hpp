@@ -26,6 +26,9 @@ struct CliOptions {
   bool session = false;
   int cycles = 4;
   std::string detector = "change-point";
+  /// Governor policy (policy::GovernorFactory key); empty = defer to the
+  /// scenario's policy axis (sweep) or the engine default "paper" (run).
+  std::string policy;
   double ema_gain = 0.03;
   double delay = 0.0;  // 0 = per-media default
   double cv2 = 1.0;
@@ -102,6 +105,8 @@ int cmd_report(const CliOptions& o);
 
 int cmd_list_scenarios();
 int cmd_list_faults();
+/// `dvs_sim list policies`: the registered governor policies.
+int cmd_list_policies();
 /// `dvs_sim list metrics`: stock metric families + OpenMetrics names
 /// (enumerated from a real minimal run, so the list cannot drift).
 int cmd_list_metrics();

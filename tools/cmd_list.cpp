@@ -9,6 +9,7 @@
 #include "fault/fault_spec.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/telemetry/openmetrics.hpp"
+#include "policy/governor_factory.hpp"
 #include "workload/clips.hpp"
 
 namespace dvs::cli {
@@ -35,6 +36,19 @@ int cmd_list_faults() {
   t.print();
   std::printf("\ninject with: dvs_sim run|sweep ... --faults"
               " spec[,spec,...]\n");
+  return 0;
+}
+
+int cmd_list_policies() {
+  TextTable t;
+  t.set_header({"Policy", "Description"});
+  for (const policy::GovernorFactory::Entry& e :
+       policy::GovernorFactory::instance().entries()) {
+    t.add_row({e.name, e.description});
+  }
+  t.print();
+  std::printf("\nselect with: dvs_sim run|sweep ... --policy <name>"
+              " (sweeps compare several via a scenario's policy axis)\n");
   return 0;
 }
 

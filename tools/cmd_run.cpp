@@ -67,6 +67,7 @@ int cmd_run(const CliOptions& o) {
 
   core::RunOptions opts;
   opts.detector = detector_kind(o.detector);
+  if (!o.policy.empty()) opts.policy = o.policy;
   opts.detector_cfg = &detector_cfg;
   opts.service_cv2 = o.cv2;
   opts.seed = o.seed;

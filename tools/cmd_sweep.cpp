@@ -29,6 +29,7 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
   if (o.replicates > 0) spec.replicates = o.replicates;
   if (o.seed_set) spec.base_seed = o.seed;
   if (!o.faults.empty()) spec.faults = resolve_faults(o.faults);
+  if (!o.policy.empty()) spec.policies = {o.policy};
 
   core::SweepOptions sopts;
   sopts.jobs = o.jobs;
@@ -79,6 +80,21 @@ int run_scenario(const CliOptions& o, std::FILE* hout,
                  TextTable::num(c.power_mw.mean, 0),
                  TextTable::num(c.recoveries.mean, 1),
                  TextTable::num(c.time_degraded_s.mean, 1)});
+    }
+  } else if (spec.policies.size() > 1 || spec.oracle) {
+    // Policy-comparison view: the governor column replaces the DPM/CPU
+    // detail, and the oracle's competitive ratio closes the row.
+    t.set_header({"Workload", "Policy", "Detector", "d (s)", "Energy (kJ)",
+                  "+-95%", "Delay (s)", "Power (mW)", "CR"});
+    for (const core::CellResult& c : res.cells) {
+      t.add_row({c.point.workload.name(), c.point.policy,
+                 std::string(to_string(c.point.detector)),
+                 TextTable::num(c.point.delay_target.value(), 2),
+                 TextTable::num(c.energy_kj.mean, 3),
+                 TextTable::num(c.energy_kj.ci95_half, 3),
+                 TextTable::num(c.delay_s.mean, 3),
+                 TextTable::num(c.power_mw.mean, 0),
+                 TextTable::num(c.competitive_ratio.mean, 3)});
     }
   } else {
     t.set_header({"Workload", "Detector", "DPM", "CPU", "d (s)", "Energy (kJ)",

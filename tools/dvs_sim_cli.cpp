@@ -5,16 +5,20 @@
 //   dvs_sim sweep <scenario> [options]   run a scenario grid through the sweep
 //                                        runner (bit-identical at any --jobs)
 //   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
-//   dvs_sim list  [scenarios|faults|metrics]   enumerate scenarios, fault
-//                                        specs, or the stock metric families
+//   dvs_sim list  [scenarios|faults|policies|metrics]   enumerate scenarios,
+//                                        fault specs, governor policies, or
+//                                        the stock metric families
 //
 //   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
 //   dvs_sim run --media mpeg --clip football --seconds 300 --detector ideal
 //   dvs_sim run --session --cycles 4 --detector change-point --dpm tismdp
 //   dvs_sim run --media mp3 --save-trace out.trace
 //   dvs_sim run --load-trace out.trace --detector ema
+//   dvs_sim run --media mpeg --policy qdpm
 //   dvs_sim list scenarios
+//   dvs_sim list policies
 //   dvs_sim sweep table5 --jobs 8 --replicates 10
+//   dvs_sim sweep policy_shootout --jobs 8 --sweep-csv shootout
 //
 // The pre-subcommand spellings still work but are deprecated:
 //   --scenario <name>  ->  dvs_sim sweep <name>
@@ -42,6 +46,10 @@
 //   --session                 run a mixed audio/video/idle session instead
 //   --cycles <n>              session cycles (default 4)
 //   --detector ideal|change-point|ema|max|sliding-window   (default change-point)
+//   --policy <name>           governor policy (`dvs_sim list policies`;
+//                             default "paper").  run: selects the governor;
+//                             sweep: replaces the scenario's policy axis
+//                             with the one named policy
 //   --ema-gain <g>            EMA gain (default 0.03)
 //   --delay <s>               target mean total frame delay (default 0.1/0.15)
 //   --cv2 <v>                 service-variability model for the policy (default 1 = M/M/1)
@@ -138,6 +146,7 @@ int dispatch_list(int argc, char** argv, int first) {
   }
   if (what == "scenarios") return cli::cmd_list_scenarios();
   if (what == "faults") return cli::cmd_list_faults();
+  if (what == "policies") return cli::cmd_list_policies();
   if (what == "metrics") return cli::cmd_list_metrics();
   if (what == "both") {
     const int rc = cli::cmd_list_scenarios();
