@@ -19,6 +19,7 @@
 //   * engine.span_overhead_pct             span profiler attached vs bare
 //   * engine.metrics_overhead_pct          metrics registry + sketches vs bare
 //   * engine.telemetry_overhead_pct        live snapshot feed vs metrics [budget]
+//   * engine.fleet_frames_per_s            fleet population throughput, jobs=1
 //   * char.threshold_table_s               one cold Monte-Carlo characterization
 //
 // Rows marked [budget] carry a "budget" field: an absolute ceiling in the
@@ -429,6 +430,37 @@ void measure_telemetry(std::vector<PerfResult>& out) {
   }
 }
 
+/// Fleet population throughput: a slice of the fleet_smoke builtin at
+/// jobs=1, end to end (shared-asset preparation included — amortizing prep
+/// across the population is part of what the fleet runner is for).  Decoded
+/// plus dropped frames per wall second, best-of-N.
+void measure_fleet(std::vector<PerfResult>& out) {
+  const fleet::FleetSpec* found = fleet::find_fleet("fleet_smoke");
+  if (found == nullptr) {
+    std::fprintf(stderr, "bench_perf: no builtin fleet 'fleet_smoke'\n");
+    std::exit(1);
+  }
+  fleet::FleetSpec spec = *found;
+  spec.num_devices = 1000;
+  fleet::FleetOptions opts;
+  opts.jobs = 1;
+  double best = 0.0;
+  std::uint64_t frames = 0;
+  double last_wall = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const fleet::FleetResult res = fleet::FleetRunner{opts}.run(spec);
+    frames = res.frames_total;
+    last_wall = res.wall_seconds;
+    if (res.wall_seconds > 0.0) {
+      best = std::max(best,
+                      static_cast<double>(frames) / res.wall_seconds);
+    }
+  }
+  out.push_back({"engine.fleet_frames_per_s", "frames/s", best, true});
+  std::printf("%-34s %10.0f frames/s  (%zu devices, %.2f s)\n",
+              "engine.fleet_frames_per_s", best, spec.num_devices, last_wall);
+}
+
 /// One cold Monte-Carlo threshold characterization (Section 3.1) — the cost
 /// the shared-asset cache saves on every warm use.
 void measure_characterization(std::vector<PerfResult>& out) {
@@ -455,6 +487,7 @@ int main(int argc, char** argv) {
   measure_sim_kernel(results);
   measure_flight_recorder(results);
   measure_telemetry(results);
+  measure_fleet(results);
   for (const char* s : {"quick", "table3", "table5"}) {
     measure_scenario(s, results);
   }

@@ -7,12 +7,20 @@
 Prints a per-metric table with the relative change and flags regressions
 beyond the tolerance (default 25%, generous because CI runners jitter).
 Exit code is 0 unless --strict is given, in which case any flagged
-regression exits 1.  Metrics present in only one file are reported but
-never flagged -- except budget breaches: a result carrying a "budget"
-field (an absolute ceiling in the metric's own unit, e.g. the 5% engine
-overhead budget for the span profiler) is checked against the CURRENT
-value regardless of the baseline, and a breach is flagged even for
-metrics the baseline lacks.
+regression exits 1.  Metrics present in only one file are reported with a
+warning but never flagged -- a new bench row (e.g. engine.fleet_frames_per_s)
+must not break contributors whose committed baseline predates it, and an
+old baseline row must not break a build that no longer emits it.  The one
+exception is budget breaches: a result carrying a "budget" field (an
+absolute ceiling in the metric's own unit, e.g. the 5% engine overhead
+budget for the span profiler) is checked against the CURRENT value
+regardless of the baseline, and a breach is flagged even for metrics the
+baseline lacks.
+
+Every input problem (missing file, malformed JSON, results without a
+name/value) degrades to a warning, never a traceback: the script's job is
+to inform, and a perf-compare step must not crash CI or a contributor's
+shell over a stale artifact.
 """
 
 import argparse
@@ -20,12 +28,37 @@ import json
 import sys
 
 
+def warn(msg):
+    print(f"compare_bench: warning: {msg}", file=sys.stderr)
+
+
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "dvs-bench-perf-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {r["name"]: r for r in doc["results"]}
+    """Returns {name: result} or None (with a warning) when unusable."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        warn(f"cannot read {path}: {e}")
+        return None
+    except json.JSONDecodeError as e:
+        warn(f"{path} is not valid JSON: {e}")
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != "dvs-bench-perf-v1":
+        warn(f"{path}: unexpected schema "
+             f"{doc.get('schema') if isinstance(doc, dict) else type(doc)!r}")
+        return None
+    results = doc.get("results")
+    if not isinstance(results, list):
+        warn(f"{path}: no results array")
+        return None
+    out = {}
+    for r in results:
+        if not isinstance(r, dict) or "name" not in r or \
+                not isinstance(r.get("value"), (int, float)):
+            warn(f"{path}: skipping malformed result entry {r!r}")
+            continue
+        out[r["name"]] = r
+    return out
 
 
 def main():
@@ -41,9 +74,18 @@ def main():
 
     base = load(args.baseline)
     cur = load(args.current)
+    if cur is None:
+        # Nothing to check: no current numbers at all.
+        warn("no usable current results; nothing compared")
+        sys.exit(1 if args.strict else 0)
+    if base is None:
+        # Budget checks still apply -- they are absolute, not relative.
+        warn("no usable baseline; running budget checks only")
+        base = {}
 
     regressions = []
     breaches = []
+    only_in_one = 0
     print(f"{'metric':<42} {'baseline':>12} {'current':>12} {'change':>9}")
     print("-" * 79)
     for name in sorted(set(base) | set(cur)):
@@ -56,6 +98,7 @@ def main():
         if b is None or c is None:
             side = "baseline" if c is None else "current"
             val = (b or c)["value"]
+            only_in_one += 1
             print(f"{name:<42} {'(only in ' + side + ')':>26} {val:>12.4g}")
             continue
         bv, cv = b["value"], c["value"]
@@ -69,6 +112,10 @@ def main():
             flag = "  << REGRESSION"
             regressions.append((name, rel))
         print(f"{name:<42} {bv:>12.4g} {cv:>12.4g} {rel:>+8.1%}{flag}")
+
+    if only_in_one:
+        warn(f"{only_in_one} metric(s) present in only one file "
+             "(regenerate the baseline to compare them; never flagged)")
 
     failed = False
     if regressions:

@@ -136,25 +136,18 @@ Aggregate aggregate(const RunningStats& s) {
   return a;
 }
 
-namespace {
+CpuAsset build_cpu_asset(const std::string& name) {
+  CpuAsset a{cpu_by_name(name), {}};
+  const hw::SmartBadge badge{a.cpu};
+  a.costs = dpm::smartbadge_cost_model(badge);
+  return a;
+}
 
-/// Per-CPU shared assets: the resolved part and its DPM cost model.
-struct CpuAsset {
-  hw::Sa1100 cpu;
-  dpm::DpmCostModel costs;
-};
-
-/// Per-(cpu, workload, replicate) shared assets, built once before
-/// dispatch and read-only afterwards.
-struct WorkloadAsset {
-  std::shared_ptr<const std::vector<PlaybackItem>> items;
-  dpm::IdleDistributionPtr idle;
-};
-
-WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
-                             std::uint64_t trace_seed,
-                             const fault::FaultSpec& faults,
-                             std::uint64_t fault_seed) {
+WorkloadAsset build_workload_asset(const WorkloadSpec& w,
+                                   const hw::Sa1100& cpu,
+                                   std::uint64_t trace_seed,
+                                   const fault::FaultSpec& faults,
+                                   std::uint64_t fault_seed) {
   WorkloadAsset asset;
   // Workload fault transforms run here, once per shared asset: every
   // detector/DPM combination of the same row and fault spec sees the exact
@@ -231,8 +224,6 @@ WorkloadAsset build_workload(const WorkloadSpec& w, const hw::Sa1100& cpu,
   return asset;
 }
 
-}  // namespace
-
 const CellResult* SweepResult::find_cell(
     const std::function<bool(const CellResult&)>& pred) const {
   for (const CellResult& c : cells) {
@@ -260,10 +251,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   std::vector<CpuAsset> cpu_assets;
   cpu_assets.reserve(spec.cpus.size());
   for (const std::string& name : spec.cpus) {
-    CpuAsset a{cpu_by_name(name), {}};
-    const hw::SmartBadge badge{a.cpu};
-    a.costs = dpm::smartbadge_cost_model(badge);
-    cpu_assets.push_back(std::move(a));
+    cpu_assets.push_back(build_cpu_asset(name));
   }
 
   const auto asset_key = [&](const RunPoint& p) {
@@ -278,8 +266,8 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     const std::size_t key = asset_key(p);
     if (workload_assets.find(key) == workload_assets.end()) {
       workload_assets.emplace(
-          key, build_workload(p.workload, cpu_assets[p.cpu_idx].cpu,
-                              p.trace_seed, p.faults, p.fault_seed));
+          key, build_workload_asset(p.workload, cpu_assets[p.cpu_idx].cpu,
+                                    p.trace_seed, p.faults, p.fault_seed));
     }
   }
 

@@ -12,7 +12,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -48,6 +51,37 @@ struct Aggregate {
 double t95_quantile(std::size_t df);
 
 Aggregate aggregate(const RunningStats& s);
+
+/// Per-CPU shared asset: the resolved part and its DPM cost model.  Built
+/// once before dispatch; immutable while workers run.
+struct CpuAsset {
+  hw::Sa1100 cpu;
+  dpm::DpmCostModel costs;
+};
+
+/// Resolves a CPU catalog name into a CpuAsset (throws on unknown names,
+/// same contract as cpu_by_name).
+CpuAsset build_cpu_asset(const std::string& name);
+
+/// Per-(cpu, workload, trace seed, fault) shared asset, built once before
+/// dispatch and read-only afterwards.  The item list is behind a
+/// shared_ptr so thousands of concurrent runs (sweep points, fleet
+/// devices) can play the same prepared trace without copying it.
+struct WorkloadAsset {
+  std::shared_ptr<const std::vector<PlaybackItem>> items;
+  dpm::IdleDistributionPtr idle;
+};
+
+/// Builds the prepared trace(s) + idle model for one workload row.  Fault
+/// transforms run here, once per asset: every consumer of the same
+/// (trace_seed, fault_seed) pair sees the exact same perturbed trace — the
+/// Tables-3/4 "same inputs" contract survives fault injection, and the
+/// fleet runner's shared-asset reuse inherits it.
+WorkloadAsset build_workload_asset(const WorkloadSpec& w,
+                                   const hw::Sa1100& cpu,
+                                   std::uint64_t trace_seed,
+                                   const fault::FaultSpec& faults,
+                                   std::uint64_t fault_seed);
 
 /// One executed point, in expansion order.
 struct PointResult {

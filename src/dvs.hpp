@@ -7,6 +7,8 @@
 //                       core::run_items, core::Metrics
 //   * experiment grids: core::ScenarioSpec, core::SweepRunner,
 //                       core::builtin_scenarios / find_scenario
+//   * fleet populations: fleet::FleetSpec, fleet::FleetRunner,
+//                       fleet::builtin_fleets / find_fleet
 //   * fault injection:  fault::FaultSpec, fault::builtin_faults
 //   * shared assets:    detect::shared_threshold_table,
 //                       dpm::cached_tismdp_solution (process-wide caches)
@@ -106,3 +108,7 @@
 #include "core/metrics.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+
+// Fleet-scale device populations.
+#include "fleet/fleet_runner.hpp"
+#include "fleet/fleet_spec.hpp"

@@ -70,14 +70,18 @@ void QdpmGovernor::decide(std::size_t state) {
     // pick a slow step — a single slow decode under overload digs a backlog
     // the learner then pays for across many frames.  Pin the top step; the
     // Q-update still credits it, so "run flat out when saturated" is also
-    // what the table converges to.
+    // what the table converges to.  No epsilon decay here: a backstop frame
+    // is not an eps-greedy decision, and a sustained overload burst must
+    // not anneal exploration to the floor before learning ever happens.
     action = num_actions_ - 1;
-  } else if (rng_.uniform() < epsilon_) {
-    action = static_cast<std::size_t>(rng_.uniform_index(num_actions_));
   } else {
-    action = greedy_action(state);
+    if (rng_.uniform() < epsilon_) {
+      action = static_cast<std::size_t>(rng_.uniform_index(num_actions_));
+    } else {
+      action = greedy_action(state);
+    }
+    epsilon_ = std::max(cfg_.epsilon_min, epsilon_ * cfg_.epsilon_decay);
   }
-  epsilon_ = std::max(cfg_.epsilon_min, epsilon_ * cfg_.epsilon_decay);
   prev_state_ = state;
   prev_action_ = action;
   has_prev_ = true;

@@ -59,6 +59,19 @@ FrameTrace FrameTrace::shifted(Seconds offset) const {
   return FrameTrace{type_, std::move(frames), std::move(truth), duration_};
 }
 
+FrameTrace FrameTrace::rate_scaled(double factor) const {
+  DVS_CHECK_MSG(factor > 0.0, "FrameTrace: rate scale must be > 0");
+  std::vector<TraceFrame> frames = frames_;
+  for (auto& f : frames) f.arrival = seconds(f.arrival.value() / factor);
+  std::vector<RateTruth> truth = truth_;
+  for (auto& s : truth) {
+    s.time = seconds(s.time.value() / factor);
+    s.arrival_rate = hertz(s.arrival_rate.value() * factor);
+  }
+  return FrameTrace{type_, std::move(frames), std::move(truth),
+                    seconds(duration_.value() / factor)};
+}
+
 DecoderModel reference_mp3_decoder(MegaHertz max_frequency) {
   return DecoderModel::mp3(hertz(kMp3ReferenceRate), max_frequency);
 }

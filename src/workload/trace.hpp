@@ -60,6 +60,14 @@ class FrameTrace {
   /// longer session).
   [[nodiscard]] FrameTrace shifted(Seconds offset) const;
 
+  /// Speeds up (factor > 1) or slows down (factor < 1) delivery of the
+  /// whole trace: arrival timestamps, truth segment boundaries, and the
+  /// duration divide by `factor`; true arrival rates multiply by it.  The
+  /// per-frame work and decode rates are untouched — this is the same
+  /// content arriving over a faster or slower network, the per-device rate
+  /// jitter primitive used by fleet simulation.
+  [[nodiscard]] FrameTrace rate_scaled(double factor) const;
+
  private:
   MediaType type_;
   std::vector<TraceFrame> frames_;

@@ -623,6 +623,69 @@ def main():
             fail(f"`list metrics` output missing {needle!r}:\n"
                  f"{proc.stdout[:2000]}")
 
+    # ---- fleet populations: `fleet` subcommand + `list fleets` -------------
+
+    # `list fleets` enumerates the built-in fleet specs.
+    proc = subprocess.run([binary, "list", "fleets"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"`list fleets` exit {proc.returncode}\n{proc.stderr}")
+    for name in ("fleet_smoke", "fleet_city"):
+        if name not in proc.stdout:
+            fail(f"`list fleets` output missing {name!r}:\n{proc.stdout}")
+
+    # A small fleet run: summary table, CSV artifact, heartbeat JSONL, and
+    # the jobs=1 vs jobs=3 CSVs byte-identical (the determinism contract).
+    with tempfile.TemporaryDirectory() as tmp:
+        def run_fleet(jobs, base):
+            hb = base + ".heartbeat.jsonl"
+            proc = subprocess.run(
+                [binary, "fleet", "fleet_smoke", "--devices", "300",
+                 "--jobs", str(jobs), "--shard-size", "64",
+                 "--fleet-csv", base, "--heartbeat", hb],
+                capture_output=True, text=True, timeout=600)
+            if proc.returncode != 0:
+                fail(f"fleet jobs={jobs} exit {proc.returncode}\n"
+                     f"{proc.stderr}")
+            return proc, base + "_fleet.csv", hb
+
+        proc, csv1, hb1 = run_fleet(1, os.path.join(tmp, "j1"))
+        for needle in ("devices", "fleet total", "Workload", "p99"):
+            if needle not in proc.stdout:
+                fail(f"fleet summary missing {needle!r}:\n{proc.stdout}")
+
+        # Heartbeat: valid JSONL, monotone progress ending at the total.
+        with open(hb1) as f:
+            beats = [json.loads(l) for l in f.read().splitlines() if l]
+        if not beats:
+            fail("fleet heartbeat file is empty")
+        dones = [b["done"] for b in beats]
+        if dones != sorted(dones) or dones[-1] != beats[-1]["total"] != 300:
+            fail(f"fleet heartbeat progress wrong: {dones}")
+
+        _, csv3, _ = run_fleet(3, os.path.join(tmp, "j3"))
+        with open(csv1, "rb") as f:
+            bytes1 = f.read()
+        with open(csv3, "rb") as f:
+            bytes3 = f.read()
+        if not bytes1 or bytes1 != bytes3:
+            fail("fleet CSV differs between --jobs 1 and --jobs 3")
+        header = bytes1.decode().splitlines()[0].split(",")
+        for col in ("workload", "policy", "energy_j", "delay_p99_s"):
+            if col not in header:
+                fail(f"fleet CSV missing column {col!r}: {header}")
+
+    # Unknown fleet names fail loudly.
+    proc = subprocess.run([binary, "fleet", "no-such-fleet"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("`fleet no-such-fleet` unexpectedly succeeded")
+    # Bare `fleet` is a usage error.
+    proc = subprocess.run([binary, "fleet"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"bare `fleet` should exit 2, got {proc.returncode}")
+
     print("OK: frames_decoded =", counters["frames_decoded"],
           "| trace events =", len(events))
 

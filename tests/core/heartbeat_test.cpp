@@ -76,6 +76,41 @@ TEST(SweepHeartbeat, OneValidLinePerPointWithMonotoneProgress) {
   std::remove(path.c_str());
 }
 
+TEST(SweepHeartbeat, EveryRecordIsFlushedToDiskAsItIsWritten) {
+  // Pins the per-record flush in the heartbeat writer.  An external monitor
+  // tailing the file must see each record as soon as the point finishes, not
+  // whenever the stream buffer happens to fill.  on_point fires just before
+  // write_heartbeat under the same lock, so at jobs=1 the k-th callback must
+  // find exactly k-1 complete, parseable lines already on disk.  If the
+  // std::flush after each record is ever dropped, the early callbacks see an
+  // empty file and this fails.
+  const std::string path = ::testing::TempDir() + "sweep_heartbeat_flush.jsonl";
+  std::remove(path.c_str());
+  const ScenarioSpec spec = tiny_spec();
+
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.heartbeat_path = path;
+  std::size_t calls = 0;
+  opts.on_point = [&](const PointResult&) {
+    ++calls;
+    std::ifstream in(path);
+    ASSERT_TRUE(in);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ASSERT_FALSE(line.empty());
+      ASSERT_EQ(line.back(), '}');  // complete record, not a torn write
+      json::parse(line);            // throws -> test failure
+      ++lines;
+    }
+    EXPECT_EQ(lines, calls - 1);
+  };
+  const SweepResult res = SweepRunner{opts}.run(spec);
+  EXPECT_EQ(calls, res.points.size());
+  std::remove(path.c_str());
+}
+
 TEST(SweepHeartbeat, StderrSpellingRuns) {
   ScenarioSpec spec = tiny_spec();
   spec.replicates = 1;

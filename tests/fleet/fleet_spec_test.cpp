@@ -1,0 +1,160 @@
+// FleetSpec: per-device expansion is pure arithmetic on seed substreams —
+// recomputable anywhere, honest about the declared mix, and stable under
+// population growth.
+#include "fleet/fleet_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvs::fleet {
+namespace {
+
+FleetSpec tiny_spec() {
+  FleetSpec s;
+  s.name = "tiny";
+  s.num_devices = 10000;
+  s.fleet_seed = 77;
+  s.workloads = {
+      {core::WorkloadSpec::mpeg("football", seconds(5.0)), 3.0},
+      {core::WorkloadSpec::mp3("A"), 1.0},
+  };
+  s.policies = {{"paper", 0.5}, {"max", 0.5}};
+  s.trace_variants = 4;
+  s.rate_jitter = 0.2;
+  s.wave = {"spike10x", 0.1};
+  return s;
+}
+
+TEST(FleetSpec, DevicePlanIsAPureFunctionOfSpecAndId) {
+  const FleetSpec spec = tiny_spec();
+  for (std::uint64_t id : {0ULL, 1ULL, 999ULL, 9999ULL}) {
+    const DevicePlan a = device_plan(spec, id);
+    const DevicePlan b = device_plan(spec, id);
+    EXPECT_EQ(a.workload_idx, b.workload_idx);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.policy_idx, b.policy_idx);
+    EXPECT_EQ(a.in_wave, b.in_wave);
+    EXPECT_DOUBLE_EQ(a.rate_scale, b.rate_scale);
+    EXPECT_EQ(a.engine_seed, b.engine_seed);
+  }
+}
+
+TEST(FleetSpec, PlansAreStableUnderPopulationGrowth) {
+  // Growing the fleet must not reshuffle existing devices: device 42's
+  // plan (and every trace seed) is identical whether the spec says 10k or
+  // 1M devices.  Operators rely on this to scale a population up without
+  // invalidating per-device baselines.
+  FleetSpec small = tiny_spec();
+  FleetSpec big = tiny_spec();
+  big.num_devices = 1000000;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const DevicePlan a = device_plan(small, id);
+    const DevicePlan b = device_plan(big, id);
+    EXPECT_EQ(a.engine_seed, b.engine_seed);
+    EXPECT_EQ(a.workload_idx, b.workload_idx);
+    EXPECT_DOUBLE_EQ(a.rate_scale, b.rate_scale);
+  }
+  EXPECT_EQ(fleet_trace_seed(small, 1, 3), fleet_trace_seed(big, 1, 3));
+}
+
+TEST(FleetSpec, MixFractionsMatchDeclaredWeights) {
+  const FleetSpec spec = tiny_spec();
+  std::size_t w0 = 0;
+  std::size_t p0 = 0;
+  std::size_t wave = 0;
+  double scale_sum = 0.0;
+  for (std::uint64_t id = 0; id < spec.num_devices; ++id) {
+    const DevicePlan plan = device_plan(spec, id);
+    ASSERT_LT(plan.workload_idx, spec.workloads.size());
+    ASSERT_LT(plan.policy_idx, spec.policies.size());
+    ASSERT_LT(plan.variant, spec.trace_variants);
+    ASSERT_GE(plan.rate_scale, 1.0 - spec.rate_jitter);
+    ASSERT_LE(plan.rate_scale, 1.0 + spec.rate_jitter);
+    if (plan.workload_idx == 0) ++w0;
+    if (plan.policy_idx == 0) ++p0;
+    if (plan.in_wave) ++wave;
+    scale_sum += plan.rate_scale;
+  }
+  const double n = static_cast<double>(spec.num_devices);
+  EXPECT_NEAR(static_cast<double>(w0) / n, 0.75, 0.02);  // weight 3:1
+  EXPECT_NEAR(static_cast<double>(p0) / n, 0.50, 0.02);
+  EXPECT_NEAR(static_cast<double>(wave) / n, 0.10, 0.02);
+  EXPECT_NEAR(scale_sum / n, 1.0, 0.01);  // jitter is symmetric
+}
+
+TEST(FleetSpec, DifferentSeedsDifferentPopulations) {
+  FleetSpec a = tiny_spec();
+  FleetSpec b = tiny_spec();
+  b.fleet_seed = 78;
+  std::size_t differing = 0;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    if (device_plan(a, id).engine_seed != device_plan(b, id).engine_seed) {
+      ++differing;
+    }
+  }
+  EXPECT_EQ(differing, 200U);
+}
+
+TEST(FleetSpec, ZeroJitterMeansExactlyNominalRate) {
+  FleetSpec spec = tiny_spec();
+  spec.rate_jitter = 0.0;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(device_plan(spec, id).rate_scale, 1.0);
+  }
+}
+
+TEST(FleetSpec, ValidateRejectsInconsistentSpecs) {
+  {
+    FleetSpec s = tiny_spec();
+    s.num_devices = 0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.workloads.clear();
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.policies[0].weight = 0.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.policies[0].policy = "no-such-governor";
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.trace_variants = 0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.rate_jitter = 1.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    FleetSpec s = tiny_spec();
+    s.wave = {"no-such-fault", 0.5};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(tiny_spec().validate());
+}
+
+TEST(FleetSpec, BuiltinFleetsAreRegisteredAndValid) {
+  EXPECT_GE(builtin_fleets().size(), 2U);
+  for (const FleetSpec& s : builtin_fleets()) {
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    EXPECT_EQ(find_fleet(s.name), &s);
+  }
+  const FleetSpec* smoke = find_fleet("fleet_smoke");
+  ASSERT_NE(smoke, nullptr);
+  EXPECT_GE(smoke->num_devices, 10000U);
+  EXPECT_EQ(find_fleet("no-such-fleet"), nullptr);
+}
+
+}  // namespace
+}  // namespace dvs::fleet

@@ -175,6 +175,54 @@ TEST(QuantileSketchMerge, EmptyOperandsAreIdentity) {
   EXPECT_DOUBLE_EQ(b.quantile(1.0), 2.0);
 }
 
+TEST(QuantileSketchMerge, ExactModeIsOrderIndependent) {
+  // While everything stays exact (union fits the buffer), a merge is a
+  // multiset union, so fold order cannot matter at all — any permutation
+  // of the operands yields bit-identical quantiles.  (The serialized byte
+  // stream keeps insertion order, so it is deliberately not compared.)
+  const std::vector<double> data = exponential_stream(41, 900);
+  std::vector<QuantileSketch> parts(3);
+  for (std::size_t i = 0; i < data.size(); ++i) parts[i % 3].add(data[i]);
+  const auto fold = [&](std::initializer_list<std::size_t> order) {
+    QuantileSketch out;
+    for (std::size_t i : order) out.merge(parts[i]);
+    EXPECT_TRUE(out.exact());
+    return out;
+  };
+  const QuantileSketch forward = fold({0, 1, 2});
+  for (const auto& order : {fold({2, 0, 1}), fold({1, 2, 0})}) {
+    EXPECT_EQ(order.count(), forward.count());
+    EXPECT_DOUBLE_EQ(order.min(), forward.min());
+    EXPECT_DOUBLE_EQ(order.max(), forward.max());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(order.quantile(q), forward.quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(QuantileSketchMerge, FleetShardFoldOrderIsReproducible) {
+  // The fleet runner's population fold: per-shard sketches (large enough
+  // to force P² mode in the fold) merged serially in shard-index order.
+  // Estimated-mode merges are NOT order-independent in general — which is
+  // exactly why the runner pins the fold order — but the pinned order must
+  // be bit-reproducible run over run, independent of how the shard
+  // sketches were produced between runs.
+  const auto fold = [] {
+    QuantileSketch population;
+    for (std::uint64_t shard = 0; shard < 8; ++shard) {
+      QuantileSketch part;
+      Rng rng{mix_seed(97, shard)};
+      for (int d = 0; d < 700; ++d) part.add(rng.exponential(3.0 + shard));
+      population.merge(part);
+    }
+    EXPECT_FALSE(population.exact());
+    std::ostringstream os;
+    population.write_text(os);
+    return os.str();
+  };
+  EXPECT_EQ(fold(), fold());
+}
+
 TEST(QuantileSketchSerialization, RoundTripIsBitStableBothModes) {
   for (const std::size_t n : {std::size_t{200}, std::size_t{20000}}) {
     QuantileSketch sk;

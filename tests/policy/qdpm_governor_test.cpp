@@ -108,6 +108,32 @@ TEST(QdpmGovernor, SaturationBackstopPinsTopStep) {
   for (std::size_t s : steps) EXPECT_EQ(s, top);
 }
 
+TEST(QdpmGovernor, OverloadBurstDoesNotAnnealExploration) {
+  // Regression: epsilon_ used to decay on every desired_step call including
+  // saturation-backstop frames, so a long overload burst silently annealed
+  // exploration to epsilon_min without a single genuine eps-greedy decision.
+  Rig rig;
+  QdpmGovernor gov = rig.make();
+  gov.initialize(hertz(300.0), hertz(250.0), seconds(0.0));
+  // 5000 pegged-queue frames: every decision is the backstop.  With the old
+  // bug 0.2 * 0.998^5000 would have hit the 0.02 floor long before the
+  // burst ends.
+  drive(gov, rig.badge, 5000, 300.0, 10.0);
+  EXPECT_DOUBLE_EQ(gov.epsilon(), QdpmGovernor::Config{}.epsilon0);
+
+  // Learning still occurs after the burst: genuine decisions resume, decay
+  // restarts from the top, and exploration actually picks non-greedy steps.
+  const std::vector<std::size_t> steps =
+      drive(gov, rig.badge, 2000, 38.0, 1.0);
+  EXPECT_LT(gov.epsilon(), QdpmGovernor::Config{}.epsilon0);
+  const std::size_t top = rig.badge.cpu().num_steps() - 1;
+  std::size_t explored = 0;
+  for (std::size_t s : steps) {
+    if (s != top) ++explored;
+  }
+  EXPECT_GT(explored, 0U);
+}
+
 TEST(QdpmGovernor, EstimatorsTrackRates) {
   Rig rig;
   QdpmGovernor gov = rig.make();

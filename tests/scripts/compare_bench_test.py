@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""compare_bench.py must degrade gracefully, never traceback.
+
+Covers the contributor flows around bench-row churn: a metric present in
+only one file (e.g. engine.fleet_frames_per_s landing before baselines
+regenerate), a missing baseline file, malformed result entries, and the
+budget checks that stay authoritative through all of it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, os.pardir, "scripts", "compare_bench.py")
+
+
+def fail(msg):
+    print("FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def run(*args):
+    return subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True, timeout=60)
+
+
+def doc(results):
+    return {"schema": "dvs-bench-perf-v1", "results": results}
+
+
+def write(tmp, name, payload):
+    path = os.path.join(tmp, name)
+    with open(path, "w") as f:
+        if isinstance(payload, str):
+            f.write(payload)
+        else:
+            json.dump(payload, f)
+    return path
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write(tmp, "base.json", doc([
+            {"name": "a.shared", "unit": "ns", "value": 100.0,
+             "higher_is_better": False},
+            {"name": "b.only_base", "unit": "ns", "value": 5.0,
+             "higher_is_better": False},
+        ]))
+        cur = write(tmp, "cur.json", doc([
+            {"name": "a.shared", "unit": "ns", "value": 105.0,
+             "higher_is_better": False},
+            {"name": "c.only_cur", "unit": "fr/s", "value": 9e5,
+             "higher_is_better": True},
+        ]))
+
+        # Asymmetric metrics: reported, warned about, exit 0 -- even strict.
+        p = run(base, cur, "--strict")
+        if p.returncode != 0:
+            fail(f"asymmetric metrics flagged: rc={p.returncode}\n{p.stdout}"
+                 f"{p.stderr}")
+        if "Traceback" in p.stderr:
+            fail(f"traceback on asymmetric metrics:\n{p.stderr}")
+        if "only in baseline" not in p.stdout or "only in current" not in p.stdout:
+            fail(f"asymmetric metrics not reported:\n{p.stdout}")
+        if "present in only one file" not in p.stderr:
+            fail(f"no warning about asymmetric metrics:\n{p.stderr}")
+
+        # Missing baseline file: warn + budget-checks-only, exit 0 warn-only.
+        p = run(os.path.join(tmp, "missing.json"), cur)
+        if p.returncode != 0 or "Traceback" in p.stderr:
+            fail(f"missing baseline not graceful: rc={p.returncode}\n{p.stderr}")
+        if "warning" not in p.stderr:
+            fail(f"missing baseline produced no warning:\n{p.stderr}")
+
+        # Missing current file: nothing to compare; strict exits 1, no crash.
+        p = run(base, os.path.join(tmp, "missing.json"), "--strict")
+        if p.returncode != 1 or "Traceback" in p.stderr:
+            fail(f"missing current under --strict: rc={p.returncode}\n{p.stderr}")
+
+        # Malformed JSON and malformed entries: skipped with a warning.
+        bad = write(tmp, "bad.json", "{not json")
+        p = run(bad, cur)
+        if p.returncode != 0 or "Traceback" in p.stderr:
+            fail(f"malformed baseline not graceful: rc={p.returncode}\n{p.stderr}")
+        partial = write(tmp, "partial.json", doc([
+            {"name": "a.shared", "unit": "ns", "value": 100.0},
+            {"unit": "ns", "value": 1.0},          # no name
+            {"name": "d.no_value", "unit": "ns"},  # no value
+        ]))
+        p = run(partial, cur)
+        if p.returncode != 0 or "Traceback" in p.stderr:
+            fail(f"malformed entries not graceful: rc={p.returncode}\n{p.stderr}")
+        if p.stderr.count("skipping malformed result entry") != 2:
+            fail(f"expected 2 malformed-entry warnings:\n{p.stderr}")
+
+        # Budgets stay authoritative: a breach in a current-only metric is
+        # flagged (exit 1 under --strict) even with no baseline at all.
+        breach = write(tmp, "breach.json", doc([
+            {"name": "e.budgeted", "unit": "%", "value": 7.0,
+             "higher_is_better": False, "budget": 5.0},
+        ]))
+        p = run(os.path.join(tmp, "missing.json"), breach, "--strict")
+        if p.returncode != 1:
+            fail(f"budget breach not flagged without baseline: rc={p.returncode}"
+                 f"\n{p.stdout}{p.stderr}")
+        if "over their absolute budget" not in p.stdout:
+            fail(f"budget breach not reported:\n{p.stdout}")
+        # Warn-only (no --strict): reported but exit 0.
+        p = run(base, breach)
+        if p.returncode != 0:
+            fail(f"warn-only budget breach should exit 0: rc={p.returncode}")
+
+        # Regression flagging still works end to end.
+        slow = write(tmp, "slow.json", doc([
+            {"name": "a.shared", "unit": "ns", "value": 200.0,
+             "higher_is_better": False},
+        ]))
+        p = run(base, slow, "--strict")
+        if p.returncode != 1 or "REGRESSION" not in p.stdout:
+            fail(f"regression not flagged: rc={p.returncode}\n{p.stdout}")
+
+    print("compare_bench_test: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,13 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--faults") { o.faults = need(i); ++i; }
     else if (a == "--list-faults") { o.list_faults = true; }
     else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
+    else if (a == "--devices") {
+      o.devices = static_cast<std::size_t>(std::stoull(need(i))); ++i;
+    }
+    else if (a == "--fleet-csv") { o.fleet_csv = need(i); ++i; }
+    else if (a == "--shard-size") {
+      o.shard_size = static_cast<std::size_t>(std::stoull(need(i))); ++i;
+    }
     else if (a == "--replicates") { o.replicates = std::stoi(need(i)); ++i; }
     else if (a == "--sweep-csv") { o.sweep_csv = need(i); ++i; }
     else if (a == "--save-trace") { o.save_trace = need(i); ++i; }

@@ -37,6 +37,14 @@ struct CliOptions {
   std::uint64_t seed = 1;
   bool seed_set = false;
   std::string scenario;
+  /// fleet: spec name (positional operand of `dvs_sim fleet`).
+  std::string fleet;
+  /// fleet: device-count override (0 = the spec's population size).
+  std::size_t devices = 0;
+  /// fleet: write <base>_fleet.csv (population slices + total row).
+  std::string fleet_csv;
+  /// fleet: devices per work-stealing shard (0 = FleetOptions default).
+  std::size_t shard_size = 0;
   bool list_scenarios = false;
   std::string faults;
   bool list_faults = false;
@@ -99,12 +107,17 @@ int cmd_run(const CliOptions& o);
 /// `dvs_sim sweep`: a scenario grid through the SweepRunner.
 int cmd_sweep(const CliOptions& o);
 
+/// `dvs_sim fleet`: a device population through the FleetRunner.
+int cmd_fleet(const CliOptions& o);
+
 /// `dvs_sim report`: offline analyzer over run/sweep artifacts
 /// (metrics JSON, ledger JSON, JSONL traces, flight-recorder dumps).
 int cmd_report(const CliOptions& o);
 
 int cmd_list_scenarios();
 int cmd_list_faults();
+/// `dvs_sim list fleets`: the built-in fleet populations.
+int cmd_list_fleets();
 /// `dvs_sim list policies`: the registered governor policies.
 int cmd_list_policies();
 /// `dvs_sim list metrics`: stock metric families + OpenMetrics names

@@ -4,10 +4,14 @@
 //   dvs_sim run   [options]              one engine session (trace or --session)
 //   dvs_sim sweep <scenario> [options]   run a scenario grid through the sweep
 //                                        runner (bit-identical at any --jobs)
+//   dvs_sim fleet <name> [options]       simulate a device population through
+//                                        the fleet runner (fleet CSV is
+//                                        byte-identical at any --jobs)
 //   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
-//   dvs_sim list  [scenarios|faults|policies|metrics]   enumerate scenarios,
-//                                        fault specs, governor policies, or
-//                                        the stock metric families
+//   dvs_sim list  [scenarios|faults|fleets|policies|metrics]   enumerate
+//                                        scenarios, fault specs, fleets,
+//                                        governor policies, or the stock
+//                                        metric families
 //
 //   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
 //   dvs_sim run --media mpeg --clip football --seconds 300 --detector ideal
@@ -30,6 +34,18 @@
 //   --jobs <n>                sweep worker threads (0 = all cores, default 1)
 //   --replicates <r>          override the scenario's replicate count
 //   --sweep-csv <base>        write <base>_cells.csv and <base>_points.csv
+//
+// Fleet options (dvs_sim fleet <name>; also honours --jobs, --seed,
+// --heartbeat, --telemetry-jsonl, --telemetry-every):
+//   --devices <n>             override the fleet's population size
+//   --fleet-csv <base>        write <base>_fleet.csv (population slices +
+//                             total row; byte-identical at any --jobs)
+//   --shard-size <n>          devices per work-stealing shard (default 1024;
+//                             part of a reproducible run's spec — sketches
+//                             fold in shard order)
+//
+//   dvs_sim fleet fleet_smoke --jobs 0 --fleet-csv smoke
+//   dvs_sim fleet fleet_city --devices 250000 --heartbeat -
 //
 // Fault injection (src/fault/, docs/FAULTS.md):
 //   --faults a[,b,...]        inject the named fault specs.  In sweep mode
@@ -133,6 +149,18 @@ int dispatch_sweep(int argc, char** argv, int first) {
   return cli::cmd_sweep(o);
 }
 
+int dispatch_fleet(int argc, char** argv, int first) {
+  // The fleet name is a positional operand (`dvs_sim fleet fleet_smoke`).
+  std::string positional;
+  if (first < argc && argv[first][0] != '-') {
+    positional = argv[first];
+    ++first;
+  }
+  cli::CliOptions o = cli::parse_flags(argc, argv, first);
+  o.fleet = positional;
+  return cli::cmd_fleet(o);
+}
+
 int dispatch_report(int argc, char** argv, int first) {
   const cli::CliOptions o = cli::parse_flags(argc, argv, first);
   return cli::cmd_report(o);
@@ -146,6 +174,7 @@ int dispatch_list(int argc, char** argv, int first) {
   }
   if (what == "scenarios") return cli::cmd_list_scenarios();
   if (what == "faults") return cli::cmd_list_faults();
+  if (what == "fleets") return cli::cmd_list_fleets();
   if (what == "policies") return cli::cmd_list_policies();
   if (what == "metrics") return cli::cmd_list_metrics();
   if (what == "both") {
@@ -176,6 +205,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "run") return dispatch_run(argc, argv, 2);
   if (cmd == "sweep") return dispatch_sweep(argc, argv, 2);
+  if (cmd == "fleet") return dispatch_fleet(argc, argv, 2);
   if (cmd == "report") return dispatch_report(argc, argv, 2);
   if (cmd == "list") return dispatch_list(argc, argv, 2);
   if (cmd == "--help" || cmd == "-h") cli::usage("help requested");
