@@ -63,21 +63,24 @@ struct PlaybackItem {
   Seconds end;  ///< absolute end of this item
 };
 
-struct EngineConfig {
+/// Every engine knob shared verbatim between the caller-facing RunOptions
+/// and the engine-facing EngineConfig.  The two structs inherit this base,
+/// and to_engine_config() copies it in one slice assignment — add a field
+/// here and it reaches the engine with no per-field plumbing (the drift
+/// that once silently dropped buffer_capacity and wlan_rx_time cannot
+/// recur).  Only the CPU model and the detector configuration differ
+/// between the layers (pointer-to-shared vs owned value) and stay in the
+/// derived structs.
+struct EngineSettings {
   DetectorKind detector = DetectorKind::ChangePoint;
   /// Governor policy: a policy::GovernorFactory key ("paper", "max",
   /// "qdpm", ...).  The engine builds one governor per media type through
   /// the factory; "paper" reproduces the paper's controller exactly.
   std::string policy = "paper";
   Seconds target_delay{0.1};
-  /// The processor model the badge is built around (default: stock
-  /// SA-1100; see hw/cpu_catalog.hpp for alternatives).  Item decoders must
-  /// be parameterized with this part's max frequency.
-  hw::Sa1100 cpu{};
   /// Service-time variability assumed by the frequency policy: 1.0 = the
   /// paper's M/M/1 (Eq. 5); other values use the M/G/1 P-K inversion.
   double service_cv2 = 1.0;
-  DetectorFactoryConfig detectors{};
   dpm::DpmPolicyPtr dpm_policy;  ///< null -> NeverSleepPolicy
   Seconds wlan_rx_time{0.002};
   Seconds session_gap_threshold{2.0};
@@ -124,6 +127,14 @@ struct EngineConfig {
   /// pointer test per handler; the enabled path is budgeted at <= 5% in
   /// bench_perf.  The caller finalizes and writes the profile.
   obs::SpanProfiler* profiler = nullptr;
+};
+
+struct EngineConfig : EngineSettings {
+  /// The processor model the badge is built around (default: stock
+  /// SA-1100; see hw/cpu_catalog.hpp for alternatives).  Item decoders must
+  /// be parameterized with this part's max frequency.
+  hw::Sa1100 cpu{};
+  DetectorFactoryConfig detectors{};
 };
 
 class Engine {

@@ -19,30 +19,11 @@ Hertz default_nominal_service(workload::MediaType type) {
 
 EngineConfig to_engine_config(const RunOptions& opts) {
   EngineConfig cfg;
-  cfg.detector = opts.detector;
-  cfg.policy = opts.policy;
-  cfg.target_delay = opts.target_delay;
-  cfg.service_cv2 = opts.service_cv2;
+  // The shared knobs travel as one slice; only the two pointer fields need
+  // resolving to the engine's owned values.
+  static_cast<EngineSettings&>(cfg) = static_cast<const EngineSettings&>(opts);
   if (opts.detector_cfg != nullptr) cfg.detectors = *opts.detector_cfg;
-  cfg.dpm_policy = opts.dpm_policy;
-  cfg.seed = opts.seed;
-  cfg.dpm_arm_delay = opts.dpm_arm_delay;
-  cfg.session_gap_threshold = opts.session_gap_threshold;
-  cfg.wlan_rx_time = opts.wlan_rx_time;
-  cfg.buffer_capacity = opts.buffer_capacity;
-  cfg.power_sample_period = opts.power_sample_period;
-  cfg.watchdog = opts.watchdog;
-  cfg.hw_faults = opts.hw_faults;
   if (opts.cpu != nullptr) cfg.cpu = *opts.cpu;
-  cfg.trace = opts.trace;
-  cfg.metrics = opts.metrics;
-  cfg.ledger = opts.ledger;
-  cfg.flight_recorder = opts.flight_recorder;
-  cfg.flight_capacity = opts.flight_capacity;
-  cfg.flight_dump_path = opts.flight_dump_path;
-  cfg.telemetry = opts.telemetry;
-  cfg.telemetry_every = opts.telemetry_every;
-  cfg.profiler = opts.profiler;
   return cfg;
 }
 

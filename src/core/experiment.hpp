@@ -19,58 +19,27 @@
 
 namespace dvs::core {
 
-/// Options for a single run.  Maps 1:1 onto EngineConfig (see
-/// to_engine_config); every field the engine honours is settable here, so
-/// nothing is silently dropped between the two layers.
-struct RunOptions {
-  DetectorKind detector = DetectorKind::ChangePoint;
-  /// Governor policy, a policy::GovernorFactory key ("paper", "max",
-  /// "qdpm", ...); see EngineConfig::policy.
-  std::string policy = "paper";
-  Seconds target_delay{0.1};
-  /// Queueing model the policy inverts: 1.0 = M/M/1 (paper), else M/G/1.
-  double service_cv2 = 1.0;
-  dpm::DpmPolicyPtr dpm_policy;  ///< null = never sleep (pure-DVS experiments)
-  std::uint64_t seed = 1;
+/// Options for a single run.  Inherits every shared engine knob from
+/// EngineSettings (see core/engine.hpp) and adds only the two fields whose
+/// ownership differs from EngineConfig: callers hand the runner *shared*
+/// detector configuration and CPU models by pointer (one threshold table /
+/// one badge blueprint reused across thousands of runs), while the engine
+/// owns its copies by value.
+struct RunOptions : EngineSettings {
   /// Shared detector configuration; lets callers reuse one change-point
   /// threshold table across many runs.  May be null (a default is used).
   /// Read-only: prepare() it once before sharing (also across threads).
   const DetectorFactoryConfig* detector_cfg = nullptr;
-  Seconds dpm_arm_delay{0.5};
-  Seconds session_gap_threshold{2.0};
-  /// WLAN active burst around each frame reception.
-  Seconds wlan_rx_time{0.002};
-  /// Frame buffer bound; 0 = unbounded.
-  std::size_t buffer_capacity = 0;
-  /// > 0: fill Metrics::power_trace with whole-badge power samples.
-  Seconds power_sample_period{0.0};
-  /// Graceful-degradation watchdog (off unless watchdog.enabled).
-  policy::WatchdogConfig watchdog{};
-  /// Hardware fault injection plan (empty = fault-free hardware).
-  fault::HwFaultPlan hw_faults{};
   /// Non-null: build the badge around this processor model instead of the
   /// stock SA-1100 (hw/cpu_catalog.hpp).  Decoders in the items must use
   /// its max frequency.
   const hw::Sa1100* cpu = nullptr;
-  /// Optional observability (see EngineConfig::trace / metrics).
-  obs::TraceRecorder* trace = nullptr;
-  obs::MetricsRegistry* metrics = nullptr;
-  /// Optional energy/delay attribution (see EngineConfig::ledger).
-  obs::AttributionLedger* ledger = nullptr;
-  /// Always-on flight recorder (see EngineConfig::flight_recorder).
-  bool flight_recorder = true;
-  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
-  std::string flight_dump_path;
-  /// Live telemetry snapshots (see EngineConfig::telemetry).
-  obs::TelemetrySnapshotter* telemetry = nullptr;
-  Seconds telemetry_every{0.0};
-  /// Hierarchical self-profiling spans (see EngineConfig::profiler).
-  obs::SpanProfiler* profiler = nullptr;
 };
 
 /// The exact EngineConfig a RunOptions resolves to — the single translation
-/// point between the two layers (round-trip-tested so the structs cannot
-/// drift apart again).
+/// point between the two layers.  The shared EngineSettings slice is copied
+/// wholesale; only the two pointer fields are resolved to values, so a new
+/// engine knob cannot be dropped in translation (round-trip-tested anyway).
 EngineConfig to_engine_config(const RunOptions& opts);
 
 /// Default nominal (seed) rates per media type: application-level knowledge

@@ -224,6 +224,39 @@ WorkloadAsset build_workload_asset(const WorkloadSpec& w,
   return asset;
 }
 
+RunOptions assemble_run_options(const RunAssembly& a, const CpuAsset& cpu,
+                                const dpm::IdleDistributionPtr& idle,
+                                const DetectorFactoryConfig& detector_cfg) {
+  RunOptions opts;
+  opts.detector = a.detector;
+  opts.policy = a.policy;
+  opts.target_delay = a.delay_target;
+  opts.service_cv2 = a.service_cv2;
+  opts.detector_cfg = &detector_cfg;
+  opts.dpm_policy = make_dpm_policy(a.dpm, cpu.costs, idle);
+  opts.seed = a.engine_seed;
+  opts.cpu = &cpu.cpu;
+  if (a.faults != nullptr) {
+    opts.watchdog = a.faults->watchdog;
+    opts.hw_faults = a.faults->hw;
+  }
+  return opts;
+}
+
+RunOptions assemble_run_options(const RunPoint& p, const CpuAsset& cpu,
+                                const dpm::IdleDistributionPtr& idle,
+                                const DetectorFactoryConfig& detector_cfg) {
+  RunAssembly a;
+  a.detector = p.detector;
+  a.policy = p.policy;
+  a.delay_target = p.delay_target;
+  a.service_cv2 = p.service_cv2;
+  a.dpm = p.dpm;
+  a.engine_seed = p.engine_seed;
+  a.faults = &p.faults;
+  return assemble_run_options(a, cpu, idle, detector_cfg);
+}
+
 const CellResult* SweepResult::find_cell(
     const std::function<bool(const CellResult&)>& pred) const {
   for (const CellResult& c : cells) {
@@ -322,8 +355,19 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       heartbeat = &heartbeat_file;
     }
   }
-  std::size_t hb_done = 0;
-  std::size_t tel_done = 0;
+  // Restored points count as already done: the heartbeat's done/total keeps
+  // reaching the total on a resumed run, and ETA reflects remaining work.
+  std::size_t restored_count = 0;
+  const auto restored_point = [&](std::size_t index) -> const RestoredPoint* {
+    if (opts_.restored == nullptr) return nullptr;
+    const auto it = opts_.restored->find(index);
+    return it == opts_.restored->end() ? nullptr : &it->second;
+  };
+  for (const RunPoint& p : points) {
+    if (restored_point(p.index) != nullptr) ++restored_count;
+  }
+  std::size_t hb_done = restored_count;
+  std::size_t tel_done = restored_count;
   RunningStats hb_energy_kj, hb_delay_s;
   const auto write_heartbeat = [&](const RunPoint& p, const Metrics& m) {
     ++hb_done;
@@ -350,29 +394,34 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
   parallel_for(points.size(), out.jobs, [&](std::size_t i) {
     const RunPoint& p = points[i];
+    if (const RestoredPoint* rp = restored_point(p.index)) {
+      // Checkpointed on a previous run: its metrics re-enter the collection
+      // pass below verbatim; the sketch re-enters the cell fold.  No engine
+      // run, no progress callbacks — it was announced when it first ran.
+      metrics[i] = rp->metrics;
+      return;
+    }
     const CpuAsset& cpu = cpu_assets[p.cpu_idx];
     const WorkloadAsset& asset = workload_assets.at(asset_key(p));
 
-    RunOptions opts;
-    opts.detector = p.detector;
-    opts.policy = p.policy;
-    opts.target_delay = p.delay_target;
-    opts.service_cv2 = p.service_cv2;
-    opts.detector_cfg = &detector_cfg;
-    opts.dpm_policy = make_dpm_policy(p.dpm, cpu.costs, asset.idle);
-    opts.seed = p.engine_seed;
-    opts.cpu = &cpu.cpu;
-    opts.watchdog = p.faults.watchdog;
-    opts.hw_faults = p.faults.hw;
+    RunOptions opts = assemble_run_options(p, cpu, asset.idle, detector_cfg);
     if (collect) opts.metrics = point_regs[i].get();
     if (opts_.configure_run) opts_.configure_run(p, opts);
     metrics[i] = run_items(*asset.items, opts);
 
     const bool telemetry_on =
         opts_.telemetry != nullptr && opts_.telemetry->active();
-    if (opts_.on_point || heartbeat != nullptr || telemetry_on) {
+    if (opts_.on_point || opts_.on_point_checkpoint || heartbeat != nullptr ||
+        telemetry_on) {
       std::lock_guard<std::mutex> lk(progress_m);
       if (opts_.on_point) opts_.on_point(PointResult{p, metrics[i]});
+      if (opts_.on_point_checkpoint) {
+        static const obs::QuantileSketch kNoSketch;
+        const obs::HistogramMetric* h =
+            collect ? point_regs[i]->find_histogram("frames.delay_s") : nullptr;
+        opts_.on_point_checkpoint(p, metrics[i],
+                                  h != nullptr ? h->sketch() : kNoSketch);
+      }
       if (heartbeat != nullptr) write_heartbeat(p, metrics[i]);
       if (telemetry_on) {
         // One snapshot per finished point, wall-clock timestamps,
@@ -423,7 +472,14 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
         wakeup, power, faults, recoveries, degraded, cratio;
     for (; i < out.points.size() && out.points[i].point.cell == cell; ++i) {
       const Metrics& m = out.points[i].metrics;
-      if (collect) {
+      if (const RestoredPoint* rp = restored_point(out.points[i].point.index);
+          rp != nullptr && !rp->delay_sketch.empty()) {
+        // A restored point's sketch merges at exactly the position its
+        // fresh counterpart would have — the text format round-trips the
+        // sketch state bit-exactly, so the merged cell sketch (and the CSV
+        // percentiles below) match an uninterrupted run byte-for-byte.
+        c.delay_sketch.merge(rp->delay_sketch);
+      } else if (collect) {
         // Merge the replicate's frame-delay sketch into the cell's
         // population sketch — the same place the Student-t CI reduction
         // runs, so the cells CSV reports honest population percentiles

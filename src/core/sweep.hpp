@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -82,6 +83,47 @@ WorkloadAsset build_workload_asset(const WorkloadSpec& w,
                                    std::uint64_t trace_seed,
                                    const fault::FaultSpec& faults,
                                    std::uint64_t fault_seed);
+
+/// Scenario-level knobs that every execution surface (cmd_run, the sweep
+/// pool, the fleet shards, serve jobs) resolves into RunOptions the same
+/// way — the single construction path shared by all layers, so call sites
+/// never hand-assemble RunOptions field-by-field again.
+struct RunAssembly {
+  DetectorKind detector = DetectorKind::ChangePoint;
+  std::string policy = "paper";
+  Seconds delay_target{0.1};
+  double service_cv2 = 1.0;
+  DpmSpec dpm{};
+  std::uint64_t engine_seed = 1;
+  /// Null = fault-free run; non-null supplies the watchdog + hardware plan
+  /// (workload-side trace transforms are applied at asset-build time).
+  const fault::FaultSpec* faults = nullptr;
+};
+
+/// Resolves scenario-level parameters + shared assets into engine-ready
+/// RunOptions: builds the DPM policy against this CPU's cost model and the
+/// workload's idle distribution, wires the shared detector configuration
+/// and CPU model by pointer, and copies the fault plan when present.  The
+/// returned options alias `cpu` and `detector_cfg` — both must outlive the
+/// run (they always do: shared assets are built before dispatch).
+RunOptions assemble_run_options(const RunAssembly& a, const CpuAsset& cpu,
+                                const dpm::IdleDistributionPtr& idle,
+                                const DetectorFactoryConfig& detector_cfg);
+
+/// RunPoint convenience: a sweep point's expansion coordinates are already
+/// a RunAssembly.
+RunOptions assemble_run_options(const RunPoint& p, const CpuAsset& cpu,
+                                const dpm::IdleDistributionPtr& idle,
+                                const DetectorFactoryConfig& detector_cfg);
+
+/// One checkpointed point, ready to re-enter a resumed sweep's folds in
+/// place of executing it (see SweepOptions::restored).
+struct RestoredPoint {
+  Metrics metrics;
+  /// The point's frames.delay_s sketch at checkpoint time; empty when the
+  /// original run did not collect quantiles.
+  obs::QuantileSketch delay_sketch;
+};
 
 /// One executed point, in expansion order.
 struct PointResult {
@@ -170,6 +212,21 @@ struct SweepOptions {
   /// Written under the same lock as on_point; telemetry only — it never
   /// influences results.
   std::string heartbeat_path;
+  /// Checkpoint/restore (the serve daemon's hooks; plain sweeps leave both
+  /// unset).  Points whose RunPoint::index appears in `restored` are not
+  /// executed: their checkpointed metrics and delay sketch enter the folds
+  /// exactly where a fresh run's would, so a resumed sweep's CSVs are
+  /// byte-identical to an uninterrupted one (the sketch text format
+  /// round-trips doubles bit-exactly).  Restored points are counted as
+  /// already done by the heartbeat and produce no progress callbacks.
+  const std::map<std::size_t, RestoredPoint>* restored = nullptr;
+  /// Called under the progress lock after every *executed* point, with the
+  /// point's metrics and its frame-delay sketch (empty unless quantile
+  /// collection is on) — everything a checkpoint record needs to make the
+  /// point restorable.  Serialized; completion order.
+  std::function<void(const RunPoint&, const Metrics&,
+                     const obs::QuantileSketch&)>
+      on_point_checkpoint;
 };
 
 class SweepRunner {

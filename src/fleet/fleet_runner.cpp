@@ -104,11 +104,28 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
   const std::size_t num_shards =
       (spec.num_devices + shard_size - 1) / shard_size;
 
-  struct ShardPartial {
-    std::vector<FleetGroupResult> groups;
-    std::uint64_t frames_total = 0;
+  std::vector<FleetShardPartial> partials(num_shards);
+
+  // Restored shards are folded as-is and skipped by the pool; they seed the
+  // progress counters so a resumed run's heartbeat still reaches the total.
+  const auto restored_shard = [&](std::size_t shard) -> const FleetShardPartial* {
+    if (opts_.restored == nullptr) return nullptr;
+    const auto it = opts_.restored->find(shard);
+    return it == opts_.restored->end() ? nullptr : &it->second;
   };
-  std::vector<ShardPartial> partials(num_shards);
+  std::size_t restored_devices = 0;
+  std::size_t restored_shards = 0;
+  double restored_energy_j = 0.0;
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    const FleetShardPartial* rp = restored_shard(shard);
+    if (rp == nullptr) continue;
+    partials[shard] = *rp;
+    ++restored_shards;
+    for (const FleetGroupResult& g : rp->groups) {
+      restored_devices += g.devices;
+      restored_energy_j += g.energy_j;
+    }
+  }
 
   // ---- progress side-channel (heartbeat + telemetry) --------------------
   std::mutex progress_m;
@@ -127,9 +144,9 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
   }
   // Running progress counters, shared by both side channels (guarded by
   // progress_m; completion order, like every progress surface here).
-  std::size_t done_devices = 0;
-  std::size_t done_shards = 0;
-  double done_energy_j = 0.0;
+  std::size_t done_devices = restored_devices;
+  std::size_t done_shards = restored_shards;
+  double done_energy_j = restored_energy_j;
   // One flushed record per finished shard: a tailing monitor must see each
   // record as soon as the shard lands (same contract the sweep heartbeat
   // pins in its tests).
@@ -153,7 +170,8 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
 
   // ---- execute ----------------------------------------------------------
   core::parallel_for(num_shards, out.jobs, [&](std::size_t shard) {
-    ShardPartial& part = partials[shard];
+    if (restored_shard(shard) != nullptr) return;  // folded verbatim below
+    FleetShardPartial& part = partials[shard];
     part.groups.resize(W * P);
     const std::uint64_t begin =
         static_cast<std::uint64_t>(shard) * shard_size;
@@ -165,19 +183,16 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
       const core::WorkloadAsset& asset =
           assets[(plan.workload_idx * V + plan.variant) * 2 + (faulted ? 1 : 0)];
 
-      core::RunOptions opts;
-      opts.detector = spec.detector;
-      opts.policy = spec.policies[plan.policy_idx].policy;
-      opts.target_delay = delay_targets[plan.workload_idx];
-      opts.service_cv2 = spec.service_cv2;
-      opts.detector_cfg = &detector_cfg;
-      opts.dpm_policy = core::make_dpm_policy(spec.dpm, cpu.costs, asset.idle);
-      opts.seed = plan.engine_seed;
-      opts.cpu = &cpu.cpu;
-      if (faulted) {
-        opts.watchdog = wave_fault->watchdog;
-        opts.hw_faults = wave_fault->hw;
-      }
+      core::RunAssembly a;
+      a.detector = spec.detector;
+      a.policy = spec.policies[plan.policy_idx].policy;
+      a.delay_target = delay_targets[plan.workload_idx];
+      a.service_cv2 = spec.service_cv2;
+      a.dpm = spec.dpm;
+      a.engine_seed = plan.engine_seed;
+      if (faulted) a.faults = wave_fault;
+      core::RunOptions opts =
+          core::assemble_run_options(a, cpu, asset.idle, detector_cfg);
       // Throughput path: no per-device flight recorder ring — a fleet run
       // is aggregate-only, and the allocation would dominate small devices.
       opts.flight_recorder = false;
@@ -216,7 +231,7 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
 
     const bool telemetry_on =
         opts_.telemetry != nullptr && opts_.telemetry->active();
-    if (heartbeat != nullptr || telemetry_on) {
+    if (heartbeat != nullptr || telemetry_on || opts_.on_shard) {
       std::size_t shard_devices = 0;
       double shard_energy = 0.0;
       for (const FleetGroupResult& g : part.groups) {
@@ -224,6 +239,7 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
         shard_energy += g.energy_j;
       }
       std::lock_guard<std::mutex> lk(progress_m);
+      if (opts_.on_shard) opts_.on_shard(shard, part);
       done_devices += shard_devices;
       ++done_shards;
       done_energy_j += shard_energy;
@@ -257,7 +273,7 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
       g.policy = spec.policies[p].policy;
     }
   }
-  for (const ShardPartial& part : partials) {
+  for (const FleetShardPartial& part : partials) {
     out.frames_total += part.frames_total;
     for (std::size_t i = 0; i < part.groups.size(); ++i) {
       out.groups[i].fold(part.groups[i]);

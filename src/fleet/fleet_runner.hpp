@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,17 @@ struct FleetGroupResult {
   void fold(const FleetGroupResult& other);
 };
 
+/// One shard's accumulated partial: the complete fold-unit of a fleet run.
+/// A checkpointed shard partial re-enters the serial shard-order fold
+/// exactly where the freshly-computed one would, so a restored run's CSV
+/// is byte-identical to an uninterrupted one (see FleetOptions::restored).
+struct FleetShardPartial {
+  /// Workload-major x policy grid, same layout as FleetResult::groups but
+  /// without the name fields (those are filled once, at final fold time).
+  std::vector<FleetGroupResult> groups;
+  std::uint64_t frames_total = 0;
+};
+
 struct FleetResult {
   std::string fleet;
   int jobs = 1;
@@ -88,6 +101,15 @@ struct FleetOptions {
   /// Live telemetry: one snapshot per finished shard (same contract as
   /// the heartbeat).
   obs::TelemetrySnapshotter* telemetry = nullptr;
+  /// Checkpoint/restore (the serve daemon's hooks; plain fleet runs leave
+  /// both unset).  Shards whose index appears in `restored` are not
+  /// simulated: their checkpointed partials take their place in the serial
+  /// shard-order fold, and they count as already done in the heartbeat.
+  const std::map<std::size_t, FleetShardPartial>* restored = nullptr;
+  /// Called under the progress lock after every *executed* shard with its
+  /// finished partial — everything a checkpoint record needs to make the
+  /// shard restorable.  Serialized; completion order.
+  std::function<void(std::size_t, const FleetShardPartial&)> on_shard;
 };
 
 class FleetRunner {

@@ -91,7 +91,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::clamped_histograms(
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  os << "{\n  \"counters\": {";
+  os << "{\n  \"schema\": \"dvs-metrics-v1\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;

@@ -1,0 +1,244 @@
+#include "serve/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace dvs::serve {
+namespace {
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Empty sketches serialize as "" (write_text would emit non-finite
+/// min/max); everything else embeds the pinned dvs-sketch-v1 text.
+std::string sketch_text(const obs::QuantileSketch& s) {
+  if (s.empty()) return {};
+  std::ostringstream os;
+  s.write_text(os);
+  return os.str();
+}
+
+obs::QuantileSketch sketch_from_text(const std::string& text) {
+  if (text.empty()) return obs::QuantileSketch{};
+  std::istringstream is(text);
+  return obs::QuantileSketch::read_text(is);
+}
+
+void write_metrics(std::ostream& os, const core::Metrics& m) {
+  os << "{\"duration\": " << fmt17(m.duration.value())
+     << ", \"total_energy\": " << fmt17(m.total_energy.value())
+     << ", \"component_energy\": [";
+  for (std::size_t i = 0; i < m.component_energy.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << fmt17(m.component_energy[i].value());
+  }
+  os << "], \"average_power\": " << fmt17(m.average_power.value())
+     << ", \"frames_arrived\": " << m.frames_arrived
+     << ", \"frames_admitted\": " << m.frames_admitted
+     << ", \"frames_decoded\": " << m.frames_decoded
+     << ", \"frames_dropped\": " << m.frames_dropped
+     << ", \"mean_frame_delay\": " << fmt17(m.mean_frame_delay.value())
+     << ", \"max_frame_delay\": " << fmt17(m.max_frame_delay.value())
+     << ", \"mean_buffered_frames\": " << fmt17(m.mean_buffered_frames)
+     << ", \"cpu_switches\": " << m.cpu_switches
+     << ", \"mean_cpu_frequency\": " << fmt17(m.mean_cpu_frequency.value())
+     << ", \"dpm_idle_periods\": " << m.dpm_idle_periods
+     << ", \"dpm_sleeps\": " << m.dpm_sleeps
+     << ", \"dpm_wakeups\": " << m.dpm_wakeups
+     << ", \"dpm_total_wakeup_delay\": "
+     << fmt17(m.dpm_total_wakeup_delay.value())
+     << ", \"faults_injected\": " << m.faults_injected
+     << ", \"watchdog_escalations\": " << m.watchdog_escalations
+     << ", \"watchdog_recoveries\": " << m.watchdog_recoveries
+     << ", \"time_in_degraded\": " << fmt17(m.time_in_degraded.value()) << "}";
+}
+
+core::Metrics read_metrics(const json::Value& v) {
+  core::Metrics m;
+  m.duration = Seconds{v.number_or("duration", 0.0)};
+  m.total_energy = Joules{v.number_or("total_energy", 0.0)};
+  if (const json::Value* comp = v.find("component_energy"); comp != nullptr) {
+    const auto& arr = comp->as_array();
+    for (std::size_t i = 0; i < arr.size() && i < m.component_energy.size();
+         ++i) {
+      m.component_energy[i] = Joules{arr[i]->as_number()};
+    }
+  }
+  m.average_power = MilliWatts{v.number_or("average_power", 0.0)};
+  m.frames_arrived = static_cast<std::uint64_t>(v.number_or("frames_arrived", 0));
+  m.frames_admitted =
+      static_cast<std::uint64_t>(v.number_or("frames_admitted", 0));
+  m.frames_decoded = static_cast<std::uint64_t>(v.number_or("frames_decoded", 0));
+  m.frames_dropped = static_cast<std::uint64_t>(v.number_or("frames_dropped", 0));
+  m.mean_frame_delay = Seconds{v.number_or("mean_frame_delay", 0.0)};
+  m.max_frame_delay = Seconds{v.number_or("max_frame_delay", 0.0)};
+  m.mean_buffered_frames = v.number_or("mean_buffered_frames", 0.0);
+  m.cpu_switches = static_cast<int>(v.number_or("cpu_switches", 0));
+  m.mean_cpu_frequency = MegaHertz{v.number_or("mean_cpu_frequency", 0.0)};
+  m.dpm_idle_periods = static_cast<int>(v.number_or("dpm_idle_periods", 0));
+  m.dpm_sleeps = static_cast<int>(v.number_or("dpm_sleeps", 0));
+  m.dpm_wakeups = static_cast<int>(v.number_or("dpm_wakeups", 0));
+  m.dpm_total_wakeup_delay =
+      Seconds{v.number_or("dpm_total_wakeup_delay", 0.0)};
+  m.faults_injected =
+      static_cast<std::uint64_t>(v.number_or("faults_injected", 0));
+  m.watchdog_escalations =
+      static_cast<int>(v.number_or("watchdog_escalations", 0));
+  m.watchdog_recoveries =
+      static_cast<int>(v.number_or("watchdog_recoveries", 0));
+  m.time_in_degraded = Seconds{v.number_or("time_in_degraded", 0.0)};
+  return m;
+}
+
+fleet::FleetGroupResult read_group(const json::Value& v) {
+  fleet::FleetGroupResult g;
+  g.devices = static_cast<std::size_t>(v.number_or("devices", 0));
+  g.wave_devices = static_cast<std::size_t>(v.number_or("wave_devices", 0));
+  g.energy_j = v.number_or("energy_j", 0.0);
+  g.frames_decoded = static_cast<std::uint64_t>(v.number_or("frames_decoded", 0));
+  g.frames_dropped = static_cast<std::uint64_t>(v.number_or("frames_dropped", 0));
+  g.faults_injected =
+      static_cast<std::uint64_t>(v.number_or("faults_injected", 0));
+  g.sum_mean_delay_s = v.number_or("sum_mean_delay_s", 0.0);
+  g.delay_sketch = sketch_from_text(v.string_or("delay_sketch", ""));
+  g.energy_sketch = sketch_from_text(v.string_or("energy_sketch", ""));
+  g.dropped_sketch = sketch_from_text(v.string_or("dropped_sketch", ""));
+  return g;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const std::string& job_id,
+                                   const std::string& kind,
+                                   std::size_t flush_every)
+    : flush_every_(flush_every == 0 ? 1 : flush_every) {
+  std::error_code ec;
+  const bool fresh = !std::filesystem::exists(path, ec) ||
+                     std::filesystem::file_size(path, ec) == 0;
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("CheckpointWriter: cannot open " + path);
+  }
+  if (fresh) {
+    out_ << "{\"schema\": \"" << kCheckpointSchema << "\", \"job\": \""
+         << escape(job_id) << "\", \"kind\": \"" << kind << "\"}\n";
+    out_.flush();
+  }
+}
+
+void CheckpointWriter::append_point(std::size_t index,
+                                    const core::Metrics& metrics,
+                                    const obs::QuantileSketch& delay_sketch) {
+  out_ << "{\"point\": " << index << ", \"metrics\": ";
+  write_metrics(out_, metrics);
+  out_ << ", \"delay_sketch\": \"" << escape(sketch_text(delay_sketch))
+       << "\"}\n";
+  record_done();
+}
+
+void CheckpointWriter::append_shard(std::size_t shard,
+                                    const fleet::FleetShardPartial& part) {
+  out_ << "{\"shard\": " << shard << ", \"frames_total\": " << part.frames_total
+       << ", \"groups\": [";
+  for (std::size_t i = 0; i < part.groups.size(); ++i) {
+    const fleet::FleetGroupResult& g = part.groups[i];
+    if (i != 0) out_ << ", ";
+    out_ << "{\"devices\": " << g.devices
+         << ", \"wave_devices\": " << g.wave_devices
+         << ", \"energy_j\": " << fmt17(g.energy_j)
+         << ", \"frames_decoded\": " << g.frames_decoded
+         << ", \"frames_dropped\": " << g.frames_dropped
+         << ", \"faults_injected\": " << g.faults_injected
+         << ", \"sum_mean_delay_s\": " << fmt17(g.sum_mean_delay_s)
+         << ", \"delay_sketch\": \"" << escape(sketch_text(g.delay_sketch))
+         << "\", \"energy_sketch\": \"" << escape(sketch_text(g.energy_sketch))
+         << "\", \"dropped_sketch\": \""
+         << escape(sketch_text(g.dropped_sketch)) << "\"}";
+  }
+  out_ << "]}\n";
+  record_done();
+}
+
+void CheckpointWriter::record_done() {
+  if (++pending_ >= flush_every_) flush();
+}
+
+void CheckpointWriter::flush() {
+  out_.flush();
+  pending_ = 0;
+}
+
+CheckpointData load_checkpoint(const std::string& path) {
+  CheckpointData data;
+  std::ifstream in(path);
+  if (!in) return data;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::ValuePtr doc;
+    try {
+      doc = json::parse(line);
+    } catch (const json::ParseError&) {
+      break;  // torn tail after a SIGKILL: keep the intact prefix
+    }
+    if (const json::Value* schema = doc->find("schema"); schema != nullptr) {
+      if (!schema->is_string() || schema->as_string() != kCheckpointSchema) {
+        throw std::runtime_error("checkpoint " + path +
+                                 ": header schema is not \"" +
+                                 std::string(kCheckpointSchema) + "\"");
+      }
+      data.job_id = doc->string_or("job", "");
+      data.kind = doc->string_or("kind", "");
+      continue;
+    }
+    try {
+      if (const json::Value* point = doc->find("point"); point != nullptr) {
+        core::RestoredPoint rp;
+        rp.metrics = read_metrics(doc->at("metrics"));
+        rp.delay_sketch = sketch_from_text(doc->string_or("delay_sketch", ""));
+        data.points[static_cast<std::size_t>(point->as_number())] =
+            std::move(rp);
+        continue;
+      }
+      if (const json::Value* shard = doc->find("shard"); shard != nullptr) {
+        fleet::FleetShardPartial part;
+        part.frames_total =
+            static_cast<std::uint64_t>(doc->number_or("frames_total", 0));
+        for (const json::ValuePtr& g : doc->at("groups").as_array()) {
+          part.groups.push_back(read_group(*g));
+        }
+        data.shards[static_cast<std::size_t>(shard->as_number())] =
+            std::move(part);
+        continue;
+      }
+    } catch (const std::runtime_error&) {
+      break;  // shape-torn record or torn sketch text: stop at the prefix
+    }
+  }
+  return data;
+}
+
+}  // namespace dvs::serve

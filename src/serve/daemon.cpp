@@ -1,0 +1,165 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_runner.hpp"
+#include "serve/job_spec.hpp"
+
+namespace dvs::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+/// .json entries of `dir` (stems only), lexicographically sorted; dotfiles
+/// and foreign extensions are invisible to the queue.
+std::vector<std::string> job_stems(const fs::path& dir) {
+  std::vector<std::string> stems;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".json") continue;
+    const std::string stem = p.stem().string();
+    if (stem.empty() || stem.front() == '.') continue;
+    stems.push_back(stem);
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+void write_error_file(const fs::path& path, const std::string& what) {
+  std::ofstream os(path);
+  os << what << "\n";
+}
+
+/// Best-effort move that survives a pre-existing destination (a re-dropped
+/// job name): the old entry is removed first.
+void replace_rename(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::remove_all(to, ec);
+  fs::rename(from, to);
+}
+
+struct DaemonPaths {
+  fs::path queue, running, done, failed, checkpoints;
+};
+
+/// Executes the job file running/<stem>.json to its terminal directory.
+void process_job(const DaemonPaths& dp, const std::string& stem,
+                 const DaemonOptions& opts) {
+  const fs::path job_file = dp.running / (stem + ".json");
+  const fs::path out_dir = dp.running / (stem + ".out");
+  const fs::path ckpt = dp.checkpoints / (stem + ".ckpt.jsonl");
+  try {
+    const JobSpec spec = JobSpec::parse_file(job_file.string());
+    JobPaths paths;
+    paths.output_dir = out_dir.string();
+    // Run-kind jobs have no fold units to restore; sweep/fleet checkpoint.
+    if (spec.kind != JobKind::Run) paths.checkpoint_path = ckpt.string();
+    std::printf("serve: job %s (%s) started\n", spec.id.c_str(),
+                to_string(spec.kind).c_str());
+    std::fflush(stdout);
+    const JobOutcome outcome = run_job(spec, paths, opts.jobs);
+    replace_rename(out_dir, dp.done / (stem + ".out"));
+    replace_rename(job_file, dp.done / (stem + ".json"));
+    std::printf("serve: job %s done (%zu units executed, %zu restored)\n",
+                spec.id.c_str(), outcome.executed_units,
+                outcome.restored_units);
+    std::fflush(stdout);
+  } catch (const std::exception& e) {
+    std::error_code ec;
+    fs::remove(ckpt, ec);  // a failed job must not poison a future re-drop
+    write_error_file(dp.failed / (stem + ".error.txt"), e.what());
+    if (fs::exists(out_dir, ec)) {
+      replace_rename(out_dir, dp.failed / (stem + ".out"));
+    }
+    replace_rename(job_file, dp.failed / (stem + ".json"));
+    std::printf("serve: job %s failed: %s\n", stem.c_str(), e.what());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int run_daemon(const DaemonOptions& opts) {
+  DaemonPaths dp;
+  const fs::path root = opts.root;
+  dp.queue = root / "queue";
+  dp.running = root / "running";
+  dp.done = root / "done";
+  dp.failed = root / "failed";
+  dp.checkpoints = root / "checkpoints";
+  try {
+    for (const fs::path* d :
+         {&dp.queue, &dp.running, &dp.done, &dp.failed, &dp.checkpoints}) {
+      fs::create_directories(*d);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvs_sim serve: cannot prepare %s: %s\n",
+                 opts.root.c_str(), e.what());
+    return 2;
+  }
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+
+  std::printf("serve: watching %s (jobs=%d, poll=%dms%s)\n",
+              dp.queue.string().c_str(), opts.jobs, opts.poll_ms,
+              opts.drain ? ", drain" : "");
+  std::fflush(stdout);
+
+  std::size_t processed = 0;
+  const auto budget_left = [&] {
+    return opts.max_jobs == 0 || processed < opts.max_jobs;
+  };
+
+  // Crash recovery: a previous daemon's running/ jobs come first — their
+  // checkpoints are freshest and their artifacts are already half-built.
+  for (const std::string& stem : job_stems(dp.running)) {
+    if (g_stop != 0 || !budget_left()) break;
+    std::printf("serve: recovering interrupted job %s\n", stem.c_str());
+    std::fflush(stdout);
+    process_job(dp, stem, opts);
+    ++processed;
+  }
+
+  while (g_stop == 0 && budget_left()) {
+    const std::vector<std::string> stems = job_stems(dp.queue);
+    if (stems.empty()) {
+      if (opts.drain) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+      continue;
+    }
+    for (const std::string& stem : stems) {
+      if (g_stop != 0 || !budget_left()) break;
+      // Claim by atomic rename; losing a race (ENOENT) just means another
+      // process took it — irrelevant today, cheap insurance tomorrow.
+      std::error_code ec;
+      fs::rename(dp.queue / (stem + ".json"), dp.running / (stem + ".json"),
+                 ec);
+      if (ec) continue;
+      process_job(dp, stem, opts);
+      ++processed;
+    }
+  }
+
+  std::printf("serve: exiting after %zu job%s\n", processed,
+              processed == 1 ? "" : "s");
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace dvs::serve

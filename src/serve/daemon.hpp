@@ -1,0 +1,44 @@
+// The `dvs_sim serve` daemon: a file-drop job queue over one directory
+// tree.  Filesystem rename is the only coordination primitive — atomic on
+// one filesystem, observable with `ls`, and recoverable after a SIGKILL by
+// looking at which directory a job file sits in.
+//
+//   <root>/queue/<name>.json     waiting jobs; enqueue = atomic rename in
+//   <root>/running/<name>.json   the job currently being executed
+//   <root>/running/<name>.out/   its artifacts while in flight
+//   <root>/done/<name>.json      completed jobs (+ <name>.out/ artifacts)
+//   <root>/failed/<name>.json    rejected/crashed jobs (+ <name>.error.txt)
+//   <root>/checkpoints/<name>.ckpt.jsonl   durable progress of running jobs
+//
+// Claim order is lexicographic file-name order (drop "000-", "001-"
+// prefixes to sequence work).  Dotfiles and non-.json entries are ignored,
+// so `mv tmp queue/job.json` plus editors' swap files are both safe.
+//
+// Crash recovery: on startup any job still in running/ is re-executed
+// first, restoring from its checkpoint — completed sweep points / fleet
+// shards are skipped and the final CSVs are byte-identical to an
+// uninterrupted run.  SIGTERM/SIGINT finish the current job, then exit;
+// SIGKILL is the crash path recovery exists for.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dvs::serve {
+
+struct DaemonOptions {
+  std::string root;  ///< queue root; subdirectories are created as needed
+  int jobs = 0;      ///< worker threads per job when the job says 0 (0 = hw)
+  int poll_ms = 200;  ///< queue scan interval while idle
+  /// Exit once queue/ and running/ are both empty (batch mode; also the CI
+  /// smoke mode).  false = keep serving until a signal.
+  bool drain = false;
+  std::size_t max_jobs = 0;  ///< stop after N jobs (0 = unlimited)
+};
+
+/// Runs the daemon loop; returns a process exit code (0 = clean shutdown,
+/// 2 = unusable root directory).  Installs SIGTERM/SIGINT handlers for
+/// graceful shutdown (restores nothing: the process exits afterwards).
+int run_daemon(const DaemonOptions& opts);
+
+}  // namespace dvs::serve

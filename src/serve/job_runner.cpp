@@ -1,0 +1,245 @@
+#include "serve/job_runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/sweep.hpp"
+#include "fault/trace_transforms.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "serve/checkpoint.hpp"
+#include "workload/clips.hpp"
+#include "workload/trace.hpp"
+
+namespace dvs::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Optional checkpointing: writer + restored state live together so the
+/// restore map outlives the runner call.
+struct CheckpointSession {
+  CheckpointData restored;
+  std::optional<CheckpointWriter> writer;
+};
+
+CheckpointSession open_checkpoint(const JobSpec& spec,
+                                  const std::string& path) {
+  CheckpointSession s;
+  if (path.empty()) return s;
+  s.restored = load_checkpoint(path);
+  if (!s.restored.empty() && s.restored.kind != to_string(spec.kind)) {
+    throw std::runtime_error("checkpoint " + path + " is for a " +
+                             s.restored.kind + " job, not " +
+                             to_string(spec.kind));
+  }
+  s.writer.emplace(path, spec.id, to_string(spec.kind), spec.checkpoint_every);
+  return s;
+}
+
+JobOutcome run_sweep_job(const JobSpec& spec, const JobPaths& paths,
+                         int jobs) {
+  core::ScenarioSpec scenario = *spec.spec_scenario();
+  if (spec.sweep.replicates > 0) scenario.replicates = spec.sweep.replicates;
+  if (spec.seed_set) scenario.base_seed = spec.seed;
+  if (!spec.sweep.faults.empty()) {
+    scenario.faults = fault::parse_fault_list(spec.sweep.faults);
+  }
+  if (!spec.sweep.policy.empty()) scenario.policies = {spec.sweep.policy};
+
+  CheckpointSession ckpt = open_checkpoint(spec, paths.checkpoint_path);
+
+  core::SweepOptions sopts;
+  sopts.jobs = jobs;
+  // Always collect quantiles: the cells CSV must carry the same percentile
+  // columns whether the job ran straight through or resumed from a
+  // checkpoint, and restored sketches can only merge into collected ones.
+  sopts.collect_quantiles = true;
+  sopts.heartbeat_path = paths.output_dir + "/heartbeat.jsonl";
+  if (!ckpt.restored.points.empty()) sopts.restored = &ckpt.restored.points;
+  if (ckpt.writer) {
+    CheckpointWriter& w = *ckpt.writer;
+    sopts.on_point_checkpoint = [&w](const core::RunPoint& p,
+                                     const core::Metrics& m,
+                                     const obs::QuantileSketch& sketch) {
+      w.append_point(p.index, m, sketch);
+    };
+  }
+
+  const core::SweepResult res = core::SweepRunner{sopts}.run(scenario);
+  if (ckpt.writer) ckpt.writer->flush();
+
+  CsvWriter cells{paths.output_dir + "/sweep_cells.csv"};
+  res.write_cells_csv(cells);
+  CsvWriter points{paths.output_dir + "/sweep_points.csv"};
+  res.write_points_csv(points);
+
+  JobOutcome out;
+  out.restored_units = ckpt.restored.points.size();
+  out.executed_units = res.points.size() - out.restored_units;
+  return out;
+}
+
+JobOutcome run_fleet_job(const JobSpec& spec, const JobPaths& paths,
+                         int jobs) {
+  dvs::fleet::FleetSpec fspec = *spec.spec_fleet();
+  if (spec.fleet.devices > 0) fspec.num_devices = spec.fleet.devices;
+  if (spec.seed_set) fspec.fleet_seed = spec.seed;
+
+  CheckpointSession ckpt = open_checkpoint(spec, paths.checkpoint_path);
+
+  dvs::fleet::FleetOptions fopts;
+  fopts.jobs = jobs;
+  if (spec.fleet.shard_size > 0) fopts.shard_size = spec.fleet.shard_size;
+  fopts.heartbeat_path = paths.output_dir + "/heartbeat.jsonl";
+  if (!ckpt.restored.shards.empty()) fopts.restored = &ckpt.restored.shards;
+  if (ckpt.writer) {
+    CheckpointWriter& w = *ckpt.writer;
+    fopts.on_shard = [&w](std::size_t shard,
+                          const dvs::fleet::FleetShardPartial& part) {
+      w.append_shard(shard, part);
+    };
+  }
+
+  const dvs::fleet::FleetResult res = dvs::fleet::FleetRunner{fopts}.run(fspec);
+  if (ckpt.writer) ckpt.writer->flush();
+
+  CsvWriter csv{paths.output_dir + "/fleet.csv"};
+  res.write_csv(csv);
+
+  const std::size_t shards =
+      (res.devices + fopts.shard_size - 1) / fopts.shard_size;
+  JobOutcome out;
+  out.restored_units = ckpt.restored.shards.size();
+  out.executed_units = shards - std::min(shards, out.restored_units);
+  return out;
+}
+
+JobOutcome run_run_job(const JobSpec& spec, const JobPaths& paths, int jobs) {
+  (void)jobs;  // a single engine run is inherently serial
+  const RunJob& r = spec.run;
+  const core::CpuAsset cpu_asset = core::build_cpu_asset("sa1100");
+  const hw::Sa1100& cpu = cpu_asset.cpu;
+  const std::uint64_t seed = spec.seed_set ? spec.seed : 1;
+
+  core::DetectorFactoryConfig detector_cfg;
+  core::RunAssembly assembly;
+  assembly.detector = resolve_detector(r.detector);
+  if (assembly.detector == core::DetectorKind::ChangePoint) {
+    detector_cfg.prepare();
+  }
+  if (!r.policy.empty()) assembly.policy = r.policy;
+  assembly.service_cv2 = r.cv2;
+  assembly.dpm.kind = *core::dpm_kind_from_string(r.dpm);
+  assembly.dpm.max_delay = seconds(r.dpm_delay);
+  assembly.engine_seed = seed;
+
+  std::vector<fault::TraceFault> trace_faults;
+  std::vector<fault::FaultSpec> fault_specs;
+  if (!r.faults.empty()) {
+    fault_specs = fault::parse_fault_list(r.faults);
+    for (const fault::FaultSpec& f : fault_specs) {
+      trace_faults.insert(trace_faults.end(), f.trace_faults.begin(),
+                          f.trace_faults.end());
+    }
+    assembly.faults = &fault_specs.front();
+  }
+  Rng fault_rng{core::mix_seed(seed, 0xfa)};
+
+  core::Metrics m;
+  if (r.session) {
+    core::SessionConfig scfg;
+    scfg.cycles = r.cycles;
+    scfg.seed = seed;
+    if (r.seconds > 0.0) scfg.mpeg_segment = seconds(r.seconds);
+    core::Session session = core::build_session(scfg, cpu);
+    if (!trace_faults.empty()) {
+      for (core::PlaybackItem& item : session.items) {
+        item.trace = fault::apply_faults(item.trace, trace_faults, fault_rng);
+      }
+    }
+    assembly.delay_target = seconds(r.delay > 0.0 ? r.delay : 0.1);
+    core::RunOptions opts = core::assemble_run_options(
+        assembly, cpu_asset, session.idle_model, detector_cfg);
+    opts.flight_recorder = false;
+    m = core::run_items(session.items, opts);
+  } else {
+    std::optional<workload::FrameTrace> trace;
+    std::optional<workload::DecoderModel> decoder;
+    if (r.media == "mp3") {
+      decoder = workload::reference_mp3_decoder(cpu.max_frequency());
+      Rng rng{seed};
+      trace = workload::build_mp3_trace(workload::mp3_sequence(r.sequence),
+                                        *decoder, rng);
+    } else {
+      decoder = workload::reference_mpeg_decoder(cpu.max_frequency());
+      workload::MpegClip clip = r.clip == "terminator2"
+                                    ? workload::terminator2_clip()
+                                    : workload::football_clip();
+      if (r.seconds > 0.0) {
+        clip.duration = seconds(std::min(r.seconds, clip.duration.value()));
+      }
+      Rng rng{seed};
+      trace = workload::build_mpeg_trace(clip, *decoder, rng);
+    }
+    if (!trace_faults.empty()) {
+      trace = fault::apply_faults(*trace, trace_faults, fault_rng);
+    }
+    const auto idle = core::default_idle_distribution();
+    const bool audio = trace->type() == workload::MediaType::Mp3Audio;
+    assembly.delay_target =
+        seconds(r.delay > 0.0 ? r.delay : (audio ? 0.15 : 0.1));
+    core::RunOptions opts =
+        core::assemble_run_options(assembly, cpu_asset, idle, detector_cfg);
+    opts.flight_recorder = false;
+    m = core::run_single_trace(*trace, *decoder, opts);
+  }
+
+  // The run's machine artifact: a one-row CSV with the table-level numbers
+  // (%.17g comes only from checkpoints; this is a report, not a fold input).
+  CsvWriter csv{paths.output_dir + "/run.csv"};
+  csv.write_row(std::vector<std::string>{
+      "duration_s", "energy_j", "avg_power_mw", "frames_decoded",
+      "frames_dropped", "mean_delay_s", "max_delay_s", "cpu_switches",
+      "dpm_sleeps"});
+  csv.write_row(std::vector<double>{
+      m.duration.value(), m.total_energy.value(), m.average_power.value(),
+      static_cast<double>(m.frames_decoded),
+      static_cast<double>(m.frames_dropped), m.mean_frame_delay.value(),
+      m.max_frame_delay.value(), static_cast<double>(m.cpu_switches),
+      static_cast<double>(m.dpm_sleeps)});
+
+  JobOutcome out;
+  out.executed_units = 1;
+  return out;
+}
+
+}  // namespace
+
+JobOutcome run_job(const JobSpec& spec, const JobPaths& paths,
+                   int default_jobs) {
+  spec.validate();
+  fs::create_directories(paths.output_dir);
+  const int jobs = spec.jobs > 0 ? spec.jobs : default_jobs;
+
+  JobOutcome out;
+  switch (spec.kind) {
+    case JobKind::Run: out = run_run_job(spec, paths, jobs); break;
+    case JobKind::Sweep: out = run_sweep_job(spec, paths, jobs); break;
+    case JobKind::Fleet: out = run_fleet_job(spec, paths, jobs); break;
+  }
+  // Success: the checkpoint has served its purpose; a finished job must
+  // never be "resumed".
+  if (!paths.checkpoint_path.empty()) {
+    std::error_code ec;
+    fs::remove(paths.checkpoint_path, ec);
+  }
+  return out;
+}
+
+}  // namespace dvs::serve

@@ -1,0 +1,43 @@
+// JobRunner: executes one validated JobSpec to completion inside the
+// daemon's process.  The runner is the serve-side twin of the run/sweep/
+// fleet subcommands — same assemble_run_options construction path, same
+// runners, same CSV writers — plus the two things only a daemon needs:
+// checkpoint emission while running and checkpoint restore on entry.
+//
+// Process-wide warm state is deliberate: the change-point threshold table
+// (detect::shared_threshold_table) and TISMDP solutions (dpm solve cache)
+// are keyed caches that persist across run_job calls, so the second job of
+// a back-to-back pair recomputes neither (asserted by tests/serve).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/job_spec.hpp"
+
+namespace dvs::serve {
+
+struct JobPaths {
+  /// Directory that receives every artifact of this job (CSVs, heartbeat
+  /// JSONL, summary).  Created if missing.
+  std::string output_dir;
+  /// Checkpoint JSONL path; empty disables checkpoint/restore (run-kind
+  /// jobs never checkpoint — a single engine run is the atomic unit).
+  std::string checkpoint_path;
+};
+
+struct JobOutcome {
+  /// Fold-units (sweep points / fleet shards / 1 for run) restored from the
+  /// checkpoint instead of executed.
+  std::size_t restored_units = 0;
+  /// Fold-units actually executed this call.
+  std::size_t executed_units = 0;
+};
+
+/// Runs the job start to finish; throws on invalid specs and I/O failures
+/// (the daemon maps exceptions to failed/).  `default_jobs` supplies the
+/// worker-thread count when the spec's own `jobs` is 0.
+JobOutcome run_job(const JobSpec& spec, const JobPaths& paths,
+                   int default_jobs);
+
+}  // namespace dvs::serve

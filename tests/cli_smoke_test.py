@@ -29,7 +29,7 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         chrome = os.path.join(tmp, "trace.json")
         cmd = [
-            binary,
+            binary, "run",
             "--media", "mp3",
             "--sequence", "AC",
             "--seconds", "30",
@@ -87,29 +87,19 @@ def main():
         if not any(n.startswith("rate_") for n in names):
             fail("chrome trace has no detector rate activity")
 
-    # Scenario registry: --list-scenarios enumerates the built-in sweeps.
-    proc = subprocess.run([binary, "--list-scenarios"],
-                          capture_output=True, text=True, timeout=60)
-    if proc.returncode != 0:
-        fail(f"--list-scenarios exit code {proc.returncode}\n{proc.stderr}")
-    for name in ("table3", "table5", "quick"):
-        if name not in proc.stdout:
-            fail(f"--list-scenarios output missing {name!r}:\n{proc.stdout}")
-
     # A small sweep through the scenario runner, parallel, with CSV export
     # and metrics emission.
     with tempfile.TemporaryDirectory() as tmp:
         csv_base = os.path.join(tmp, "quick")
         cmd = [
-            binary,
-            "--scenario", "quick",
+            binary, "sweep", "quick",
             "--jobs", "2",
             "--metrics-json", "-",
             "--sweep-csv", csv_base,
         ]
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
         if proc.returncode != 0:
-            fail(f"--scenario quick exit code {proc.returncode}\n{proc.stderr}")
+            fail(f"`sweep quick` exit code {proc.returncode}\n{proc.stderr}")
         try:
             sweep_metrics = json.loads(proc.stdout)
         except json.JSONDecodeError as e:
@@ -127,28 +117,12 @@ def main():
             if len(lines) < 2:
                 fail(f"{path} has no data rows")
 
-    # Unknown scenario names must fail loudly, not run something else.
-    proc = subprocess.run([binary, "--scenario", "no-such"],
-                          capture_output=True, text=True, timeout=60)
-    if proc.returncode == 0:
-        fail("--scenario no-such unexpectedly succeeded")
-
-    # Fault registry: --list-faults enumerates the built-in fault specs.
-    proc = subprocess.run([binary, "--list-faults"],
-                          capture_output=True, text=True, timeout=60)
-    if proc.returncode != 0:
-        fail(f"--list-faults exit code {proc.returncode}\n{proc.stderr}")
-    for name in ("none", "spike10x", "wakeup-flaky", "chaos"):
-        if name not in proc.stdout:
-            fail(f"--list-faults output missing {name!r}:\n{proc.stdout}")
-
     # Faulted sweep: the fault axis replaces the scenario's, the cell table
     # grows a Faults column, and the points CSV carries degradation columns.
     with tempfile.TemporaryDirectory() as tmp:
         csv_base = os.path.join(tmp, "faulted")
         cmd = [
-            binary,
-            "--scenario", "quick",
+            binary, "sweep", "quick",
             "--faults", "spike10x",
             "--jobs", "2",
             "--metrics-json", "-",
@@ -173,7 +147,7 @@ def main():
 
     # Single-run fault injection: perturbations + watchdog on one trace.
     proc = subprocess.run(
-        [binary, "--media", "mp3", "--sequence", "A",
+        [binary, "run", "--media", "mp3", "--sequence", "A",
          "--detector", "change-point", "--faults", "spike10x"],
         capture_output=True, text=True, timeout=600)
     if proc.returncode != 0:
@@ -182,15 +156,15 @@ def main():
         fail(f"single-run fault report missing watchdog line:\n{proc.stdout}")
 
     # Unknown fault names must fail loudly.
-    proc = subprocess.run([binary, "--scenario", "quick",
+    proc = subprocess.run([binary, "sweep", "quick",
                            "--faults", "no-such-fault"],
                           capture_output=True, text=True, timeout=60)
     if proc.returncode == 0:
         fail("--faults no-such-fault unexpectedly succeeded")
 
-    # ---- subcommand spellings (`dvs_sim run|sweep|list`) -------------------
+    # ---- subcommand surface (`dvs_sim run|sweep|fleet|serve|report|list`) --
 
-    # `list scenarios` / `list faults` match the legacy listing flags.
+    # `list scenarios` / `list faults` enumerate the registries.
     proc = subprocess.run([binary, "list", "scenarios"],
                           capture_output=True, text=True, timeout=60)
     if proc.returncode != 0:
@@ -212,59 +186,21 @@ def main():
             or "spike10x" not in proc.stdout:
         fail(f"bare `list` did not print both tables:\n{proc.stdout}")
 
-    # `run` matches the legacy flag-only single run bit for bit on stdout.
-    run_cmd = ["--media", "mp3", "--sequence", "A", "--seconds", "30",
-               "--detector", "change-point", "--dpm", "tismdp",
-               "--metrics-json", "-"]
-    new = subprocess.run([binary, "run"] + run_cmd,
-                         capture_output=True, text=True, timeout=600)
-    old = subprocess.run([binary] + run_cmd,
-                         capture_output=True, text=True, timeout=600)
-    if new.returncode != 0:
-        fail(f"`run` exit code {new.returncode}\n{new.stderr}")
-    if old.returncode != 0:
-        fail(f"legacy flag-only run exit code {old.returncode}\n{old.stderr}")
-    def drop_wall(text):
-        doc = json.loads(text)
-        doc["gauges"] = {k: v for k, v in doc["gauges"].items()
-                         if not k.startswith("wall.")}
-        return doc
-    if drop_wall(new.stdout) != drop_wall(old.stdout):
-        fail("`dvs_sim run` and legacy flag spelling disagree on metrics JSON")
-    if "deprecated" not in old.stderr:
-        fail("legacy flag-only invocation did not print a deprecation note")
-    if "deprecated" in new.stderr:
-        fail("`dvs_sim run` wrongly printed the deprecation note")
-
-    # `sweep <name>` takes the scenario as a positional operand and produces
-    # the same CSVs as the legacy --scenario spelling.
-    with tempfile.TemporaryDirectory() as tmp:
-        new_base = os.path.join(tmp, "new")
-        old_base = os.path.join(tmp, "old")
-        proc = subprocess.run(
-            [binary, "sweep", "quick", "--jobs", "2", "--sweep-csv", new_base],
-            capture_output=True, text=True, timeout=600)
-        if proc.returncode != 0:
-            fail(f"`sweep quick` exit code {proc.returncode}\n{proc.stderr}")
-        proc = subprocess.run(
-            [binary, "--scenario", "quick", "--jobs", "2",
-             "--sweep-csv", old_base],
-            capture_output=True, text=True, timeout=600)
-        if proc.returncode != 0:
-            fail(f"legacy --scenario exit code {proc.returncode}\n{proc.stderr}")
-        for suffix in ("_cells.csv", "_points.csv"):
-            with open(new_base + suffix) as f:
-                new_csv = f.read()
-            with open(old_base + suffix) as f:
-                old_csv = f.read()
-            if new_csv != old_csv:
-                fail(f"`sweep quick` and --scenario quick disagree on {suffix}")
-
-    # Bad subcommand surface: unknown commands and a missing scenario fail.
-    proc = subprocess.run([binary, "frobnicate"],
-                          capture_output=True, text=True, timeout=60)
-    if proc.returncode == 0:
-        fail("unknown subcommand unexpectedly succeeded")
+    # Bad subcommand surface: unknown commands are a usage error (exit 2)
+    # whose message names the real subcommands — the legacy flag-only
+    # spelling is gone and must not silently run anything.
+    for bad in (["frobnicate"],
+                ["--media", "mp3", "--sequence", "A"],
+                ["--scenario", "quick"]):
+        proc = subprocess.run([binary] + bad,
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode != 2:
+            fail(f"unknown invocation {bad} should exit 2, "
+                 f"got {proc.returncode}")
+        err = proc.stderr
+        for word in ("run", "sweep", "fleet", "serve", "report", "list"):
+            if word not in err:
+                fail(f"usage error for {bad} does not name {word!r}:\n{err}")
     proc = subprocess.run([binary, "sweep"],
                           capture_output=True, text=True, timeout=60)
     if proc.returncode == 0:
@@ -273,6 +209,53 @@ def main():
                           capture_output=True, text=True, timeout=60)
     if proc.returncode == 0:
         fail("`sweep no-such` unexpectedly succeeded")
+
+    # `list schemas` names every versioned artifact schema.
+    proc = subprocess.run([binary, "list", "schemas"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"`list schemas` exit code {proc.returncode}\n{proc.stderr}")
+    for schema in ("dvs-job-v1", "dvs-checkpoint-v1", "dvs-metrics-v1",
+                   "dvs-ledger-v1", "dvs-sketch-v1"):
+        if schema not in proc.stdout:
+            fail(f"`list schemas` output missing {schema!r}:\n{proc.stdout}")
+
+    # ---- serve: file-drop job queue, drain mode ----------------------------
+
+    # A valid job travels queue/ -> done/ with artifacts; a malformed one
+    # lands in failed/ with an error note.
+    with tempfile.TemporaryDirectory() as tmp:
+        queue = os.path.join(tmp, "queue")
+        os.makedirs(queue)
+        with open(os.path.join(queue, "ok.json"), "w") as f:
+            json.dump({"schema": "dvs-job-v1", "kind": "run",
+                       "run": {"media": "mp3", "sequence": "A",
+                               "detector": "max"}}, f)
+        with open(os.path.join(queue, "broken.json"), "w") as f:
+            f.write("{not json")
+        proc = subprocess.run([binary, "serve", tmp, "--drain"],
+                              capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            fail(f"`serve --drain` exit code {proc.returncode}\n{proc.stderr}")
+        if not os.path.exists(os.path.join(tmp, "done", "ok.json")):
+            fail("serve did not move the valid job to done/")
+        run_csv = os.path.join(tmp, "done", "ok.out", "run.csv")
+        if not os.path.exists(run_csv):
+            fail("serve did not write run.csv for the completed job")
+        with open(run_csv) as f:
+            if len([l for l in f.read().splitlines() if l]) != 2:
+                fail("serve run.csv is not header + one data row")
+        if not os.path.exists(os.path.join(tmp, "failed", "broken.json")):
+            fail("serve did not move the malformed job to failed/")
+        if not os.path.exists(os.path.join(tmp, "failed",
+                                           "broken.error.txt")):
+            fail("serve did not leave an error note for the failed job")
+
+    # serve usage errors: missing root and unknown flags exit 2.
+    proc = subprocess.run([binary, "serve"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode != 2:
+        fail(f"bare `serve` should exit 2, got {proc.returncode}")
 
     # ---- observability surface: ledger, flight recorder, report ------------
 

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "fault/fault_spec.hpp"
 #include "hw/cpu_catalog.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_recorder.hpp"
@@ -100,6 +102,59 @@ TEST(RunOptionsRoundTrip, DefaultsMatchEngineDefaults) {
   EXPECT_EQ(ec.buffer_capacity, def.buffer_capacity);
   EXPECT_DOUBLE_EQ(ec.cpu.max_frequency().value(),
                    def.cpu.max_frequency().value());
+}
+
+TEST(RunAssembly, ResolvesEveryKnobIntoRunOptions) {
+  // The single construction path shared by cmd_run, the sweep pool, the
+  // fleet shards, and serve jobs: every RunAssembly knob must land in the
+  // assembled options, and shared assets must be wired by pointer.
+  const CpuAsset cpu = build_cpu_asset("crusoe");
+  const dpm::IdleDistributionPtr idle = default_idle_distribution();
+  DetectorFactoryConfig detector_cfg;
+  detector_cfg.ema_gain = 0.42;
+
+  RunAssembly a;
+  a.detector = DetectorKind::ExpAverage;
+  a.policy = "qdpm";
+  a.delay_target = seconds(0.321);
+  a.service_cv2 = 1.9;
+  a.dpm.kind = DpmKind::Tismdp;
+  a.dpm.max_delay = seconds(0.4);
+  a.engine_seed = 1234;
+  const fault::FaultSpec spiky = fault::find_fault("spike10x") != nullptr
+                                     ? *fault::find_fault("spike10x")
+                                     : fault::FaultSpec{};
+  a.faults = &spiky;
+
+  const RunOptions opts = assemble_run_options(a, cpu, idle, detector_cfg);
+  EXPECT_EQ(opts.detector, DetectorKind::ExpAverage);
+  EXPECT_EQ(opts.policy, "qdpm");
+  EXPECT_DOUBLE_EQ(opts.target_delay.value(), 0.321);
+  EXPECT_DOUBLE_EQ(opts.service_cv2, 1.9);
+  EXPECT_NE(opts.dpm_policy, nullptr);  // Tismdp resolved to a live policy
+  EXPECT_EQ(opts.seed, 1234u);
+  EXPECT_EQ(opts.detector_cfg, &detector_cfg);  // shared asset, by pointer
+  EXPECT_EQ(opts.cpu, &cpu.cpu);
+  EXPECT_EQ(opts.watchdog.enabled, spiky.watchdog.enabled);
+  EXPECT_DOUBLE_EQ(opts.hw_faults.freq_fail_prob, spiky.hw.freq_fail_prob);
+
+  // And the resulting options must round-trip into the engine config —
+  // composing the drift protection above with the assembly layer.
+  const EngineConfig ec = to_engine_config(opts);
+  EXPECT_EQ(ec.policy, "qdpm");
+  EXPECT_DOUBLE_EQ(ec.detectors.ema_gain, 0.42);
+  EXPECT_DOUBLE_EQ(ec.cpu.max_frequency().value(),
+                   cpu.cpu.max_frequency().value());
+}
+
+TEST(RunAssembly, NullFaultsLeavesWatchdogDisarmed) {
+  const CpuAsset cpu = build_cpu_asset("sa1100");
+  const dpm::IdleDistributionPtr idle = default_idle_distribution();
+  const DetectorFactoryConfig detector_cfg;
+  const RunOptions opts =
+      assemble_run_options(RunAssembly{}, cpu, idle, detector_cfg);
+  EXPECT_FALSE(opts.watchdog.enabled);
+  EXPECT_EQ(opts.dpm_policy, nullptr);  // DpmKind::None
 }
 
 // A short MP3 run under the Max detector (no detection noise) so the two

@@ -1,0 +1,111 @@
+// Daemon lifecycle over a real directory tree (in-process, --drain
+// semantics): valid jobs travel queue/ -> done/ with artifacts, malformed
+// jobs land in failed/ with an error note, and foreign files are ignored.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "serve/daemon.hpp"
+
+namespace dvs::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+void write_file(const fs::path& p, const std::string& text) {
+  fs::create_directories(p.parent_path());
+  std::ofstream os(p);
+  os << text;
+}
+
+TEST(ServeDaemon, DrainProcessesGoodAndBadJobs) {
+  TempDir tmp("serve_daemon_drain");
+  write_file(tmp.path() / "queue/good.json",
+             R"({"schema": "dvs-job-v1", "kind": "run",
+                 "run": {"media": "mp3", "sequence": "A",
+                         "detector": "max"}})");
+  write_file(tmp.path() / "queue/bad.json",
+             R"({"schema": "dvs-job-v1", "kind": "sweep",
+                 "sweep": {"scenario": "no-such"}})");
+  write_file(tmp.path() / "queue/broken.json", "{not json");
+  write_file(tmp.path() / "queue/notes.txt", "not a job");
+  write_file(tmp.path() / "queue/.hidden.json", "{}");
+
+  DaemonOptions opts;
+  opts.root = tmp.path().string();
+  opts.jobs = 1;
+  opts.drain = true;
+  EXPECT_EQ(run_daemon(opts), 0);
+
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/good.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/good.out/run.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "failed/bad.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "failed/bad.error.txt"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "failed/broken.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "failed/broken.error.txt"));
+  // Foreign/hidden files never leave the queue.
+  EXPECT_TRUE(fs::exists(tmp.path() / "queue/notes.txt"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "queue/.hidden.json"));
+  EXPECT_TRUE(fs::is_empty(tmp.path() / "running"));
+
+  std::ifstream err(tmp.path() / "failed/bad.error.txt");
+  std::string msg((std::istreambuf_iterator<char>(err)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(msg.find("unknown scenario"), std::string::npos) << msg;
+}
+
+TEST(ServeDaemon, RecoversJobLeftInRunning) {
+  TempDir tmp("serve_daemon_recover");
+  // A killed daemon leaves the claimed job file in running/; a fresh
+  // daemon must execute it before touching the queue.
+  write_file(tmp.path() / "running/orphan.json",
+             R"({"schema": "dvs-job-v1", "kind": "run",
+                 "run": {"media": "mp3", "sequence": "A",
+                         "detector": "max"}})");
+  DaemonOptions opts;
+  opts.root = tmp.path().string();
+  opts.jobs = 1;
+  opts.drain = true;
+  EXPECT_EQ(run_daemon(opts), 0);
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/orphan.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/orphan.out/run.csv"));
+}
+
+TEST(ServeDaemon, MaxJobsStopsEarly) {
+  TempDir tmp("serve_daemon_maxjobs");
+  for (const char* name : {"a.json", "b.json", "c.json"}) {
+    write_file(tmp.path() / "queue" / name,
+               R"({"schema": "dvs-job-v1", "kind": "run",
+                   "run": {"media": "mp3", "sequence": "A",
+                           "detector": "max"}})");
+  }
+  DaemonOptions opts;
+  opts.root = tmp.path().string();
+  opts.jobs = 1;
+  opts.drain = true;
+  opts.max_jobs = 2;
+  EXPECT_EQ(run_daemon(opts), 0);
+  // Lexicographic claim order: a and b ran, c stayed queued.
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/a.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "done/b.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "queue/c.json"));
+}
+
+}  // namespace
+}  // namespace dvs::serve

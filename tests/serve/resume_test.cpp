@@ -1,0 +1,182 @@
+// The serve determinism contract: a job interrupted at a point/shard
+// boundary and restored from its checkpoint emits CSVs byte-identical to
+// an uninterrupted run, at any worker count.  The interruption is
+// simulated exactly the way a SIGKILL manifests: a checkpoint file that
+// ends after K complete records.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/job_runner.hpp"
+#include "serve/job_spec.hpp"
+
+namespace dvs::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_bytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << p;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Keeps the first `lines` lines of `path` — the on-disk state after a
+/// kill once `lines - 1` records (+ header) had been flushed.
+void truncate_to_lines(const fs::path& path, std::size_t lines) {
+  std::ifstream in(path);
+  std::vector<std::string> kept;
+  std::string line;
+  while (kept.size() < lines && std::getline(in, line)) kept.push_back(line);
+  in.close();
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& l : kept) out << l << "\n";
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(ServeResume, SweepRestoresByteIdenticalCsvAtAnyJobs) {
+  TempDir tmp("serve_resume_sweep");
+  const JobSpec job = JobSpec::parse_text(
+      R"({"schema": "dvs-job-v1", "kind": "sweep",
+          "sweep": {"scenario": "quick"}})",
+      "sweep-resume");
+
+  // Uninterrupted reference.
+  JobPaths ref;
+  ref.output_dir = (tmp.path() / "ref").string();
+  const JobOutcome full = run_job(job, ref, /*default_jobs=*/2);
+  EXPECT_EQ(full.restored_units, 0u);
+  EXPECT_EQ(full.executed_units, 4u);  // quick: 2 detectors x 2 replicates
+  const std::string ref_cells = read_bytes(ref.output_dir + "/sweep_cells.csv");
+  const std::string ref_points =
+      read_bytes(ref.output_dir + "/sweep_points.csv");
+
+  // Build the complete checkpoint the way the daemon would (serial run,
+  // every point recorded), then cut it to header + 2 records: the disk
+  // state of a daemon killed at a point boundary.
+  const fs::path master = tmp.path() / "master.ckpt.jsonl";
+  {
+    core::ScenarioSpec scenario = *core::find_scenario("quick");
+    CheckpointWriter w(master.string(), job.id, "sweep", 1);
+    core::SweepOptions sopts;
+    sopts.jobs = 1;
+    sopts.collect_quantiles = true;
+    sopts.on_point_checkpoint = [&w](const core::RunPoint& p,
+                                     const core::Metrics& m,
+                                     const obs::QuantileSketch& sketch) {
+      w.append_point(p.index, m, sketch);
+    };
+    (void)core::SweepRunner{sopts}.run(scenario);
+  }
+
+  for (int jobs : {1, 3}) {
+    const fs::path ckpt =
+        tmp.path() / ("resume_j" + std::to_string(jobs) + ".ckpt.jsonl");
+    fs::copy_file(master, ckpt);
+    truncate_to_lines(ckpt, 3);  // header + 2 point records
+
+    JobPaths resumed;
+    resumed.output_dir =
+        (tmp.path() / ("out_j" + std::to_string(jobs))).string();
+    resumed.checkpoint_path = ckpt.string();
+    const JobOutcome out = run_job(job, resumed, jobs);
+    EXPECT_EQ(out.restored_units, 2u) << "jobs=" << jobs;
+    EXPECT_EQ(out.executed_units, 2u) << "jobs=" << jobs;
+    EXPECT_EQ(read_bytes(resumed.output_dir + "/sweep_cells.csv"), ref_cells)
+        << "jobs=" << jobs;
+    EXPECT_EQ(read_bytes(resumed.output_dir + "/sweep_points.csv"), ref_points)
+        << "jobs=" << jobs;
+    EXPECT_FALSE(fs::exists(ckpt));  // consumed on success
+  }
+}
+
+TEST(ServeResume, FleetRestoresByteIdenticalCsvAtAnyJobs) {
+  TempDir tmp("serve_resume_fleet");
+  const JobSpec job = JobSpec::parse_text(
+      R"({"schema": "dvs-job-v1", "kind": "fleet", "seed": 11,
+          "fleet": {"name": "fleet_smoke", "devices": 192,
+                    "shard_size": 32}})",
+      "fleet-resume");
+
+  JobPaths ref;
+  ref.output_dir = (tmp.path() / "ref").string();
+  const JobOutcome full = run_job(job, ref, /*default_jobs=*/2);
+  EXPECT_EQ(full.restored_units, 0u);
+  EXPECT_EQ(full.executed_units, 6u);  // 192 devices / 32 per shard
+  const std::string ref_csv = read_bytes(ref.output_dir + "/fleet.csv");
+
+  const fs::path master = tmp.path() / "master.ckpt.jsonl";
+  {
+    dvs::fleet::FleetSpec fspec = *dvs::fleet::find_fleet("fleet_smoke");
+    fspec.num_devices = 192;
+    fspec.fleet_seed = 11;
+    CheckpointWriter w(master.string(), job.id, "fleet", 1);
+    dvs::fleet::FleetOptions fopts;
+    fopts.jobs = 1;
+    fopts.shard_size = 32;
+    fopts.on_shard = [&w](std::size_t shard,
+                          const dvs::fleet::FleetShardPartial& part) {
+      w.append_shard(shard, part);
+    };
+    (void)dvs::fleet::FleetRunner{fopts}.run(fspec);
+  }
+
+  for (int jobs : {1, 3}) {
+    const fs::path ckpt =
+        tmp.path() / ("resume_j" + std::to_string(jobs) + ".ckpt.jsonl");
+    fs::copy_file(master, ckpt);
+    truncate_to_lines(ckpt, 4);  // header + 3 shard records
+
+    JobPaths resumed;
+    resumed.output_dir =
+        (tmp.path() / ("out_j" + std::to_string(jobs))).string();
+    resumed.checkpoint_path = ckpt.string();
+    const JobOutcome out = run_job(job, resumed, jobs);
+    EXPECT_EQ(out.restored_units, 3u) << "jobs=" << jobs;
+    EXPECT_EQ(out.executed_units, 3u) << "jobs=" << jobs;
+    EXPECT_EQ(read_bytes(resumed.output_dir + "/fleet.csv"), ref_csv)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ServeResume, MismatchedCheckpointKindIsRejected) {
+  TempDir tmp("serve_resume_mismatch");
+  const fs::path ckpt = tmp.path() / "wrong.ckpt.jsonl";
+  {
+    CheckpointWriter w(ckpt.string(), "other", "fleet", 1);
+    w.append_shard(0, dvs::fleet::FleetShardPartial{});
+  }
+  const JobSpec job = JobSpec::parse_text(
+      R"({"schema": "dvs-job-v1", "kind": "sweep",
+          "sweep": {"scenario": "quick"}})",
+      "mismatch");
+  JobPaths paths;
+  paths.output_dir = (tmp.path() / "out").string();
+  paths.checkpoint_path = ckpt.string();
+  EXPECT_THROW((void)run_job(job, paths, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dvs::serve

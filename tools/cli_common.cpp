@@ -10,7 +10,7 @@ namespace dvs::cli {
 void usage(const char* msg) {
   std::fprintf(stderr,
                "dvs_sim: %s\n"
-               "usage: dvs_sim run|sweep|report|list [options] "
+               "usage: dvs_sim run|sweep|fleet|serve|report|list [options] "
                "(see the header of tools/dvs_sim_cli.cpp)\n",
                msg);
   std::exit(2);
@@ -39,9 +39,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--dpm-delay") { o.dpm_delay = std::stod(need(i)); ++i; }
     else if (a == "--seed") { o.seed = std::stoull(need(i)); o.seed_set = true; ++i; }
     else if (a == "--scenario") { o.scenario = need(i); ++i; }
-    else if (a == "--list-scenarios") { o.list_scenarios = true; }
     else if (a == "--faults") { o.faults = need(i); ++i; }
-    else if (a == "--list-faults") { o.list_faults = true; }
     else if (a == "--jobs") { o.jobs = std::stoi(need(i)); ++i; }
     else if (a == "--devices") {
       o.devices = static_cast<std::size_t>(std::stoull(need(i))); ++i;
@@ -94,14 +92,13 @@ core::DetectorKind detector_kind(const std::string& name) {
   usage(("unknown detector " + name).c_str());
 }
 
-dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
-                           const dpm::IdleDistributionPtr& idle) {
+core::DpmSpec dpm_spec(const CliOptions& o) {
   const std::optional<core::DpmKind> kind = core::dpm_kind_from_string(o.dpm);
   if (!kind) usage(("unknown dpm policy " + o.dpm).c_str());
   core::DpmSpec spec;
   spec.kind = *kind;
   spec.max_delay = seconds(o.dpm_delay);
-  return core::make_dpm_policy(spec, costs, idle);
+  return spec;
 }
 
 std::vector<fault::FaultSpec> resolve_faults(const std::string& csv) {

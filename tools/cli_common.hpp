@@ -1,10 +1,9 @@
 // Shared option surface of the dvs_sim subcommands.
 //
-// One flag vocabulary serves every subcommand (run, sweep, report, list) plus the
-// legacy no-subcommand spelling, so `dvs_sim run --media mp3` and the
-// deprecated `dvs_sim --media mp3` parse identically.  Subcommand
-// entry points live in cmd_run.cpp / cmd_sweep.cpp / cmd_list.cpp; the
-// dispatcher is tools/dvs_sim_cli.cpp.
+// One flag vocabulary serves the artifact-producing subcommands (run,
+// sweep, fleet, report, list); `serve` parses its own small daemon flag
+// set in cmd_serve.cpp.  Subcommand entry points live in cmd_run.cpp /
+// cmd_sweep.cpp / cmd_list.cpp; the dispatcher is tools/dvs_sim_cli.cpp.
 #pragma once
 
 #include <cstdio>
@@ -45,9 +44,7 @@ struct CliOptions {
   std::string fleet_csv;
   /// fleet: devices per work-stealing shard (0 = FleetOptions default).
   std::size_t shard_size = 0;
-  bool list_scenarios = false;
   std::string faults;
-  bool list_faults = false;
   int jobs = 1;
   int replicates = 0;  // 0 = scenario default
   std::string sweep_csv;
@@ -91,8 +88,10 @@ CliOptions parse_flags(int argc, char** argv, int first);
 
 core::DetectorKind detector_kind(const std::string& name);
 
-dpm::DpmPolicyPtr make_dpm(const CliOptions& o, const dpm::DpmCostModel& costs,
-                           const dpm::IdleDistributionPtr& idle);
+/// Resolves --dpm/--dpm-delay into a DpmSpec (the scenario-level DPM
+/// parameterization assemble_run_options consumes); exits with usage() on
+/// unknown policy names.
+core::DpmSpec dpm_spec(const CliOptions& o);
 
 /// Resolves --faults into specs; exits with usage() on unknown names.
 std::vector<fault::FaultSpec> resolve_faults(const std::string& csv);
@@ -114,6 +113,10 @@ int cmd_fleet(const CliOptions& o);
 /// (metrics JSON, ledger JSON, JSONL traces, flight-recorder dumps).
 int cmd_report(const CliOptions& o);
 
+/// `dvs_sim serve <dir>`: the job-queue daemon (parses its own flags —
+/// the daemon surface is directories and cadences, not run parameters).
+int cmd_serve(int argc, char** argv, int first);
+
 int cmd_list_scenarios();
 int cmd_list_faults();
 /// `dvs_sim list fleets`: the built-in fleet populations.
@@ -123,5 +126,8 @@ int cmd_list_policies();
 /// `dvs_sim list metrics`: stock metric families + OpenMetrics names
 /// (enumerated from a real minimal run, so the list cannot drift).
 int cmd_list_metrics();
+/// `dvs_sim list schemas`: the versioned JSON/text schema identifiers this
+/// repo emits and which subcommand produces each.
+int cmd_list_schemas();
 
 }  // namespace dvs::cli

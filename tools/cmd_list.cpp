@@ -10,6 +10,8 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/telemetry/openmetrics.hpp"
 #include "policy/governor_factory.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/job_spec.hpp"
 #include "workload/clips.hpp"
 
 namespace dvs::cli {
@@ -88,6 +90,32 @@ int cmd_list_metrics() {
   t.print();
   std::printf("\nexport with: dvs_sim run|sweep ... --metrics-openmetrics"
               " <path|-> (sweeps add sweep.* roll-ups)\n");
+  return 0;
+}
+
+int cmd_list_schemas() {
+  // Every versioned identifier stamped on a machine-readable artifact this
+  // repo emits, with where it comes from (the same table lives in
+  // docs/OBSERVABILITY.md).
+  TextTable t;
+  t.set_header({"Schema", "Artifact", "Producer"});
+  t.add_row({serve::kJobSchema, "serve job request (JSON)",
+             "user-written; validated by dvs_sim serve"});
+  t.add_row({serve::kCheckpointSchema, "serve job progress (JSONL)",
+             "dvs_sim serve checkpoints/"});
+  t.add_row({"dvs-metrics-v1", "metrics registry (JSON)",
+             "run|sweep --metrics-json"});
+  t.add_row({"dvs-ledger-v1", "energy/delay attribution ledger (JSON)",
+             "run --ledger-json"});
+  t.add_row({"dvs-sketch-v1", "quantile sketch (text)",
+             "embedded in checkpoints + telemetry snapshots"});
+  t.add_row({"dvs-flight-recorder-v1", "flight-recorder dump (text)",
+             "run --flight-dump / sweep --flight-dump-dir"});
+  t.add_row({"dvs-bench-perf-v1", "perf benchmark summary (JSON)",
+             "bench_perf --json"});
+  t.print();
+  std::printf("\ninspect artifacts with: dvs_sim report"
+              " (see docs/OBSERVABILITY.md)\n");
   return 0;
 }
 

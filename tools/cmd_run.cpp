@@ -24,7 +24,10 @@
 namespace dvs::cli {
 
 int cmd_run(const CliOptions& o) {
-  const hw::Sa1100 cpu;
+  // The same shared-asset + assemble_run_options path the sweep pool, the
+  // fleet shards, and serve jobs use — cmd_run is just a one-point sweep.
+  const core::CpuAsset cpu_asset = core::build_cpu_asset("sa1100");
+  const hw::Sa1100& cpu = cpu_asset.cpu;
 
   // A machine document on stdout moves the human-readable report to stderr
   // so the document stays parseable; two documents cannot share stdout.
@@ -64,55 +67,57 @@ int cmd_run(const CliOptions& o) {
     return 2;
   }
   obs::MetricsRegistry registry;
-
-  core::RunOptions opts;
-  opts.detector = detector_kind(o.detector);
-  if (!o.policy.empty()) opts.policy = o.policy;
-  opts.detector_cfg = &detector_cfg;
-  opts.service_cv2 = o.cv2;
-  opts.seed = o.seed;
-  if (recorder.active()) opts.trace = &recorder;
-  // The registry backs three sinks: metrics JSON, the OpenMetrics
-  // exposition, and the quantiles inside telemetry snapshots.
-  const bool want_metrics = !o.metrics_json.empty() ||
-                            !o.metrics_openmetrics.empty() ||
-                            !o.telemetry_jsonl.empty();
-  if (want_metrics) opts.metrics = &registry;
-  if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
   obs::TelemetrySnapshotter telemetry;
-  if (!o.telemetry_jsonl.empty()) {
-    if (!telemetry.open(o.telemetry_jsonl)) {
-      std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.telemetry_jsonl.c_str());
-      return 2;
-    }
-    opts.telemetry = &telemetry;
-    opts.telemetry_every =
-        seconds(o.telemetry_every > 0.0 ? o.telemetry_every : 1.0);
+  if (!o.telemetry_jsonl.empty() && !telemetry.open(o.telemetry_jsonl)) {
+    std::fprintf(stderr, "dvs_sim: cannot open %s\n", o.telemetry_jsonl.c_str());
+    return 2;
   }
   obs::SpanProfiler profiler;
-  if (!o.self_profile.empty()) opts.profiler = &profiler;
   obs::AttributionLedger ledger;
-  if (!o.ledger_json.empty()) opts.ledger = &ledger;
-  opts.flight_recorder = !o.no_flight;
-  if (o.flight_capacity != 0) opts.flight_capacity = o.flight_capacity;
-  opts.flight_dump_path = o.flight_dump;
 
   // Single-run fault injection: all named specs' workload perturbations
   // apply in order; the first spec supplies the watchdog and hardware plan.
   std::vector<fault::TraceFault> trace_faults;
+  std::vector<fault::FaultSpec> fault_specs;
   if (!o.faults.empty()) {
-    const std::vector<fault::FaultSpec> fault_specs = resolve_faults(o.faults);
+    fault_specs = resolve_faults(o.faults);
     for (const fault::FaultSpec& f : fault_specs) {
       trace_faults.insert(trace_faults.end(), f.trace_faults.begin(),
                           f.trace_faults.end());
     }
-    opts.watchdog = fault_specs.front().watchdog;
-    opts.hw_faults = fault_specs.front().hw;
   }
   Rng fault_rng{core::mix_seed(o.seed, 0xfa)};
 
-  hw::SmartBadge badge;
-  const dpm::DpmCostModel costs = dpm::smartbadge_cost_model(badge);
+  core::RunAssembly assembly;
+  assembly.detector = detector_kind(o.detector);
+  if (!o.policy.empty()) assembly.policy = o.policy;
+  assembly.service_cv2 = o.cv2;
+  assembly.dpm = dpm_spec(o);
+  assembly.engine_seed = o.seed;
+  if (!fault_specs.empty()) assembly.faults = &fault_specs.front();
+
+  // Observability attachments ride on top of the assembled options; they
+  // never feed the simulation result.
+  const auto attach_observability = [&](core::RunOptions& opts) {
+    if (recorder.active()) opts.trace = &recorder;
+    // The registry backs three sinks: metrics JSON, the OpenMetrics
+    // exposition, and the quantiles inside telemetry snapshots.
+    const bool want_metrics = !o.metrics_json.empty() ||
+                              !o.metrics_openmetrics.empty() ||
+                              !o.telemetry_jsonl.empty();
+    if (want_metrics) opts.metrics = &registry;
+    if (!o.power_csv.empty()) opts.power_sample_period = seconds(1.0);
+    if (telemetry.active()) {
+      opts.telemetry = &telemetry;
+      opts.telemetry_every =
+          seconds(o.telemetry_every > 0.0 ? o.telemetry_every : 1.0);
+    }
+    if (!o.self_profile.empty()) opts.profiler = &profiler;
+    if (!o.ledger_json.empty()) opts.ledger = &ledger;
+    opts.flight_recorder = !o.no_flight;
+    if (o.flight_capacity != 0) opts.flight_capacity = o.flight_capacity;
+    opts.flight_dump_path = o.flight_dump;
+  };
 
   core::Metrics m;
   if (o.session) {
@@ -126,8 +131,10 @@ int cmd_run(const CliOptions& o) {
         item.trace = fault::apply_faults(item.trace, trace_faults, fault_rng);
       }
     }
-    opts.dpm_policy = make_dpm(o, costs, session.idle_model);
-    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : 0.1);
+    assembly.delay_target = seconds(o.delay > 0.0 ? o.delay : 0.1);
+    core::RunOptions opts = core::assemble_run_options(
+        assembly, cpu_asset, session.idle_model, detector_cfg);
+    attach_observability(opts);
     std::fprintf(hout, "session: %.0f s (%.0f media / %.0f idle), %zu items\n\n",
                  session.duration.value(), session.media_time.value(),
                  session.idle_time.value(), session.items.size());
@@ -174,9 +181,12 @@ int cmd_run(const CliOptions& o) {
     }
 
     const auto idle = core::default_idle_distribution();
-    opts.dpm_policy = make_dpm(o, costs, idle);
     const bool audio = trace->type() == workload::MediaType::Mp3Audio;
-    opts.target_delay = seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
+    assembly.delay_target =
+        seconds(o.delay > 0.0 ? o.delay : (audio ? 0.15 : 0.1));
+    core::RunOptions opts =
+        core::assemble_run_options(assembly, cpu_asset, idle, detector_cfg);
+    attach_observability(opts);
     std::fprintf(hout, "trace: %zu frames over %.0f s (%s)\n\n", trace->size(),
                  trace->duration().value(),
                  std::string(workload::to_string(trace->type())).c_str());

@@ -1,0 +1,40 @@
+// `dvs_sim serve <dir>`: the long-running job-queue daemon (src/serve/).
+// Jobs are dvs-job-v1 JSON files dropped into <dir>/queue/; see
+// docs/SERVING.md for the queue lifecycle and checkpoint semantics.
+#include <cstdio>
+#include <string>
+
+#include "cli_common.hpp"
+#include "serve/daemon.hpp"
+
+namespace dvs::cli {
+
+int cmd_serve(int argc, char** argv, int first) {
+  serve::DaemonOptions opts;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[i + 1];
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (!a.empty() && a[0] != '-') {
+      if (!opts.root.empty()) usage("serve takes one queue directory");
+      opts.root = a;
+    }
+    else if (a == "--jobs") { opts.jobs = std::stoi(need(i)); ++i; }
+    else if (a == "--poll-ms") { opts.poll_ms = std::stoi(need(i)); ++i; }
+    else if (a == "--drain") { opts.drain = true; }
+    else if (a == "--max-jobs") {
+      opts.max_jobs = static_cast<std::size_t>(std::stoull(need(i))); ++i;
+    }
+    else if (a == "--help" || a == "-h") { usage("help requested"); }
+    else { usage(("unknown serve option " + a).c_str()); }
+  }
+  if (opts.root.empty()) {
+    usage("serve needs a queue directory (dvs_sim serve <dir>)");
+  }
+  if (opts.poll_ms <= 0) usage("--poll-ms must be > 0");
+  return serve::run_daemon(opts);
+}
+
+}  // namespace dvs::cli

@@ -7,11 +7,16 @@
 //   dvs_sim fleet <name> [options]       simulate a device population through
 //                                        the fleet runner (fleet CSV is
 //                                        byte-identical at any --jobs)
+//   dvs_sim serve <dir> [options]        long-running job-queue daemon: runs
+//                                        dvs-job-v1 JSON jobs dropped into
+//                                        <dir>/queue/ with checkpoint/restore
+//                                        (docs/SERVING.md)
 //   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
-//   dvs_sim list  [scenarios|faults|fleets|policies|metrics]   enumerate
-//                                        scenarios, fault specs, fleets,
-//                                        governor policies, or the stock
-//                                        metric families
+//   dvs_sim list  [scenarios|faults|fleets|policies|metrics|schemas]
+//                                        enumerate scenarios, fault specs,
+//                                        fleets, governor policies, the stock
+//                                        metric families, or the JSON schema
+//                                        identifiers this repo emits
 //
 //   dvs_sim run --media mp3 --sequence ACEFBD --detector change-point
 //   dvs_sim run --media mpeg --clip football --seconds 300 --detector ideal
@@ -24,11 +29,12 @@
 //   dvs_sim sweep table5 --jobs 8 --replicates 10
 //   dvs_sim sweep policy_shootout --jobs 8 --sweep-csv shootout
 //
-// The pre-subcommand spellings still work but are deprecated:
-//   --scenario <name>  ->  dvs_sim sweep <name>
-//   --list-scenarios   ->  dvs_sim list scenarios
-//   --list-faults      ->  dvs_sim list faults
-//   (anything else)    ->  dvs_sim run ...
+// Serve options (dvs_sim serve <dir>):
+//   --jobs <n>                worker threads per job when the job's own
+//                             "jobs" field is 0 (0 = all cores)
+//   --poll-ms <n>             queue scan interval while idle (default 200)
+//   --drain                   exit once queue/ and running/ are empty
+//   --max-jobs <n>            stop after n jobs (0 = unlimited)
 //
 // Sweep options:
 //   --jobs <n>                sweep worker threads (0 = all cores, default 1)
@@ -177,25 +183,13 @@ int dispatch_list(int argc, char** argv, int first) {
   if (what == "fleets") return cli::cmd_list_fleets();
   if (what == "policies") return cli::cmd_list_policies();
   if (what == "metrics") return cli::cmd_list_metrics();
+  if (what == "schemas") return cli::cmd_list_schemas();
   if (what == "both") {
     const int rc = cli::cmd_list_scenarios();
     std::printf("\n");
     return rc != 0 ? rc : cli::cmd_list_faults();
   }
   cli::usage(("unknown list operand " + what).c_str());
-}
-
-/// Pre-subcommand spelling: every argument is a flag.  Route on the flags
-/// that used to select a mode and keep the old behavior byte-for-byte.
-int dispatch_legacy(int argc, char** argv) {
-  const cli::CliOptions o = cli::parse_flags(argc, argv, 1);
-  std::fprintf(stderr,
-               "dvs_sim: note: flag-only invocation is deprecated; use"
-               " `dvs_sim run|sweep|list` (see --help)\n");
-  if (o.list_scenarios) return cli::cmd_list_scenarios();
-  if (o.list_faults) return cli::cmd_list_faults();
-  if (!o.scenario.empty()) return cli::cmd_sweep(o);
-  return cli::cmd_run(o);
 }
 
 }  // namespace
@@ -206,9 +200,11 @@ int main(int argc, char** argv) {
   if (cmd == "run") return dispatch_run(argc, argv, 2);
   if (cmd == "sweep") return dispatch_sweep(argc, argv, 2);
   if (cmd == "fleet") return dispatch_fleet(argc, argv, 2);
+  if (cmd == "serve") return cli::cmd_serve(argc, argv, 2);
   if (cmd == "report") return dispatch_report(argc, argv, 2);
   if (cmd == "list") return dispatch_list(argc, argv, 2);
   if (cmd == "--help" || cmd == "-h") cli::usage("help requested");
-  if (cmd.size() >= 2 && cmd[0] == '-') return dispatch_legacy(argc, argv);
-  cli::usage(("unknown subcommand " + cmd).c_str());
+  cli::usage(("unknown subcommand " + cmd +
+              " (expected run|sweep|fleet|serve|report|list)")
+                 .c_str());
 }
