@@ -20,6 +20,9 @@
 //   * engine.metrics_overhead_pct          metrics registry + sketches vs bare
 //   * engine.telemetry_overhead_pct        live snapshot feed vs metrics [budget]
 //   * engine.fleet_frames_per_s            fleet population throughput, jobs=1
+//   * serve.event_log_ns                   one daemon lifecycle event append
+//                                          (format + write + per-record
+//                                          flush) [budget]
 //   * char.threshold_table_s               one cold Monte-Carlo characterization
 //
 // Rows marked [budget] carry a "budget" field: an absolute ceiling in the
@@ -37,12 +40,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/event_log.hpp"
 
 using namespace dvs;
 
@@ -461,6 +466,35 @@ void measure_fleet(std::vector<PerfResult>& out) {
               "engine.fleet_frames_per_s", best, spec.num_devices, last_wall);
 }
 
+/// One daemon lifecycle event append: format + write + per-record flush.
+/// The flush is the point (it is what makes `dvs_sim tail` live and the
+/// torn-tail contract crash-provable), so the number is dominated by the
+/// flush syscall, not the JSON formatting.  Budget 50 µs/event: lifecycle
+/// transitions happen per fold unit at most, and a fold unit is
+/// milliseconds of engine work at minimum — the narration must stay
+/// invisible next to the work it narrates.
+void measure_event_log(std::vector<PerfResult>& out) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "bench_event_log.jsonl").string();
+  fs::remove(path);
+  constexpr int kEvents = 2000;
+  double wall = 0.0;
+  {
+    serve::EventLog log{path};
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      log.checkpoint_flush("bench-job", static_cast<std::size_t>(i), kEvents);
+    }
+    wall = seconds_since(t0);
+  }
+  fs::remove(path);
+  out.push_back({"serve.event_log_ns", "ns/event", wall / kEvents * 1e9,
+                 false, 50000.0});
+  std::printf("%-34s %10.1f ns/event  (budget 50000 ns)\n", "serve.event_log",
+              wall / kEvents * 1e9);
+}
+
 /// One cold Monte-Carlo threshold characterization (Section 3.1) — the cost
 /// the shared-asset cache saves on every warm use.
 void measure_characterization(std::vector<PerfResult>& out) {
@@ -488,6 +522,7 @@ int main(int argc, char** argv) {
   measure_flight_recorder(results);
   measure_telemetry(results);
   measure_fleet(results);
+  measure_event_log(results);
   for (const char* s : {"quick", "table3", "table5"}) {
     measure_scenario(s, results);
   }

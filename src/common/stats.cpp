@@ -57,6 +57,18 @@ void RunningStats::merge(const RunningStats& other) {
   sum_ += other.sum_;
 }
 
+void RunningStats::absorb(std::size_t n, double sum, double min, double max) {
+  if (n == 0) return;
+  RunningStats other;
+  other.n_ = n;
+  other.sum_ = sum;
+  other.mean_ = sum / static_cast<double>(n);
+  other.m2_ = 0.0;  // within-set spread unknown; see header
+  other.min_ = min;
+  other.max_ = max;
+  merge(other);
+}
+
 void RunningStats::reset() { *this = RunningStats{}; }
 
 // ---- Histogram --------------------------------------------------------------

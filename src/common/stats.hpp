@@ -34,6 +34,13 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel-friendly).
   void merge(const RunningStats& other);
 
+  /// Folds in a summarized sample set known only by its count, sum, and
+  /// extrema (e.g. recovered from a serialized artifact that kept no
+  /// second moment).  Count/mean/sum/min/max stay exact; the absorbed
+  /// set contributes zero within-set variance, so variance() afterwards
+  /// is a lower bound.  No-op when n == 0.
+  void absorb(std::size_t n, double sum, double min, double max);
+
   void reset();
 
  private:

@@ -369,6 +369,10 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   std::size_t hb_done = restored_count;
   std::size_t tel_done = restored_count;
   RunningStats hb_energy_kj, hb_delay_s;
+  // Optional trace context: serve jobs stamp their id on every record.
+  const std::string hb_job = opts_.heartbeat_job.empty()
+                                 ? std::string{}
+                                 : "\"job\":\"" + opts_.heartbeat_job + "\",";
   const auto write_heartbeat = [&](const RunPoint& p, const Metrics& m) {
     ++hb_done;
     hb_energy_kj.add(m.energy_kj());
@@ -382,14 +386,14 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     char buf[512];
     std::snprintf(
         buf, sizeof buf,
-        "{\"scenario\":\"%s\",\"done\":%zu,\"total\":%zu,"
+        "\"scenario\":\"%s\",\"done\":%zu,\"total\":%zu,"
         "\"elapsed_s\":%.3f,\"eta_s\":%.3f,\"point\":%zu,\"cell\":%zu,"
         "\"replicate\":%d,\"energy_kj\":%.9g,\"mean_delay_s\":%.9g,"
         "\"running_mean_energy_kj\":%.9g,\"running_mean_delay_s\":%.9g}",
         spec.name.c_str(), hb_done, points.size(), elapsed, eta, p.index,
         p.cell, p.replicate, m.energy_kj(), m.mean_frame_delay.value(),
         hb_energy_kj.mean(), hb_delay_s.mean());
-    *heartbeat << buf << '\n' << std::flush;
+    *heartbeat << '{' << hb_job << buf << '\n' << std::flush;
   };
 
   parallel_for(points.size(), out.jobs, [&](std::size_t i) {

@@ -212,6 +212,11 @@ struct SweepOptions {
   /// Written under the same lock as on_point; telemetry only — it never
   /// influences results.
   std::string heartbeat_path;
+  /// Non-empty: every heartbeat record leads with a `"job":"<id>"` member —
+  /// the serve daemon's trace context, linking a heartbeat line back to the
+  /// job (and its checkpoint/event records) that produced it.  Empty (the
+  /// default) emits the records unchanged.
+  std::string heartbeat_job;
   /// Checkpoint/restore (the serve daemon's hooks; plain sweeps leave both
   /// unset).  Points whose RunPoint::index appears in `restored` are not
   /// executed: their checkpointed metrics and delay sketch enter the folds

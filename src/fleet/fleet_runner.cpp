@@ -150,6 +150,10 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
   // One flushed record per finished shard: a tailing monitor must see each
   // record as soon as the shard lands (same contract the sweep heartbeat
   // pins in its tests).
+  // Optional trace context: serve jobs stamp their id on every record.
+  const std::string hb_job = opts_.heartbeat_job.empty()
+                                 ? std::string{}
+                                 : "\"job\":\"" + opts_.heartbeat_job + "\",";
   const auto write_heartbeat = [&](std::size_t shard, std::size_t shard_devices,
                                    double shard_energy, double elapsed) {
     const double eta =
@@ -160,12 +164,12 @@ FleetResult FleetRunner::run(const FleetSpec& spec) const {
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "{\"fleet\":\"%s\",\"done\":%zu,\"total\":%zu,\"elapsed_s\":%.3f,"
+        "\"fleet\":\"%s\",\"done\":%zu,\"total\":%zu,\"elapsed_s\":%.3f,"
         "\"eta_s\":%.3f,\"shard\":%zu,\"shards_done\":%zu,\"devices\":%zu,"
         "\"energy_j\":%.9g,\"running_fleet_energy_j\":%.9g}",
         spec.name.c_str(), done_devices, spec.num_devices, elapsed, eta,
         shard, done_shards, shard_devices, shard_energy, done_energy_j);
-    *heartbeat << buf << '\n' << std::flush;
+    *heartbeat << '{' << hb_job << buf << '\n' << std::flush;
   };
 
   // ---- execute ----------------------------------------------------------

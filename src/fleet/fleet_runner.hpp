@@ -98,6 +98,9 @@ struct FleetOptions {
   /// finished shard (devices done/total, elapsed, ETA, running fleet
   /// Joules).  "-" = stderr.  Telemetry only — never influences results.
   std::string heartbeat_path;
+  /// Non-empty: every heartbeat record leads with a `"job":"<id>"` member
+  /// (the serve daemon's trace context).  Empty = records unchanged.
+  std::string heartbeat_job;
   /// Live telemetry: one snapshot per finished shard (same contract as
   /// the heartbeat).
   obs::TelemetrySnapshotter* telemetry = nullptr;

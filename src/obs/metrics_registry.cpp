@@ -37,6 +37,12 @@ void HistogramMetric::merge(const HistogramMetric& other) {
   sketch_.merge(other.sketch_);
 }
 
+void HistogramMetric::absorb_sketch(const QuantileSketch& s, double sum) {
+  if (s.empty()) return;
+  stats_.absorb(s.count(), sum, s.min(), s.max());
+  sketch_.merge(s);
+}
+
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
                                             double hi, std::size_t bins) {
   auto it = histograms_.find(name);

@@ -50,6 +50,14 @@ class HistogramMetric {
   /// Folds another metric of the same shape (lo/hi/bins) into this one.
   void merge(const HistogramMetric& other);
 
+  /// Folds in a bare sketch plus its sample sum — the form in which delay
+  /// distributions come back from serialized job artifacts, which carry a
+  /// dvs-sketch-v1 text and a sum but no binned histogram.  The sketch
+  /// merge and count/sum/min/max stay exact; the binned histogram is left
+  /// untouched (percentiles already come from the sketch).  No-op when
+  /// the sketch is empty.
+  void absorb_sketch(const QuantileSketch& s, double sum);
+
  private:
   Histogram hist_;
   RunningStats stats_;

@@ -25,4 +25,11 @@ std::string openmetrics_name(const std::string& name);
 
 void write_openmetrics(const MetricsRegistry& reg, std::ostream& os);
 
+/// Renders to `path + ".tmp"` and renames over `path`, so a concurrent
+/// scraper always reads a complete exposition (the serve daemon rewrites
+/// its `metrics.om` while Prometheus-style collectors poll it).  Throws
+/// std::runtime_error when the temp file cannot be written or renamed.
+void write_openmetrics_atomic(const MetricsRegistry& reg,
+                              const std::string& path);
+
 }  // namespace dvs::obs

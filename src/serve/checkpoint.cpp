@@ -149,17 +149,17 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
   }
 }
 
-void CheckpointWriter::append_point(std::size_t index,
+bool CheckpointWriter::append_point(std::size_t index,
                                     const core::Metrics& metrics,
                                     const obs::QuantileSketch& delay_sketch) {
   out_ << "{\"point\": " << index << ", \"metrics\": ";
   write_metrics(out_, metrics);
   out_ << ", \"delay_sketch\": \"" << escape(sketch_text(delay_sketch))
        << "\"}\n";
-  record_done();
+  return record_done();
 }
 
-void CheckpointWriter::append_shard(std::size_t shard,
+bool CheckpointWriter::append_shard(std::size_t shard,
                                     const fleet::FleetShardPartial& part) {
   out_ << "{\"shard\": " << shard << ", \"frames_total\": " << part.frames_total
        << ", \"groups\": [";
@@ -179,11 +179,15 @@ void CheckpointWriter::append_shard(std::size_t shard,
          << escape(sketch_text(g.dropped_sketch)) << "\"}";
   }
   out_ << "]}\n";
-  record_done();
+  return record_done();
 }
 
-void CheckpointWriter::record_done() {
-  if (++pending_ >= flush_every_) flush();
+bool CheckpointWriter::record_done() {
+  if (++pending_ >= flush_every_) {
+    flush();
+    return true;
+  }
+  return false;
 }
 
 void CheckpointWriter::flush() {

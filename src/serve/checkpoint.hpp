@@ -44,13 +44,16 @@ class CheckpointWriter {
   CheckpointWriter(const std::string& path, const std::string& job_id,
                    const std::string& kind, std::size_t flush_every);
 
-  void append_point(std::size_t index, const core::Metrics& metrics,
+  /// Both appends return true when this record hit a durability flush
+  /// (every `flush_every` records) — the signal the daemon's event log
+  /// uses to distinguish a checkpoint_flush from an in-memory append.
+  bool append_point(std::size_t index, const core::Metrics& metrics,
                     const obs::QuantileSketch& delay_sketch);
-  void append_shard(std::size_t shard, const fleet::FleetShardPartial& part);
+  bool append_shard(std::size_t shard, const fleet::FleetShardPartial& part);
   void flush();
 
  private:
-  void record_done();
+  bool record_done();
 
   std::ofstream out_;
   std::size_t flush_every_ = 1;

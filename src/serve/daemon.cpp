@@ -1,5 +1,7 @@
 #include "serve/daemon.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -11,8 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry/openmetrics.hpp"
+#include "serve/event_log.hpp"
 #include "serve/job_runner.hpp"
 #include "serve/job_spec.hpp"
+#include "serve/status.hpp"
 
 namespace dvs::serve {
 namespace {
@@ -22,6 +27,11 @@ namespace fs = std::filesystem;
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_stop(int) { g_stop = 1; }
+
+double now_unix() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
 
 /// .json entries of `dir` (stems only), lexicographically sorted; dotfiles
 /// and foreign extensions are invisible to the queue.
@@ -53,28 +63,179 @@ void replace_rename(const fs::path& from, const fs::path& to) {
   fs::rename(from, to);
 }
 
+/// True when `dir` exists and contains at least one regular file — the
+/// "did any flight dumps actually land" test.
+bool has_files(const fs::path& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) return true;
+  }
+  return false;
+}
+
 struct DaemonPaths {
   fs::path queue, running, done, failed, checkpoints;
 };
 
+/// The daemon's observable surface: the lifecycle event log, the atomic
+/// status.json snapshot, and the cross-job metrics.om scrape file.  All
+/// three are pure side channels — nothing here feeds back into job
+/// results.
+class DaemonTelemetry {
+ public:
+  DaemonTelemetry(const std::string& root, const DaemonPaths& dp)
+      : root_(root),
+        dp_(dp),
+        events_(root + "/events.jsonl"),
+        started_unix_(now_unix()),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  EventLog& events() { return events_; }
+
+  void daemon_started() {
+    events_.daemon_start(static_cast<int>(::getpid()));
+    write_status("running");
+    refresh_metrics();
+  }
+
+  void daemon_stopped(std::size_t processed) {
+    events_.daemon_stop(processed);
+    refresh_metrics();
+    write_status("stopped");
+  }
+
+  /// Registers the active job (claimed or recovered) and snapshots.
+  void job_started(const std::string& id, const std::string& kind,
+                   bool recovered) {
+    events_.job_claimed(id, recovered);
+    active_ = JobStatus{};
+    active_.id = id;
+    active_.kind = kind;
+    active_.state = "running";
+    has_active_ = true;
+    job_t0_ = std::chrono::steady_clock::now();
+    write_status("running");
+  }
+
+  /// Per-fold-unit progress: updates the active row (ETA from the unit
+  /// completion rate), snapshots, and logs a checkpoint_flush event when
+  /// this unit's checkpoint record was made durable.
+  void job_progress(const JobProgress& p) {
+    if (!has_active_) return;
+    active_.units_done = p.units_done;
+    active_.units_total = p.units_total;
+    active_.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job_t0_)
+            .count();
+    active_.eta_s =
+        p.units_done == 0
+            ? -1.0
+            : active_.elapsed_s / static_cast<double>(p.units_done) *
+                  static_cast<double>(p.units_total - p.units_done);
+    if (p.flushed) {
+      events_.checkpoint_flush(active_.id, p.units_done, p.units_total);
+    }
+    write_status("running");
+  }
+
+  void job_finished(const std::string& id, const std::string& kind,
+                    const JobOutcome& outcome) {
+    events_.job_finished(id, kind, outcome.executed_units,
+                         outcome.restored_units);
+    ++jobs_done_;
+    has_active_ = false;
+    refresh_metrics();
+    write_status("running");
+  }
+
+  void job_failed(const std::string& id, const std::string& error,
+                  const std::string& flight_dir) {
+    events_.job_failed(id, error, flight_dir);
+    ++jobs_failed_;
+    has_active_ = false;
+    refresh_metrics();
+    write_status("running");
+  }
+
+ private:
+  void write_status(const std::string& state) {
+    ServeStatus s;
+    s.pid = static_cast<int>(::getpid());
+    s.state = state;
+    s.started_unix = started_unix_;
+    s.updated_unix = now_unix();
+    s.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+    s.last_seq = events_.last_seq();
+    s.jobs_done = jobs_done_;
+    s.jobs_failed = jobs_failed_;
+    s.table_cache = detect::threshold_table_cache_stats();
+    s.solve_cache = dpm::tismdp_solve_cache_stats();
+    const std::vector<std::string> queued = job_stems(dp_.queue);
+    s.queue_depth = queued.size();
+    if (has_active_) s.jobs.push_back(active_);
+    for (const std::string& stem : queued) {
+      JobStatus j;
+      j.id = stem;
+      j.state = "queued";
+      s.jobs.push_back(std::move(j));
+    }
+    try {
+      write_status_atomic(s, root_ + "/status.json");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: status write failed: %s\n", e.what());
+    }
+  }
+
+  void refresh_metrics() {
+    try {
+      obs::write_openmetrics_atomic(collect_daemon_metrics(root_),
+                                    root_ + "/metrics.om");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: metrics write failed: %s\n", e.what());
+    }
+  }
+
+  std::string root_;
+  const DaemonPaths& dp_;
+  EventLog events_;
+  double started_unix_;
+  std::chrono::steady_clock::time_point t0_;
+  std::chrono::steady_clock::time_point job_t0_;
+  std::size_t jobs_done_ = 0;
+  std::size_t jobs_failed_ = 0;
+  JobStatus active_;
+  bool has_active_ = false;
+};
+
 /// Executes the job file running/<stem>.json to its terminal directory.
 void process_job(const DaemonPaths& dp, const std::string& stem,
-                 const DaemonOptions& opts) {
+                 const DaemonOptions& opts, DaemonTelemetry& tel,
+                 bool recovered) {
   const fs::path job_file = dp.running / (stem + ".json");
   const fs::path out_dir = dp.running / (stem + ".out");
   const fs::path ckpt = dp.checkpoints / (stem + ".ckpt.jsonl");
+  std::string job_id = stem;
+  std::string kind;
   try {
     const JobSpec spec = JobSpec::parse_file(job_file.string());
+    job_id = spec.id;
+    kind = to_string(spec.kind);
+    tel.job_started(job_id, kind, recovered);
     JobPaths paths;
     paths.output_dir = out_dir.string();
     // Run-kind jobs have no fold units to restore; sweep/fleet checkpoint.
     if (spec.kind != JobKind::Run) paths.checkpoint_path = ckpt.string();
+    paths.on_progress = [&tel](const JobProgress& p) { tel.job_progress(p); };
     std::printf("serve: job %s (%s) started\n", spec.id.c_str(),
                 to_string(spec.kind).c_str());
     std::fflush(stdout);
     const JobOutcome outcome = run_job(spec, paths, opts.jobs);
     replace_rename(out_dir, dp.done / (stem + ".out"));
     replace_rename(job_file, dp.done / (stem + ".json"));
+    tel.job_finished(job_id, kind, outcome);
     std::printf("serve: job %s done (%zu units executed, %zu restored)\n",
                 spec.id.c_str(), outcome.executed_units,
                 outcome.restored_units);
@@ -82,11 +243,21 @@ void process_job(const DaemonPaths& dp, const std::string& stem,
   } catch (const std::exception& e) {
     std::error_code ec;
     fs::remove(ckpt, ec);  // a failed job must not poison a future re-drop
-    write_error_file(dp.failed / (stem + ".error.txt"), e.what());
+    // Move the half-built artifacts first so the error file can point at
+    // the flight dumps where they will actually live.
+    std::string flight_note;
     if (fs::exists(out_dir, ec)) {
       replace_rename(out_dir, dp.failed / (stem + ".out"));
+      const fs::path flight = dp.failed / (stem + ".out") / "flight";
+      if (has_files(flight)) flight_note = flight.string();
     }
+    std::string error_text = e.what();
+    if (!flight_note.empty()) {
+      error_text += "\nflight dumps: " + flight_note;
+    }
+    write_error_file(dp.failed / (stem + ".error.txt"), error_text);
     replace_rename(job_file, dp.failed / (stem + ".json"));
+    tel.job_failed(job_id, e.what(), flight_note);
     std::printf("serve: job %s failed: %s\n", stem.c_str(), e.what());
     std::fflush(stdout);
   }
@@ -116,6 +287,9 @@ int run_daemon(const DaemonOptions& opts) {
   std::signal(SIGTERM, handle_stop);
   std::signal(SIGINT, handle_stop);
 
+  DaemonTelemetry tel(opts.root, dp);
+  tel.daemon_started();
+
   std::printf("serve: watching %s (jobs=%d, poll=%dms%s)\n",
               dp.queue.string().c_str(), opts.jobs, opts.poll_ms,
               opts.drain ? ", drain" : "");
@@ -132,7 +306,7 @@ int run_daemon(const DaemonOptions& opts) {
     if (g_stop != 0 || !budget_left()) break;
     std::printf("serve: recovering interrupted job %s\n", stem.c_str());
     std::fflush(stdout);
-    process_job(dp, stem, opts);
+    process_job(dp, stem, opts, tel, /*recovered=*/true);
     ++processed;
   }
 
@@ -151,11 +325,12 @@ int run_daemon(const DaemonOptions& opts) {
       fs::rename(dp.queue / (stem + ".json"), dp.running / (stem + ".json"),
                  ec);
       if (ec) continue;
-      process_job(dp, stem, opts);
+      process_job(dp, stem, opts, tel, /*recovered=*/false);
       ++processed;
     }
   }
 
+  tel.daemon_stopped(processed);
   std::printf("serve: exiting after %zu job%s\n", processed,
               processed == 1 ? "" : "s");
   std::fflush(stdout);

@@ -9,6 +9,18 @@
 //   <root>/done/<name>.json      completed jobs (+ <name>.out/ artifacts)
 //   <root>/failed/<name>.json    rejected/crashed jobs (+ <name>.error.txt)
 //   <root>/checkpoints/<name>.ckpt.jsonl   durable progress of running jobs
+//   <root>/events.jsonl          lifecycle event log (dvs-events-v1),
+//                                flushed per record, monotone seq numbers
+//   <root>/status.json           atomically-replaced snapshot
+//                                (dvs-serve-status-v1): pid/uptime, per-job
+//                                progress + ETA, cache warmth
+//   <root>/metrics.om            OpenMetrics scrape file folding every
+//                                done/<name>.out/job_summary.json in sorted
+//                                stem order (byte-identical regardless of
+//                                completion order)
+//
+// Observe a live daemon with `dvs_sim status <root>` and
+// `dvs_sim tail <root>` (docs/SERVING.md "Observing a live daemon").
 //
 // Claim order is lexicographic file-name order (drop "000-", "001-"
 // prefixes to sequence work).  Dotfiles and non-.json entries are ignored,

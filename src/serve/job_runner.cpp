@@ -8,11 +8,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include <chrono>
+
 #include "common/csv.hpp"
 #include "core/sweep.hpp"
 #include "fault/trace_transforms.hpp"
 #include "fleet/fleet_runner.hpp"
 #include "serve/checkpoint.hpp"
+#include "serve/status.hpp"
 #include "workload/clips.hpp"
 #include "workload/trace.hpp"
 
@@ -53,6 +56,7 @@ JobOutcome run_sweep_job(const JobSpec& spec, const JobPaths& paths,
   if (!spec.sweep.policy.empty()) scenario.policies = {spec.sweep.policy};
 
   CheckpointSession ckpt = open_checkpoint(spec, paths.checkpoint_path);
+  const std::size_t total = scenario.num_points();
 
   core::SweepOptions sopts;
   sopts.jobs = jobs;
@@ -61,13 +65,29 @@ JobOutcome run_sweep_job(const JobSpec& spec, const JobPaths& paths,
   // checkpoint, and restored sketches can only merge into collected ones.
   sopts.collect_quantiles = true;
   sopts.heartbeat_path = paths.output_dir + "/heartbeat.jsonl";
+  sopts.heartbeat_job = spec.id;
+  // Anomaly auto-dumps land with the job's other artifacts, not the
+  // daemon's CWD; the point/replicate in the name is the trace context
+  // back to the checkpoint record.
+  const std::string flight_dir = paths.output_dir + "/flight";
+  fs::create_directories(flight_dir);
+  const std::string scenario_name = scenario.name;
+  sopts.configure_run = [flight_dir, scenario_name](const core::RunPoint& p,
+                                                    core::RunOptions& ropts) {
+    ropts.flight_dump_path = flight_dir + "/" + scenario_name + "_point" +
+                             std::to_string(p.index) + "_rep" +
+                             std::to_string(p.replicate) + ".flight.txt";
+  };
   if (!ckpt.restored.points.empty()) sopts.restored = &ckpt.restored.points;
-  if (ckpt.writer) {
-    CheckpointWriter& w = *ckpt.writer;
-    sopts.on_point_checkpoint = [&w](const core::RunPoint& p,
-                                     const core::Metrics& m,
-                                     const obs::QuantileSketch& sketch) {
-      w.append_point(p.index, m, sketch);
+  if (ckpt.writer || paths.on_progress) {
+    CheckpointWriter* w = ckpt.writer ? &*ckpt.writer : nullptr;
+    std::size_t done = ckpt.restored.points.size();
+    sopts.on_point_checkpoint = [w, &paths, total, done](
+                                    const core::RunPoint& p,
+                                    const core::Metrics& m,
+                                    const obs::QuantileSketch& sketch) mutable {
+      const bool flushed = w != nullptr && w->append_point(p.index, m, sketch);
+      if (paths.on_progress) paths.on_progress({++done, total, flushed});
     };
   }
 
@@ -82,6 +102,27 @@ JobOutcome run_sweep_job(const JobSpec& spec, const JobPaths& paths,
   JobOutcome out;
   out.restored_units = ckpt.restored.points.size();
   out.executed_units = res.points.size() - out.restored_units;
+
+  JobSummary summary;
+  summary.job_id = spec.id;
+  summary.kind = to_string(spec.kind);
+  summary.units_total = total;
+  summary.executed = out.executed_units;
+  summary.restored = out.restored_units;
+  for (const core::PointResult& p : res.points) {
+    summary.frames_decoded += p.metrics.frames_decoded;
+    summary.frames_dropped += p.metrics.frames_dropped;
+    summary.energy_j += p.metrics.total_energy.value();
+    summary.frame_delay_sum_s += p.metrics.mean_frame_delay.value() *
+                                 static_cast<double>(p.metrics.frames_decoded);
+  }
+  // Cell order — the same pinned fold the cells CSV uses, so the summary
+  // sketch is byte-stable at any --jobs and across restarts.
+  for (const core::CellResult& c : res.cells) {
+    summary.frame_delay_sketch.merge(c.delay_sketch);
+  }
+  summary.elapsed_s = res.wall_seconds;
+  write_job_summary(summary, paths.output_dir + "/job_summary.json");
   return out;
 }
 
@@ -97,12 +138,18 @@ JobOutcome run_fleet_job(const JobSpec& spec, const JobPaths& paths,
   fopts.jobs = jobs;
   if (spec.fleet.shard_size > 0) fopts.shard_size = spec.fleet.shard_size;
   fopts.heartbeat_path = paths.output_dir + "/heartbeat.jsonl";
+  fopts.heartbeat_job = spec.id;
+  const std::size_t shards =
+      (fspec.num_devices + fopts.shard_size - 1) / fopts.shard_size;
   if (!ckpt.restored.shards.empty()) fopts.restored = &ckpt.restored.shards;
-  if (ckpt.writer) {
-    CheckpointWriter& w = *ckpt.writer;
-    fopts.on_shard = [&w](std::size_t shard,
-                          const dvs::fleet::FleetShardPartial& part) {
-      w.append_shard(shard, part);
+  if (ckpt.writer || paths.on_progress) {
+    CheckpointWriter* w = ckpt.writer ? &*ckpt.writer : nullptr;
+    std::size_t done = ckpt.restored.shards.size();
+    fopts.on_shard = [w, &paths, shards, done](
+                         std::size_t shard,
+                         const dvs::fleet::FleetShardPartial& part) mutable {
+      const bool flushed = w != nullptr && w->append_shard(shard, part);
+      if (paths.on_progress) paths.on_progress({++done, shards, flushed});
     };
   }
 
@@ -112,16 +159,37 @@ JobOutcome run_fleet_job(const JobSpec& spec, const JobPaths& paths,
   CsvWriter csv{paths.output_dir + "/fleet.csv"};
   res.write_csv(csv);
 
-  const std::size_t shards =
-      (res.devices + fopts.shard_size - 1) / fopts.shard_size;
   JobOutcome out;
   out.restored_units = ckpt.restored.shards.size();
   out.executed_units = shards - std::min(shards, out.restored_units);
+
+  JobSummary summary;
+  summary.job_id = spec.id;
+  summary.kind = to_string(spec.kind);
+  summary.units_total = shards;
+  summary.executed = out.executed_units;
+  summary.restored = out.restored_units;
+  summary.frames_decoded = res.total.frames_decoded;
+  summary.frames_dropped = res.total.frames_dropped;
+  summary.energy_j = res.total.energy_j;
+  // Over-devices distribution (one sample per device's mean delay) — the
+  // fleet-wide fold, already pinned in shard order by the runner.
+  summary.device_delay_sketch = res.total.delay_sketch;
+  summary.device_delay_sum_s = res.total.sum_mean_delay_s;
+  summary.elapsed_s = res.wall_seconds;
+  write_job_summary(summary, paths.output_dir + "/job_summary.json");
   return out;
 }
 
 JobOutcome run_run_job(const JobSpec& spec, const JobPaths& paths, int jobs) {
   (void)jobs;  // a single engine run is inherently serial
+  const auto t0 = std::chrono::steady_clock::now();
+  // Observability attachments: a private registry harvests the frame-delay
+  // sketch for job_summary.json, and the flight recorder's auto-dump is
+  // routed next to the job's other artifacts.  Neither feeds the results.
+  obs::MetricsRegistry reg;
+  const std::string flight_dir = paths.output_dir + "/flight";
+  fs::create_directories(flight_dir);
   const RunJob& r = spec.run;
   const core::CpuAsset cpu_asset = core::build_cpu_asset("sa1100");
   const hw::Sa1100& cpu = cpu_asset.cpu;
@@ -166,7 +234,8 @@ JobOutcome run_run_job(const JobSpec& spec, const JobPaths& paths, int jobs) {
     assembly.delay_target = seconds(r.delay > 0.0 ? r.delay : 0.1);
     core::RunOptions opts = core::assemble_run_options(
         assembly, cpu_asset, session.idle_model, detector_cfg);
-    opts.flight_recorder = false;
+    opts.metrics = &reg;
+    opts.flight_dump_path = flight_dir + "/run.flight.txt";
     m = core::run_items(session.items, opts);
   } else {
     std::optional<workload::FrameTrace> trace;
@@ -196,7 +265,8 @@ JobOutcome run_run_job(const JobSpec& spec, const JobPaths& paths, int jobs) {
         seconds(r.delay > 0.0 ? r.delay : (audio ? 0.15 : 0.1));
     core::RunOptions opts =
         core::assemble_run_options(assembly, cpu_asset, idle, detector_cfg);
-    opts.flight_recorder = false;
+    opts.metrics = &reg;
+    opts.flight_dump_path = flight_dir + "/run.flight.txt";
     m = core::run_single_trace(*trace, *decoder, opts);
   }
 
@@ -216,6 +286,24 @@ JobOutcome run_run_job(const JobSpec& spec, const JobPaths& paths, int jobs) {
 
   JobOutcome out;
   out.executed_units = 1;
+
+  JobSummary summary;
+  summary.job_id = spec.id;
+  summary.kind = to_string(spec.kind);
+  summary.units_total = 1;
+  summary.executed = 1;
+  summary.frames_decoded = m.frames_decoded;
+  summary.frames_dropped = m.frames_dropped;
+  summary.energy_j = m.total_energy.value();
+  if (const obs::HistogramMetric* h = reg.find_histogram("frames.delay_s")) {
+    summary.frame_delay_sketch = h->sketch();
+    summary.frame_delay_sum_s = h->count() > 0 ? h->stats().sum() : 0.0;
+  }
+  summary.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  write_job_summary(summary, paths.output_dir + "/job_summary.json");
+  if (paths.on_progress) paths.on_progress({1, 1, false});
   return out;
 }
 

@@ -11,19 +11,34 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "serve/job_spec.hpp"
 
 namespace dvs::serve {
 
+/// One completed fold-unit's progress notification (sweep point / fleet
+/// shard / the whole run for run-kind jobs).
+struct JobProgress {
+  std::size_t units_done = 0;   ///< restored + executed so far
+  std::size_t units_total = 0;  ///< total fold-units of this job
+  /// True when this unit's checkpoint record hit a durability flush — the
+  /// daemon turns exactly these into checkpoint_flush events.
+  bool flushed = false;
+};
+
 struct JobPaths {
   /// Directory that receives every artifact of this job (CSVs, heartbeat
-  /// JSONL, summary).  Created if missing.
+  /// JSONL, flight dumps, job_summary.json).  Created if missing.
   std::string output_dir;
   /// Checkpoint JSONL path; empty disables checkpoint/restore (run-kind
   /// jobs never checkpoint — a single engine run is the atomic unit).
   std::string checkpoint_path;
+  /// Progress callback, fired serially per completed fold-unit (completion
+  /// order, under the runner's progress lock) — the daemon's live
+  /// status.json feed.  May be empty.
+  std::function<void(const JobProgress&)> on_progress;
 };
 
 struct JobOutcome {

@@ -1,0 +1,258 @@
+#include "serve/status.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace dvs::serve {
+namespace fs = std::filesystem;
+namespace {
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string sketch_text(const obs::QuantileSketch& s) {
+  if (s.empty()) return {};
+  std::ostringstream os;
+  s.write_text(os);
+  return os.str();
+}
+
+obs::QuantileSketch sketch_from_text(const std::string& text) {
+  if (text.empty()) return obs::QuantileSketch{};
+  std::istringstream is(text);
+  return obs::QuantileSketch::read_text(is);
+}
+
+/// Writes `text` to `path + ".tmp"` then renames over `path`.
+void replace_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("status: cannot open " + tmp);
+    os << text;
+    os.flush();
+    if (!os) throw std::runtime_error("status: write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("status: rename to " + path + ": " +
+                             ec.message());
+  }
+}
+
+}  // namespace
+
+void write_status_atomic(const ServeStatus& status, const std::string& path) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kStatusSchema << "\",\n"
+     << "  \"pid\": " << status.pid << ",\n"
+     << "  \"state\": \"" << status.state << "\",\n"
+     << "  \"started\": " << fmt17(status.started_unix) << ",\n"
+     << "  \"updated\": " << fmt17(status.updated_unix) << ",\n"
+     << "  \"uptime_s\": " << fmt17(status.uptime_s) << ",\n"
+     << "  \"last_seq\": " << status.last_seq << ",\n"
+     << "  \"jobs_done\": " << status.jobs_done << ",\n"
+     << "  \"jobs_failed\": " << status.jobs_failed << ",\n"
+     << "  \"queue_depth\": " << status.queue_depth << ",\n"
+     << "  \"cache\": {\n"
+     << "    \"threshold_table\": {\"hits\": " << status.table_cache.hits
+     << ", \"misses\": " << status.table_cache.misses
+     << ", \"entries\": " << status.table_cache.entries << "},\n"
+     << "    \"tismdp_solve\": {\"hits\": " << status.solve_cache.hits
+     << ", \"misses\": " << status.solve_cache.misses
+     << ", \"entries\": " << status.solve_cache.entries << "}\n"
+     << "  },\n  \"jobs\": [";
+  for (std::size_t i = 0; i < status.jobs.size(); ++i) {
+    const JobStatus& j = status.jobs[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"id\": \"" << escape(j.id)
+       << "\", \"kind\": \"" << j.kind << "\", \"state\": \"" << j.state
+       << "\", \"units_done\": " << j.units_done
+       << ", \"units_total\": " << j.units_total
+       << ", \"elapsed_s\": " << fmt17(j.elapsed_s);
+    if (j.eta_s >= 0.0) os << ", \"eta_s\": " << fmt17(j.eta_s);
+    os << "}";
+  }
+  os << (status.jobs.empty() ? "" : "\n  ") << "]\n}\n";
+  replace_file_atomic(path, os.str());
+}
+
+ServeStatus load_status(const std::string& path) {
+  const json::ValuePtr doc = json::parse_file(path);
+  if (doc->string_or("schema", "") != kStatusSchema) {
+    throw std::runtime_error("status " + path + ": schema is not \"" +
+                             std::string(kStatusSchema) + "\"");
+  }
+  ServeStatus s;
+  s.pid = static_cast<int>(doc->number_or("pid", 0));
+  s.state = doc->string_or("state", "");
+  s.started_unix = doc->number_or("started", 0.0);
+  s.updated_unix = doc->number_or("updated", 0.0);
+  s.uptime_s = doc->number_or("uptime_s", 0.0);
+  s.last_seq = static_cast<std::uint64_t>(doc->number_or("last_seq", 0));
+  s.jobs_done = static_cast<std::size_t>(doc->number_or("jobs_done", 0));
+  s.jobs_failed = static_cast<std::size_t>(doc->number_or("jobs_failed", 0));
+  s.queue_depth = static_cast<std::size_t>(doc->number_or("queue_depth", 0));
+  if (const json::Value* cache = doc->find("cache"); cache != nullptr) {
+    if (const json::Value* t = cache->find("threshold_table"); t != nullptr) {
+      s.table_cache.hits = static_cast<std::uint64_t>(t->number_or("hits", 0));
+      s.table_cache.misses =
+          static_cast<std::uint64_t>(t->number_or("misses", 0));
+      s.table_cache.entries =
+          static_cast<std::size_t>(t->number_or("entries", 0));
+    }
+    if (const json::Value* t = cache->find("tismdp_solve"); t != nullptr) {
+      s.solve_cache.hits = static_cast<std::uint64_t>(t->number_or("hits", 0));
+      s.solve_cache.misses =
+          static_cast<std::uint64_t>(t->number_or("misses", 0));
+      s.solve_cache.entries =
+          static_cast<std::size_t>(t->number_or("entries", 0));
+    }
+  }
+  if (const json::Value* jobs = doc->find("jobs"); jobs != nullptr) {
+    for (const json::ValuePtr& jv : jobs->as_array()) {
+      JobStatus j;
+      j.id = jv->string_or("id", "");
+      j.kind = jv->string_or("kind", "");
+      j.state = jv->string_or("state", "");
+      j.units_done = static_cast<std::size_t>(jv->number_or("units_done", 0));
+      j.units_total = static_cast<std::size_t>(jv->number_or("units_total", 0));
+      j.elapsed_s = jv->number_or("elapsed_s", 0.0);
+      j.eta_s = jv->number_or("eta_s", -1.0);
+      s.jobs.push_back(std::move(j));
+    }
+  }
+  return s;
+}
+
+void write_job_summary(const JobSummary& summary, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("job_summary: cannot open " + path);
+  os << "{\n  \"schema\": \"" << kJobSummarySchema << "\",\n"
+     << "  \"job\": \"" << escape(summary.job_id) << "\",\n"
+     << "  \"kind\": \"" << summary.kind << "\",\n"
+     << "  \"units_total\": " << summary.units_total << ",\n"
+     << "  \"executed\": " << summary.executed << ",\n"
+     << "  \"restored\": " << summary.restored << ",\n"
+     << "  \"frames_decoded\": " << summary.frames_decoded << ",\n"
+     << "  \"frames_dropped\": " << summary.frames_dropped << ",\n"
+     << "  \"energy_j\": " << fmt17(summary.energy_j) << ",\n"
+     << "  \"elapsed_s\": " << fmt17(summary.elapsed_s) << ",\n"
+     << "  \"frame_delay_sum_s\": " << fmt17(summary.frame_delay_sum_s)
+     << ",\n"
+     << "  \"frame_delay_sketch\": \""
+     << escape(sketch_text(summary.frame_delay_sketch)) << "\",\n"
+     << "  \"device_delay_sum_s\": " << fmt17(summary.device_delay_sum_s)
+     << ",\n"
+     << "  \"device_delay_sketch\": \""
+     << escape(sketch_text(summary.device_delay_sketch)) << "\"\n}\n";
+  os.flush();
+  if (!os) throw std::runtime_error("job_summary: write failed: " + path);
+}
+
+JobSummary load_job_summary(const std::string& path) {
+  const json::ValuePtr doc = json::parse_file(path);
+  if (doc->string_or("schema", "") != kJobSummarySchema) {
+    throw std::runtime_error("job summary " + path + ": schema is not \"" +
+                             std::string(kJobSummarySchema) + "\"");
+  }
+  JobSummary s;
+  s.job_id = doc->string_or("job", "");
+  s.kind = doc->string_or("kind", "");
+  s.units_total = static_cast<std::size_t>(doc->number_or("units_total", 0));
+  s.executed = static_cast<std::size_t>(doc->number_or("executed", 0));
+  s.restored = static_cast<std::size_t>(doc->number_or("restored", 0));
+  s.frames_decoded =
+      static_cast<std::uint64_t>(doc->number_or("frames_decoded", 0));
+  s.frames_dropped =
+      static_cast<std::uint64_t>(doc->number_or("frames_dropped", 0));
+  s.energy_j = doc->number_or("energy_j", 0.0);
+  s.elapsed_s = doc->number_or("elapsed_s", 0.0);
+  s.frame_delay_sum_s = doc->number_or("frame_delay_sum_s", 0.0);
+  s.frame_delay_sketch =
+      sketch_from_text(doc->string_or("frame_delay_sketch", ""));
+  s.device_delay_sum_s = doc->number_or("device_delay_sum_s", 0.0);
+  s.device_delay_sketch =
+      sketch_from_text(doc->string_or("device_delay_sketch", ""));
+  return s;
+}
+
+obs::MetricsRegistry collect_daemon_metrics(const std::string& root) {
+  obs::MetricsRegistry reg;
+  // Families exist from the first scrape, even with nothing completed yet;
+  // delay shapes match the engine's frames.delay_s histogram.
+  reg.counter("serve.jobs_done") = 0;
+  reg.counter("serve.jobs_failed") = 0;
+  reg.counter("serve.frames_decoded") = 0;
+  reg.counter("serve.frames_dropped") = 0;
+  reg.counter("serve.units_executed") = 0;
+  reg.counter("serve.units_restored") = 0;
+  reg.gauge("serve.energy_j") = 0.0;
+  obs::HistogramMetric& frame_delay =
+      reg.histogram("serve.frame_delay_s", 0.0, 2.0, 200);
+  obs::HistogramMetric& device_delay =
+      reg.histogram("serve.device_delay_s", 0.0, 2.0, 200);
+
+  std::error_code ec;
+  std::vector<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(root + "/done", ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path p = entry.path();
+    if (p.extension() != ".json" || p.filename().string().front() == '.') {
+      continue;
+    }
+    stems.push_back(p.stem().string());
+  }
+  std::sort(stems.begin(), stems.end());  // pinned fold order by job stem
+
+  for (const std::string& stem : stems) {
+    ++reg.counter("serve.jobs_done");
+    const std::string summary_path =
+        root + "/done/" + stem + ".out/job_summary.json";
+    if (!fs::exists(summary_path, ec)) continue;
+    const JobSummary s = load_job_summary(summary_path);
+    reg.counter("serve.frames_decoded") += s.frames_decoded;
+    reg.counter("serve.frames_dropped") += s.frames_dropped;
+    reg.counter("serve.units_executed") += s.executed;
+    reg.counter("serve.units_restored") += s.restored;
+    reg.gauge("serve.energy_j") += s.energy_j;
+    frame_delay.absorb_sketch(s.frame_delay_sketch, s.frame_delay_sum_s);
+    device_delay.absorb_sketch(s.device_delay_sketch, s.device_delay_sum_s);
+  }
+
+  for (const auto& entry : fs::directory_iterator(root + "/failed", ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path p = entry.path();
+    if (p.extension() != ".json" || p.filename().string().front() == '.') {
+      continue;
+    }
+    ++reg.counter("serve.jobs_failed");
+  }
+  return reg;
+}
+
+}  // namespace dvs::serve

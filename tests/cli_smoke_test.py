@@ -216,7 +216,8 @@ def main():
     if proc.returncode != 0:
         fail(f"`list schemas` exit code {proc.returncode}\n{proc.stderr}")
     for schema in ("dvs-job-v1", "dvs-checkpoint-v1", "dvs-metrics-v1",
-                   "dvs-ledger-v1", "dvs-sketch-v1"):
+                   "dvs-ledger-v1", "dvs-sketch-v1", "dvs-events-v1",
+                   "dvs-serve-status-v1", "dvs-job-summary-v1"):
         if schema not in proc.stdout:
             fail(f"`list schemas` output missing {schema!r}:\n{proc.stdout}")
 
@@ -250,6 +251,35 @@ def main():
         if not os.path.exists(os.path.join(tmp, "failed",
                                            "broken.error.txt")):
             fail("serve did not leave an error note for the failed job")
+
+        # Telemetry plane: the drained daemon leaves a readable status
+        # snapshot, event log, and metrics scrape behind.
+        proc = subprocess.run([binary, "status", tmp, "--json"],
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode != 0:
+            fail(f"`status --json` exit {proc.returncode}\n{proc.stderr}")
+        status = json.loads(proc.stdout)
+        if status.get("schema") != "dvs-serve-status-v1":
+            fail(f"status.json schema is {status.get('schema')!r}")
+        if status.get("state") != "stopped":
+            fail(f"drained daemon status not 'stopped': {status}")
+        proc = subprocess.run([binary, "status", tmp],
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode != 0 or "daemon: stopped" not in proc.stdout:
+            fail(f"human `status` missing daemon line:\n{proc.stdout}")
+        proc = subprocess.run([binary, "tail", tmp, "--no-follow"],
+                              capture_output=True, text=True, timeout=60)
+        if proc.returncode != 0:
+            fail(f"`tail --no-follow` exit {proc.returncode}\n{proc.stderr}")
+        for event in ("daemon_start", "job_finished", "job_failed",
+                      "daemon_stop"):
+            if event not in proc.stdout:
+                fail(f"`tail` output missing {event!r}:\n{proc.stdout}")
+        if not os.path.exists(os.path.join(tmp, "metrics.om")):
+            fail("serve did not write metrics.om")
+        summary = os.path.join(tmp, "done", "ok.out", "job_summary.json")
+        if not os.path.exists(summary):
+            fail("serve did not write job_summary.json for the done job")
 
     # serve usage errors: missing root and unknown flags exit 2.
     proc = subprocess.run([binary, "serve"],

@@ -1,13 +1,18 @@
 // Daemon lifecycle over a real directory tree (in-process, --drain
 // semantics): valid jobs travel queue/ -> done/ with artifacts, malformed
 // jobs land in failed/ with an error note, and foreign files are ignored.
+// Every drain also leaves the telemetry plane behind — events.jsonl,
+// status.json, metrics.om, per-job summaries — which the tests here pin.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "serve/daemon.hpp"
+#include "serve/event_log.hpp"
+#include "serve/status.hpp"
 
 namespace dvs::serve {
 namespace {
@@ -68,6 +73,51 @@ TEST(ServeDaemon, DrainProcessesGoodAndBadJobs) {
   std::string msg((std::istreambuf_iterator<char>(err)),
                   std::istreambuf_iterator<char>());
   EXPECT_NE(msg.find("unknown scenario"), std::string::npos) << msg;
+
+  // -- telemetry plane left behind by the drain --------------------------
+  const std::vector<ServeEvent> events =
+      load_events((tmp.path() / "events.jsonl").string());
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().type, "daemon_start");
+  EXPECT_EQ(events.back().type, "daemon_stop");
+  auto count = [&events](const char* type) {
+    std::size_t n = 0;
+    for (const ServeEvent& ev : events) n += ev.type == type;
+    return n;
+  };
+  // bad and broken fail spec parse before a claim event can carry their
+  // ids, so they go straight to job_failed; every job still reaches a
+  // terminal event.
+  EXPECT_EQ(count("job_claimed"), 1u);  // good
+  EXPECT_EQ(count("job_finished"), 1u);
+  EXPECT_EQ(count("job_failed"), 2u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1) << "gap at " << i;
+  }
+
+  const ServeStatus status =
+      load_status((tmp.path() / "status.json").string());
+  EXPECT_EQ(status.state, "stopped");
+  EXPECT_EQ(status.jobs_done, 1u);
+  EXPECT_EQ(status.jobs_failed, 2u);
+  EXPECT_EQ(status.queue_depth, 0u);
+  EXPECT_EQ(status.last_seq, events.back().seq);
+
+  const JobSummary summary = load_job_summary(
+      (tmp.path() / "done/good.out/job_summary.json").string());
+  EXPECT_EQ(summary.job_id, "good");
+  EXPECT_EQ(summary.kind, "run");
+  EXPECT_EQ(summary.executed, 1u);
+  EXPECT_GT(summary.frames_decoded, 0u);
+  EXPECT_GT(summary.energy_j, 0.0);
+  EXPECT_FALSE(summary.frame_delay_sketch.empty());
+
+  std::ifstream om(tmp.path() / "metrics.om");
+  std::string text((std::istreambuf_iterator<char>(om)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("dvs_serve_jobs_done_total 1"), std::string::npos);
+  EXPECT_NE(text.find("dvs_serve_jobs_failed_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
 }
 
 TEST(ServeDaemon, RecoversJobLeftInRunning) {
@@ -85,6 +135,43 @@ TEST(ServeDaemon, RecoversJobLeftInRunning) {
   EXPECT_EQ(run_daemon(opts), 0);
   EXPECT_TRUE(fs::exists(tmp.path() / "done/orphan.json"));
   EXPECT_TRUE(fs::exists(tmp.path() / "done/orphan.out/run.csv"));
+}
+
+TEST(ServeDaemon, TelemetrySurvivesRestart) {
+  TempDir tmp("serve_daemon_restart");
+  const std::string job =
+      R"({"schema": "dvs-job-v1", "kind": "run",
+          "run": {"media": "mp3", "sequence": "A", "detector": "max"}})";
+  DaemonOptions opts;
+  opts.root = tmp.path().string();
+  opts.jobs = 1;
+  opts.drain = true;
+
+  write_file(tmp.path() / "queue/first.json", job);
+  EXPECT_EQ(run_daemon(opts), 0);
+  write_file(tmp.path() / "queue/second.json", job);
+  EXPECT_EQ(run_daemon(opts), 0);
+
+  // One event history spans both daemon lifetimes, seq strictly monotone.
+  const std::vector<ServeEvent> events =
+      load_events((tmp.path() / "events.jsonl").string());
+  std::size_t starts = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) { EXPECT_EQ(events[i].seq, events[i - 1].seq + 1); }
+    starts += events[i].type == "daemon_start";
+  }
+  EXPECT_EQ(starts, 2u);
+
+  // metrics.om folds done/ — both lifetimes' jobs — while status.json
+  // counters describe only the last daemon's run.
+  std::ifstream om(tmp.path() / "metrics.om");
+  std::string text((std::istreambuf_iterator<char>(om)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("dvs_serve_jobs_done_total 2"), std::string::npos);
+  const ServeStatus status =
+      load_status((tmp.path() / "status.json").string());
+  EXPECT_EQ(status.state, "stopped");
+  EXPECT_EQ(status.last_seq, events.back().seq);
 }
 
 TEST(ServeDaemon, MaxJobsStopsEarly) {

@@ -69,6 +69,7 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     else if (a == "--telemetry-every") { o.telemetry_every = std::stod(need(i)); ++i; }
     else if (a == "--metrics-openmetrics") { o.metrics_openmetrics = need(i); ++i; }
     else if (a == "--self-profile") { o.self_profile = need(i); ++i; }
+    else if (a == "--serve-root") { o.serve_root = need(i); ++i; }
     else if (a == "--help" || a == "-h") { usage("help requested"); }
     else { usage(("unknown option " + a).c_str()); }
   }

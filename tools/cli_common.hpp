@@ -77,6 +77,9 @@ struct CliOptions {
   /// run: write the hierarchical span profile (collapsed-stack format).
   /// report: an existing profile to analyze.
   std::string self_profile;
+  /// report: a serve daemon root to merge (event timeline + per-job
+  /// rollups from done/<id>.out/job_summary.json).
+  std::string serve_root;
 };
 
 /// Prints `msg` and exits 2 (the CLI's usage-error code).
@@ -116,6 +119,14 @@ int cmd_report(const CliOptions& o);
 /// `dvs_sim serve <dir>`: the job-queue daemon (parses its own flags —
 /// the daemon surface is directories and cadences, not run parameters).
 int cmd_serve(int argc, char** argv, int first);
+
+/// `dvs_sim status <root>`: one-shot view of a daemon's status.json
+/// (parses its own flags, like serve).
+int cmd_status(int argc, char** argv, int first);
+
+/// `dvs_sim tail <root>`: follow the daemon's lifecycle event log; exits
+/// cleanly when a daemon_stop event is the newest record.
+int cmd_tail(int argc, char** argv, int first);
 
 int cmd_list_scenarios();
 int cmd_list_faults();

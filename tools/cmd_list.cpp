@@ -11,7 +11,9 @@
 #include "obs/telemetry/openmetrics.hpp"
 #include "policy/governor_factory.hpp"
 #include "serve/checkpoint.hpp"
+#include "serve/event_log.hpp"
 #include "serve/job_spec.hpp"
+#include "serve/status.hpp"
 #include "workload/clips.hpp"
 
 namespace dvs::cli {
@@ -103,6 +105,12 @@ int cmd_list_schemas() {
              "user-written; validated by dvs_sim serve"});
   t.add_row({serve::kCheckpointSchema, "serve job progress (JSONL)",
              "dvs_sim serve checkpoints/"});
+  t.add_row({serve::kEventsSchema, "daemon lifecycle event log (JSONL)",
+             "dvs_sim serve events.jsonl; read by dvs_sim tail"});
+  t.add_row({serve::kStatusSchema, "daemon status snapshot (JSON)",
+             "dvs_sim serve status.json; read by dvs_sim status"});
+  t.add_row({serve::kJobSummarySchema, "per-job rollup (JSON)",
+             "dvs_sim serve done/<id>.out/job_summary.json"});
   t.add_row({"dvs-metrics-v1", "metrics registry (JSON)",
              "run|sweep --metrics-json"});
   t.add_row({"dvs-ledger-v1", "energy/delay attribution ledger (JSON)",

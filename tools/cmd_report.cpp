@@ -2,12 +2,16 @@
 // wrote — metrics JSON (--metrics-json), attribution-ledger JSON
 // (--ledger-json), structured JSONL traces (--trace-jsonl),
 // flight-recorder dumps (--flight-dump), telemetry snapshot series
-// (--telemetry-jsonl) and collapsed-stack span profiles (--self-profile).
-// Any subset of inputs may be given; each renders its own section.  Exit
-// codes: 0 = report rendered, 1 = an input failed to parse, 2 = usage error.
+// (--telemetry-jsonl), collapsed-stack span profiles (--self-profile)
+// and serve daemon trees (--serve-root: lifecycle event timeline plus
+// per-job rollups from done/<id>.out/job_summary.json).  Any subset of
+// inputs may be given; each renders its own section.  Exit codes:
+// 0 = report rendered, 1 = an input failed to parse, 2 = usage error.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -19,6 +23,8 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "obs/flight_recorder.hpp"
+#include "serve/event_log.hpp"
+#include "serve/status.hpp"
 
 namespace dvs::cli {
 
@@ -541,20 +547,158 @@ int report_self_profile(const std::string& path) {
   return 0;
 }
 
+// ---- serve daemon tree -----------------------------------------------------
+
+std::string fmt_wall(double ts) {
+  const std::time_t t = static_cast<std::time_t>(ts);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M:%S", &tm);
+  return buf;
+}
+
+std::string event_detail(const serve::ServeEvent& ev) {
+  if (ev.type == "daemon_start") return "pid " + std::to_string(ev.pid);
+  if (ev.type == "daemon_stop") {
+    return "after " + std::to_string(ev.jobs_processed) + " job" +
+           (ev.jobs_processed == 1 ? "" : "s");
+  }
+  if (ev.type == "checkpoint_flush") {
+    return std::to_string(ev.units_done) + "/" +
+           std::to_string(ev.units_total) + " units durable";
+  }
+  if (ev.type == "job_finished") {
+    return ev.kind + ", " + std::to_string(ev.executed) + " executed, " +
+           std::to_string(ev.restored) + " restored";
+  }
+  if (ev.type == "job_failed") {
+    std::string d = ev.error;
+    if (!ev.flight_dir.empty()) d += " (flight dumps: " + ev.flight_dir + ")";
+    return d;
+  }
+  return {};
+}
+
+/// Sorted file stems of `dir` entries with the given extension; empty when
+/// the directory does not exist (a daemon that never finished a job).
+std::vector<std::string> sorted_stems(const std::string& dir,
+                                      const std::string& ext) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> stems;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    const fs::path& p = e.path();
+    if (p.extension() == ext && !p.filename().string().empty() &&
+        p.filename().string()[0] != '.') {
+      stems.push_back(p.stem().string());
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+/// Renders the --serve-root section: the daemon's lifecycle event
+/// timeline (dvs-events-v1 — the intact prefix; a SIGKILL-torn tail is
+/// simply absent) and per-job rollups from done/<id>.out/job_summary.json
+/// plus failed/ error files, folded in sorted stem order.
+int report_serve_root(const std::string& root) {
+  std::vector<serve::ServeEvent> events;
+  try {
+    events = serve::load_events(root + "/events.jsonl");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report: %s\n", e.what());
+    return 1;
+  }
+  std::printf("== serve daemon (%s) ==\n", root.c_str());
+  if (events.empty()) {
+    std::printf("(no lifecycle events at %s/events.jsonl)\n\n", root.c_str());
+  } else {
+    std::printf("%zu lifecycle events, %s .. %s\n\n", events.size(),
+                fmt_wall(events.front().ts).c_str(),
+                fmt_wall(events.back().ts).c_str());
+    TextTable t{"event timeline"};
+    t.set_header({"seq", "time", "event", "job", "detail"});
+    for (const serve::ServeEvent& ev : events) {
+      t.add_row({std::to_string(ev.seq), fmt_wall(ev.ts), ev.type, ev.job,
+                 event_detail(ev)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  const std::vector<std::string> done = sorted_stems(root + "/done", ".json");
+  if (!done.empty()) {
+    TextTable t{"completed jobs"};
+    t.set_header({"job", "kind", "units", "restored", "frames", "dropped",
+                  "energy (J)", "delay p50", "delay p99"});
+    for (const std::string& stem : done) {
+      const std::string summary_path =
+          root + "/done/" + stem + ".out/job_summary.json";
+      serve::JobSummary s;
+      try {
+        s = serve::load_job_summary(summary_path);
+      } catch (const std::exception&) {
+        t.add_row({stem, "?", "-", "-", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      // Run/sweep jobs carry a per-frame delay sketch; fleet jobs carry a
+      // per-device mean-delay sketch.  Show whichever is populated.
+      const obs::QuantileSketch& sk = s.frame_delay_sketch.empty()
+                                          ? s.device_delay_sketch
+                                          : s.frame_delay_sketch;
+      t.add_row({s.job_id, s.kind, std::to_string(s.executed) + "/" +
+                     std::to_string(s.units_total),
+                 std::to_string(s.restored),
+                 std::to_string(static_cast<unsigned long long>(
+                     s.frames_decoded)),
+                 std::to_string(static_cast<unsigned long long>(
+                     s.frames_dropped)),
+                 TextTable::num(s.energy_j, 2),
+                 sk.empty() ? "-" : TextTable::num(sk.quantile(0.5), 4),
+                 sk.empty() ? "-" : TextTable::num(sk.quantile(0.99), 4)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  const std::vector<std::string> failed =
+      sorted_stems(root + "/failed", ".json");
+  if (!failed.empty()) {
+    TextTable t{"failed jobs"};
+    t.set_header({"job", "error"});
+    for (const std::string& stem : failed) {
+      std::string first_line = "(no error file)";
+      std::ifstream err(root + "/failed/" + stem + ".error.txt");
+      if (err) std::getline(err, first_line);
+      t.add_row({stem, first_line});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cmd_report(const CliOptions& o) {
   if (o.metrics_json.empty() && o.ledger_json.empty() &&
       o.trace_jsonl.empty() && o.flight_dump.empty() &&
-      o.telemetry_jsonl.empty() && o.self_profile.empty()) {
+      o.telemetry_jsonl.empty() && o.self_profile.empty() &&
+      o.serve_root.empty()) {
     usage("report needs at least one of --metrics-json, --ledger-json, "
-          "--trace-jsonl, --flight-dump, --telemetry-jsonl, --self-profile");
+          "--trace-jsonl, --flight-dump, --telemetry-jsonl, --self-profile, "
+          "--serve-root");
   }
   if (o.metrics_json == "-" || o.ledger_json == "-" ||
-      o.telemetry_jsonl == "-" || o.self_profile == "-") {
+      o.telemetry_jsonl == "-" || o.self_profile == "-" ||
+      o.serve_root == "-") {
     usage("report reads files; \"-\" is not a valid input path");
   }
   try {
+    if (!o.serve_root.empty()) {
+      if (const int rc = report_serve_root(o.serve_root); rc != 0) return rc;
+    }
     if (!o.ledger_json.empty()) {
       if (const int rc = report_ledger(o.ledger_json); rc != 0) return rc;
     }

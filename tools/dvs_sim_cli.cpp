@@ -11,7 +11,13 @@
 //                                        dvs-job-v1 JSON jobs dropped into
 //                                        <dir>/queue/ with checkpoint/restore
 //                                        (docs/SERVING.md)
+//   dvs_sim status <root> [--json]       one-shot view of a serve daemon's
+//                                        status.json (pid/uptime, per-job
+//                                        progress + ETA, cache warmth)
+//   dvs_sim tail <root> [options]        follow the daemon's lifecycle event
+//                                        log; exits cleanly on daemon stop
 //   dvs_sim report [inputs]              analyze artifacts a run/sweep wrote
+//                                        (--serve-root merges a daemon tree)
 //   dvs_sim list  [scenarios|faults|fleets|policies|metrics|schemas]
 //                                        enumerate scenarios, fault specs,
 //                                        fleets, governor policies, the stock
@@ -35,6 +41,16 @@
 //   --poll-ms <n>             queue scan interval while idle (default 200)
 //   --drain                   exit once queue/ and running/ are empty
 //   --max-jobs <n>            stop after n jobs (0 = unlimited)
+//
+// Status options (dvs_sim status <root>):
+//   --json                    echo the raw dvs-serve-status-v1 document
+//
+// Tail options (dvs_sim tail <root>):
+//   --since <seq>             start after this event sequence number
+//   --events a[,b,...]        only these event types (job_claimed,
+//                             job_recovered, checkpoint_flush, job_finished,
+//                             job_failed, daemon_start, daemon_stop)
+//   --no-follow               dump the intact prefix and exit
 //
 // Sweep options:
 //   --jobs <n>                sweep worker threads (0 = all cores, default 1)
@@ -122,6 +138,7 @@
 //   dvs_sim report --metrics-json m.json --ledger-json l.json
 //                  --trace-jsonl t.jsonl --flight-dump f.flight.txt
 //                  --telemetry-jsonl tel.jsonl --self-profile prof.txt
+//                  --serve-root <root>   (event timeline + per-job rollups)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -201,10 +218,12 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return dispatch_sweep(argc, argv, 2);
   if (cmd == "fleet") return dispatch_fleet(argc, argv, 2);
   if (cmd == "serve") return cli::cmd_serve(argc, argv, 2);
+  if (cmd == "status") return cli::cmd_status(argc, argv, 2);
+  if (cmd == "tail") return cli::cmd_tail(argc, argv, 2);
   if (cmd == "report") return dispatch_report(argc, argv, 2);
   if (cmd == "list") return dispatch_list(argc, argv, 2);
   if (cmd == "--help" || cmd == "-h") cli::usage("help requested");
   cli::usage(("unknown subcommand " + cmd +
-              " (expected run|sweep|fleet|serve|report|list)")
+              " (expected run|sweep|fleet|serve|status|tail|report|list)")
                  .c_str());
 }
